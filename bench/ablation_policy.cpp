@@ -1,0 +1,188 @@
+// Ablation — the design choices DESIGN.md calls out:
+//   (1) block split policy (greedy vs even) and merge-on-delete, measured
+//       by fragmentation (average block fill) and resulting blow-up after
+//       a churn edit session;
+//   (2) text codec (Base32 per the paper's Fig 2 vs base64url) measured by
+//       ciphertext blow-up;
+//   (3) the cost of the §VI-B covert-channel countermeasures (re-diff and
+//       padding) on the mediated save path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "macro_common.hpp"
+#include "privedit/enc/recb.hpp"
+#include "privedit/workload/corpus.hpp"
+#include "privedit/workload/edits.hpp"
+
+namespace {
+
+using namespace privedit;
+using namespace privedit::bench;
+
+struct PolicyOutcome {
+  double avg_fill;
+  double blowup;
+  std::size_t blocks;
+};
+
+PolicyOutcome run_policy(enc::BlockPolicy policy, int edits) {
+  const auto keys = bench_keys();
+  enc::RecbScheme scheme(bench_header(enc::Mode::kRecb, 8), keys,
+                         crypto::CtrDrbg::from_seed(61), policy);
+  Xoshiro256 rng(62);
+  workload::SentenceEditor editor(workload::random_document(rng, 10'000),
+                                  &rng);
+  scheme.initialize(editor.document());
+  for (int i = 0; i < edits; ++i) {
+    // Churn that keeps the document size stable: alternating inserts and
+    // deletes plus replaces. Deletions leave fragments for the merge
+    // policy to fight.
+    const auto op = (i % 3 == 0)   ? workload::MacroOp::kInsertSentence
+                    : (i % 3 == 1) ? workload::MacroOp::kDeleteSentence
+                                   : workload::MacroOp::kReplaceSentence;
+    scheme.transform_delta(editor.step(op));
+  }
+  const enc::SchemeStats s = scheme.stats();
+  return PolicyOutcome{s.average_fill(8), s.blowup(), s.block_count};
+}
+
+void print_policy_ablation() {
+  print_title("Ablation 1 — block policy vs fragmentation "
+              "(10000 chars, churn session)");
+  std::printf("%-34s %12s %10s %10s\n", "policy", "avg fill", "blowup",
+              "blocks");
+  print_rule();
+
+  enc::BlockPolicy greedy;
+  const PolicyOutcome g = run_policy(greedy, 600);
+  std::printf("%-34s %11.1f%% %10.2f %10zu\n", "greedy split (paper-like)",
+              g.avg_fill * 100, g.blowup, g.blocks);
+
+  enc::BlockPolicy even;
+  even.split = enc::BlockPolicy::Split::kEven;
+  const PolicyOutcome e = run_policy(even, 600);
+  std::printf("%-34s %11.1f%% %10.2f %10zu\n", "even split", e.avg_fill * 100,
+              e.blowup, e.blocks);
+
+  enc::BlockPolicy merge;
+  merge.merge_on_delete = true;
+  merge.merge_threshold = 4;
+  const PolicyOutcome m = run_policy(merge, 600);
+  std::printf("%-34s %11.1f%% %10.2f %10zu\n", "greedy + merge-on-delete",
+              m.avg_fill * 100, m.blowup, m.blocks);
+
+  // Compaction: the maintenance pass that removes fragmentation entirely.
+  enc::BlockPolicy plain_policy;
+  const auto keys2 = bench_keys();
+  enc::RecbScheme scheme(bench_header(enc::Mode::kRecb, 8), keys2,
+                         crypto::CtrDrbg::from_seed(69), plain_policy);
+  Xoshiro256 rng2(70);
+  workload::SentenceEditor editor2(workload::random_document(rng2, 10'000),
+                                   &rng2);
+  scheme.initialize(editor2.document());
+  for (int i = 0; i < 600; ++i) {
+    const auto op = (i % 3 == 0)   ? workload::MacroOp::kInsertSentence
+                    : (i % 3 == 1) ? workload::MacroOp::kDeleteSentence
+                                   : workload::MacroOp::kReplaceSentence;
+    scheme.transform_delta(editor2.step(op));
+  }
+  const enc::SchemeStats before = scheme.stats();
+  std::vector<double> times;
+  delta::Delta cdelta;
+  times.push_back(time_seconds([&] { cdelta = scheme.compact(); }) * 1e3);
+  const enc::SchemeStats after = scheme.stats();
+  std::printf("%-34s %11.1f%% %10.2f %10zu\n", "after compact()",
+              after.average_fill(8) * 100, after.blowup(), after.block_count);
+  std::printf(
+      "compact() took %.2f ms and shipped a %zu-char cdelta; fill %.1f%% ->\n"
+      "%.1f%%. Fragmentation is why Fig 7's actual reduction trails the\n"
+      "ideal; merge-on-delete buys a little back per edit, compaction buys\n"
+      "all of it back in one document-sized maintenance write.\n",
+      times[0], cdelta.to_wire().size(), before.average_fill(8) * 100,
+      after.average_fill(8) * 100);
+}
+
+void print_codec_ablation() {
+  print_title("Ablation 2 — codec choice vs blow-up (rECB, b=8, fresh doc)");
+  std::printf("%-14s %14s %14s\n", "codec", "unit width", "blowup");
+  print_rule();
+  for (const auto codec : {enc::Codec::kBase32, enc::Codec::kBase64Url}) {
+    auto scheme = bench_scheme(enc::Mode::kRecb, 8, 63, codec);
+    Xoshiro256 rng(64);
+    scheme->initialize(workload::random_string(rng, 10'000));
+    std::printf("%-14s %14zu %14.2f\n",
+                codec == enc::Codec::kBase32 ? "Base32" : "base64url",
+                bench_header(enc::Mode::kRecb, 8, codec).unit_width(),
+                scheme->stats().blowup());
+  }
+  std::printf("Base32 (the paper's choice, Fig 2) costs ~22%% more than\n"
+              "base64url; both preserve fixed-width unit arithmetic.\n");
+}
+
+void print_mitigation_cost() {
+  print_title("Ablation 3 — covert-channel countermeasure cost "
+              "(per mediated save, wall time)");
+  std::printf("%-34s %18s\n", "configuration", "us per save");
+  print_rule();
+  struct Case {
+    const char* name;
+    bool rediff;
+    std::size_t pad;
+  };
+  const Case cases[] = {{"baseline", false, 0},
+                        {"re-diff", true, 0},
+                        {"padding (1 KiB bucket)", false, 1024},
+                        {"re-diff + padding", true, 1024}};
+  for (const Case& c : cases) {
+    extension::MediatorConfig config = macro_config(enc::Mode::kRecb, 8);
+    config.rediff = c.rediff;
+    config.pad_bucket = c.pad;
+    MacroStack stack(65, true, config);
+    client::GDocsClient writer(stack.channel, "doc");
+    writer.create();
+    Xoshiro256 rng(66);
+    writer.insert(0, workload::random_document(rng, 10'000));
+    writer.save();
+
+    std::vector<double> times;
+    workload::SentenceEditor editor(writer.text(), &rng);
+    for (int i = 0; i < 60; ++i) {
+      editor.step_mixed();
+      writer.replace(0, writer.text().size(), editor.document());
+      times.push_back(time_seconds([&] { writer.save(); }) * 1e6);
+    }
+    std::printf("%-34s %18.1f\n", c.name, stats_of(times).mean);
+  }
+  std::printf("Re-diff runs Myers over both versions (linear-ish for local\n"
+              "edits); padding is nearly free. Both are viable defaults.\n");
+}
+
+void BM_MediatedSave(benchmark::State& state) {
+  extension::MediatorConfig config = macro_config(enc::Mode::kRecb, 8);
+  config.rediff = state.range(0) != 0;
+  MacroStack stack(67, true, config);
+  client::GDocsClient writer(stack.channel, "doc");
+  writer.create();
+  Xoshiro256 rng(68);
+  writer.insert(0, workload::random_document(rng, 10'000));
+  writer.save();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    writer.insert((i * 1237) % writer.text().size(), "word ");
+    writer.save();
+    ++i;
+  }
+}
+BENCHMARK(BM_MediatedSave)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_policy_ablation();
+  print_codec_ablation();
+  print_mitigation_cost();
+  return 0;
+}

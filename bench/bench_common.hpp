@@ -1,0 +1,97 @@
+#pragma once
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each binary registers google-benchmark micro-measurements AND prints the
+// corresponding paper table/figure (same rows/series as the publication)
+// from a deterministic experiment run. Absolute numbers will differ from
+// the 2011 JavaScript prototype — EXPERIMENTS.md records paper-vs-measured
+// — but the shapes (who wins, by what factor, where crossovers fall) are
+// the reproduction target.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/enc/scheme.hpp"
+
+namespace privedit::bench {
+
+struct Stats {
+  double mean = 0.0;
+  double dev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+inline Stats stats_of(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.dev = std::sqrt(var / static_cast<double>(xs.size()));
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  return s;
+}
+
+/// Wall-clock seconds of fn().
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+inline crypto::DocumentKeys bench_keys() {
+  return crypto::derive_document_keys("bench-password", Bytes(16, 0x5a),
+                                      crypto::KdfParams{.iterations = 10});
+}
+
+inline enc::ContainerHeader bench_header(enc::Mode mode,
+                                         std::size_t block_chars,
+                                         enc::Codec codec =
+                                             enc::Codec::kBase32) {
+  enc::ContainerHeader h;
+  h.mode = mode;
+  h.block_chars = block_chars;
+  h.codec = codec;
+  h.kdf_iterations = 10;
+  h.salt = Bytes(16, 0x5a);
+  return h;
+}
+
+inline std::unique_ptr<enc::IncrementalScheme> bench_scheme(
+    enc::Mode mode, std::size_t block_chars, std::uint64_t seed,
+    enc::Codec codec = enc::Codec::kBase32) {
+  const auto keys = bench_keys();
+  return enc::make_scheme(bench_header(mode, block_chars, codec), keys,
+                          crypto::CtrDrbg::from_seed(seed));
+}
+
+inline void print_rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n");
+  print_rule('=');
+  std::printf("%s\n", title.c_str());
+  print_rule('=');
+}
+
+// Paper reference values (for side-by-side printing).
+// Fig 4 (RPC micro, per char): enc .091 ms, dec .085 ms, incE .110 ms.
+inline constexpr double kPaperFig4EncMs = 0.091;
+inline constexpr double kPaperFig4DecMs = 0.085;
+inline constexpr double kPaperFig4IncMs = 0.110;
+
+}  // namespace privedit::bench

@@ -1,0 +1,151 @@
+// Primitive throughput: AES-128, the 32-byte wide-block cipher, SHA-256,
+// HMAC and the CTR-DRBG. Context for every other number in the harness —
+// and the measurement behind the "native vs 2009-JavaScript" scaling
+// argument in EXPERIMENTS.md (the paper's SJCL-based prototype encrypted
+// at ~10 kB/s).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "privedit/crypto/aes.hpp"
+#include "privedit/crypto/aes_fast.hpp"
+#include "privedit/crypto/hmac.hpp"
+#include "privedit/crypto/sha256.hpp"
+#include "privedit/crypto/wide_block.hpp"
+
+namespace {
+
+using namespace privedit;
+using namespace privedit::bench;
+
+void BM_Aes128EncryptBlock(benchmark::State& state) {
+  crypto::Aes128 aes(Bytes(16, 0x11));
+  Bytes block(16, 0x22);
+  for (auto _ : state) {
+    aes.encrypt_block(block, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128EncryptBlock);
+
+void BM_Aes128DecryptBlock(benchmark::State& state) {
+  crypto::Aes128 aes(Bytes(16, 0x11));
+  Bytes block(16, 0x22);
+  for (auto _ : state) {
+    aes.decrypt_block(block, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128DecryptBlock);
+
+void BM_Aes128KeySchedule(benchmark::State& state) {
+  Bytes key(16, 0x33);
+  for (auto _ : state) {
+    crypto::Aes128 aes(key);
+    benchmark::DoNotOptimize(&aes);
+  }
+}
+BENCHMARK(BM_Aes128KeySchedule);
+
+void BM_Aes128FastEncryptBlock(benchmark::State& state) {
+  crypto::Aes128Fast aes(Bytes(16, 0x11));
+  Bytes block(16, 0x22);
+  for (auto _ : state) {
+    aes.encrypt_block(block, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128FastEncryptBlock);
+
+void BM_Aes128FastDecryptBlock(benchmark::State& state) {
+  crypto::Aes128Fast aes(Bytes(16, 0x11));
+  Bytes block(16, 0x22);
+  for (auto _ : state) {
+    aes.decrypt_block(block, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128FastDecryptBlock);
+
+void BM_WideBlockEncrypt(benchmark::State& state) {
+  crypto::WideBlock wide(Bytes(16, 0x44));
+  Bytes block(32, 0x55);
+  for (auto _ : state) {
+    wide.encrypt_block(block, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_WideBlockEncrypt);
+
+void BM_Sha256(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Bytes data(n, 0x66);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x77);
+  Bytes data(1024, 0x88);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_Pbkdf2_10k(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::pbkdf2_hmac_sha256(
+        to_bytes("password"), Bytes(16, 0x99), 10'000, 32));
+  }
+}
+BENCHMARK(BM_Pbkdf2_10k);
+
+void BM_CtrDrbgFill(benchmark::State& state) {
+  auto drbg = crypto::CtrDrbg::from_seed(1);
+  Bytes buf(4096);
+  for (auto _ : state) {
+    drbg->fill(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_CtrDrbgFill);
+
+void print_js_scaling() {
+  // Measure bulk AES throughput and relate it to the paper's 9.1-11.8 kB/s.
+  crypto::Aes128 aes(Bytes(16, 0x11));
+  Bytes block(16, 0x22);
+  int iters = 400'000;
+  const double secs = time_seconds([&] {
+    for (int i = 0; i < iters; ++i) aes.encrypt_block(block, block);
+  });
+  const double mbps = 16.0 * iters / secs / 1e6;
+  print_title("Native-vs-2009-JavaScript scaling context");
+  std::printf(
+      "Software AES-128 here: %.1f MB/s. The paper's SJCL-in-Firefox-3\n"
+      "prototype achieved 9.1-11.8 kB/s end to end — a factor of ~%.0fx.\n"
+      "EXPERIMENTS.md uses this to relate native macro numbers to Fig 5/8.\n",
+      mbps, mbps * 1e6 / 10'500.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_js_scaling();
+  return 0;
+}

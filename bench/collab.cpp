@@ -1,0 +1,104 @@
+// Collaboration bench (extension beyond the paper): cost of the OT rebase
+// path. Measures mediated save latency without contention vs with a
+// concurrent writer forcing a 409 + rebase on every save, and the
+// components of the rebase (decrypt server state, diff, transform,
+// re-encrypt, resend).
+
+#include <benchmark/benchmark.h>
+
+#include "macro_common.hpp"
+#include "privedit/workload/corpus.hpp"
+
+namespace {
+
+using namespace privedit;
+using namespace privedit::bench;
+
+struct CollabBenchStack {
+  explicit CollabBenchStack(std::uint64_t seed) {
+    server.set_strict_revisions(true);
+    transport = std::make_unique<net::LoopbackTransport>(
+        [this](const net::HttpRequest& r) { return server.handle(r); },
+        &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(seed));
+  }
+  extension::MediatorConfig config(std::uint64_t seed) {
+    extension::MediatorConfig c = macro_config(enc::Mode::kRpc, 8);
+    c.collaborative = true;
+    c.rng_factory = extension::seeded_rng_factory(seed);
+    return c;
+  }
+  cloud::GDocsServer server;
+  net::SimClock clock;
+  std::unique_ptr<net::LoopbackTransport> transport;
+};
+
+void print_contention_table() {
+  print_title("Collaboration — mediated save cost vs contention "
+              "(rECB-over-RPC b=8, 10000-char doc, wall time)");
+  std::printf("%-34s %16s %14s\n", "scenario", "us per save", "rebases");
+  print_rule();
+
+  for (const bool contended : {false, true}) {
+    CollabBenchStack stack(81);
+    extension::GDocsMediator alice_ext(stack.transport.get(),
+                                       stack.config(82), &stack.clock);
+    extension::GDocsMediator bob_ext(stack.transport.get(), stack.config(83),
+                                     &stack.clock);
+    client::GDocsClient alice(&alice_ext, "doc");
+    alice.create();
+    Xoshiro256 rng(84);
+    alice.insert(0, workload::random_document(rng, 10'000));
+    alice.save();
+    client::GDocsClient bob(&bob_ext, "doc");
+    bob.open();
+
+    std::vector<double> times;
+    for (int i = 0; i < 40; ++i) {
+      if (contended) {
+        // Alice slips an edit in before every one of bob's saves.
+        alice.insert(rng.below(alice.text().size() + 1), "a");
+        alice.save();
+      }
+      bob.insert(rng.below(bob.text().size() + 1), "b");
+      times.push_back(time_seconds([&] { bob.save(); }) * 1e6);
+      if (contended) {
+        alice.open();  // re-sync alice for the next round
+      }
+    }
+    std::printf("%-34s %16.1f %14zu\n",
+                contended ? "every save conflicts (rebase)" : "no contention",
+                stats_of(times).mean, bob_ext.counters().rebases);
+  }
+  std::printf(
+      "The rebase pays one full decrypt of the authoritative document, one\n"
+      "Myers diff, one OT transform, and an incremental re-encrypt of the\n"
+      "touched blocks — all client-side; the server only rejects stale\n"
+      "saves and stores ciphertext.\n");
+}
+
+void BM_SaveUncontended(benchmark::State& state) {
+  CollabBenchStack stack(85);
+  extension::GDocsMediator ext(stack.transport.get(), stack.config(86),
+                               &stack.clock);
+  client::GDocsClient writer(&ext, "doc");
+  writer.create();
+  Xoshiro256 rng(87);
+  writer.insert(0, workload::random_document(rng, 10'000));
+  writer.save();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    writer.insert((i * 991) % writer.text().size(), "x");
+    writer.save();
+    ++i;
+  }
+}
+BENCHMARK(BM_SaveUncontended);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_contention_table();
+  return 0;
+}

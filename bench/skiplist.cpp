@@ -1,0 +1,110 @@
+// IndexedSkipList vs flat string baseline (§VII-D).
+//
+// The paper observes that its JavaScript SkipIndexList "introduces
+// appreciable overhead for the editing operations (compared to those
+// offered by the built-in JavaScript Array and String) ... this cost is
+// well compensated by setting the block size to 7 or above". This bench
+// regenerates the comparison natively: random index edits on an
+// IndexedSkipList of blocks vs std::string::insert/erase, across document
+// sizes — the flat structure is O(n) per edit, the skip list O(log n), so
+// the crossover moves in the skip list's favour as documents grow.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "privedit/ds/indexed_skip_list.hpp"
+#include "privedit/workload/corpus.hpp"
+
+namespace {
+
+using namespace privedit;
+using namespace privedit::bench;
+
+void BM_SkipListInsertErase(benchmark::State& state) {
+  const auto blocks = static_cast<std::size_t>(state.range(0));
+  ds::IndexedSkipList<std::string> list(41);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    list.insert(i, "12345678", 8);
+  }
+  Xoshiro256 rng(42);
+  for (auto _ : state) {
+    const std::size_t idx = rng.below(list.size());
+    list.insert(idx, "abcdefgh", 8);
+    list.erase(idx);
+  }
+}
+BENCHMARK(BM_SkipListInsertErase)->Arg(64)->Arg(1'250)->Arg(12'500)->Arg(125'000);
+
+void BM_StringInsertErase(benchmark::State& state) {
+  const auto chars = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(43);
+  std::string doc = workload::random_string(rng, chars);
+  for (auto _ : state) {
+    const std::size_t pos = rng.below(doc.size());
+    doc.insert(pos, "abcdefgh");
+    doc.erase(pos, 8);
+  }
+}
+BENCHMARK(BM_StringInsertErase)->Arg(512)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_SkipListFind(benchmark::State& state) {
+  const auto blocks = static_cast<std::size_t>(state.range(0));
+  ds::IndexedSkipList<std::string> list(44);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    list.insert(i, "12345678", 8);
+  }
+  Xoshiro256 rng(45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.find(rng.below(list.total_weight())));
+  }
+}
+BENCHMARK(BM_SkipListFind)->Arg(1'250)->Arg(125'000);
+
+void print_crossover() {
+  print_title("IndexedSkipList vs flat string — per-edit cost by size");
+  std::printf("%-14s %22s %22s\n", "doc chars", "skiplist edit (us)",
+              "string edit (us)");
+  print_rule();
+  Xoshiro256 rng(46);
+  for (std::size_t chars :
+       {1'000u, 10'000u, 100'000u, 1'000'000u}) {
+    // Skip list of 8-char blocks.
+    ds::IndexedSkipList<std::string> list(47);
+    for (std::size_t i = 0; i < chars / 8; ++i) {
+      list.insert(i, "12345678", 8);
+    }
+    std::vector<double> sl, st;
+    for (int i = 0; i < 2'000; ++i) {
+      const std::size_t idx = rng.below(list.size());
+      sl.push_back(time_seconds([&] {
+                     list.insert(idx, "abcdefgh", 8);
+                     list.erase(idx);
+                   }) *
+                   1e6);
+    }
+    std::string doc = workload::random_string(rng, chars);
+    for (int i = 0; i < 2'000; ++i) {
+      const std::size_t pos = rng.below(doc.size());
+      st.push_back(time_seconds([&] {
+                     doc.insert(pos, "abcdefgh");
+                     doc.erase(pos, 8);
+                   }) *
+                   1e6);
+    }
+    std::printf("%-14zu %22.3f %22.3f\n", chars, stats_of(sl).mean,
+                stats_of(st).mean);
+  }
+  std::printf(
+      "Shape check (paper): the skip list carries constant overhead that a\n"
+      "flat buffer beats on small documents, but its O(log n) edits win as\n"
+      "documents grow (the flat buffer is O(n) per edit).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_crossover();
+  return 0;
+}

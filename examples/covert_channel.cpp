@@ -1,0 +1,161 @@
+// Covert channels under the malicious-client model (§VI-B).
+//
+// A malicious editor client encodes each typed character's alphabet ordinal
+// into the *shape* of the delta it submits (delete k originals, re-insert
+// them). The ciphertext deltas the extension emits then differ in length
+// with the secret — a covert channel to the server. The extension's
+// re-diff countermeasure recomputes a minimal delta from the two document
+// versions, collapsing every encoding to the same wire form; padding
+// quantises whatever length variation remains.
+//
+// Build & run:  ./build/examples/covert_channel
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "privedit/util/error.hpp"
+#include "privedit/client/gdocs_client.hpp"
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/extension/mediator.hpp"
+#include "privedit/workload/edits.hpp"
+
+using namespace privedit;
+
+namespace {
+
+std::size_t delta_wire_size(bool rediff, std::size_t pad_bucket,
+                            char secret) {
+  cloud::GDocsServer server;
+  net::SimClock clock;
+  net::LoopbackTransport network(
+      [&server](const net::HttpRequest& r) { return server.handle(r); },
+      &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(1));
+  extension::MediatorConfig config;
+  config.password = "pw";
+  config.rediff = rediff;
+  config.pad_bucket = pad_bucket;
+  config.rng_factory = extension::seeded_rng_factory(2);
+  extension::GDocsMediator mediator(&network, config, &clock);
+  network.enable_tap(true);
+
+  client::GDocsClient mallory(&mediator, "doc");
+  mallory.create();
+  mallory.insert(0, "abcdefghijklmnopqrstuvwxyz abcdefghijklmnopqrstuvwxyz");
+  mallory.save();
+  network.clear_tap();
+
+  const delta::Delta covert =
+      workload::covert_ord_delta(mallory.text(), 5, 'X', secret);
+  mallory.insert(5, "X");
+  mallory.queue_raw_delta(covert);
+  mallory.save();
+
+  for (const std::string& frame : network.tap()) {
+    if (frame.rfind("POST", 0) == 0) {
+      const net::HttpRequest req = net::HttpRequest::parse(frame);
+      if (req.body.find("delta=") != std::string::npos) {
+        return req.body.size();
+      }
+    }
+  }
+  return 0;
+}
+
+void report(const char* label, bool rediff, std::size_t pad) {
+  std::printf("%-34s", label);
+  std::vector<std::size_t> sizes;
+  for (char secret : {'b', 'h', 'q', 'z'}) {
+    sizes.push_back(delta_wire_size(rediff, pad, secret));
+    std::printf(" %6zu", sizes.back());
+  }
+  bool distinguishable = false;
+  for (std::size_t s : sizes) {
+    if (s != sizes[0]) distinguishable = true;
+  }
+  std::printf("   -> %s\n",
+              distinguishable ? "LEAKS (sizes depend on secret)"
+                              : "uniform (channel closed)");
+}
+
+// ---------------------------------------------------------------- timing
+
+// §VI-B's other channel: "The timing of the update messages could also be
+// used as a covert channel." A malicious client encodes a secret value in
+// how long it waits before triggering a save; the server reads it back off
+// its own clock. The extension's random-delay countermeasure adds uniform
+// noise on top of every outgoing update.
+void timing_channel(std::uint64_t mitigation_us) {
+  std::printf("  random delay %4" PRIu64 " ms:", mitigation_us / 1000);
+  double ranges[2][2] = {{1e18, 0}, {1e18, 0}};
+  int idx = 0;
+  for (const std::uint64_t secret : {1ull, 4ull}) {  // encoded as 100/400ms
+    // Observed gap distribution over trials, as the eavesdropper sees it.
+    double total_ms = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      cloud::GDocsServer server;
+      net::SimClock clock;
+      net::LoopbackTransport network(
+          [&server](const net::HttpRequest& r) { return server.handle(r); },
+          &clock, net::LatencyModel{},
+          crypto::CtrDrbg::from_seed(7000 + static_cast<std::uint64_t>(t)));
+      extension::MediatorConfig config;
+      config.password = "pw";
+      config.random_delay_us = mitigation_us;
+      config.rng_factory =
+          extension::seeded_rng_factory(8000 + static_cast<std::uint64_t>(t));
+      extension::GDocsMediator mediator(&network, config, &clock);
+      client::GDocsClient mallory(&mediator, "doc");
+      mallory.create();
+      mallory.insert(0, "cover text");
+      mallory.save();
+
+      const std::uint64_t t0 = clock.now_us();
+      // Malicious client waits secret*100ms before the next save.
+      clock.advance_us(secret * 100'000);
+      mallory.insert(0, "x");
+      mallory.save();
+      const double gap = static_cast<double>(clock.now_us() - t0) / 1000.0;
+      total_ms += gap;
+      ranges[idx][0] = std::min(ranges[idx][0], gap);
+      ranges[idx][1] = std::max(ranges[idx][1], gap);
+    }
+    std::printf("  secret=%" PRIu64 ": mean %5.0f range [%4.0f,%5.0f]",
+                secret, total_ms / trials, ranges[idx][0], ranges[idx][1]);
+    ++idx;
+  }
+  const bool overlap = ranges[0][1] >= ranges[1][0];
+  std::printf("  -> single save %s\n",
+              overlap ? "AMBIGUOUS" : "leaks the secret");
+}
+
+void print_timing_section() {
+  std::printf(
+      "\nTiming channel: the client delays its save by secret*100 ms; the\n"
+      "server measures the gap. Random delays widen the noise floor (one\n"
+      "save still leaks; averaging over many saves defeats any bounded\n"
+      "noise — §VI-B: complete elimination requires a trusted client):\n");
+  timing_channel(0);
+  timing_channel(250'000);
+  timing_channel(1'000'000);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Malicious client smuggles Ord(secret) in delta shape while\n"
+              "visibly typing one character 'X'. Columns: wire size of the\n"
+              "mediated update for secrets b, h, q, z.\n\n");
+  std::printf("%-34s %6s %6s %6s %6s\n", "extension configuration", "b", "h",
+              "q", "z");
+  report("no countermeasures", false, 0);
+  report("re-diff", true, 0);
+  report("padding (512-byte bucket)", false, 512);
+  report("re-diff + padding", true, 512);
+  print_timing_section();
+  return 0;
+}

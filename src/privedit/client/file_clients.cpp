@@ -1,0 +1,81 @@
+#include "privedit/client/file_clients.hpp"
+
+#include "privedit/cloud/xml.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::client {
+
+BespinClient::BespinClient(net::Channel* channel, std::string path)
+    : channel_(channel), path_(std::move(path)) {
+  if (channel_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "BespinClient: null channel");
+  }
+}
+
+void BespinClient::save() {
+  net::HttpRequest req;
+  req.method = "PUT";
+  req.target = "/file/at/" + path_;
+  req.body = text_;
+  const net::HttpResponse resp = channel_->round_trip(req);
+  if (!resp.ok()) {
+    throw ProtocolError("bespin save failed: " + resp.body);
+  }
+}
+
+void BespinClient::load() {
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/file/at/" + path_;
+  const net::HttpResponse resp = channel_->round_trip(req);
+  if (!resp.ok()) {
+    throw ProtocolError("bespin load failed: " + resp.body);
+  }
+  text_ = resp.body;
+}
+
+BuzzwordClient::BuzzwordClient(net::Channel* channel, std::string doc_id)
+    : channel_(channel), doc_id_(std::move(doc_id)) {
+  if (channel_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "BuzzwordClient: null channel");
+  }
+}
+
+std::string BuzzwordClient::to_xml() const {
+  std::string xml = "<document>";
+  for (const std::string& p : paragraphs_) {
+    xml += "<p><textRun style=\"body\">";
+    xml += cloud::xml_escape(p);
+    xml += "</textRun></p>";
+  }
+  xml += "</document>";
+  return xml;
+}
+
+void BuzzwordClient::save() {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.target = "/doc/" + doc_id_;
+  req.headers.set("Content-Type", "application/xml");
+  req.body = to_xml();
+  const net::HttpResponse resp = channel_->round_trip(req);
+  if (!resp.ok()) {
+    throw ProtocolError("buzzword save failed: " + resp.body);
+  }
+}
+
+void BuzzwordClient::load() {
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/doc/" + doc_id_;
+  const net::HttpResponse resp = channel_->round_trip(req);
+  if (!resp.ok()) {
+    throw ProtocolError("buzzword load failed: " + resp.body);
+  }
+  paragraphs_.clear();
+  for (const cloud::TextRun& run : cloud::find_text_runs(resp.body)) {
+    paragraphs_.push_back(run.text);
+  }
+}
+
+}  // namespace privedit::client

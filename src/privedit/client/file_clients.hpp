@@ -1,0 +1,58 @@
+#pragma once
+// Scripted clients for Bespin (whole-file PUT/GET) and Buzzword (whole-XML
+// POST/GET). Both send the entire document on every save — which is why
+// the paper's extensions for them are straightforward wrappers, and why
+// Google Documents (incremental) is the interesting case.
+
+#include <string>
+#include <vector>
+
+#include "privedit/net/transport.hpp"
+
+namespace privedit::client {
+
+class BespinClient {
+ public:
+  BespinClient(net::Channel* channel, std::string path);
+
+  void set_text(std::string text) { text_ = std::move(text); }
+  const std::string& text() const { return text_; }
+
+  /// PUT the whole file.
+  void save();
+
+  /// GET the whole file into the local buffer.
+  void load();
+
+ private:
+  net::Channel* channel_;
+  std::string path_;
+  std::string text_;
+};
+
+class BuzzwordClient {
+ public:
+  BuzzwordClient(net::Channel* channel, std::string doc_id);
+
+  /// Paragraphs become <textRun> elements in the posted XML.
+  void set_paragraphs(std::vector<std::string> paragraphs) {
+    paragraphs_ = std::move(paragraphs);
+  }
+  const std::vector<std::string>& paragraphs() const { return paragraphs_; }
+
+  /// POST the whole document as XML.
+  void save();
+
+  /// GET and re-extract paragraphs.
+  void load();
+
+  /// The XML the client would post (visible for tests).
+  std::string to_xml() const;
+
+ private:
+  net::Channel* channel_;
+  std::string doc_id_;
+  std::vector<std::string> paragraphs_;
+};
+
+}  // namespace privedit::client

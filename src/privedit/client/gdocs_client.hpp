@@ -1,0 +1,109 @@
+#pragma once
+// Scripted Google Documents editor client.
+//
+// Reproduces the message sequences §IV-A documents: opening a document
+// starts an edit session; the first save of a session POSTs the entire
+// content in docContents; every later save POSTs only the delta between the
+// last-saved and current text. The client also consumes the server's Ack,
+// comparing contentFromServerHash against its own view — the conflict
+// complaints of §VII-A come from exactly this check.
+//
+// The client is *benign* by default: deltas are computed by diffing the two
+// document versions. For the malicious-client threat model (§VI-B) a caller
+// can queue hand-crafted deltas that encode covert information; the
+// extension's canonicalisation/re-diff countermeasures are evaluated
+// against those.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "privedit/delta/delta.hpp"
+#include "privedit/net/transport.hpp"
+
+namespace privedit::client {
+
+class GDocsClient {
+ public:
+  GDocsClient(net::Channel* channel, std::string doc_id);
+
+  /// cmd=create — new empty document + session.
+  void create();
+
+  /// cmd=open — fetches content, starts a session.
+  void open();
+
+  // ----- local edits (no traffic until save) -----
+  void insert(std::size_t pos, std::string_view text);
+  void erase(std::size_t pos, std::size_t count);
+  void replace(std::size_t pos, std::size_t count, std::string_view text);
+
+  /// Reverts the most recent local edit (insert/erase/replace). Undo
+  /// history is per-session and client-side only; it survives saves (a
+  /// save just means the undo becomes a fresh edit to send). Returns
+  /// false if there is nothing to undo.
+  bool undo();
+
+  std::size_t undo_depth() const { return undo_stack_.size(); }
+
+  /// Saves pending changes: full docContents on the first save of a
+  /// session, delta afterwards. No-op if nothing changed. Returns true if
+  /// a request was sent.
+  bool save();
+
+  /// Queues a hand-crafted delta for the next save instead of the diff
+  /// (malicious-client simulation). Multiple queued deltas are composed
+  /// into one update. The composition must transform the last-saved text
+  /// into the current text.
+  void queue_raw_delta(delta::Delta d);
+
+  /// Periodic autosave (§IV-A: "Update deltas are periodically sent back
+  /// to the server due to automatic save requests triggered by client side
+  /// timeouts"). Call tick() with the simulated clock; a save fires when
+  /// the interval has elapsed and there are unsaved edits.
+  void set_autosave_interval(std::uint64_t interval_us) {
+    autosave_interval_us_ = interval_us;
+  }
+
+  /// Returns true if an autosave was sent.
+  bool tick(std::uint64_t now_us);
+
+  /// Server-side features (expected casualties under encryption).
+  std::vector<std::string> spellcheck();
+  std::string export_txt();
+
+  const std::string& text() const { return text_; }
+  std::uint64_t revision() const { return rev_; }
+
+  /// Concurrent edits the client reconciled from contentFromServer.
+  std::size_t merges() const { return merges_; }
+
+  /// Concurrent edits the client could NOT reconcile ("multiple people
+  /// editing the same region", §VII-A) — nonzero only when the extension
+  /// blanks the ack fields during simultaneous editing.
+  std::size_t conflict_complaints() const { return conflicts_; }
+
+  std::size_t saves_sent() const { return saves_; }
+
+ private:
+  net::HttpRequest save_request(const std::string& form_body) const;
+  void consume_ack(const net::HttpResponse& response);
+
+  net::Channel* channel_;
+  std::string doc_id_;
+  std::string text_;
+  std::string last_saved_;
+  std::optional<std::string> session_;
+  bool full_save_pending_ = true;
+  std::uint64_t rev_ = 0;
+  std::size_t merges_ = 0;
+  std::size_t conflicts_ = 0;
+  std::size_t saves_ = 0;
+  std::vector<delta::Delta> raw_deltas_;
+  std::vector<delta::Delta> undo_stack_;
+  std::uint64_t autosave_interval_us_ = 0;
+  std::uint64_t last_save_us_ = 0;
+};
+
+}  // namespace privedit::client

@@ -1,0 +1,87 @@
+#include "privedit/cloud/file_servers.hpp"
+
+#include "privedit/cloud/xml.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::cloud {
+namespace {
+
+constexpr std::string_view kBespinPrefix = "/file/at/";
+constexpr std::string_view kBuzzwordPrefix = "/doc/";
+
+}  // namespace
+
+net::HttpResponse BespinServer::handle(const net::HttpRequest& request) {
+  const std::string path = request.path();
+  if (path.rfind(kBespinPrefix, 0) != 0 ||
+      path.size() == kBespinPrefix.size()) {
+    return net::HttpResponse::make(404, "unknown endpoint");
+  }
+  const std::string file = path.substr(kBespinPrefix.size());
+
+  if (request.method == "PUT") {
+    files_[file] = request.body;
+    return net::HttpResponse::make(200, "");
+  }
+  if (request.method == "GET") {
+    const auto it = files_.find(file);
+    if (it == files_.end()) {
+      return net::HttpResponse::make(404, "no such file");
+    }
+    return net::HttpResponse::make(200, it->second);
+  }
+  if (request.method == "DELETE") {
+    files_.erase(file);
+    return net::HttpResponse::make(204, "");
+  }
+  return net::HttpResponse::make(400, "unsupported method");
+}
+
+std::optional<std::string> BespinServer::raw_file(
+    const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+void BespinServer::set_raw_file(const std::string& path, std::string content) {
+  files_[path] = std::move(content);
+}
+
+net::HttpResponse BuzzwordServer::handle(const net::HttpRequest& request) {
+  const std::string path = request.path();
+  if (path.rfind(kBuzzwordPrefix, 0) != 0 ||
+      path.size() == kBuzzwordPrefix.size()) {
+    return net::HttpResponse::make(404, "unknown endpoint");
+  }
+  const std::string id = path.substr(kBuzzwordPrefix.size());
+
+  if (request.method == "POST") {
+    // The server validates document structure — it must be able to parse
+    // the XML even though it should not need the text itself.
+    try {
+      (void)find_text_runs(request.body);
+    } catch (const ParseError&) {
+      return net::HttpResponse::make(400, "malformed document XML");
+    }
+    docs_[id] = request.body;
+    return net::HttpResponse::make(200, "", "application/xml");
+  }
+  if (request.method == "GET") {
+    const auto it = docs_.find(id);
+    if (it == docs_.end()) {
+      return net::HttpResponse::make(404, "no such document");
+    }
+    return net::HttpResponse::make(200, it->second, "application/xml");
+  }
+  return net::HttpResponse::make(400, "unsupported method");
+}
+
+std::optional<std::string> BuzzwordServer::raw_document(
+    const std::string& id) const {
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace privedit::cloud

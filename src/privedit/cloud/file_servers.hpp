@@ -1,0 +1,40 @@
+#pragma once
+// The two simpler cloud services the paper also wraps (§III):
+//
+// BespinServer — Mozilla Bespin's open Server API: the client PUTs the whole
+// file to /file/at/<path> and GETs it back; no incremental updates.
+//
+// BuzzwordServer — Adobe Buzzword: the client POSTs the whole document as
+// XML; user text lives inside <textRun> elements.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "privedit/net/http.hpp"
+
+namespace privedit::cloud {
+
+class BespinServer {
+ public:
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  std::optional<std::string> raw_file(const std::string& path) const;
+  void set_raw_file(const std::string& path, std::string content);
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+class BuzzwordServer {
+ public:
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  std::optional<std::string> raw_document(const std::string& id) const;
+
+ private:
+  std::map<std::string, std::string> docs_;  // id -> XML
+};
+
+}  // namespace privedit::cloud

@@ -1,0 +1,99 @@
+#include "privedit/cloud/file_store.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "privedit/util/error.hpp"
+#include "privedit/util/hex.hpp"
+
+namespace privedit::cloud {
+
+namespace fs = std::filesystem;
+
+FileStore::FileStore(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    throw Error(ErrorCode::kState,
+                "FileStore: cannot create directory " + directory_ + ": " +
+                    ec.message());
+  }
+}
+
+std::string FileStore::path_for(const std::string& doc_id) const {
+  return directory_ + "/" + hex_encode(as_bytes(doc_id)) + ".doc";
+}
+
+void FileStore::put(const std::string& doc_id, const Record& record) {
+  const std::string path = path_for(doc_id);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw Error(ErrorCode::kState, "FileStore: cannot write " + tmp);
+    }
+    out << record.rev << '\n' << record.content;
+    out.flush();
+    if (!out.good()) {
+      throw Error(ErrorCode::kState, "FileStore: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw Error(ErrorCode::kState,
+                "FileStore: rename failed: " + ec.message());
+  }
+}
+
+std::optional<FileStore::Record> FileStore::get(
+    const std::string& doc_id) const {
+  const std::string path = path_for(doc_id);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw = buf.str();
+  const std::size_t nl = raw.find('\n');
+  if (nl == std::string::npos) {
+    throw ParseError("FileStore: corrupt document file " + path);
+  }
+  Record record;
+  const auto* b = raw.data();
+  auto [p, ec] = std::from_chars(b, b + nl, record.rev);
+  if (ec != std::errc() || p != b + nl) {
+    throw ParseError("FileStore: corrupt revision in " + path);
+  }
+  record.content = raw.substr(nl + 1);
+  return record;
+}
+
+std::map<std::string, FileStore::Record> FileStore::load_all() const {
+  std::map<std::string, Record> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".doc") continue;
+    const std::string doc_id =
+        to_string(hex_decode(name.substr(0, name.size() - 4)));
+    if (auto record = get(doc_id)) {
+      out.emplace(doc_id, std::move(*record));
+    }
+  }
+  if (ec) {
+    throw Error(ErrorCode::kState,
+                "FileStore: cannot list " + directory_ + ": " + ec.message());
+  }
+  return out;
+}
+
+void FileStore::remove(const std::string& doc_id) {
+  std::error_code ec;
+  fs::remove(path_for(doc_id), ec);
+}
+
+}  // namespace privedit::cloud

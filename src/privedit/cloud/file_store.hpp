@@ -1,0 +1,52 @@
+#pragma once
+// Durable document storage for the simulated providers.
+//
+// Cloud providers persist documents across restarts; modelling that makes
+// two paper-relevant scenarios testable: (1) the provider restarting does
+// not lose ciphertext documents, and (2) an adversary with *filesystem*
+// access at the provider (the subpoena case of §II) is just another
+// malicious-storage attacker that RPC integrity catches.
+//
+// Layout: one file per document under the store directory, named by the
+// hex of the document id (ids are arbitrary strings). Each file holds the
+// revision on the first line followed by the raw content. Writes go
+// through a temp file + rename so a crash never leaves a torn document.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace privedit::cloud {
+
+class FileStore {
+ public:
+  /// Creates the directory if needed. Throws Error on failure.
+  explicit FileStore(std::string directory);
+
+  struct Record {
+    std::string content;
+    std::uint64_t rev = 0;
+  };
+
+  /// Atomically persists a document.
+  void put(const std::string& doc_id, const Record& record);
+
+  /// Loads one document, if present. Throws ParseError on a corrupt file.
+  std::optional<Record> get(const std::string& doc_id) const;
+
+  /// Loads every persisted document (used at server start).
+  std::map<std::string, Record> load_all() const;
+
+  /// Removes a document's file (no-op if absent).
+  void remove(const std::string& doc_id);
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string path_for(const std::string& doc_id) const;
+
+  std::string directory_;
+};
+
+}  // namespace privedit::cloud

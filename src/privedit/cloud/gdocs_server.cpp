@@ -1,0 +1,240 @@
+#include "privedit/cloud/gdocs_server.hpp"
+
+#include <sstream>
+
+#include "privedit/crypto/sha256.hpp"
+#include "privedit/delta/delta.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/hex.hpp"
+#include "privedit/util/urlencode.hpp"
+
+namespace privedit::cloud {
+namespace {
+
+constexpr const char* kDictionaryWords[] = {
+    "the",  "quick", "brown",  "fox",   "jumps", "over",  "lazy",  "dog",
+    "a",    "an",    "and",    "of",    "to",    "in",    "it",    "is",
+    "was",  "for",   "on",     "are",   "as",    "with",  "his",   "they",
+    "at",   "be",    "this",   "have",  "from",  "or",    "one",   "had",
+    "by",   "word",  "but",    "not",   "what",  "all",   "were",  "we",
+    "when", "your",  "can",    "said",  "there", "use",   "each",  "which",
+    "she",  "do",    "how",    "their", "if",    "will",  "up",    "other",
+    "about", "out",  "many",   "then",  "them",  "these", "so",    "some",
+    "her",  "would", "make",   "like",  "him",   "into",  "time",  "has",
+    "look", "two",   "more",   "write", "go",    "see",   "number", "no",
+    "way",  "could", "people", "my",    "than",  "first", "water", "been",
+    "call", "who",   "oil",    "its",   "now",   "find",  "long",  "down",
+    "day",  "did",   "get",    "come",  "made",  "may",   "part",  "document",
+    "editing", "cloud", "service", "private", "secure", "content"};
+
+bool is_word_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '\'';
+}
+
+std::string to_lower(std::string_view word) {
+  std::string out;
+  out.reserve(word.size());
+  for (char c : word) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+GDocsServer::GDocsServer() {
+  for (const char* w : kDictionaryWords) dictionary_.insert(w);
+}
+
+std::string GDocsServer::content_hash(const std::string& content) const {
+  return hex_encode(crypto::Sha256::hash(as_bytes(content))).substr(0, 16);
+}
+
+net::HttpResponse GDocsServer::ack(const Document& doc,
+                                   bool include_content) const {
+  // The Ack conveys "the current content to the best of the server's
+  // knowledge" (§IV-A). The full content rides along only when the client
+  // saved against a stale revision and needs to reconcile; the happy path
+  // carries just the hash.
+  FormData form;
+  if (include_content) {
+    form.add("contentFromServer", doc.content);
+  }
+  form.add("contentFromServerHash", content_hash(doc.content));
+  form.add("rev", std::to_string(doc.rev));
+  return net::HttpResponse::make(200, form.encode(),
+                                 "application/x-www-form-urlencoded");
+}
+
+void GDocsServer::enable_persistence(const std::string& directory) {
+  store_ = std::make_unique<FileStore>(directory);
+  for (auto& [doc_id, record] : store_->load_all()) {
+    Document& doc = docs_[doc_id];
+    doc.content = std::move(record.content);
+    doc.rev = record.rev;
+  }
+}
+
+void GDocsServer::persist(const std::string& doc_id, const Document& doc) {
+  if (store_ != nullptr) {
+    store_->put(doc_id, FileStore::Record{doc.content, doc.rev});
+  }
+}
+
+net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
+  if (request.method != "POST" || request.path() != "/Doc") {
+    ++counters_.bad_requests;
+    return net::HttpResponse::make(404, "unknown endpoint");
+  }
+  const auto doc_id = request.query_param("docID");
+  if (!doc_id) {
+    ++counters_.bad_requests;
+    return net::HttpResponse::make(400, "missing docID");
+  }
+  const FormData form = FormData::parse(request.body);
+  const auto cmd = form.get("cmd");
+
+  if (cmd == "create") {
+    ++counters_.creates;
+    Document& doc = docs_[*doc_id];
+    doc.content.clear();
+    doc.rev = 0;
+    doc.history.clear();
+    persist(*doc_id, doc);
+    FormData reply;
+    reply.add("session", std::to_string(doc.next_session++));
+    reply.add("rev", "0");
+    return net::HttpResponse::make(201, reply.encode(),
+                                   "application/x-www-form-urlencoded");
+  }
+
+  auto it = docs_.find(*doc_id);
+  if (it == docs_.end()) {
+    ++counters_.bad_requests;
+    return net::HttpResponse::make(404, "no such document");
+  }
+  Document& doc = it->second;
+
+  if (cmd == "open") {
+    ++counters_.opens;
+    FormData reply;
+    reply.add("content", doc.content);
+    reply.add("rev", std::to_string(doc.rev));
+    reply.add("session", std::to_string(doc.next_session++));
+    return net::HttpResponse::make(200, reply.encode(),
+                                   "application/x-www-form-urlencoded");
+  }
+
+  if (cmd == "spellcheck") {
+    ++counters_.spellchecks;
+    const std::string text = form.get("text").value_or(doc.content);
+    // Tokenise and report unknown words — a feature that fundamentally
+    // needs the plaintext (§VII-A lists it among the casualties).
+    FormData reply;
+    std::string word;
+    std::set<std::string> flagged;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+      if (i < text.size() && is_word_char(text[i])) {
+        word.push_back(text[i]);
+      } else if (!word.empty()) {
+        const std::string lower = to_lower(word);
+        if (dictionary_.find(lower) == dictionary_.end()) {
+          flagged.insert(lower);
+        }
+        word.clear();
+      }
+    }
+    for (const std::string& w : flagged) reply.add("misspelled", w);
+    return net::HttpResponse::make(200, reply.encode(),
+                                   "application/x-www-form-urlencoded");
+  }
+
+  if (cmd == "export") {
+    ++counters_.exports;
+    return net::HttpResponse::make(200, doc.content, "text/plain");
+  }
+
+  if (const auto contents = form.get("docContents")) {
+    bool stale = false;
+    if (const auto base_rev = form.get("rev")) {
+      stale = *base_rev != std::to_string(doc.rev);
+    }
+    ++counters_.full_saves;
+    doc.history.push_back(doc.content);
+    doc.content = *contents;
+    ++doc.rev;
+    persist(*doc_id, doc);
+    return ack(doc, stale);
+  }
+
+  if (const auto delta_wire = form.get("delta")) {
+    // Optimistic concurrency: a stale base revision is applied anyway (the
+    // real service merges), but flagged so clients can warn the user.
+    bool conflict = false;
+    if (const auto base_rev = form.get("rev")) {
+      if (*base_rev != std::to_string(doc.rev)) {
+        conflict = true;
+        ++counters_.conflicts;
+      }
+    }
+    if (conflict && strict_revisions_) {
+      // Reject without mutating; the client must rebase and retry.
+      net::HttpResponse resp = ack(doc, /*include_content=*/true);
+      resp.status = 409;
+      resp.reason = "Conflict";
+      FormData body = FormData::parse(resp.body);
+      body.add("conflict", "1");
+      resp.body = body.encode();
+      return resp;
+    }
+    try {
+      const delta::Delta d = delta::Delta::parse(*delta_wire);
+      doc.history.push_back(doc.content);
+      doc.content = d.apply(doc.content);
+    } catch (const Error&) {
+      ++counters_.bad_requests;
+      return net::HttpResponse::make(400, "malformed or inapplicable delta");
+    }
+    ++doc.rev;
+    ++counters_.delta_saves;
+    persist(*doc_id, doc);
+    net::HttpResponse resp = ack(doc, conflict);
+    if (conflict) {
+      FormData body = FormData::parse(resp.body);
+      body.add("conflict", "1");
+      resp.body = body.encode();
+    }
+    return resp;
+  }
+
+  ++counters_.bad_requests;
+  return net::HttpResponse::make(400, "unrecognised command");
+}
+
+std::optional<std::string> GDocsServer::raw_content(
+    const std::string& doc_id) const {
+  const auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return std::nullopt;
+  return it->second.content;
+}
+
+void GDocsServer::set_raw_content(const std::string& doc_id,
+                                  std::string content) {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) {
+    throw Error(ErrorCode::kInvalidArgument, "GDocsServer: no such document");
+  }
+  it->second.history.push_back(it->second.content);
+  it->second.content = std::move(content);
+  ++it->second.rev;
+  persist(doc_id, it->second);
+}
+
+const std::vector<std::string>& GDocsServer::history(
+    const std::string& doc_id) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = docs_.find(doc_id);
+  return it == docs_.end() ? kEmpty : it->second.history;
+}
+
+}  // namespace privedit::cloud

@@ -1,0 +1,104 @@
+#pragma once
+// Simulated Google Documents service — the substrate substitution for
+// docs.google.com (see DESIGN.md §2).
+//
+// The protocol mirrors what §IV-A reverse-engineered:
+//
+//   POST /Doc?docID=<id>     application/x-www-form-urlencoded body
+//     cmd=create                           → new document + edit session
+//     cmd=open                             → content=…&rev=…&session=…
+//     session=…&rev=…&docContents=<full>   → replaces the whole document
+//                                            (the first save of a session)
+//     session=…&rev=…&delta=<delta wire>   → applies the delta server-side
+//     cmd=spellcheck&text=…                → misspelt words (server-side
+//                                            feature: needs plaintext!)
+//     cmd=export&format=txt                → the stored content verbatim
+//
+// Content-update responses are Acks carrying contentFromServer and
+// contentFromServerHash — "the current content to the best of the server's
+// knowledge" — plus the new revision. Concurrent editors use the hash to
+// detect divergence; the extension blanks these fields, which is exactly
+// what breaks simultaneous editing in §VII-A.
+//
+// The malicious-provider surface (raw_content / set_raw_content / history)
+// models an adversary with full control of stored data (§II).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "privedit/cloud/file_store.hpp"
+#include "privedit/net/http.hpp"
+
+namespace privedit::cloud {
+
+class GDocsServer {
+ public:
+  GDocsServer();
+
+  /// The net::Handler entry point.
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  // ----- malicious-provider API (tests, attack examples) -----
+
+  /// Stored content of a document (what a subpoena would obtain).
+  std::optional<std::string> raw_content(const std::string& doc_id) const;
+
+  /// Direct tampering with stored content.
+  void set_raw_content(const std::string& doc_id, std::string content);
+
+  /// Every content version the server ever stored (providers keep history;
+  /// the paper cites Google leaking previous versions).
+  const std::vector<std::string>& history(const std::string& doc_id) const;
+
+  /// Durable storage: loads any documents already in `directory` and
+  /// persists every mutation there (atomic temp+rename writes). A new
+  /// server instance on the same directory models a provider restart.
+  void enable_persistence(const std::string& directory);
+
+  /// Optimistic concurrency control: when enabled, a delta save whose base
+  /// revision is stale is REJECTED with 409 (carrying the current content
+  /// and revision) instead of being merged server-side. This is what an
+  /// encrypted deployment needs — the server cannot merge ciphertext
+  /// deltas meaningfully — and what the collaborative mediator retries
+  /// against.
+  void set_strict_revisions(bool on) { strict_revisions_ = on; }
+
+  std::size_t document_count() const { return docs_.size(); }
+
+  struct Counters {
+    std::size_t creates = 0;
+    std::size_t opens = 0;
+    std::size_t full_saves = 0;
+    std::size_t delta_saves = 0;
+    std::size_t spellchecks = 0;
+    std::size_t exports = 0;
+    std::size_t conflicts = 0;
+    std::size_t bad_requests = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Document {
+    std::string content;
+    std::uint64_t rev = 0;
+    std::vector<std::string> history;
+    std::uint64_t next_session = 1;
+  };
+
+  net::HttpResponse ack(const Document& doc, bool include_content) const;
+  std::string content_hash(const std::string& content) const;
+  void persist(const std::string& doc_id, const Document& doc);
+
+  std::unique_ptr<FileStore> store_;
+  bool strict_revisions_ = false;
+  std::map<std::string, Document> docs_;
+  std::set<std::string> dictionary_;
+  Counters counters_;
+};
+
+}  // namespace privedit::cloud

@@ -1,0 +1,130 @@
+#include "privedit/cloud/xml.hpp"
+
+#include <functional>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::cloud {
+namespace {
+
+constexpr std::string_view kOpenPrefix = "<textRun";
+constexpr std::string_view kClose = "</textRun>";
+
+}  // namespace
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string xml_unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i]);
+      ++i;
+      continue;
+    }
+    const std::size_t semi = text.find(';', i);
+    if (semi == std::string_view::npos) {
+      throw ParseError("xml: unterminated entity");
+    }
+    const std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else {
+      throw ParseError("xml: unknown entity '&" + std::string(entity) + ";'");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::vector<TextRun> find_text_runs(std::string_view xml) {
+  std::vector<TextRun> runs;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t open = xml.find(kOpenPrefix, pos);
+    if (open == std::string_view::npos) break;
+    // The tag name must end here (reject <textRunner>).
+    const std::size_t after = open + kOpenPrefix.size();
+    if (after >= xml.size()) {
+      throw ParseError("xml: unterminated textRun start tag");
+    }
+    if (xml[after] != '>' && xml[after] != ' ' && xml[after] != '/') {
+      pos = after;
+      continue;
+    }
+    const std::size_t tag_end = xml.find('>', open);
+    if (tag_end == std::string_view::npos) {
+      throw ParseError("xml: unterminated textRun start tag");
+    }
+    if (xml[tag_end - 1] == '/') {  // self-closing, empty run
+      runs.push_back(TextRun{tag_end + 1, tag_end + 1, ""});
+      pos = tag_end + 1;
+      continue;
+    }
+    const std::size_t body_start = tag_end + 1;
+    const std::size_t close = xml.find(kClose, body_start);
+    if (close == std::string_view::npos) {
+      throw ParseError("xml: missing </textRun>");
+    }
+    const std::string_view body = xml.substr(body_start, close - body_start);
+    if (body.find(kOpenPrefix) != std::string_view::npos) {
+      throw ParseError("xml: nested textRun");
+    }
+    runs.push_back(TextRun{body_start, close, xml_unescape(body)});
+    pos = close + kClose.size();
+  }
+  return runs;
+}
+
+std::string rewrite_text_runs(
+    std::string_view xml,
+    const std::function<std::string(const std::string&)>& transform) {
+  const std::vector<TextRun> runs = find_text_runs(xml);
+  std::string out;
+  out.reserve(xml.size());
+  std::size_t cursor = 0;
+  for (const TextRun& run : runs) {
+    out += xml.substr(cursor, run.body_start - cursor);
+    out += xml_escape(transform(run.text));
+    cursor = run.body_end;
+  }
+  out += xml.substr(cursor);
+  return out;
+}
+
+std::string extract_text(std::string_view xml) {
+  std::string out;
+  for (const TextRun& run : find_text_runs(xml)) out += run.text;
+  return out;
+}
+
+}  // namespace privedit::cloud

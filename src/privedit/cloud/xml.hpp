@@ -1,0 +1,40 @@
+#pragma once
+// Tiny XML utilities for the Buzzword protocol: locate <textRun> elements,
+// extract their text, and rewrite their bodies (with entity escaping).
+// Deliberately not a general XML parser — exactly the subset Buzzword's
+// document format needs, with strict error reporting.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privedit::cloud {
+
+/// Escapes &, <, > for element content.
+std::string xml_escape(std::string_view text);
+
+/// Unescapes &amp; &lt; &gt; &quot; &apos;. Throws ParseError on unknown
+/// or unterminated entities.
+std::string xml_unescape(std::string_view text);
+
+struct TextRun {
+  std::size_t body_start;  // offset of the body within the document
+  std::size_t body_end;    // one past the end of the body
+  std::string text;        // unescaped body
+};
+
+/// Finds every <textRun ...>body</textRun> element, in document order.
+/// Throws ParseError on unterminated elements or nested textRuns.
+std::vector<TextRun> find_text_runs(std::string_view xml);
+
+/// Returns the document with every textRun body replaced by
+/// transform(old_text), re-escaped.
+std::string rewrite_text_runs(
+    std::string_view xml,
+    const std::function<std::string(const std::string&)>& transform);
+
+/// Concatenation of all textRun texts.
+std::string extract_text(std::string_view xml);
+
+}  // namespace privedit::cloud

@@ -1,0 +1,45 @@
+#pragma once
+// AES-128 block cipher (FIPS-197), implemented from scratch.
+//
+// This is the F_sk primitive of the paper's incremental encryption modes
+// (§V-B). A software S-box implementation is sufficient here: the threat
+// model is a malicious *server*, not a local cache-timing attacker, and the
+// benchmarks care about relative costs.
+
+#include <array>
+#include <cstdint>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  /// Expands the 16-byte key. Throws CryptoError on wrong key size.
+  explicit Aes128(ByteView key);
+
+  ~Aes128();
+
+  Aes128(const Aes128&) = default;
+  Aes128& operator=(const Aes128&) = default;
+
+  /// Encrypts one 16-byte block in place (in == out is fine).
+  void encrypt_block(ByteView in, MutByteView out) const;
+
+  /// Decrypts one 16-byte block.
+  void decrypt_block(ByteView in, MutByteView out) const;
+
+  /// Convenience single-block helpers.
+  Bytes encrypt_block(ByteView in) const;
+  Bytes decrypt_block_copy(ByteView in) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 16 * (kRounds + 1)> round_keys_{};
+};
+
+}  // namespace privedit::crypto

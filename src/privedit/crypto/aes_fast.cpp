@@ -1,0 +1,298 @@
+#include "privedit/crypto/aes_fast.hpp"
+
+#include <cstring>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::crypto {
+namespace {
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+// Encryption tables: Te[i][x] is MixColumns ∘ SubBytes contribution of a
+// byte at row i. Te0[x] = (2s, s, s, 3s) packed big-endian; Te1..Te3 are
+// byte rotations. Decryption tables Td* likewise from InvSubBytes and
+// InvMixColumns. Td4 is the plain inverse S-box for the last round.
+struct Tables {
+  std::uint32_t te[4][256];
+  std::uint32_t td[4][256];
+  std::uint8_t inv_sbox[256];
+
+  Tables() {
+    for (int x = 0; x < 256; ++x) {
+      inv_sbox[kSbox[x]] = static_cast<std::uint8_t>(x);
+    }
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t s = kSbox[x];
+      const std::uint32_t t =
+          (static_cast<std::uint32_t>(gmul(s, 2)) << 24) |
+          (static_cast<std::uint32_t>(s) << 16) |
+          (static_cast<std::uint32_t>(s) << 8) |
+          static_cast<std::uint32_t>(gmul(s, 3));
+      te[0][x] = t;
+      te[1][x] = (t >> 8) | (t << 24);
+      te[2][x] = (t >> 16) | (t << 16);
+      te[3][x] = (t >> 24) | (t << 8);
+
+      const std::uint8_t is = inv_sbox[x];
+      const std::uint32_t u =
+          (static_cast<std::uint32_t>(gmul(is, 14)) << 24) |
+          (static_cast<std::uint32_t>(gmul(is, 9)) << 16) |
+          (static_cast<std::uint32_t>(gmul(is, 13)) << 8) |
+          static_cast<std::uint32_t>(gmul(is, 11));
+      td[0][x] = u;
+      td[1][x] = (u >> 8) | (u << 24);
+      td[2][x] = (u >> 16) | (u << 16);
+      td[3][x] = (u >> 24) | (u << 8);
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+std::uint32_t load_be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t sub_word(std::uint32_t w) {
+  return (static_cast<std::uint32_t>(kSbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<std::uint32_t>(kSbox[w & 0xff]);
+}
+
+std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+// InvMixColumns of a round-key word, via the Td/Te identity:
+// Td0[Sbox[b]] applies InvMixColumns to b after undoing nothing — the
+// standard equivalent-inverse key transform.
+std::uint32_t inv_mix_word(std::uint32_t w) {
+  const Tables& t = tables();
+  return t.td[0][kSbox[(w >> 24) & 0xff]] ^
+         t.td[1][kSbox[(w >> 16) & 0xff]] ^
+         t.td[2][kSbox[(w >> 8) & 0xff]] ^ t.td[3][kSbox[w & 0xff]];
+}
+
+}  // namespace
+
+Aes128Fast::Aes128Fast(ByteView key) {
+  if (key.size() != kKeySize) {
+    throw CryptoError("Aes128Fast: key must be 16 bytes");
+  }
+  for (int i = 0; i < 4; ++i) {
+    ek_[static_cast<std::size_t>(i)] = load_be(key.data() + 4 * i);
+  }
+  for (int i = 4; i < 4 * (kRounds + 1); ++i) {
+    std::uint32_t temp = ek_[static_cast<std::size_t>(i - 1)];
+    if (i % 4 == 0) {
+      temp = sub_word(rot_word(temp)) ^
+             (static_cast<std::uint32_t>(kRcon[i / 4]) << 24);
+    }
+    ek_[static_cast<std::size_t>(i)] =
+        ek_[static_cast<std::size_t>(i - 4)] ^ temp;
+  }
+  // Equivalent-inverse decryption keys: reverse round order, InvMixColumns
+  // on the inner rounds.
+  for (int round = 0; round <= kRounds; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const std::uint32_t w =
+          ek_[static_cast<std::size_t>(4 * (kRounds - round) + i)];
+      dk_[static_cast<std::size_t>(4 * round + i)] =
+          (round == 0 || round == kRounds) ? w : inv_mix_word(w);
+    }
+  }
+}
+
+Aes128Fast::~Aes128Fast() {
+  secure_wipe(MutByteView(reinterpret_cast<std::uint8_t*>(ek_.data()),
+                          ek_.size() * 4));
+  secure_wipe(MutByteView(reinterpret_cast<std::uint8_t*>(dk_.data()),
+                          dk_.size() * 4));
+}
+
+void Aes128Fast::encrypt_block(ByteView in, MutByteView out) const {
+  if (in.size() != kBlockSize || out.size() != kBlockSize) {
+    throw CryptoError("Aes128Fast::encrypt_block: block must be 16 bytes");
+  }
+  const Tables& t = tables();
+  std::uint32_t s0 = load_be(in.data()) ^ ek_[0];
+  std::uint32_t s1 = load_be(in.data() + 4) ^ ek_[1];
+  std::uint32_t s2 = load_be(in.data() + 8) ^ ek_[2];
+  std::uint32_t s3 = load_be(in.data() + 12) ^ ek_[3];
+
+  for (int round = 1; round < kRounds; ++round) {
+    const std::uint32_t* rk = &ek_[static_cast<std::size_t>(4 * round)];
+    const std::uint32_t u0 = t.te[0][(s0 >> 24) & 0xff] ^
+                             t.te[1][(s1 >> 16) & 0xff] ^
+                             t.te[2][(s2 >> 8) & 0xff] ^
+                             t.te[3][s3 & 0xff] ^ rk[0];
+    const std::uint32_t u1 = t.te[0][(s1 >> 24) & 0xff] ^
+                             t.te[1][(s2 >> 16) & 0xff] ^
+                             t.te[2][(s3 >> 8) & 0xff] ^
+                             t.te[3][s0 & 0xff] ^ rk[1];
+    const std::uint32_t u2 = t.te[0][(s2 >> 24) & 0xff] ^
+                             t.te[1][(s3 >> 16) & 0xff] ^
+                             t.te[2][(s0 >> 8) & 0xff] ^
+                             t.te[3][s1 & 0xff] ^ rk[2];
+    const std::uint32_t u3 = t.te[0][(s3 >> 24) & 0xff] ^
+                             t.te[1][(s0 >> 16) & 0xff] ^
+                             t.te[2][(s1 >> 8) & 0xff] ^
+                             t.te[3][s2 & 0xff] ^ rk[3];
+    s0 = u0;
+    s1 = u1;
+    s2 = u2;
+    s3 = u3;
+  }
+
+  // Final round: SubBytes + ShiftRows only.
+  const std::uint32_t* rk = &ek_[static_cast<std::size_t>(4 * kRounds)];
+  const auto sb = [](std::uint8_t b) {
+    return static_cast<std::uint32_t>(kSbox[b]);
+  };
+  const std::uint32_t r0 =
+      ((sb((s0 >> 24) & 0xff) << 24) | (sb((s1 >> 16) & 0xff) << 16) |
+       (sb((s2 >> 8) & 0xff) << 8) | sb(s3 & 0xff)) ^
+      rk[0];
+  const std::uint32_t r1 =
+      ((sb((s1 >> 24) & 0xff) << 24) | (sb((s2 >> 16) & 0xff) << 16) |
+       (sb((s3 >> 8) & 0xff) << 8) | sb(s0 & 0xff)) ^
+      rk[1];
+  const std::uint32_t r2 =
+      ((sb((s2 >> 24) & 0xff) << 24) | (sb((s3 >> 16) & 0xff) << 16) |
+       (sb((s0 >> 8) & 0xff) << 8) | sb(s1 & 0xff)) ^
+      rk[2];
+  const std::uint32_t r3 =
+      ((sb((s3 >> 24) & 0xff) << 24) | (sb((s0 >> 16) & 0xff) << 16) |
+       (sb((s1 >> 8) & 0xff) << 8) | sb(s2 & 0xff)) ^
+      rk[3];
+  store_be(out.data(), r0);
+  store_be(out.data() + 4, r1);
+  store_be(out.data() + 8, r2);
+  store_be(out.data() + 12, r3);
+}
+
+void Aes128Fast::decrypt_block(ByteView in, MutByteView out) const {
+  if (in.size() != kBlockSize || out.size() != kBlockSize) {
+    throw CryptoError("Aes128Fast::decrypt_block: block must be 16 bytes");
+  }
+  const Tables& t = tables();
+  std::uint32_t s0 = load_be(in.data()) ^ dk_[0];
+  std::uint32_t s1 = load_be(in.data() + 4) ^ dk_[1];
+  std::uint32_t s2 = load_be(in.data() + 8) ^ dk_[2];
+  std::uint32_t s3 = load_be(in.data() + 12) ^ dk_[3];
+
+  for (int round = 1; round < kRounds; ++round) {
+    const std::uint32_t* rk = &dk_[static_cast<std::size_t>(4 * round)];
+    const std::uint32_t u0 = t.td[0][(s0 >> 24) & 0xff] ^
+                             t.td[1][(s3 >> 16) & 0xff] ^
+                             t.td[2][(s2 >> 8) & 0xff] ^
+                             t.td[3][s1 & 0xff] ^ rk[0];
+    const std::uint32_t u1 = t.td[0][(s1 >> 24) & 0xff] ^
+                             t.td[1][(s0 >> 16) & 0xff] ^
+                             t.td[2][(s3 >> 8) & 0xff] ^
+                             t.td[3][s2 & 0xff] ^ rk[1];
+    const std::uint32_t u2 = t.td[0][(s2 >> 24) & 0xff] ^
+                             t.td[1][(s1 >> 16) & 0xff] ^
+                             t.td[2][(s0 >> 8) & 0xff] ^
+                             t.td[3][s3 & 0xff] ^ rk[2];
+    const std::uint32_t u3 = t.td[0][(s3 >> 24) & 0xff] ^
+                             t.td[1][(s2 >> 16) & 0xff] ^
+                             t.td[2][(s1 >> 8) & 0xff] ^
+                             t.td[3][s0 & 0xff] ^ rk[3];
+    s0 = u0;
+    s1 = u1;
+    s2 = u2;
+    s3 = u3;
+  }
+
+  const std::uint32_t* rk = &dk_[static_cast<std::size_t>(4 * kRounds)];
+  const auto isb = [&t](std::uint8_t b) {
+    return static_cast<std::uint32_t>(t.inv_sbox[b]);
+  };
+  const std::uint32_t r0 =
+      ((isb((s0 >> 24) & 0xff) << 24) | (isb((s3 >> 16) & 0xff) << 16) |
+       (isb((s2 >> 8) & 0xff) << 8) | isb(s1 & 0xff)) ^
+      rk[0];
+  const std::uint32_t r1 =
+      ((isb((s1 >> 24) & 0xff) << 24) | (isb((s0 >> 16) & 0xff) << 16) |
+       (isb((s3 >> 8) & 0xff) << 8) | isb(s2 & 0xff)) ^
+      rk[1];
+  const std::uint32_t r2 =
+      ((isb((s2 >> 24) & 0xff) << 24) | (isb((s1 >> 16) & 0xff) << 16) |
+       (isb((s0 >> 8) & 0xff) << 8) | isb(s3 & 0xff)) ^
+      rk[2];
+  const std::uint32_t r3 =
+      ((isb((s3 >> 24) & 0xff) << 24) | (isb((s2 >> 16) & 0xff) << 16) |
+       (isb((s1 >> 8) & 0xff) << 8) | isb(s0 & 0xff)) ^
+      rk[3];
+  store_be(out.data(), r0);
+  store_be(out.data() + 4, r1);
+  store_be(out.data() + 8, r2);
+  store_be(out.data() + 12, r3);
+}
+
+Bytes Aes128Fast::encrypt_block(ByteView in) const {
+  Bytes out(kBlockSize);
+  encrypt_block(in, out);
+  return out;
+}
+
+Bytes Aes128Fast::decrypt_block_copy(ByteView in) const {
+  Bytes out(kBlockSize);
+  decrypt_block(in, out);
+  return out;
+}
+
+}  // namespace privedit::crypto

@@ -1,0 +1,44 @@
+#pragma once
+// Aes128Fast — T-table AES-128, the classic software optimisation
+// (Daemen–Rijmen reference code lineage): SubBytes/ShiftRows/MixColumns are
+// folded into four 1 KiB lookup tables per direction, one 32-bit lookup
+// and XOR per state byte per round.
+//
+// Performance was the paper's central constraint (§V, §VII); this variant
+// quantifies how much a production cipher implementation moves the
+// bulk-crypto numbers relative to crypto/aes.hpp's straightforward
+// byte-wise code (see bench/ciphers). Tables are key-independent, built
+// once. The classic caveat applies: T-table lookups are not constant-time
+// with respect to cache state; the threat model here (malicious *server*)
+// does not include a local cache-timing attacker, same as for Aes128.
+
+#include <array>
+#include <cstdint>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::crypto {
+
+class Aes128Fast {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  explicit Aes128Fast(ByteView key);
+  ~Aes128Fast();
+
+  void encrypt_block(ByteView in, MutByteView out) const;
+  void decrypt_block(ByteView in, MutByteView out) const;
+
+  Bytes encrypt_block(ByteView in) const;
+  Bytes decrypt_block_copy(ByteView in) const;
+
+ private:
+  // Round keys as 32-bit big-endian words (4 per round).
+  std::array<std::uint32_t, 4 * (kRounds + 1)> ek_{};
+  // Decryption round keys (InvMixColumns-transformed, equivalent-inverse).
+  std::array<std::uint32_t, 4 * (kRounds + 1)> dk_{};
+};
+
+}  // namespace privedit::crypto

@@ -1,0 +1,79 @@
+#include "privedit/crypto/ctr_drbg.hpp"
+
+#include <cstring>
+
+#include "privedit/crypto/sha256.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::crypto {
+
+CtrDrbg::CtrDrbg(ByteView seed_material) {
+  if (seed_material.size() != kSeedLen) {
+    throw CryptoError("CtrDrbg: seed material must be 32 bytes");
+  }
+  cipher_ = std::make_unique<Aes128>(ByteView(key_.data(), key_.size()));
+  update(seed_material);
+  reseed_counter_ = 1;
+}
+
+std::unique_ptr<CtrDrbg> CtrDrbg::from_os_entropy() {
+  OsEntropy os;
+  Bytes seed = os.bytes(kSeedLen);
+  auto drbg = std::make_unique<CtrDrbg>(seed);
+  secure_wipe(seed);
+  return drbg;
+}
+
+std::unique_ptr<CtrDrbg> CtrDrbg::from_seed(std::uint64_t seed) {
+  std::uint8_t raw[8];
+  store_u64be(raw, seed);
+  Bytes material = Sha256::hash(raw);  // 32 bytes, deterministic
+  return std::make_unique<CtrDrbg>(material);
+}
+
+void CtrDrbg::increment_counter() {
+  for (int i = 15; i >= 0; --i) {
+    if (++v_[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+void CtrDrbg::update(ByteView provided) {
+  std::array<std::uint8_t, kSeedLen> temp{};
+  for (std::size_t off = 0; off < kSeedLen; off += 16) {
+    increment_counter();
+    cipher_->encrypt_block(ByteView(v_.data(), 16),
+                           MutByteView(temp.data() + off, 16));
+  }
+  if (!provided.empty()) {
+    if (provided.size() != kSeedLen) {
+      throw CryptoError("CtrDrbg::update: provided data must be 32 bytes");
+    }
+    for (std::size_t i = 0; i < kSeedLen; ++i) temp[i] ^= provided[i];
+  }
+  std::memcpy(key_.data(), temp.data(), 16);
+  std::memcpy(v_.data(), temp.data() + 16, 16);
+  cipher_ = std::make_unique<Aes128>(ByteView(key_.data(), key_.size()));
+  secure_wipe(temp);
+}
+
+void CtrDrbg::reseed(ByteView seed_material) {
+  update(seed_material);
+  reseed_counter_ = 1;
+}
+
+void CtrDrbg::fill(MutByteView out) {
+  std::size_t produced = 0;
+  std::uint8_t block[16];
+  while (produced < out.size()) {
+    increment_counter();
+    cipher_->encrypt_block(ByteView(v_.data(), 16), block);
+    const std::size_t take = std::min<std::size_t>(16, out.size() - produced);
+    std::memcpy(out.data() + produced, block, take);
+    produced += take;
+  }
+  update({});
+  ++reseed_counter_;
+  secure_wipe(block);
+}
+
+}  // namespace privedit::crypto

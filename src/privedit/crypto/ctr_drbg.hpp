@@ -1,0 +1,44 @@
+#pragma once
+// AES-128 CTR-mode deterministic random bit generator (simplified
+// NIST SP 800-90A CTR_DRBG without derivation function). This is the
+// cryptographic nonce source for the encryption schemes: nonces r_i must be
+// unpredictable to the server (§VI-A), so a non-crypto PRNG is not enough.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "privedit/crypto/aes.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::crypto {
+
+class CtrDrbg final : public RandomSource {
+ public:
+  static constexpr std::size_t kSeedLen = 32;  // key (16) + V (16)
+
+  /// Instantiates from 32 bytes of seed material.
+  explicit CtrDrbg(ByteView seed_material);
+
+  /// Instantiates from the OS entropy pool.
+  static std::unique_ptr<CtrDrbg> from_os_entropy();
+
+  /// Deterministic instantiation for tests/benches: expands a 64-bit seed.
+  static std::unique_ptr<CtrDrbg> from_seed(std::uint64_t seed);
+
+  void fill(MutByteView out) override;
+
+  /// Mixes fresh seed material into the state.
+  void reseed(ByteView seed_material);
+
+ private:
+  void update(ByteView provided);  // SP 800-90A CTR_DRBG_Update
+  void increment_counter();
+
+  std::array<std::uint8_t, 16> key_{};
+  std::array<std::uint8_t, 16> v_{};
+  std::unique_ptr<Aes128> cipher_;
+  std::uint64_t reseed_counter_ = 0;
+};
+
+}  // namespace privedit::crypto

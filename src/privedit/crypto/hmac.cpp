@@ -1,0 +1,72 @@
+#include "privedit/crypto/hmac.hpp"
+
+#include "privedit/crypto/sha256.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::crypto {
+
+Bytes hmac_sha256(ByteView key, ByteView message) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    Bytes hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  Bytes mac = outer.finish();
+
+  secure_wipe(k);
+  secure_wipe(ipad);
+  secure_wipe(opad);
+  return mac;
+}
+
+Bytes pbkdf2_hmac_sha256(ByteView password, ByteView salt,
+                         std::uint32_t iterations, std::size_t dk_len) {
+  if (iterations == 0) {
+    throw CryptoError("pbkdf2: iterations must be > 0");
+  }
+  if (dk_len == 0) {
+    throw CryptoError("pbkdf2: dk_len must be > 0");
+  }
+
+  Bytes derived;
+  derived.reserve(dk_len + Sha256::kDigestSize);
+  std::uint32_t block_index = 1;
+  while (derived.size() < dk_len) {
+    // U1 = HMAC(password, salt || INT_BE(i))
+    Bytes salted(salt.begin(), salt.end());
+    salted.resize(salt.size() + 4);
+    store_u32be(MutByteView(salted.data() + salt.size(), 4), block_index);
+
+    Bytes u = hmac_sha256(password, salted);
+    Bytes t = u;
+    for (std::uint32_t iter = 1; iter < iterations; ++iter) {
+      u = hmac_sha256(password, u);
+      xor_into(t, u);
+    }
+    append(derived, t);
+    ++block_index;
+  }
+  derived.resize(dk_len);
+  return derived;
+}
+
+}  // namespace privedit::crypto

@@ -1,0 +1,19 @@
+#pragma once
+// HMAC-SHA256 (RFC 2104) and PBKDF2-HMAC-SHA256 (RFC 8018).
+// Per-document keys are derived from the user's password (§II: "users
+// control the security of their data using per-document passwords").
+
+#include <cstdint>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::crypto {
+
+/// One-shot HMAC-SHA256.
+Bytes hmac_sha256(ByteView key, ByteView message);
+
+/// PBKDF2-HMAC-SHA256. Throws CryptoError if iterations == 0 or dk_len == 0.
+Bytes pbkdf2_hmac_sha256(ByteView password, ByteView salt,
+                         std::uint32_t iterations, std::size_t dk_len);
+
+}  // namespace privedit::crypto

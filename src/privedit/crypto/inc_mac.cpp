@@ -1,0 +1,135 @@
+#include "privedit/crypto/inc_mac.hpp"
+
+#include "privedit/crypto/hmac.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::crypto {
+namespace {
+
+Bytes index_prefix(std::size_t index) {
+  Bytes out(8);
+  store_u64be(out, index);
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- XorIncMac
+
+XorIncMac::XorIncMac(ByteView key) : key_(key.begin(), key.end()) {
+  if (key.empty()) {
+    throw CryptoError("XorIncMac: empty key");
+  }
+}
+
+Bytes XorIncMac::term(std::size_t index, ByteView block) const {
+  return hmac_sha256(key_, concat(index_prefix(index), block));
+}
+
+Bytes XorIncMac::tag(const std::vector<Bytes>& blocks) const {
+  Bytes acc(kTagSize, 0);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    xor_into(acc, term(i, blocks[i]));
+  }
+  return acc;
+}
+
+Bytes XorIncMac::update_replace(ByteView current_tag, std::size_t index,
+                                ByteView old_block,
+                                ByteView new_block) const {
+  if (current_tag.size() != kTagSize) {
+    throw CryptoError("XorIncMac: bad tag size");
+  }
+  Bytes updated(current_tag.begin(), current_tag.end());
+  xor_into(updated, term(index, old_block));
+  xor_into(updated, term(index, new_block));
+  return updated;
+}
+
+bool XorIncMac::verify(const std::vector<Bytes>& blocks,
+                       ByteView candidate) const {
+  return ct_equal(tag(blocks), candidate);
+}
+
+// ---------------------------------------------------------------- TreeIncMac
+
+TreeIncMac::TreeIncMac(ByteView key, const std::vector<Bytes>& blocks)
+    : key_(key.begin(), key.end()) {
+  if (key.empty()) {
+    throw CryptoError("TreeIncMac: empty key");
+  }
+  leaf_count_ = blocks.size();
+  levels_.emplace_back();
+  levels_[0].reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    levels_[0].push_back(leaf_hash(i, blocks[i]));
+  }
+  // Build internal levels; odd nodes are promoted unchanged.
+  while (levels_.back().size() > 1) {
+    const std::vector<Bytes>& below = levels_.back();
+    std::vector<Bytes> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      if (i + 1 < below.size()) {
+        above.push_back(node_hash(below[i], below[i + 1]));
+      } else {
+        above.push_back(below[i]);
+      }
+    }
+    levels_.push_back(std::move(above));
+  }
+  root_ = finalize(levels_.empty() || levels_.back().empty()
+                       ? ByteView{}
+                       : ByteView(levels_.back()[0]));
+}
+
+Bytes TreeIncMac::leaf_hash(std::size_t index, ByteView block) const {
+  Bytes material = concat(Bytes{0x00}, index_prefix(index), block);
+  return hmac_sha256(key_, material);
+}
+
+Bytes TreeIncMac::node_hash(ByteView left, ByteView right) const {
+  return hmac_sha256(key_, concat(Bytes{0x01}, left, right));
+}
+
+Bytes TreeIncMac::finalize(ByteView top) const {
+  // Bind the leaf count so truncation/extension changes the root.
+  return hmac_sha256(key_, concat(Bytes{0x02}, index_prefix(leaf_count_), top));
+}
+
+void TreeIncMac::replace(std::size_t index, ByteView new_block) {
+  if (index >= leaf_count_) {
+    throw Error(ErrorCode::kInvalidArgument, "TreeIncMac: index out of range");
+  }
+  levels_[0][index] = leaf_hash(index, new_block);
+  rebuild_from(index);
+}
+
+void TreeIncMac::rebuild_from(std::size_t leaf) {
+  std::size_t pos = leaf;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const std::vector<Bytes>& below = levels_[level];
+    const std::size_t parent = pos / 2;
+    const std::size_t left = parent * 2;
+    if (left + 1 < below.size()) {
+      levels_[level + 1][parent] = node_hash(below[left], below[left + 1]);
+    } else {
+      levels_[level + 1][parent] = below[left];
+    }
+    pos = parent;
+  }
+  root_ = finalize(levels_.back().empty() ? ByteView{}
+                                          : ByteView(levels_.back()[0]));
+}
+
+Bytes TreeIncMac::compute_root(ByteView key,
+                               const std::vector<Bytes>& blocks) {
+  return TreeIncMac(key, blocks).root();
+}
+
+bool TreeIncMac::verify(ByteView key, const std::vector<Bytes>& blocks,
+                        ByteView candidate) {
+  return ct_equal(compute_root(key, blocks), candidate);
+}
+
+}  // namespace privedit::crypto

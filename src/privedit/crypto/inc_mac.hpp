@@ -1,0 +1,94 @@
+#pragma once
+// Incremental MACs (§V-A).
+//
+// The paper surveys incremental authentication before settling on
+// authenticated *encryption* (RPC): "Early research efforts focused mainly
+// on inventing incremental MAC schemes restricted to the easier replace
+// updates; ... the hash-then-sign and XOR schemes are all subject to
+// substitution attacks. On the other hand, IncXMACC and the hash tree
+// schemes achieve true tamperproofing but at the cost of O(n) size of
+// signature, and O(log(n)) time complexity."
+//
+// Both ends of that trade-off are implemented here so the substitution
+// attack and its fix can be demonstrated:
+//
+// XorIncMac  — the Bellare–Goldreich–Goldwasser-style XOR scheme:
+//              tag(M) = ⊕_i F_k(i ‖ m_i). Replace updates are O(1)
+//              (XOR out the old block, XOR in the new one), but tags are
+//              linear: tag(A)⊕tag(B)⊕tag(C) is a valid tag for the
+//              blockwise combination — the classic substitution forgery,
+//              reproduced in tests/inc_mac_test.cpp.
+//
+// TreeIncMac — a Merkle-style HMAC tree over the block sequence. Replace
+//              updates cost O(log n) (re-hash one root-to-leaf path); the
+//              authenticator state is O(n) as the paper notes. Length is
+//              bound into the root, so substitution/extension forgeries
+//              fail.
+
+#include <cstdint>
+#include <vector>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::crypto {
+
+class XorIncMac {
+ public:
+  static constexpr std::size_t kTagSize = 32;
+
+  explicit XorIncMac(ByteView key);
+
+  /// Full MAC over a block sequence.
+  Bytes tag(const std::vector<Bytes>& blocks) const;
+
+  /// Incremental replace: returns the tag after blocks[index] changes from
+  /// old_block to new_block. O(1).
+  Bytes update_replace(ByteView current_tag, std::size_t index,
+                       ByteView old_block, ByteView new_block) const;
+
+  bool verify(const std::vector<Bytes>& blocks, ByteView candidate) const;
+
+  /// The per-position PRF term F_k(i ‖ m_i) — exposed so the substitution
+  /// attack demonstration can show *why* forged tags verify.
+  Bytes term(std::size_t index, ByteView block) const;
+
+ private:
+  Bytes key_;
+};
+
+class TreeIncMac {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  /// Builds the tree over the given blocks. O(n).
+  TreeIncMac(ByteView key, const std::vector<Bytes>& blocks);
+
+  /// The authenticator (tree root, with the leaf count bound in).
+  const Bytes& root() const { return root_; }
+
+  std::size_t block_count() const { return leaf_count_; }
+
+  /// Replace update: O(log n) re-hash of one path.
+  void replace(std::size_t index, ByteView new_block);
+
+  /// Recomputes the root from scratch (verification reference). O(n).
+  static Bytes compute_root(ByteView key, const std::vector<Bytes>& blocks);
+
+  /// True if `candidate` matches the root for `blocks` under `key`.
+  static bool verify(ByteView key, const std::vector<Bytes>& blocks,
+                     ByteView candidate);
+
+ private:
+  Bytes leaf_hash(std::size_t index, ByteView block) const;
+  Bytes node_hash(ByteView left, ByteView right) const;
+  Bytes finalize(ByteView top) const;
+  void rebuild_from(std::size_t leaf);
+
+  Bytes key_;
+  std::size_t leaf_count_ = 0;
+  // levels_[0] = leaf hashes; levels_.back() has a single top node.
+  std::vector<std::vector<Bytes>> levels_;
+  Bytes root_;
+};
+
+}  // namespace privedit::crypto

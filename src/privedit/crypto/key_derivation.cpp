@@ -1,0 +1,29 @@
+#include "privedit/crypto/key_derivation.hpp"
+
+#include "privedit/crypto/hmac.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::crypto {
+
+DocumentKeys::~DocumentKeys() {
+  secure_wipe(content_key);
+  secure_wipe(wide_key);
+  secure_wipe(mac_key);
+}
+
+DocumentKeys derive_document_keys(std::string_view password, ByteView salt,
+                                  const KdfParams& params) {
+  if (salt.size() < 8) {
+    throw CryptoError("derive_document_keys: salt must be >= 8 bytes");
+  }
+  Bytes material = pbkdf2_hmac_sha256(as_bytes(password), salt,
+                                      params.iterations, 16 + 16 + 32);
+  DocumentKeys keys;
+  keys.content_key.assign(material.begin(), material.begin() + 16);
+  keys.wide_key.assign(material.begin() + 16, material.begin() + 32);
+  keys.mac_key.assign(material.begin() + 32, material.end());
+  secure_wipe(material);
+  return keys;
+}
+
+}  // namespace privedit::crypto

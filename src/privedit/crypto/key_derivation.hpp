@@ -1,0 +1,32 @@
+#pragma once
+// Password-based per-document key derivation (§II, §IV-C).
+//
+// A document key bundle is derived from (password, per-document salt).
+// Separate subkeys are carved out for the content cipher and the wide-block
+// cipher so that rECB and RPC never share key material.
+
+#include <cstdint>
+#include <string_view>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::crypto {
+
+struct DocumentKeys {
+  Bytes content_key;  // 16 bytes — AES-128 for rECB blocks / header
+  Bytes wide_key;     // 16 bytes — WideBlock for RPC blocks
+  Bytes mac_key;      // 32 bytes — HMAC for container sealing
+
+  ~DocumentKeys();
+};
+
+struct KdfParams {
+  std::uint32_t iterations = 10'000;
+};
+
+/// Derives the key bundle with PBKDF2-HMAC-SHA256 and splits it.
+/// The salt must be at least 8 bytes (container format stores 16).
+DocumentKeys derive_document_keys(std::string_view password, ByteView salt,
+                                  const KdfParams& params = {});
+
+}  // namespace privedit::crypto

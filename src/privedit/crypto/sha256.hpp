@@ -1,0 +1,39 @@
+#pragma once
+// SHA-256 (FIPS 180-4), from scratch. Used by HMAC/PBKDF2 for password-based
+// key derivation and by the cloud servers' content hashing.
+
+#include <array>
+#include <cstdint>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input; may be called any number of times.
+  void update(ByteView data);
+
+  /// Finalises and returns the 32-byte digest. The object may not be
+  /// updated afterwards (reset with *this = Sha256()).
+  Bytes finish();
+
+  /// One-shot convenience.
+  static Bytes hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace privedit::crypto

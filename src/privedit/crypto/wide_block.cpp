@@ -1,0 +1,72 @@
+#include "privedit/crypto/wide_block.hpp"
+
+#include <cstring>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::crypto {
+
+WideBlock::WideBlock(ByteView key) {
+  if (key.size() != kKeySize) {
+    throw CryptoError("WideBlock: key must be 16 bytes");
+  }
+  // Subkey i = AES_key(0^15 || i+1): independent PRF keys per round.
+  Aes128 master(key);
+  for (int i = 0; i < kRounds; ++i) {
+    std::uint8_t in[16] = {};
+    in[15] = static_cast<std::uint8_t>(i + 1);
+    Bytes sub = master.encrypt_block(in);
+    round_[static_cast<std::size_t>(i)] = std::make_unique<Aes128>(sub);
+    secure_wipe(sub);
+  }
+}
+
+void WideBlock::encrypt_block(ByteView in, MutByteView out) const {
+  if (in.size() != kBlockSize || out.size() != kBlockSize) {
+    throw CryptoError("WideBlock::encrypt_block: block must be 32 bytes");
+  }
+  std::uint8_t left[16], right[16], f[16];
+  std::memcpy(left, in.data(), 16);
+  std::memcpy(right, in.data() + 16, 16);
+  for (int r = 0; r < kRounds; ++r) {
+    // (L, R) -> (R, L ^ F_r(R))
+    round_[static_cast<std::size_t>(r)]->encrypt_block(right, f);
+    for (int i = 0; i < 16; ++i) f[i] ^= left[i];
+    std::memcpy(left, right, 16);
+    std::memcpy(right, f, 16);
+  }
+  std::memcpy(out.data(), left, 16);
+  std::memcpy(out.data() + 16, right, 16);
+}
+
+void WideBlock::decrypt_block(ByteView in, MutByteView out) const {
+  if (in.size() != kBlockSize || out.size() != kBlockSize) {
+    throw CryptoError("WideBlock::decrypt_block: block must be 32 bytes");
+  }
+  std::uint8_t left[16], right[16], f[16];
+  std::memcpy(left, in.data(), 16);
+  std::memcpy(right, in.data() + 16, 16);
+  for (int r = kRounds - 1; r >= 0; --r) {
+    // inverse of (L, R) -> (R, L ^ F_r(R)):  (L', R') -> (R' ^ F_r(L'), L')
+    round_[static_cast<std::size_t>(r)]->encrypt_block(left, f);
+    for (int i = 0; i < 16; ++i) f[i] ^= right[i];
+    std::memcpy(right, left, 16);
+    std::memcpy(left, f, 16);
+  }
+  std::memcpy(out.data(), left, 16);
+  std::memcpy(out.data() + 16, right, 16);
+}
+
+Bytes WideBlock::encrypt_block(ByteView in) const {
+  Bytes out(kBlockSize);
+  encrypt_block(in, out);
+  return out;
+}
+
+Bytes WideBlock::decrypt_block_copy(ByteView in) const {
+  Bytes out(kBlockSize);
+  decrypt_block(in, out);
+  return out;
+}
+
+}  // namespace privedit::crypto

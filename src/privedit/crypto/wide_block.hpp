@@ -1,0 +1,41 @@
+#pragma once
+// 32-byte (256-bit) block cipher built from AES-128 via a 4-round
+// Luby–Rackoff (balanced Feistel) network.
+//
+// Why this exists: the paper's RPC mode encrypts tuples
+// (nonce_i, d_i, nonce_{i+1}) with 64-bit nonces — up to 24+ bytes, wider
+// than an AES block. Luby–Rackoff with ≥4 rounds of independent PRF keys is
+// the textbook way to build a strong PRP of twice the width (the classical
+// result of Luby and Rackoff, 1988). Each round function is AES-128 under an
+// independently derived subkey, XORed into the opposite half.
+
+#include <array>
+#include <memory>
+
+#include "privedit/crypto/aes.hpp"
+
+namespace privedit::crypto {
+
+class WideBlock {
+ public:
+  static constexpr std::size_t kBlockSize = 32;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 4;
+
+  /// Derives the four round subkeys from a 16-byte master key.
+  explicit WideBlock(ByteView key);
+
+  /// Encrypts one 32-byte block (in == out allowed).
+  void encrypt_block(ByteView in, MutByteView out) const;
+
+  /// Decrypts one 32-byte block.
+  void decrypt_block(ByteView in, MutByteView out) const;
+
+  Bytes encrypt_block(ByteView in) const;
+  Bytes decrypt_block_copy(ByteView in) const;
+
+ private:
+  std::array<std::unique_ptr<Aes128>, kRounds> round_;
+};
+
+}  // namespace privedit::crypto

@@ -1,0 +1,55 @@
+#include "privedit/delta/delta.hpp"
+#include "privedit/delta/op_stream.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::delta {
+
+using detail::OpStream;
+
+Delta Delta::compose(const Delta& first, const Delta& second) {
+  OpStream a(first);
+  OpStream b(second);
+  Delta out;
+
+  while (true) {
+    a.normalize();
+    b.normalize();
+    if (a.exhausted() && b.exhausted()) break;
+
+    // Inserts in `second` produce output regardless of `first`.
+    if (!b.exhausted() && b.kind() == OpKind::kInsert) {
+      const std::size_t n = b.remaining();
+      out.push(Op::insert(std::string(b.text(n))));
+      b.advance(n);
+      continue;
+    }
+    // Deletes in `first` consume original input before `second` sees it.
+    if (!a.exhausted() && a.kind() == OpKind::kDelete) {
+      const std::size_t n = a.remaining();
+      out.push(Op::erase(n));
+      a.advance(n);
+      continue;
+    }
+
+    // Now a is retain/insert (or implicit tail) and b is retain/delete
+    // (or implicit tail): match a's output against b's input.
+    const std::size_t n = std::min(a.remaining(), b.remaining());
+    if (n == SIZE_MAX) break;  // both at the implicit tail
+
+    if (a.kind() == OpKind::kRetain && b.kind() == OpKind::kRetain) {
+      out.push(Op::retain(n));
+    } else if (a.kind() == OpKind::kRetain && b.kind() == OpKind::kDelete) {
+      out.push(Op::erase(n));
+    } else if (a.kind() == OpKind::kInsert && b.kind() == OpKind::kRetain) {
+      out.push(Op::insert(std::string(a.text(n))));
+    } else {
+      // a insert + b delete: the inserted text never survives.
+    }
+    a.advance(n);
+    b.advance(n);
+  }
+
+  return out.canonicalized();
+}
+
+}  // namespace privedit::delta

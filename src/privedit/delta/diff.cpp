@@ -1,0 +1,157 @@
+#include <algorithm>
+#include <vector>
+
+#include "privedit/delta/delta.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::delta {
+namespace {
+
+struct Trimmed {
+  std::size_t prefix;
+  std::size_t suffix;
+  std::string_view a;  // middle of `before`
+  std::string_view b;  // middle of `after`
+};
+
+Trimmed trim_common(std::string_view before, std::string_view after) {
+  std::size_t prefix = 0;
+  const std::size_t max_prefix = std::min(before.size(), after.size());
+  while (prefix < max_prefix && before[prefix] == after[prefix]) ++prefix;
+
+  std::size_t suffix = 0;
+  const std::size_t max_suffix = max_prefix - prefix;
+  while (suffix < max_suffix &&
+         before[before.size() - 1 - suffix] == after[after.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  return Trimmed{prefix, suffix,
+                 before.substr(prefix, before.size() - prefix - suffix),
+                 after.substr(prefix, after.size() - prefix - suffix)};
+}
+
+Delta replace_middle(const Trimmed& t) {
+  Delta d;
+  if (t.prefix > 0) d.push(Op::retain(t.prefix));
+  if (!t.a.empty()) d.push(Op::erase(t.a.size()));
+  if (!t.b.empty()) d.push(Op::insert(std::string(t.b)));
+  return d.canonicalized();
+}
+
+}  // namespace
+
+Delta affix_diff(std::string_view before, std::string_view after) {
+  return replace_middle(trim_common(before, after));
+}
+
+Delta myers_diff(std::string_view before, std::string_view after,
+                 std::size_t max_cost) {
+  const Trimmed t = trim_common(before, after);
+  const std::string_view a = t.a;
+  const std::string_view b = t.b;
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+
+  if (n == 0 || m == 0) {
+    return replace_middle(t);
+  }
+  if (n + m > max_cost) {
+    // Myers is O((n+m)·D); for essentially unrelated strings D ≈ n+m and
+    // the quadratic cost buys nothing over a wholesale replace.
+    return replace_middle(t);
+  }
+
+  // Myers greedy O(ND) with a trace of V arrays for backtracking.
+  const int max_d = static_cast<int>(n + m);
+  const int offset = max_d;
+  std::vector<int> v(static_cast<std::size_t>(2 * max_d + 1), 0);
+  std::vector<std::vector<int>> trace;
+  int found_d = -1;
+
+  for (int d = 0; d <= max_d; ++d) {
+    trace.push_back(v);
+    for (int k = -d; k <= d; k += 2) {
+      int x;
+      if (k == -d ||
+          (k != d && v[static_cast<std::size_t>(offset + k - 1)] <
+                         v[static_cast<std::size_t>(offset + k + 1)])) {
+        x = v[static_cast<std::size_t>(offset + k + 1)];  // down: insert
+      } else {
+        x = v[static_cast<std::size_t>(offset + k - 1)] + 1;  // right: delete
+      }
+      int y = x - k;
+      while (x < static_cast<int>(n) && y < static_cast<int>(m) &&
+             a[static_cast<std::size_t>(x)] == b[static_cast<std::size_t>(y)]) {
+        ++x;
+        ++y;
+      }
+      v[static_cast<std::size_t>(offset + k)] = x;
+      if (x >= static_cast<int>(n) && y >= static_cast<int>(m)) {
+        found_d = d;
+        break;
+      }
+    }
+    if (found_d >= 0) break;
+  }
+  if (found_d < 0) {
+    throw Error(ErrorCode::kState, "myers_diff: no path found");
+  }
+
+  // Backtrack to recover the edit script (in reverse).
+  struct Step {
+    OpKind kind;
+    std::size_t count;  // retain / delete count, or insert length
+    std::size_t b_pos;  // start in b, for inserts
+  };
+  std::vector<Step> steps;
+  int x = static_cast<int>(n);
+  int y = static_cast<int>(m);
+  for (int d = found_d; d > 0; --d) {
+    const std::vector<int>& pv = trace[static_cast<std::size_t>(d)];
+    const int k = x - y;
+    int prev_k;
+    if (k == -d ||
+        (k != d && pv[static_cast<std::size_t>(offset + k - 1)] <
+                       pv[static_cast<std::size_t>(offset + k + 1)])) {
+      prev_k = k + 1;  // came from an insert
+    } else {
+      prev_k = k - 1;  // came from a delete
+    }
+    const int prev_x = pv[static_cast<std::size_t>(offset + prev_k)];
+    const int prev_y = prev_x - prev_k;
+    // Snake (diagonal run) after the edit.
+    const int snake = (prev_k == k + 1) ? (x - prev_x) : (x - prev_x - 1);
+    if (snake > 0) {
+      steps.push_back({OpKind::kRetain, static_cast<std::size_t>(snake), 0});
+    }
+    if (prev_k == k + 1) {
+      steps.push_back({OpKind::kInsert, 1, static_cast<std::size_t>(prev_y)});
+    } else {
+      steps.push_back({OpKind::kDelete, 1, 0});
+    }
+    x = prev_x;
+    y = prev_y;
+  }
+  if (x > 0) {
+    steps.push_back({OpKind::kRetain, static_cast<std::size_t>(x), 0});
+  }
+
+  Delta d;
+  if (t.prefix > 0) d.push(Op::retain(t.prefix));
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    switch (it->kind) {
+      case OpKind::kRetain:
+        d.push(Op::retain(it->count));
+        break;
+      case OpKind::kDelete:
+        d.push(Op::erase(it->count));
+        break;
+      case OpKind::kInsert:
+        d.push(Op::insert(std::string(b.substr(it->b_pos, it->count))));
+        break;
+    }
+  }
+  return d.canonicalized();
+}
+
+}  // namespace privedit::delta

@@ -1,0 +1,56 @@
+#pragma once
+// Internal: streaming cursor over a delta's ops that serves them in
+// arbitrary slices, treating the language's implicit trailing retain as an
+// unbounded retain. Shared by compose() and transform().
+
+#include <string_view>
+
+#include "privedit/delta/delta.hpp"
+
+namespace privedit::delta::detail {
+
+class OpStream {
+ public:
+  explicit OpStream(const Delta& d) : ops_(d.ops()) {}
+
+  bool exhausted() const { return index_ >= ops_.size(); }
+
+  OpKind kind() const {
+    return exhausted() ? OpKind::kRetain : ops_[index_].kind;
+  }
+
+  /// Characters left in the current op (SIZE_MAX for the implicit tail).
+  std::size_t remaining() const {
+    if (exhausted()) return SIZE_MAX;
+    return ops_[index_].count - offset_;
+  }
+
+  /// Slice of the current insert op's text.
+  std::string_view text(std::size_t n) const {
+    return std::string_view(ops_[index_].text).substr(offset_, n);
+  }
+
+  void advance(std::size_t n) {
+    if (exhausted()) return;
+    offset_ += n;
+    if (offset_ >= ops_[index_].count) {
+      ++index_;
+      offset_ = 0;
+    }
+  }
+
+  /// Skips zero-length ops so kind() is meaningful.
+  void normalize() {
+    while (!exhausted() && ops_[index_].count == 0) {
+      ++index_;
+      offset_ = 0;
+    }
+  }
+
+ private:
+  const std::vector<Op>& ops_;
+  std::size_t index_ = 0;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace privedit::delta::detail

@@ -1,0 +1,68 @@
+#include "privedit/delta/delta.hpp"
+#include "privedit/delta/op_stream.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::delta {
+
+using detail::OpStream;
+
+Delta Delta::transform(const Delta& a, const Delta& b, bool a_wins) {
+  OpStream sa(a);
+  OpStream sb(b);
+  Delta out;
+
+  while (true) {
+    sa.normalize();
+    sb.normalize();
+    if (sa.exhausted() && sb.exhausted()) break;
+
+    // Concurrent inserts at the same position: the winner's insert comes
+    // first in the merged document; the loser must retain over it.
+    if (sa.kind() == OpKind::kInsert && !sa.exhausted() &&
+        sb.kind() == OpKind::kInsert && !sb.exhausted()) {
+      if (a_wins) {
+        const std::size_t n = sa.remaining();
+        out.push(Op::insert(std::string(sa.text(n))));
+        sa.advance(n);
+      } else {
+        const std::size_t n = sb.remaining();
+        out.push(Op::retain(n));
+        sb.advance(n);
+      }
+      continue;
+    }
+    if (sa.kind() == OpKind::kInsert && !sa.exhausted()) {
+      // a inserts; b did not touch this point — keep the insert.
+      const std::size_t n = sa.remaining();
+      out.push(Op::insert(std::string(sa.text(n))));
+      sa.advance(n);
+      continue;
+    }
+    if (sb.kind() == OpKind::kInsert && !sb.exhausted()) {
+      // b inserted text a has never seen — a' must retain over it.
+      const std::size_t n = sb.remaining();
+      out.push(Op::retain(n));
+      sb.advance(n);
+      continue;
+    }
+
+    // Both sides now consume original-document characters.
+    const std::size_t n = std::min(sa.remaining(), sb.remaining());
+    if (n == SIZE_MAX) break;  // both at the implicit tail
+
+    if (sa.kind() == OpKind::kRetain && sb.kind() == OpKind::kRetain) {
+      out.push(Op::retain(n));
+    } else if (sa.kind() == OpKind::kDelete && sb.kind() == OpKind::kRetain) {
+      out.push(Op::erase(n));
+    } else {
+      // b deleted these original characters; whether a retained or deleted
+      // them, there is nothing left for a' to act on.
+    }
+    sa.advance(n);
+    sb.advance(n);
+  }
+
+  return out.canonicalized();
+}
+
+}  // namespace privedit::delta

@@ -1,0 +1,15 @@
+#include "privedit/ds/indexed_skip_list.hpp"
+
+namespace privedit::ds {
+
+LevelGenerator::LevelGenerator(std::uint64_t seed) : rng_(seed) {}
+
+int LevelGenerator::next_level() {
+  // Count trailing set bits of a uniform word: P(level > k) = 2^-k.
+  const std::uint64_t bits = rng_.next_u64();
+  int level = 1;
+  while (level < kMaxLevel && (bits >> (level - 1)) & 1) ++level;
+  return level;
+}
+
+}  // namespace privedit::ds

@@ -1,0 +1,335 @@
+#pragma once
+// IndexedSkipList — the paper's core data structure (§V-C, Fig 3, Alg. 1).
+//
+// A skip list whose forward pointers are annotated with skip counts, so the
+// list can be searched by *position* instead of by key. We maintain two
+// parallel skip counts per pointer:
+//   - element count  (how many nodes the pointer skips), and
+//   - weight         (sum of node weights it skips — for the encryption
+//                     schemes a node is a cipher block and its weight is the
+//                     number of plaintext characters it covers).
+// Find / Insert / Delete run in expected O(log n) node touches, matching the
+// analysis in Pugh's original skip-list paper that §V-C appeals to.
+//
+// A pointer's count covers the half-open span (node, forward-target], i.e.
+// it includes the destination. Pointers to the end of the list carry the
+// count of all remaining nodes so the update arithmetic stays uniform.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::ds {
+
+/// Geometric level generator shared by all instantiations (p = 1/2).
+class LevelGenerator {
+ public:
+  static constexpr int kMaxLevel = 30;
+
+  explicit LevelGenerator(std::uint64_t seed);
+
+  /// Returns a level in [1, kMaxLevel] with P(level > k) = 2^-k.
+  int next_level();
+
+ private:
+  Xoshiro256 rng_;
+};
+
+template <typename T>
+class IndexedSkipList {
+ public:
+  /// Result of a position lookup.
+  struct Location {
+    std::size_t element_index;  // which node (0-based)
+    std::size_t offset;         // position within the node's weight span
+    std::size_t start_weight;   // cumulative weight before the node
+  };
+
+  explicit IndexedSkipList(std::uint64_t seed = 0x5eed1157ULL)
+      : levels_(seed), head_(new Node(T{}, 0, LevelGenerator::kMaxLevel)) {}
+
+  ~IndexedSkipList() { clear_all(); }
+
+  IndexedSkipList(const IndexedSkipList&) = delete;
+  IndexedSkipList& operator=(const IndexedSkipList&) = delete;
+
+  IndexedSkipList(IndexedSkipList&& other) noexcept
+      : levels_(std::move(other.levels_)),
+        head_(other.head_),
+        size_(other.size_),
+        total_weight_(other.total_weight_) {
+    other.head_ = nullptr;
+    other.size_ = 0;
+    other.total_weight_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t total_weight() const { return total_weight_; }
+
+  /// Alg. 1: finds the node containing weight-position `pos`
+  /// (0 <= pos < total_weight()). Throws on out-of-range.
+  Location find(std::size_t pos) const {
+    if (pos >= total_weight_) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "IndexedSkipList::find: position out of range");
+    }
+    const Node* x = head_;
+    std::size_t wpos = 0;  // cumulative weight through x
+    std::size_t epos = 0;  // cumulative elements through x
+    for (int i = LevelGenerator::kMaxLevel - 1; i >= 0; --i) {
+      while (x->forward[i] != nullptr && wpos + x->wwidth[i] <= pos) {
+        wpos += x->wwidth[i];
+        epos += x->ewidth[i];
+        x = x->forward[i];
+      }
+    }
+    // x is the last node ending at or before pos; the containing node is
+    // its level-0 successor.
+    return Location{epos, pos - wpos, wpos};
+  }
+
+  /// Weight-position of the first character of element `index`.
+  std::size_t start_weight_of(std::size_t index) const {
+    check_index(index, /*allow_end=*/true);
+    const Node* x = head_;
+    std::size_t wpos = 0;
+    std::size_t epos = 0;
+    for (int i = LevelGenerator::kMaxLevel - 1; i >= 0; --i) {
+      while (x->forward[i] != nullptr && epos + x->ewidth[i] <= index) {
+        wpos += x->wwidth[i];
+        epos += x->ewidth[i];
+        x = x->forward[i];
+      }
+    }
+    return wpos;
+  }
+
+  /// Value access by element index.
+  const T& get(std::size_t index) const {
+    return node_at(index)->value;
+  }
+
+  std::size_t weight_of(std::size_t index) const {
+    return node_at(index)->weight;
+  }
+
+  /// Inserts `value` with `weight` so it becomes element `index`
+  /// (0 <= index <= size()).
+  void insert(std::size_t index, T value, std::size_t weight) {
+    check_index(index, /*allow_end=*/true);
+    Node* update[LevelGenerator::kMaxLevel];
+    std::size_t erank[LevelGenerator::kMaxLevel];
+    std::size_t wrank[LevelGenerator::kMaxLevel];
+
+    Node* x = head_;
+    std::size_t epos = 0, wpos = 0;
+    for (int i = LevelGenerator::kMaxLevel - 1; i >= 0; --i) {
+      while (x->forward[i] != nullptr && epos + x->ewidth[i] <= index) {
+        epos += x->ewidth[i];
+        wpos += x->wwidth[i];
+        x = x->forward[i];
+      }
+      update[i] = x;
+      erank[i] = epos;
+      wrank[i] = wpos;
+    }
+    // x == predecessor: last node with rank <= index.
+    const int level = levels_.next_level();
+    Node* node = new Node(std::move(value), weight, level);
+    for (int i = 0; i < LevelGenerator::kMaxLevel; ++i) {
+      if (i < level) {
+        node->forward[i] = update[i]->forward[i];
+        update[i]->forward[i] = node;
+        // Split the covered span. The old span (update[i], old-forward]
+        // counted (erank[0] - erank[i]) nodes before the insertion point.
+        const std::size_t e_before = erank[0] - erank[i];
+        const std::size_t w_before = wrank[0] - wrank[i];
+        node->ewidth[i] = update[i]->ewidth[i] - e_before;
+        node->wwidth[i] = update[i]->wwidth[i] - w_before;
+        update[i]->ewidth[i] = e_before + 1;
+        update[i]->wwidth[i] = w_before + weight;
+      } else {
+        // Span covers the new node: just grow it.
+        update[i]->ewidth[i] += 1;
+        update[i]->wwidth[i] += weight;
+      }
+    }
+    ++size_;
+    total_weight_ += weight;
+  }
+
+  /// Removes element `index`, returning its value.
+  T erase(std::size_t index) {
+    check_index(index, /*allow_end=*/false);
+    Node* update[LevelGenerator::kMaxLevel];
+    Node* x = head_;
+    std::size_t epos = 0;
+    for (int i = LevelGenerator::kMaxLevel - 1; i >= 0; --i) {
+      while (x->forward[i] != nullptr && epos + x->ewidth[i] <= index) {
+        epos += x->ewidth[i];
+        x = x->forward[i];
+      }
+      update[i] = x;
+    }
+    Node* target = update[0]->forward[0];
+    const std::size_t w = target->weight;
+    for (int i = 0; i < LevelGenerator::kMaxLevel; ++i) {
+      if (i < target->level) {
+        update[i]->forward[i] = target->forward[i];
+        update[i]->ewidth[i] += target->ewidth[i] - 1;
+        update[i]->wwidth[i] += target->wwidth[i] - w;
+      } else {
+        update[i]->ewidth[i] -= 1;
+        update[i]->wwidth[i] -= w;
+      }
+    }
+    T value = std::move(target->value);
+    delete target;
+    --size_;
+    total_weight_ -= w;
+    return value;
+  }
+
+  /// Mutates element `index` in place. `fn` receives a T& and returns the
+  /// node's new weight; all covering skip counts are adjusted.
+  void update(std::size_t index,
+              const std::function<std::size_t(T&)>& fn) {
+    check_index(index, /*allow_end=*/false);
+    Node* path[LevelGenerator::kMaxLevel];
+    Node* x = head_;
+    std::size_t epos = 0;
+    for (int i = LevelGenerator::kMaxLevel - 1; i >= 0; --i) {
+      while (x->forward[i] != nullptr && epos + x->ewidth[i] <= index) {
+        epos += x->ewidth[i];
+        x = x->forward[i];
+      }
+      path[i] = x;
+    }
+    Node* target = path[0]->forward[0];
+    const std::size_t new_weight = fn(target->value);
+    if (new_weight != target->weight) {
+      const std::size_t old_weight = target->weight;
+      target->weight = new_weight;
+      // Every span on the search path covers the target.
+      for (int i = 0; i < LevelGenerator::kMaxLevel; ++i) {
+        path[i]->wwidth[i] += new_weight;
+        path[i]->wwidth[i] -= old_weight;
+      }
+      total_weight_ += new_weight;
+      total_weight_ -= old_weight;
+    }
+  }
+
+  /// Read-only in-order traversal.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Node* x = head_->forward[0]; x != nullptr; x = x->forward[0]) {
+      fn(x->value, x->weight);
+    }
+  }
+
+  void clear() {
+    clear_all();
+    head_ = new Node(T{}, 0, LevelGenerator::kMaxLevel);
+    size_ = 0;
+    total_weight_ = 0;
+  }
+
+  /// Structural invariant check (test hook): verifies that every skip count
+  /// matches a level-0 recount. O(n * maxlevel).
+  bool validate() const {
+    std::size_t n = 0, w = 0;
+    for (const Node* x = head_->forward[0]; x != nullptr; x = x->forward[0]) {
+      ++n;
+      w += x->weight;
+    }
+    if (n != size_ || w != total_weight_) return false;
+    for (int i = 0; i < LevelGenerator::kMaxLevel; ++i) {
+      const Node* x = head_;
+      while (true) {
+        // Recount the span by walking level 0.
+        std::size_t ecount = 0, wcount = 0;
+        const Node* walker = x;
+        while (walker->forward[0] != nullptr && walker->forward[0] != x->forward[i]) {
+          walker = walker->forward[0];
+          ++ecount;
+          wcount += walker->weight;
+        }
+        if (x->forward[i] != nullptr) {
+          if (walker->forward[0] != x->forward[i]) return false;
+          ++ecount;
+          wcount += x->forward[i]->weight;
+        }
+        if (x->ewidth[i] != ecount || x->wwidth[i] != wcount) return false;
+        if (x->forward[i] == nullptr) break;
+        x = x->forward[i];
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Node {
+    Node(T v, std::size_t w, int lvl)
+        : value(std::move(v)),
+          weight(w),
+          level(lvl),
+          forward(static_cast<std::size_t>(lvl), nullptr),
+          ewidth(static_cast<std::size_t>(lvl), 0),
+          wwidth(static_cast<std::size_t>(lvl), 0) {}
+
+    T value;
+    std::size_t weight;
+    int level;
+    std::vector<Node*> forward;
+    std::vector<std::size_t> ewidth;
+    std::vector<std::size_t> wwidth;
+  };
+
+  void check_index(std::size_t index, bool allow_end) const {
+    const std::size_t limit = allow_end ? size_ : (size_ == 0 ? 0 : size_ - 1);
+    if (size_ == 0 && !allow_end) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "IndexedSkipList: index into empty list");
+    }
+    if (index > limit) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "IndexedSkipList: element index out of range");
+    }
+  }
+
+  Node* node_at(std::size_t index) const {
+    check_index(index, /*allow_end=*/false);
+    Node* x = head_;
+    std::size_t epos = 0;
+    for (int i = LevelGenerator::kMaxLevel - 1; i >= 0; --i) {
+      while (x->forward[i] != nullptr && epos + x->ewidth[i] <= index) {
+        epos += x->ewidth[i];
+        x = x->forward[i];
+      }
+    }
+    return x->forward[0];
+  }
+
+  void clear_all() {
+    if (head_ == nullptr) return;
+    Node* x = head_;
+    while (x != nullptr) {
+      Node* next = x->forward[0];
+      delete x;
+      x = next;
+    }
+    head_ = nullptr;
+  }
+
+  LevelGenerator levels_;
+  Node* head_;
+  std::size_t size_ = 0;
+  std::size_t total_weight_ = 0;
+};
+
+}  // namespace privedit::ds

@@ -1,0 +1,97 @@
+#include "privedit/enc/coclo.hpp"
+
+#include "privedit/enc/recb.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+
+CoCloScheme::CoCloScheme(ContainerHeader header,
+                         const crypto::DocumentKeys& keys,
+                         std::unique_ptr<RandomSource> rng)
+    : header_(std::move(header)),
+      aes_(keys.content_key),
+      rng_(std::move(rng)) {
+  if (rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "CoCloScheme: null rng");
+  }
+}
+
+std::string CoCloScheme::encode_body() {
+  // Fresh r0 per (re-)encryption — CoClo has no state to preserve.
+  const Bytes r0 = rng_->bytes(kNonceSize);
+  std::string body = codec_encode(header_.codec, recb_header_unit(aes_, r0));
+  const std::size_t b = header_.block_chars;
+  std::size_t blocks = 0;
+  for (std::size_t pos = 0; pos < plaintext_.size(); pos += b) {
+    const std::string_view chars =
+        std::string_view(plaintext_).substr(pos, b);
+    body += codec_encode(header_.codec,
+                         recb_encrypt_unit(aes_, r0, chars, *rng_));
+    ++blocks;
+  }
+  stats_.blocks_reencrypted += blocks;
+  return body;
+}
+
+std::string CoCloScheme::initialize(std::string_view plaintext) {
+  plaintext_.assign(plaintext);
+  stats_ = SchemeStats{};
+  body_ = encode_body();
+  std::string doc;
+  doc.push_back(codec_tag(header_.codec));
+  doc += codec_encode(header_.codec, header_.serialize());
+  doc += body_;
+  return doc;
+}
+
+void CoCloScheme::load(std::string_view ciphertext_doc) {
+  ContainerReader reader(ciphertext_doc);
+  if (reader.header().block_chars != header_.block_chars) {
+    throw ParseError("CoClo: document header does not match scheme");
+  }
+  if (reader.unit_count() == 0) {
+    throw ParseError("CoClo: missing header unit");
+  }
+  const Bytes r0 = recb_open_header_unit(aes_, reader.unit(0));
+  std::string plain;
+  for (std::size_t u = 1; u < reader.unit_count(); ++u) {
+    plain += recb_decrypt_unit(aes_, r0, reader.unit(u), header_.block_chars);
+  }
+  plaintext_ = std::move(plain);
+  body_ = std::string(ciphertext_doc.substr(header_.prefix_chars()));
+  stats_ = SchemeStats{};
+}
+
+delta::Delta CoCloScheme::transform_delta(const delta::Delta& pdelta) {
+  plaintext_ = pdelta.apply(plaintext_);
+  const std::size_t old_body_chars = body_.size();
+  body_ = encode_body();
+  ++stats_.incremental_updates;
+
+  delta::Delta cdelta;
+  cdelta.push(delta::Op::retain(header_.prefix_chars()));
+  cdelta.push(delta::Op::erase(old_body_chars));
+  cdelta.push(delta::Op::insert(body_));
+  return cdelta.canonicalized();
+}
+
+std::string CoCloScheme::plaintext() const { return plaintext_; }
+
+std::string CoCloScheme::ciphertext_doc() const {
+  std::string doc;
+  doc.push_back(codec_tag(header_.codec));
+  doc += codec_encode(header_.codec, header_.serialize());
+  doc += body_;
+  return doc;
+}
+
+SchemeStats CoCloScheme::stats() const {
+  SchemeStats s = stats_;
+  s.plaintext_chars = plaintext_.size();
+  s.block_count = (plaintext_.size() + header_.block_chars - 1) /
+                  header_.block_chars;
+  s.ciphertext_chars = header_.prefix_chars() + body_.size();
+  return s;
+}
+
+}  // namespace privedit::enc

@@ -1,0 +1,171 @@
+#include "privedit/enc/container.hpp"
+
+#include <cstring>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'E', 'D', 'C'};
+constexpr std::size_t kSaltSize = 16;
+
+// Unit raw sizes. rECB: 1 clear count byte + one AES block.
+// RPC: one 32-byte wide block (count lives inside the encrypted tuple).
+// CoClo re-uses the rECB layout (it is rECB re-run from scratch each time).
+constexpr std::size_t kRecbUnitRaw = 1 + 16;
+constexpr std::size_t kRpcUnitRaw = 32;
+
+}  // namespace
+
+Bytes ContainerHeader::serialize() const {
+  if (block_chars == 0 || block_chars > kMaxBlockChars) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "ContainerHeader: block_chars must be in [1,8]");
+  }
+  if (salt.size() != kSaltSize) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "ContainerHeader: salt must be 16 bytes");
+  }
+  if (kdf_iterations == 0) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "ContainerHeader: kdf_iterations must be > 0");
+  }
+  Bytes out(kRawSize);
+  std::memcpy(out.data(), kMagic, 4);
+  out[4] = kVersion;
+  out[5] = static_cast<std::uint8_t>(mode);
+  out[6] = static_cast<std::uint8_t>(block_chars);
+  out[7] = static_cast<std::uint8_t>(codec);
+  store_u32be(MutByteView(out.data() + 8, 4), kdf_iterations);
+  std::memcpy(out.data() + 12, salt.data(), kSaltSize);
+  return out;
+}
+
+ContainerHeader ContainerHeader::parse(ByteView raw) {
+  if (raw.size() != kRawSize) {
+    throw ParseError("container header: wrong size");
+  }
+  if (std::memcmp(raw.data(), kMagic, 4) != 0) {
+    throw ParseError("container header: bad magic");
+  }
+  if (raw[4] != kVersion) {
+    throw ParseError("container header: unsupported version");
+  }
+  ContainerHeader h;
+  switch (raw[5]) {
+    case static_cast<std::uint8_t>(Mode::kRecb):
+      h.mode = Mode::kRecb;
+      break;
+    case static_cast<std::uint8_t>(Mode::kRpc):
+      h.mode = Mode::kRpc;
+      break;
+    case static_cast<std::uint8_t>(Mode::kCoClo):
+      h.mode = Mode::kCoClo;
+      break;
+    default:
+      throw ParseError("container header: unknown mode");
+  }
+  h.block_chars = raw[6];
+  if (h.block_chars == 0 || h.block_chars > kMaxBlockChars) {
+    throw ParseError("container header: block_chars out of range");
+  }
+  switch (raw[7]) {
+    case static_cast<std::uint8_t>(Codec::kBase32):
+      h.codec = Codec::kBase32;
+      break;
+    case static_cast<std::uint8_t>(Codec::kBase64Url):
+      h.codec = Codec::kBase64Url;
+      break;
+    case static_cast<std::uint8_t>(Codec::kStego):
+      h.codec = Codec::kStego;
+      break;
+    default:
+      throw ParseError("container header: unknown codec");
+  }
+  h.kdf_iterations = load_u32be(ByteView(raw.data() + 8, 4));
+  if (h.kdf_iterations == 0) {
+    throw ParseError("container header: zero KDF iterations");
+  }
+  // A tampered header must not be able to stall the client with an
+  // astronomically expensive KDF (found by the mutation fuzzer).
+  if (h.kdf_iterations > kMaxKdfIterations) {
+    throw ParseError("container header: KDF iteration count exceeds cap");
+  }
+  h.salt.assign(raw.begin() + 12, raw.begin() + 12 + kSaltSize);
+  return h;
+}
+
+std::size_t ContainerHeader::unit_raw_size() const {
+  switch (mode) {
+    case Mode::kRecb:
+    case Mode::kCoClo:
+      return kRecbUnitRaw;
+    case Mode::kRpc:
+      return kRpcUnitRaw;
+  }
+  throw Error(ErrorCode::kState, "unit_raw_size: unknown mode");
+}
+
+std::size_t ContainerHeader::unit_width() const {
+  return codec_width(codec, unit_raw_size());
+}
+
+std::size_t ContainerHeader::prefix_chars() const {
+  return 1 + codec_width(codec, kRawSize);
+}
+
+ContainerReader::ContainerReader(std::string_view encoded_doc)
+    : doc_(encoded_doc) {
+  if (encoded_doc.empty()) {
+    throw ParseError("container: empty document");
+  }
+  const Codec codec = codec_from_tag(encoded_doc[0]);
+  const std::size_t header_width = codec_width(codec, ContainerHeader::kRawSize);
+  if (encoded_doc.size() < 1 + header_width) {
+    throw ParseError("container: truncated header");
+  }
+  const Bytes raw_header =
+      codec_decode(codec, encoded_doc.substr(1, header_width));
+  header_ = ContainerHeader::parse(raw_header);
+  if (header_.codec != codec) {
+    throw ParseError("container: codec tag does not match header");
+  }
+  body_offset_ = 1 + header_width;
+  const std::size_t body_chars = encoded_doc.size() - body_offset_;
+  const std::size_t width = header_.unit_width();
+  if (body_chars % width != 0) {
+    throw ParseError("container: body is not a whole number of units");
+  }
+  unit_count_ = body_chars / width;
+}
+
+Bytes ContainerReader::unit(std::size_t u) const {
+  if (u >= unit_count_) {
+    throw Error(ErrorCode::kInvalidArgument, "container: unit out of range");
+  }
+  const std::size_t width = header_.unit_width();
+  const Bytes raw =
+      codec_decode(header_.codec, doc_.substr(body_offset_ + u * width, width));
+  if (raw.size() != header_.unit_raw_size()) {
+    throw ParseError("container: unit decodes to wrong size");
+  }
+  return raw;
+}
+
+ContainerWriter::ContainerWriter(const ContainerHeader& header)
+    : header_(header) {
+  out_.push_back(codec_tag(header.codec));
+  out_ += codec_encode(header.codec, header.serialize());
+}
+
+void ContainerWriter::add_unit(ByteView raw) {
+  if (raw.size() != header_.unit_raw_size()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "container: unit has wrong raw size");
+  }
+  out_ += codec_encode(header_.codec, raw);
+  ++units_;
+}
+
+}  // namespace privedit::enc

@@ -1,0 +1,103 @@
+#pragma once
+// Self-describing ciphertext container format.
+//
+// The cloud server stores the ciphertext document as an opaque *string*
+// (the editors treat content as text), laid out as:
+//
+//   [codec tag: 1 clear char]['3' = Base32, '6' = base64url]
+//   [header: fixed-size binary record, codec-encoded]
+//   [unit 0][unit 1]...[unit k]      each unit codec-encoded, fixed width
+//
+// Every unit has the same raw byte size per mode, so the encoded document
+// has *arithmetically predictable* unit boundaries: unit u spans encoded
+// characters [P + u·W, P + (u+1)·W). This is what lets IncE express its
+// output as a ciphertext delta over the stored string without any framing
+// separators.
+//
+// Header record (28 bytes):
+//   magic "PEDC" | version u8 | mode u8 | block_chars u8 | codec u8
+//   | kdf_iterations u32be | salt[16]
+//
+// The salt and KDF parameters ride inside the document so that opening an
+// existing encrypted document needs only the password (§IV-C).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "privedit/enc/types.hpp"
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::enc {
+
+struct ContainerHeader {
+  static constexpr std::size_t kRawSize = 28;
+  static constexpr std::uint8_t kVersion = 1;
+
+  /// Upper bound accepted when *parsing* a header. Without it, flipping a
+  /// bit in the stored kdf_iterations field would make the victim's next
+  /// open run PBKDF2 for ~2^32 iterations — a denial-of-service the
+  /// mutation fuzzer caught.
+  static constexpr std::uint32_t kMaxKdfIterations = 5'000'000;
+
+  Mode mode = Mode::kRecb;
+  std::size_t block_chars = 8;
+  Codec codec = Codec::kBase32;
+  std::uint32_t kdf_iterations = 10'000;
+  Bytes salt;  // 16 bytes
+
+  /// Serialises to the 28-byte record. Throws on invalid fields.
+  Bytes serialize() const;
+
+  /// Parses and validates a 28-byte record.
+  static ContainerHeader parse(ByteView raw);
+
+  /// Raw byte size of one unit for this mode (incl. any clear prefix).
+  std::size_t unit_raw_size() const;
+
+  /// Encoded width of one unit in characters.
+  std::size_t unit_width() const;
+
+  /// Encoded characters before unit 0 (codec tag + encoded header).
+  std::size_t prefix_chars() const;
+};
+
+/// Splits an encoded ciphertext document into (header, unit count) and
+/// yields the raw bytes of each unit. Throws ParseError on any framing
+/// violation (bad tag, non-integral unit count, undecodable text).
+class ContainerReader {
+ public:
+  explicit ContainerReader(std::string_view encoded_doc);
+
+  const ContainerHeader& header() const { return header_; }
+  std::size_t unit_count() const { return unit_count_; }
+
+  /// Raw bytes of unit u (decoded on demand).
+  Bytes unit(std::size_t u) const;
+
+ private:
+  std::string_view doc_;
+  ContainerHeader header_;
+  std::size_t unit_count_ = 0;
+  std::size_t body_offset_ = 0;
+};
+
+/// Incrementally builds an encoded ciphertext document.
+class ContainerWriter {
+ public:
+  explicit ContainerWriter(const ContainerHeader& header);
+
+  void add_unit(ByteView raw);
+
+  /// Returns the complete encoded document.
+  std::string str() const { return out_; }
+
+  std::size_t units_written() const { return units_; }
+
+ private:
+  ContainerHeader header_;
+  std::string out_;
+  std::size_t units_ = 0;
+};
+
+}  // namespace privedit::enc

@@ -1,0 +1,227 @@
+#include "privedit/enc/recb.hpp"
+
+#include <cstring>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+namespace {
+
+constexpr std::size_t kUnitRaw = 1 + 16;
+
+void check_chars(std::string_view chars, std::size_t max_chars) {
+  if (chars.empty() || chars.size() > max_chars || chars.size() > 8) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "rECB: block must hold 1..block_chars characters");
+  }
+}
+
+}  // namespace
+
+Bytes recb_encrypt_unit(const crypto::Aes128& aes, ByteView r0,
+                        std::string_view chars, RandomSource& rng) {
+  check_chars(chars, 8);
+  std::uint8_t ri[8];
+  rng.fill(ri);
+
+  std::uint8_t x[16] = {};
+  for (int i = 0; i < 8; ++i) {
+    x[i] = static_cast<std::uint8_t>(r0[static_cast<std::size_t>(i)] ^ ri[i]);
+  }
+  for (std::size_t i = 0; i < chars.size(); ++i) {
+    x[8 + i] = static_cast<std::uint8_t>(chars[i]);
+  }
+  for (int i = 0; i < 8; ++i) {
+    x[8 + i] = static_cast<std::uint8_t>(x[8 + i] ^ ri[i]);
+  }
+
+  Bytes unit(kUnitRaw);
+  unit[0] = static_cast<std::uint8_t>(chars.size());
+  aes.encrypt_block(ByteView(x, 16), MutByteView(unit.data() + 1, 16));
+  return unit;
+}
+
+std::string recb_decrypt_unit(const crypto::Aes128& aes, ByteView r0,
+                              ByteView unit, std::size_t max_chars) {
+  if (unit.size() != kUnitRaw) {
+    throw ParseError("rECB: unit has wrong size");
+  }
+  const std::size_t count = unit[0];
+  if (count == 0 || count > max_chars) {
+    throw ParseError("rECB: block count out of range");
+  }
+  std::uint8_t x[16];
+  aes.decrypt_block(unit.subspan(1), x);
+  std::uint8_t ri[8];
+  for (int i = 0; i < 8; ++i) {
+    ri[i] = static_cast<std::uint8_t>(x[i] ^ r0[static_cast<std::size_t>(i)]);
+  }
+  std::uint8_t payload[8];
+  for (int i = 0; i < 8; ++i) {
+    payload[i] = static_cast<std::uint8_t>(x[8 + i] ^ ri[i]);
+  }
+  // Zero padding beyond `count` is a cheap corruption check (not an
+  // integrity guarantee — rECB offers none).
+  for (std::size_t i = count; i < 8; ++i) {
+    if (payload[i] != 0) {
+      throw ParseError("rECB: nonzero block padding");
+    }
+  }
+  return std::string(reinterpret_cast<const char*>(payload), count);
+}
+
+Bytes recb_header_unit(const crypto::Aes128& aes, ByteView r0) {
+  if (r0.size() != kNonceSize) {
+    throw Error(ErrorCode::kInvalidArgument, "rECB: r0 must be 8 bytes");
+  }
+  std::uint8_t x[16] = {};
+  std::memcpy(x, r0.data(), 8);
+  Bytes unit(kUnitRaw);
+  unit[0] = 0;  // header unit carries no characters
+  aes.encrypt_block(ByteView(x, 16), MutByteView(unit.data() + 1, 16));
+  return unit;
+}
+
+Bytes recb_open_header_unit(const crypto::Aes128& aes, ByteView unit) {
+  if (unit.size() != kUnitRaw || unit[0] != 0) {
+    throw ParseError("rECB: malformed header unit");
+  }
+  std::uint8_t x[16];
+  aes.decrypt_block(unit.subspan(1), x);
+  for (int i = 8; i < 16; ++i) {
+    if (x[i] != 0) {
+      throw CryptoError("rECB: wrong password or corrupted document");
+    }
+  }
+  return Bytes(x, x + 8);
+}
+
+RecbScheme::RecbScheme(ContainerHeader header,
+                       const crypto::DocumentKeys& keys,
+                       std::unique_ptr<RandomSource> rng, BlockPolicy policy)
+    : header_(std::move(header)),
+      aes_(keys.content_key),
+      rng_(std::move(rng)),
+      store_(header_.block_chars, policy) {
+  if (rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "RecbScheme: null rng");
+  }
+}
+
+std::string RecbScheme::initialize(std::string_view plaintext) {
+  r0_ = rng_->bytes(kNonceSize);
+  header_unit_ = recb_header_unit(aes_, r0_);
+  store_.reset(plaintext);
+
+  ContainerWriter writer(header_);
+  writer.add_unit(header_unit_);
+  for (std::size_t e = 0; e < store_.block_count(); ++e) {
+    Bytes unit = recb_encrypt_unit(aes_, r0_, store_.block(e).plain, *rng_);
+    store_.set_unit(e, unit, 0);
+    writer.add_unit(unit);
+  }
+  stats_ = SchemeStats{};
+  stats_.blocks_reencrypted = store_.block_count();
+  return writer.str();
+}
+
+void RecbScheme::load(std::string_view ciphertext_doc) {
+  ContainerReader reader(ciphertext_doc);
+  if (reader.header().mode != header_.mode ||
+      reader.header().block_chars != header_.block_chars) {
+    throw ParseError("rECB: document header does not match scheme");
+  }
+  if (reader.unit_count() == 0) {
+    throw ParseError("rECB: missing header unit");
+  }
+  header_unit_ = reader.unit(0);
+  r0_ = recb_open_header_unit(aes_, header_unit_);
+
+  std::vector<Block> blocks;
+  blocks.reserve(reader.unit_count() - 1);
+  for (std::size_t u = 1; u < reader.unit_count(); ++u) {
+    Bytes unit = reader.unit(u);
+    std::string plain =
+        recb_decrypt_unit(aes_, r0_, unit, header_.block_chars);
+    blocks.push_back(Block{std::move(plain), std::move(unit), 0});
+  }
+  store_.load_blocks(std::move(blocks));
+  stats_ = SchemeStats{};
+}
+
+void RecbScheme::reencrypt_region(const RegionChange& change, SpliceLog& log) {
+  std::vector<Bytes> new_units;
+  new_units.reserve(change.new_count);
+  for (std::size_t e = change.first_elem;
+       e < change.first_elem + change.new_count; ++e) {
+    Bytes unit = recb_encrypt_unit(aes_, r0_, store_.block(e).plain, *rng_);
+    store_.set_unit(e, unit, 0);
+    new_units.push_back(std::move(unit));
+  }
+  stats_.blocks_reencrypted += change.new_count;
+  // Data block e lives at unit index e + 1 (unit 0 is the header unit).
+  log.replace(change.first_elem + 1,
+              change.first_elem + 1 + change.old_count, std::move(new_units));
+}
+
+delta::Delta RecbScheme::transform_delta(const delta::Delta& pdelta) {
+  const delta::Delta canon = pdelta.canonicalized();
+  SpliceLog log;
+  std::size_t pos = 0;
+  const auto& ops = canon.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const delta::Op& op = ops[i];
+    switch (op.kind) {
+      case delta::OpKind::kRetain:
+        pos += op.count;
+        if (pos > store_.char_count()) {
+          throw Error(ErrorCode::kInvalidArgument,
+                      "transform_delta: retain past end of document");
+        }
+        break;
+      case delta::OpKind::kDelete: {
+        // Canonical form puts an insert right after a delete at the same
+        // position; fold the pair into one region edit.
+        std::string_view insert_text;
+        if (i + 1 < ops.size() && ops[i + 1].kind == delta::OpKind::kInsert) {
+          insert_text = ops[i + 1].text;
+          ++i;
+        }
+        const RegionChange change =
+            store_.replace_range(pos, op.count, insert_text);
+        reencrypt_region(change, log);
+        pos += insert_text.size();
+        break;
+      }
+      case delta::OpKind::kInsert: {
+        const RegionChange change = store_.replace_range(pos, 0, op.text);
+        reencrypt_region(change, log);
+        pos += op.count;
+        break;
+      }
+    }
+  }
+  ++stats_.incremental_updates;
+  return log.to_cdelta(header_.prefix_chars(), header_.unit_width(),
+                       header_.codec);
+}
+
+std::string RecbScheme::plaintext() const { return store_.plaintext(); }
+
+std::string RecbScheme::ciphertext_doc() const {
+  ContainerWriter writer(header_);
+  writer.add_unit(header_unit_);
+  store_.for_each([&writer](const Block& b) { writer.add_unit(b.unit); });
+  return writer.str();
+}
+
+SchemeStats RecbScheme::stats() const {
+  SchemeStats s = stats_;
+  s.plaintext_chars = store_.char_count();
+  s.block_count = store_.block_count();
+  s.ciphertext_chars =
+      header_.prefix_chars() + (store_.block_count() + 1) * header_.unit_width();
+  return s;
+}
+
+}  // namespace privedit::enc

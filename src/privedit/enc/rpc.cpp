@@ -1,0 +1,368 @@
+#include "privedit/enc/rpc.hpp"
+
+#include <cstring>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+namespace {
+
+constexpr std::size_t kUnitRaw = 32;
+constexpr std::uint8_t kFlagData = 0x00;
+constexpr std::uint8_t kFlagStart = 0x01;
+constexpr std::uint8_t kFlagFinal = 0x02;
+
+// α — the paper's arbitrary start marker.
+constexpr std::uint8_t kAlpha[8] = {'R', 'P', 'C', 'S', 'T', 'A', 'R', 'T'};
+
+}  // namespace
+
+RpcScheme::RpcScheme(ContainerHeader header, const crypto::DocumentKeys& keys,
+                     std::unique_ptr<RandomSource> rng, BlockPolicy policy,
+                     bool length_amendment)
+    : header_(std::move(header)),
+      wide_(keys.wide_key),
+      rng_(std::move(rng)),
+      store_(header_.block_chars, policy),
+      length_amendment_(length_amendment),
+      xor_payloads_(8, 0) {
+  if (rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "RpcScheme: null rng");
+  }
+}
+
+Bytes RpcScheme::padded_payload(std::string_view chars) {
+  Bytes payload(8, 0);
+  if (chars.size() > 8) {
+    throw Error(ErrorCode::kInvalidArgument, "RPC: payload too long");
+  }
+  std::memcpy(payload.data(), chars.data(), chars.size());
+  return payload;
+}
+
+Bytes RpcScheme::seal(const Tuple& t) const {
+  if (t.payload.size() != 8 || t.pad.size() != 6) {
+    throw Error(ErrorCode::kInvalidArgument, "RPC: malformed tuple");
+  }
+  Bytes raw(kUnitRaw);
+  store_u64be(MutByteView(raw.data(), 8), t.nonce);
+  raw[8] = t.flag;
+  raw[9] = static_cast<std::uint8_t>(t.count);
+  std::memcpy(raw.data() + 10, t.payload.data(), 8);
+  std::memcpy(raw.data() + 18, t.pad.data(), 6);
+  store_u64be(MutByteView(raw.data() + 24, 8), t.next);
+  Bytes unit(kUnitRaw);
+  wide_.encrypt_block(raw, unit);
+  secure_wipe(raw);
+  return unit;
+}
+
+RpcScheme::Tuple RpcScheme::open(ByteView unit) const {
+  if (unit.size() != kUnitRaw) {
+    throw ParseError("RPC: unit has wrong size");
+  }
+  Bytes raw = wide_.decrypt_block_copy(unit);
+  Tuple t;
+  t.nonce = load_u64be(raw);
+  t.flag = raw[8];
+  t.count = raw[9];
+  t.payload.assign(raw.begin() + 10, raw.begin() + 18);
+  t.pad.assign(raw.begin() + 18, raw.begin() + 24);
+  t.next = load_u64be(ByteView(raw.data() + 24, 8));
+  secure_wipe(raw);
+  return t;
+}
+
+std::uint64_t RpcScheme::fresh_nonce() { return rng_->next_u64(); }
+
+std::uint64_t RpcScheme::nonce_after(std::size_t elem) const {
+  // Successor nonce of data block `elem`: the next block's nonce, or r0
+  // when `elem` is the last block (the chain loops back to the start).
+  return (elem + 1 < store_.block_count()) ? store_.block(elem + 1).nonce
+                                           : r0_;
+}
+
+Bytes RpcScheme::encrypt_data_block(std::string_view chars,
+                                    std::uint64_t nonce, std::uint64_t next) {
+  Tuple t;
+  t.nonce = nonce;
+  t.flag = kFlagData;
+  t.count = chars.size();
+  t.payload = padded_payload(chars);
+  t.pad = rng_->bytes(6);
+  t.next = next;
+  return seal(t);
+}
+
+Bytes RpcScheme::encrypt_start_unit(std::uint64_t first_nonce) {
+  Tuple t;
+  t.nonce = r0_;
+  t.flag = kFlagStart;
+  t.count = 0;
+  t.payload.assign(kAlpha, kAlpha + 8);
+  t.pad = rng_->bytes(6);
+  t.next = first_nonce;
+  return seal(t);
+}
+
+Bytes RpcScheme::encrypt_final_unit() {
+  Tuple t;
+  t.nonce = r0_ ^ xor_nonces_;  // ⊕_{i=0..n} r_i
+  t.flag = kFlagFinal;
+  t.count = 0;
+  t.payload = xor_payloads_;
+  t.pad.assign(6, 0);
+  if (length_amendment_) {
+    // u48be document length — the Wang et al. amendment.
+    std::uint64_t len = store_.char_count();
+    for (int i = 5; i >= 0; --i) {
+      t.pad[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len & 0xff);
+      len >>= 8;
+    }
+  } else {
+    t.pad = rng_->bytes(6);
+  }
+  t.next = xor_nonces_;  // ⊕_{i=1..n} r_i
+  return seal(t);
+}
+
+std::string RpcScheme::initialize(std::string_view plaintext) {
+  r0_ = fresh_nonce();
+  xor_nonces_ = 0;
+  xor_payloads_.assign(8, 0);
+  store_.reset(plaintext);
+
+  // Assign nonces first so each block can point at its successor.
+  std::vector<std::uint64_t> nonces(store_.block_count());
+  for (auto& n : nonces) n = fresh_nonce();
+
+  ContainerWriter writer(header_);
+  start_unit_ =
+      encrypt_start_unit(store_.block_count() > 0 ? nonces[0] : r0_);
+  writer.add_unit(start_unit_);
+  for (std::size_t e = 0; e < store_.block_count(); ++e) {
+    const std::uint64_t next =
+        (e + 1 < nonces.size()) ? nonces[e + 1] : r0_;
+    Bytes unit = encrypt_data_block(store_.block(e).plain, nonces[e], next);
+    store_.set_unit(e, unit, nonces[e]);
+    xor_nonces_ ^= nonces[e];
+    xor_into(xor_payloads_, padded_payload(store_.block(e).plain));
+    writer.add_unit(unit);
+  }
+  writer.add_unit(encrypt_final_unit());
+  stats_ = SchemeStats{};
+  stats_.blocks_reencrypted = store_.block_count();
+  return writer.str();
+}
+
+void RpcScheme::load(std::string_view ciphertext_doc) {
+  ContainerReader reader(ciphertext_doc);
+  if (reader.header().mode != header_.mode ||
+      reader.header().block_chars != header_.block_chars) {
+    throw ParseError("RPC: document header does not match scheme");
+  }
+  if (reader.unit_count() < 2) {
+    throw ParseError("RPC: document must contain START and FINAL units");
+  }
+
+  start_unit_ = reader.unit(0);
+  const Tuple start = open(start_unit_);
+  if (start.flag != kFlagStart ||
+      std::memcmp(start.payload.data(), kAlpha, 8) != 0) {
+    throw CryptoError("RPC: wrong password or corrupted document");
+  }
+  r0_ = start.nonce;
+
+  std::uint64_t expected = start.next;
+  std::uint64_t xr = 0;
+  Bytes xp(8, 0);
+  std::vector<Block> blocks;
+  const std::size_t data_units = reader.unit_count() - 2;
+  blocks.reserve(data_units);
+  for (std::size_t u = 1; u <= data_units; ++u) {
+    Bytes unit = reader.unit(u);
+    const Tuple t = open(unit);
+    if (t.flag != kFlagData) {
+      throw IntegrityError("RPC: unexpected unit type in chain");
+    }
+    if (t.nonce != expected) {
+      throw IntegrityError("RPC: nonce chain broken (block substituted, "
+                           "reordered or replayed)");
+    }
+    if (t.count == 0 || t.count > header_.block_chars) {
+      throw IntegrityError("RPC: block count out of range");
+    }
+    for (std::size_t i = t.count; i < 8; ++i) {
+      if (t.payload[i] != 0) {
+        throw IntegrityError("RPC: nonzero block padding");
+      }
+    }
+    xr ^= t.nonce;
+    xor_into(xp, t.payload);
+    blocks.push_back(Block{
+        std::string(reinterpret_cast<const char*>(t.payload.data()), t.count),
+        std::move(unit), t.nonce});
+    expected = t.next;
+  }
+  if (expected != r0_) {
+    throw IntegrityError("RPC: chain does not close back to r0 (document "
+                         "truncated or extended)");
+  }
+
+  const Tuple fin = open(reader.unit(reader.unit_count() - 1));
+  if (fin.flag != kFlagFinal) {
+    throw IntegrityError("RPC: final unit missing");
+  }
+  if (fin.nonce != (r0_ ^ xr) || fin.next != xr ||
+      !ct_equal(fin.payload, xp)) {
+    throw IntegrityError("RPC: checksum block mismatch");
+  }
+  if (length_amendment_) {
+    std::uint64_t len = 0;
+    for (std::size_t i = 0; i < 6; ++i) len = (len << 8) | fin.pad[i];
+    std::size_t total = 0;
+    for (const Block& b : blocks) total += b.plain.size();
+    if (len != total) {
+      throw IntegrityError("RPC: document length mismatch");
+    }
+  }
+
+  store_.load_blocks(std::move(blocks));
+  xor_nonces_ = xr;
+  xor_payloads_ = xp;
+  stats_ = SchemeStats{};
+}
+
+void RpcScheme::rewrite_predecessor(std::size_t elem, SpliceLog& log) {
+  const std::uint64_t succ =
+      (elem < store_.block_count()) ? store_.block(elem).nonce : r0_;
+  if (elem == 0) {
+    start_unit_ = encrypt_start_unit(succ);
+    log.replace(0, 1, {start_unit_});
+  } else {
+    const std::size_t pred = elem - 1;
+    const Block& p = store_.block(pred);
+    Bytes unit = encrypt_data_block(p.plain, p.nonce, succ);
+    store_.set_unit(pred, unit, p.nonce);
+    log.replace(pred + 1, pred + 2, {unit});
+  }
+}
+
+void RpcScheme::apply_region(const RegionChange& change, SpliceLog& log) {
+  // Update the XOR aggregates for the removed blocks.
+  for (const Block& old : change.removed) {
+    xor_nonces_ ^= old.nonce;
+    xor_into(xor_payloads_, padded_payload(old.plain));
+  }
+
+  // Fresh nonces for the re-chunked blocks, then encrypt them. The block
+  // after the region keeps its nonce, so no rewrite is needed on the right.
+  std::vector<std::uint64_t> nonces(change.new_count);
+  for (auto& n : nonces) n = fresh_nonce();
+  std::vector<Bytes> new_units;
+  new_units.reserve(change.new_count);
+  for (std::size_t i = 0; i < change.new_count; ++i) {
+    const std::size_t elem = change.first_elem + i;
+    const std::uint64_t next = (i + 1 < change.new_count)
+                                   ? nonces[i + 1]
+                                   : nonce_after(elem);
+    Bytes unit =
+        encrypt_data_block(store_.block(elem).plain, nonces[i], next);
+    store_.set_unit(elem, unit, nonces[i]);
+    xor_nonces_ ^= nonces[i];
+    xor_into(xor_payloads_, padded_payload(store_.block(elem).plain));
+    new_units.push_back(std::move(unit));
+  }
+  stats_.blocks_reencrypted += change.new_count;
+
+  log.replace(change.first_elem + 1,
+              change.first_elem + 1 + change.old_count, std::move(new_units));
+
+  // The predecessor must point at the first re-chunked block (or, for a
+  // pure deletion, at whatever now follows the hole).
+  rewrite_predecessor(change.first_elem, log);
+}
+
+delta::Delta RpcScheme::transform_delta(const delta::Delta& pdelta) {
+  const delta::Delta canon = pdelta.canonicalized();
+  SpliceLog log;
+  std::size_t pos = 0;
+  bool dirty = false;
+  const auto& ops = canon.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const delta::Op& op = ops[i];
+    switch (op.kind) {
+      case delta::OpKind::kRetain:
+        pos += op.count;
+        if (pos > store_.char_count()) {
+          throw Error(ErrorCode::kInvalidArgument,
+                      "transform_delta: retain past end of document");
+        }
+        break;
+      case delta::OpKind::kDelete: {
+        std::string_view insert_text;
+        if (i + 1 < ops.size() && ops[i + 1].kind == delta::OpKind::kInsert) {
+          insert_text = ops[i + 1].text;
+          ++i;
+        }
+        const RegionChange change =
+            store_.replace_range(pos, op.count, insert_text);
+        apply_region(change, log);
+        pos += insert_text.size();
+        dirty = true;
+        break;
+      }
+      case delta::OpKind::kInsert: {
+        const RegionChange change = store_.replace_range(pos, 0, op.text);
+        apply_region(change, log);
+        pos += op.count;
+        dirty = true;
+        break;
+      }
+    }
+  }
+  if (dirty) {
+    // FINAL is the last unit: current index = block_count + 1.
+    const std::size_t final_idx = store_.block_count() + 1;
+    log.replace(final_idx, final_idx + 1, {encrypt_final_unit()});
+  }
+  ++stats_.incremental_updates;
+  return log.to_cdelta(header_.prefix_chars(), header_.unit_width(),
+                       header_.codec);
+}
+
+std::string RpcScheme::plaintext() const { return store_.plaintext(); }
+
+std::string RpcScheme::ciphertext_doc() const {
+  ContainerWriter writer(header_);
+  writer.add_unit(start_unit_);
+  store_.for_each([&writer](const Block& b) { writer.add_unit(b.unit); });
+  // NOTE: encrypt_final_unit() is const-incompatible because of rng pad;
+  // with the amendment the pad is deterministic, so rebuild it here.
+  Bytes raw(kUnitRaw);
+  store_u64be(MutByteView(raw.data(), 8), r0_ ^ xor_nonces_);
+  raw[8] = kFlagFinal;
+  raw[9] = 0;
+  std::memcpy(raw.data() + 10, xor_payloads_.data(), 8);
+  std::uint64_t len = store_.char_count();
+  for (int i = 5; i >= 0; --i) {
+    raw[static_cast<std::size_t>(18 + i)] = static_cast<std::uint8_t>(len & 0xff);
+    len >>= 8;
+  }
+  store_u64be(MutByteView(raw.data() + 24, 8), xor_nonces_);
+  Bytes final_unit(kUnitRaw);
+  wide_.encrypt_block(raw, final_unit);
+  writer.add_unit(final_unit);
+  return writer.str();
+}
+
+SchemeStats RpcScheme::stats() const {
+  SchemeStats s = stats_;
+  s.plaintext_chars = store_.char_count();
+  s.block_count = store_.block_count();
+  s.ciphertext_chars =
+      header_.prefix_chars() + (store_.block_count() + 2) * header_.unit_width();
+  return s;
+}
+
+}  // namespace privedit::enc

@@ -1,0 +1,45 @@
+#include "privedit/enc/scheme.hpp"
+
+#include "privedit/enc/coclo.hpp"
+#include "privedit/enc/recb.hpp"
+#include "privedit/enc/rpc.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+
+delta::Delta IncrementalScheme::compact() {
+  const ContainerHeader& h = header();
+  const std::string old_doc = ciphertext_doc();
+  const std::string new_doc = initialize(plaintext());
+  delta::Delta cdelta;
+  cdelta.push(delta::Op::retain(h.prefix_chars()));
+  cdelta.push(delta::Op::erase(old_doc.size() - h.prefix_chars()));
+  cdelta.push(delta::Op::insert(new_doc.substr(h.prefix_chars())));
+  return cdelta.canonicalized();
+}
+
+std::unique_ptr<IncrementalScheme> make_scheme(
+    const ContainerHeader& header, const crypto::DocumentKeys& keys,
+    std::unique_ptr<RandomSource> rng) {
+  switch (header.mode) {
+    case Mode::kRecb:
+      return std::make_unique<RecbScheme>(header, keys, std::move(rng));
+    case Mode::kRpc:
+      return std::make_unique<RpcScheme>(header, keys, std::move(rng));
+    case Mode::kCoClo:
+      return std::make_unique<CoCloScheme>(header, keys, std::move(rng));
+  }
+  throw Error(ErrorCode::kInvalidArgument, "make_scheme: unknown mode");
+}
+
+ContainerHeader make_header(const SchemeConfig& config, RandomSource& rng) {
+  ContainerHeader header;
+  header.mode = config.mode;
+  header.block_chars = config.block_chars;
+  header.codec = config.codec;
+  header.kdf_iterations = config.kdf_iterations;
+  header.salt = rng.bytes(16);
+  return header;
+}
+
+}  // namespace privedit::enc

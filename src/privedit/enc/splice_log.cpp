@@ -1,0 +1,142 @@
+#include "privedit/enc/splice_log.hpp"
+
+#include <algorithm>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+
+std::size_t SpliceLog::map_to_old(std::size_t cur_pos) const {
+  std::int64_t shift = 0;
+  for (const Splice& s : splices_) {
+    if (s.cur_start + s.cur_len() <= cur_pos) {
+      shift += static_cast<std::int64_t>(s.cur_len()) -
+               static_cast<std::int64_t>(s.old_len);
+    } else if (s.cur_start < cur_pos) {
+      throw Error(ErrorCode::kState,
+                  "SpliceLog: position maps inside an existing splice");
+    }
+  }
+  return static_cast<std::size_t>(static_cast<std::int64_t>(cur_pos) - shift);
+}
+
+void SpliceLog::replace(std::size_t a, std::size_t b,
+                        std::vector<Bytes> units) {
+  if (a > b) {
+    throw Error(ErrorCode::kInvalidArgument, "SpliceLog: inverted range");
+  }
+  // Find splices overlapping or adjacent to [a, b).
+  std::size_t first = splices_.size(), last = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < splices_.size(); ++i) {
+    const Splice& s = splices_[i];
+    const std::size_t s_end = s.cur_start + s.cur_len();
+    const bool disjoint = (s_end < a) || (s.cur_start > b);
+    if (!disjoint) {
+      if (!any) first = i;
+      last = i;
+      any = true;
+    }
+  }
+
+  const std::int64_t span_delta =
+      static_cast<std::int64_t>(units.size()) - static_cast<std::int64_t>(b - a);
+
+  if (!any) {
+    const std::size_t old_a = map_to_old(a);
+    Splice fresh{a, old_a, b - a, std::move(units)};
+    // Insert keeping cur_start order, then shift later splices.
+    auto it = std::find_if(splices_.begin(), splices_.end(),
+                           [&](const Splice& s) { return s.cur_start > a; });
+    for (auto later = it; later != splices_.end(); ++later) {
+      later->cur_start = static_cast<std::size_t>(
+          static_cast<std::int64_t>(later->cur_start) + span_delta);
+    }
+    splices_.insert(it, std::move(fresh));
+    return;
+  }
+
+  Splice& left = splices_[first];
+  Splice& right = splices_[last];
+  const std::size_t right_end = right.cur_start + right.cur_len();
+
+  // Replacement units: surviving prefix of `left`, the new units, and the
+  // surviving suffix of `right`.
+  std::vector<Bytes> merged_units;
+  if (a > left.cur_start) {
+    const std::size_t keep = std::min(a - left.cur_start, left.cur_len());
+    merged_units.insert(merged_units.end(), left.units.begin(),
+                        left.units.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  merged_units.insert(merged_units.end(),
+                      std::make_move_iterator(units.begin()),
+                      std::make_move_iterator(units.end()));
+  if (b < right_end) {
+    const std::size_t skip = b > right.cur_start ? b - right.cur_start : 0;
+    merged_units.insert(
+        merged_units.end(),
+        right.units.begin() + static_cast<std::ptrdiff_t>(skip),
+        right.units.end());
+  }
+
+  // Old coordinates of the merged splice.
+  std::size_t old_start = left.old_start;
+  if (a < left.cur_start) {
+    // The range extends into unspliced territory left of `left`; those
+    // positions map 1:1 (shifted by splices before `first`).
+    old_start = left.old_start - (left.cur_start - a);
+  }
+  std::size_t old_end = right.old_start + right.old_len;
+  if (b > right_end) {
+    old_end += b - right_end;
+  }
+
+  const std::size_t merged_cur_start = std::min(a, left.cur_start);
+  const std::size_t covered_span = std::max(b, right_end) - merged_cur_start;
+  const std::int64_t total_delta =
+      static_cast<std::int64_t>(merged_units.size()) -
+      static_cast<std::int64_t>(covered_span);
+
+  Splice merged{merged_cur_start, old_start, old_end - old_start,
+                std::move(merged_units)};
+
+  // Shift splices after `last`.
+  for (std::size_t i = last + 1; i < splices_.size(); ++i) {
+    splices_[i].cur_start = static_cast<std::size_t>(
+        static_cast<std::int64_t>(splices_[i].cur_start) + total_delta);
+  }
+  splices_.erase(splices_.begin() + static_cast<std::ptrdiff_t>(first),
+                 splices_.begin() + static_cast<std::ptrdiff_t>(last) + 1);
+  splices_.insert(splices_.begin() + static_cast<std::ptrdiff_t>(first),
+                  std::move(merged));
+}
+
+delta::Delta SpliceLog::to_cdelta(std::size_t prefix_chars,
+                                  std::size_t unit_width, Codec codec) const {
+  delta::Delta d;
+  std::size_t cursor = 0;
+  for (const Splice& s : splices_) {
+    const std::size_t start_char = prefix_chars + s.old_start * unit_width;
+    if (start_char < cursor) {
+      throw Error(ErrorCode::kState, "SpliceLog: splices out of order");
+    }
+    if (start_char > cursor) {
+      d.push(delta::Op::retain(start_char - cursor));
+    }
+    if (s.old_len > 0) {
+      d.push(delta::Op::erase(s.old_len * unit_width));
+    }
+    if (!s.units.empty()) {
+      std::string text;
+      text.reserve(s.units.size() * unit_width);
+      for (const Bytes& unit : s.units) {
+        text += codec_encode(codec, unit);
+      }
+      d.push(delta::Op::insert(std::move(text)));
+    }
+    cursor = start_char + s.old_len * unit_width;
+  }
+  return d.canonicalized();
+}
+
+}  // namespace privedit::enc

@@ -1,0 +1,58 @@
+#pragma once
+// SpliceLog — records unit-level rewrites during one IncE call and renders
+// them as a ciphertext delta (cdelta) over the encoded document string.
+//
+// The difficulty it solves: while a plaintext delta is being applied, the
+// unit sequence mutates, but the cdelta must be expressed against the *old*
+// sequence the server currently holds. Edits also overlap (RPC rewrites the
+// left chaining neighbour of every edit region; adjacent plaintext edits can
+// touch the same block), so naive per-edit emission would double-delete old
+// units. SpliceLog tracks replacements in *current* coordinates, merges
+// overlapping/adjacent ones, and maintains the old-coordinate mapping.
+
+#include <cstdint>
+#include <vector>
+
+#include "privedit/delta/delta.hpp"
+#include "privedit/enc/types.hpp"
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::enc {
+
+class SpliceLog {
+ public:
+  struct Splice {
+    std::size_t cur_start;  // in current unit coordinates
+    std::size_t old_start;  // in pre-IncE unit coordinates
+    std::size_t old_len;    // old units removed
+    std::vector<Bytes> units;  // replacement units (raw bytes)
+
+    std::size_t cur_len() const { return units.size(); }
+  };
+
+  /// Replaces current units [cur_start, cur_end) with `units`.
+  /// May be called with ranges that overlap or touch earlier replacements;
+  /// such calls coalesce. Within one call cur_start <= cur_end.
+  void replace(std::size_t cur_start, std::size_t cur_end,
+               std::vector<Bytes> units);
+
+  /// All recorded splices, sorted by old_start, non-overlapping.
+  const std::vector<Splice>& splices() const { return splices_; }
+
+  bool empty() const { return splices_.empty(); }
+  void clear() { splices_.clear(); }
+
+  /// Renders the cdelta over the encoded document: prefix_chars of header,
+  /// unit_width characters per unit, units encoded with `codec`.
+  delta::Delta to_cdelta(std::size_t prefix_chars, std::size_t unit_width,
+                         Codec codec) const;
+
+ private:
+  /// Maps a current position that lies outside every splice to the old
+  /// coordinate space.
+  std::size_t map_to_old(std::size_t cur_pos) const;
+
+  std::vector<Splice> splices_;  // sorted by cur_start, disjoint
+};
+
+}  // namespace privedit::enc

@@ -1,0 +1,76 @@
+#include "privedit/enc/stego.hpp"
+
+#include <array>
+#include <map>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+namespace {
+
+// 256 distinct five-letter words: 16 onsets × 16 codas, chosen so every
+// combination is pronounceable enough to pass a casual glance.
+constexpr const char* kOnsets[16] = {"bal", "cor", "dan", "fel", "gam", "hon",
+                                     "jun", "lam", "mer", "nov", "pol", "ras",
+                                     "sel", "tam", "vor", "win"};
+constexpr const char* kCodas[16] = {"da", "el", "in", "or", "us", "an",
+                                    "ta", "es", "on", "ar", "il", "em",
+                                    "ut", "ov", "ed", "ir"};
+
+struct Dictionary {
+  std::array<std::string, 256> words;
+  std::map<std::string, std::uint8_t, std::less<>> reverse;
+
+  Dictionary() {
+    for (int hi = 0; hi < 16; ++hi) {
+      for (int lo = 0; lo < 16; ++lo) {
+        const auto value = static_cast<std::size_t>(hi * 16 + lo);
+        words[value] = std::string(kOnsets[hi]) + kCodas[lo];
+        reverse.emplace(words[value], static_cast<std::uint8_t>(value));
+      }
+    }
+  }
+};
+
+const Dictionary& dictionary() {
+  static const Dictionary dict;
+  return dict;
+}
+
+}  // namespace
+
+std::string_view stego_word(std::uint8_t value) {
+  return dictionary().words[value];
+}
+
+std::string stego_encode(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * kStegoCharsPerByte);
+  for (std::uint8_t b : data) {
+    out += dictionary().words[b];
+    out.push_back(' ');
+  }
+  return out;
+}
+
+Bytes stego_decode(std::string_view text) {
+  if (text.size() % kStegoCharsPerByte != 0) {
+    throw ParseError("stego: length is not a whole number of words");
+  }
+  Bytes out;
+  out.reserve(text.size() / kStegoCharsPerByte);
+  for (std::size_t pos = 0; pos < text.size(); pos += kStegoCharsPerByte) {
+    const std::string_view word = text.substr(pos, 5);
+    if (text[pos + 5] != ' ') {
+      throw ParseError("stego: missing word separator");
+    }
+    const auto it = dictionary().reverse.find(word);
+    if (it == dictionary().reverse.end()) {
+      throw ParseError("stego: unknown word '" + std::string(word) + "'");
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace privedit::enc

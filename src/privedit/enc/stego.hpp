@@ -1,0 +1,36 @@
+#pragma once
+// Steganographic text codec (§VI, Availability): "The server could
+// recognise the use of encryption and refuse to store any content that
+// appears to be encrypted. To cope with this situation, our tool could be
+// extended using existing results in steganography to make it difficult
+// for the server to identify encrypted documents."
+//
+// This codec maps every ciphertext byte to one five-letter lowercase word
+// followed by a space (fixed width: 6 characters per byte), so the stored
+// document reads as a stream of plausible words instead of Base32 noise.
+// Fixed width preserves the unit arithmetic the ciphertext-delta machinery
+// depends on. The disguise is shallow — no language model, just a word
+// dictionary — which is exactly the caveat the paper raises ("it may be
+// impractical for realistic applications"); the point is the mechanism.
+
+#include <string>
+#include <string_view>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::enc {
+
+/// Encoded characters per raw byte (5-letter word + space).
+inline constexpr std::size_t kStegoCharsPerByte = 6;
+
+/// Encodes bytes as words. Output length = data.size() * 6.
+std::string stego_encode(ByteView data);
+
+/// Decodes a word stream produced by stego_encode. Throws ParseError on
+/// unknown words or lengths that are not a multiple of 6.
+Bytes stego_decode(std::string_view text);
+
+/// The dictionary word for one byte value (testing hook).
+std::string_view stego_word(std::uint8_t value);
+
+}  // namespace privedit::enc

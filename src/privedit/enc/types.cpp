@@ -1,0 +1,83 @@
+#include "privedit/enc/types.hpp"
+
+#include "privedit/enc/stego.hpp"
+#include "privedit/util/base32.hpp"
+#include "privedit/util/base64.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+
+std::string_view mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kRecb:
+      return "rECB";
+    case Mode::kRpc:
+      return "RPC";
+    case Mode::kCoClo:
+      return "CoClo";
+  }
+  return "unknown";
+}
+
+char codec_tag(Codec codec) {
+  switch (codec) {
+    case Codec::kBase32:
+      return '3';
+    case Codec::kBase64Url:
+      return '6';
+    case Codec::kStego:
+      return 's';
+  }
+  throw Error(ErrorCode::kInvalidArgument, "codec_tag: unknown codec");
+}
+
+Codec codec_from_tag(char tag) {
+  switch (tag) {
+    case '3':
+      return Codec::kBase32;
+    case '6':
+      return Codec::kBase64Url;
+    case 's':
+      return Codec::kStego;
+    default:
+      throw ParseError("unknown ciphertext codec tag");
+  }
+}
+
+std::string codec_encode(Codec codec, ByteView data) {
+  switch (codec) {
+    case Codec::kBase32:
+      return base32_encode(data, /*pad=*/false);
+    case Codec::kBase64Url:
+      return base64url_encode(data);
+    case Codec::kStego:
+      return stego_encode(data);
+  }
+  throw Error(ErrorCode::kInvalidArgument, "codec_encode: unknown codec");
+}
+
+Bytes codec_decode(Codec codec, std::string_view text) {
+  switch (codec) {
+    case Codec::kBase32:
+      return base32_decode(text);
+    case Codec::kBase64Url:
+      return base64_decode(text);
+    case Codec::kStego:
+      return stego_decode(text);
+  }
+  throw Error(ErrorCode::kInvalidArgument, "codec_decode: unknown codec");
+}
+
+std::size_t codec_width(Codec codec, std::size_t raw_bytes) {
+  switch (codec) {
+    case Codec::kBase32:
+      return (raw_bytes * 8 + 4) / 5;
+    case Codec::kBase64Url:
+      return (raw_bytes * 4 + 2) / 3;
+    case Codec::kStego:
+      return raw_bytes * kStegoCharsPerByte;
+  }
+  throw Error(ErrorCode::kInvalidArgument, "codec_width: unknown codec");
+}
+
+}  // namespace privedit::enc

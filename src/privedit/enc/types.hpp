@@ -1,0 +1,98 @@
+#pragma once
+// Shared vocabulary for the incremental encryption schemes (§V).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::enc {
+
+/// Encryption mode (§V-B): rECB is confidentiality-only; RPC adds integrity
+/// via nonce chaining plus the Wang et al. length amendment. CoClo is the
+/// prior-work baseline that re-encrypts the whole document on every update.
+enum class Mode : std::uint8_t {
+  kRecb = 1,
+  kRpc = 2,
+  kCoClo = 3,
+};
+
+std::string_view mode_name(Mode mode);
+
+/// Text codec used to embed ciphertext in form fields. The paper's
+/// extension uses Base32 (Fig 2); base64url is provided for the blow-up
+/// comparison in the Fig 7 bench.
+enum class Codec : std::uint8_t {
+  kBase32 = 1,
+  kBase64Url = 2,
+  kStego = 3,  // ciphertext disguised as words (§VI; see enc/stego.hpp)
+};
+
+/// Clear one-character tag prefixed to the ciphertext document so the codec
+/// is known before the header can be decoded.
+char codec_tag(Codec codec);
+Codec codec_from_tag(char tag);
+
+/// Encodes without padding (units have fixed encoded width).
+std::string codec_encode(Codec codec, ByteView data);
+Bytes codec_decode(Codec codec, std::string_view text);
+
+/// Encoded width in characters of `raw_bytes` bytes under `codec`.
+std::size_t codec_width(Codec codec, std::size_t raw_bytes);
+
+/// How edit regions are re-chunked into blocks (§V-C / Fig 7 discussion:
+/// fragmentation is the gap between ideal and actual blow-up reduction).
+struct BlockPolicy {
+  enum class Split : std::uint8_t {
+    kGreedy,  // fill blocks to capacity; only the region's last block is short
+    kEven,    // balance the region across ceil(n/b) equal-ish blocks
+  };
+  Split split = Split::kGreedy;
+
+  /// When a deletion leaves the edit region shorter than merge_threshold
+  /// characters, absorb the right neighbour block into the region so the
+  /// re-chunk defragments locally. Off by default to match the paper's
+  /// measured fragmentation; the ablation bench flips it.
+  bool merge_on_delete = false;
+  std::size_t merge_threshold = 4;
+};
+
+struct SchemeConfig {
+  Mode mode = Mode::kRecb;
+  std::size_t block_chars = 8;  // b, 1..8 (paper: limited by the AES width)
+  Codec codec = Codec::kBase32;
+  std::uint32_t kdf_iterations = 10'000;
+  BlockPolicy policy;
+};
+
+/// Instrumentation counters exposed by every scheme.
+struct SchemeStats {
+  std::size_t plaintext_chars = 0;
+  std::size_t block_count = 0;        // data blocks only
+  std::size_t ciphertext_chars = 0;   // full encoded document length
+  std::size_t blocks_reencrypted = 0; // cumulative, across IncE calls
+  std::size_t incremental_updates = 0;
+
+  double blowup() const {
+    return plaintext_chars == 0
+               ? 0.0
+               : static_cast<double>(ciphertext_chars) /
+                     static_cast<double>(plaintext_chars);
+  }
+  double average_fill(std::size_t block_chars) const {
+    return block_count == 0
+               ? 0.0
+               : static_cast<double>(plaintext_chars) /
+                     (static_cast<double>(block_count) *
+                      static_cast<double>(block_chars));
+  }
+};
+
+/// Maximum characters per block supported by the AES-based layouts.
+inline constexpr std::size_t kMaxBlockChars = 8;
+
+/// 64-bit nonces, as in the paper (§VI-A).
+inline constexpr std::size_t kNonceSize = 8;
+
+}  // namespace privedit::enc

@@ -1,0 +1,337 @@
+#include "privedit/extension/mediator.hpp"
+
+#include "privedit/cloud/xml.hpp"
+#include "privedit/crypto/sha256.hpp"
+#include "privedit/delta/delta.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/hex.hpp"
+#include "privedit/util/urlencode.hpp"
+
+namespace privedit::extension {
+namespace {
+
+constexpr std::string_view kBespinPrefix = "/file/at/";
+constexpr std::string_view kBuzzwordPrefix = "/doc/";
+
+// Must match the hash the clients and the GDocs service compute.
+std::string content_hash16(std::string_view content) {
+  return hex_encode(crypto::Sha256::hash(as_bytes(content))).substr(0, 16);
+}
+
+}  // namespace
+
+GDocsMediator::GDocsMediator(net::Channel* upstream, MediatorConfig config,
+                             net::SimClock* clock)
+    : upstream_(upstream), config_(std::move(config)), clock_(clock) {
+  if (upstream_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "GDocsMediator: null upstream");
+  }
+  mitigation_rng_ = config_.rng_factory();
+}
+
+net::HttpResponse GDocsMediator::blocked(const std::string& why) {
+  ++counters_.requests_blocked;
+  return net::HttpResponse::make(
+      403, "blocked by private-editing extension: " + why);
+}
+
+void GDocsMediator::blank_ack_fields(net::HttpResponse& response) {
+  FormData body = FormData::parse(response.body);
+  bool touched = false;
+  if (body.contains("contentFromServer")) {
+    body.set("contentFromServer", "");
+    touched = true;
+  }
+  if (body.contains("contentFromServerHash")) {
+    body.set("contentFromServerHash", "0");
+    touched = true;
+  }
+  if (touched) {
+    response.body = body.encode();
+    ++counters_.acks_blanked;
+  }
+}
+
+void GDocsMediator::apply_outgoing_mitigations(std::string& form_body) {
+  if (config_.pad_bucket > 0) {
+    // Quantise the body length: every message becomes a multiple of the
+    // bucket, so length leaks at bucket granularity only.
+    const std::size_t base = form_body.size() + 5;  // "&pad="
+    const std::size_t target =
+        (base + config_.pad_bucket - 1) / config_.pad_bucket *
+        config_.pad_bucket;
+    form_body += "&pad=";
+    form_body.append(target - base, 'x');
+  }
+  if (config_.random_delay_us > 0 && clock_ != nullptr) {
+    clock_->advance_us(mitigation_rng_->below(config_.random_delay_us + 1));
+  }
+}
+
+net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
+  if (request.method != "POST" || request.path() != "/Doc") {
+    return blocked("unknown endpoint");
+  }
+  const auto doc_id_opt = request.query_param("docID");
+  if (!doc_id_opt) {
+    return blocked("missing docID");
+  }
+  const std::string doc_id = *doc_id_opt;
+  FormData form = FormData::parse(request.body);
+  const auto cmd = form.get("cmd");
+  const bool unmanaged = unmanaged_.count(doc_id) > 0;
+
+  if (cmd == "create") {
+    net::HttpResponse resp = upstream_->round_trip(request);
+    if (resp.ok()) {
+      unmanaged_.erase(doc_id);
+      sessions_.erase(doc_id);
+      sessions_.emplace(doc_id,
+                        DocumentSession::create_new(config_.password,
+                                                    config_.scheme,
+                                                    config_.rng_factory));
+    }
+    return resp;
+  }
+
+  if (cmd == "open") {
+    net::HttpResponse resp = upstream_->round_trip(request);
+    if (!resp.ok()) return resp;
+    FormData reply = FormData::parse(resp.body);
+    const std::string content = reply.get("content").value_or("");
+    if (content.empty()) {
+      // Empty document — start a fresh encrypted session for it.
+      sessions_.erase(doc_id);
+      sessions_.emplace(doc_id,
+                        DocumentSession::create_new(config_.password,
+                                                    config_.scheme,
+                                                    config_.rng_factory));
+      return resp;
+    }
+    try {
+      DocumentSession session = DocumentSession::open(
+          config_.password, content, config_.rng_factory);
+      reply.set("content", session.plaintext());
+      sessions_.erase(doc_id);
+      sessions_.emplace(doc_id, std::move(session));
+      unmanaged_.erase(doc_id);
+      resp.body = reply.encode();
+      ++counters_.opens_decrypted;
+      return resp;
+    } catch (const ParseError&) {
+      // Not a privedit container — a legacy plaintext document. Leave it
+      // alone and stop mediating this document.
+      unmanaged_.insert(doc_id);
+      ++counters_.passthrough_unmanaged;
+      return resp;
+    }
+    // CryptoError (wrong password) and IntegrityError (tampering)
+    // propagate to the caller: the user must know.
+  }
+
+  if (unmanaged) {
+    ++counters_.passthrough_unmanaged;
+    return upstream_->round_trip(request);
+  }
+
+  auto session_it = sessions_.find(doc_id);
+  if (session_it == sessions_.end()) {
+    return blocked("document has no active encrypted session");
+  }
+  DocumentSession& session = session_it->second;
+
+  if (const auto contents = form.get("docContents")) {
+    form.set("docContents", session.encrypt_full(*contents));
+    std::string body = form.encode();
+    apply_outgoing_mitigations(body);
+    net::HttpResponse resp = upstream_->round_trip(
+        net::HttpRequest::post_form(request.target, std::move(body)));
+    ++counters_.full_saves_encrypted;
+    blank_ack_fields(resp);
+    return resp;
+  }
+
+  if (const auto delta_wire = form.get("delta")) {
+    delta::Delta pdelta = delta::Delta::parse(*delta_wire);
+    if (config_.rediff) {
+      // Don't trust the client's op sequence: recompute a minimal delta
+      // between the two document versions (§VI-B countermeasure).
+      const std::string before = session.plaintext();
+      const std::string after = pdelta.apply(before);
+      pdelta = delta::myers_diff(before, after);
+    }
+
+    // Collaborative rebase loop: on a strict-revision 409, adopt the
+    // server's (decrypted) state, transform our edit over the concurrent
+    // one, and retry with the fresh revision.
+    std::string base = session.plaintext();
+    delta::Delta working = std::move(pdelta);
+    bool rebased = false;
+    net::HttpResponse resp;
+    for (int attempt = 0;; ++attempt) {
+      DocumentSession& live = sessions_.find(doc_id)->second;
+      const delta::Delta cdelta = live.transform_delta(working);
+      form.set("delta", cdelta.to_wire());
+      std::string body = form.encode();
+      apply_outgoing_mitigations(body);
+      resp = upstream_->round_trip(
+          net::HttpRequest::post_form(request.target, std::move(body)));
+      if (resp.status != 409 || !config_.collaborative ||
+          attempt >= config_.max_rebase_retries) {
+        break;
+      }
+      const FormData ack = FormData::parse(resp.body);
+      const auto server_cipher = ack.get("contentFromServer");
+      const auto server_rev = ack.get("rev");
+      if (!server_cipher || !server_rev) break;
+
+      DocumentSession fresh = DocumentSession::open(
+          config_.password, *server_cipher, config_.rng_factory);
+      const std::string server_plain = fresh.plaintext();
+      // The other writers' net effect relative to our base, and our edit
+      // transformed to apply after it (they committed first, they win
+      // insert ties).
+      const delta::Delta theirs = delta::myers_diff(base, server_plain);
+      working = delta::Delta::transform(working, theirs, /*a_wins=*/false);
+      sessions_.erase(doc_id);
+      sessions_.emplace(doc_id, std::move(fresh));
+      base = server_plain;
+      form.set("rev", *server_rev);
+      rebased = true;
+      ++counters_.rebases;
+    }
+    ++counters_.deltas_transformed;
+
+    if (resp.ok() && rebased) {
+      // Tell the client about the merged state in terms it can verify:
+      // plaintext content plus a matching hash. It adopts both.
+      const std::string merged =
+          sessions_.find(doc_id)->second.plaintext();
+      FormData ack = FormData::parse(resp.body);
+      ack.set("contentFromServer", merged);
+      ack.set("contentFromServerHash", content_hash16(merged));
+      resp.body = ack.encode();
+      return resp;
+    }
+    blank_ack_fields(resp);
+    return resp;
+  }
+
+  // Anything else (spellcheck, export, future surprises) would carry or
+  // fetch plaintext — drop it (Fig 2: "drop all unknown requests").
+  return blocked("unrecognised request for encrypted document");
+}
+
+std::optional<std::string> GDocsMediator::managed_plaintext(
+    const std::string& doc_id) const {
+  const auto it = sessions_.find(doc_id);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.plaintext();
+}
+
+std::optional<enc::SchemeStats> GDocsMediator::managed_stats(
+    const std::string& doc_id) const {
+  const auto it = sessions_.find(doc_id);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.scheme().stats();
+}
+
+// --------------------------------------------------------------- Bespin
+
+BespinMediator::BespinMediator(net::Channel* upstream, MediatorConfig config)
+    : upstream_(upstream), config_(std::move(config)) {
+  if (upstream_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "BespinMediator: null upstream");
+  }
+}
+
+net::HttpResponse BespinMediator::round_trip(const net::HttpRequest& request) {
+  const std::string path = request.path();
+  if (path.rfind(kBespinPrefix, 0) != 0) {
+    ++blocked_;
+    return net::HttpResponse::make(
+        403, "blocked by private-editing extension: unknown endpoint");
+  }
+  const std::string file = path.substr(kBespinPrefix.size());
+
+  if (request.method == "PUT") {
+    auto it = sessions_.find(file);
+    if (it == sessions_.end()) {
+      it = sessions_
+               .emplace(file, DocumentSession::create_new(
+                                  config_.password, config_.scheme,
+                                  config_.rng_factory))
+               .first;
+    }
+    net::HttpRequest encrypted = request;
+    encrypted.body = it->second.encrypt_full(request.body);
+    return upstream_->round_trip(encrypted);
+  }
+
+  if (request.method == "GET") {
+    net::HttpResponse resp = upstream_->round_trip(request);
+    if (!resp.ok() || resp.body.empty()) return resp;
+    DocumentSession session = DocumentSession::open(
+        config_.password, resp.body, config_.rng_factory);
+    resp.body = session.plaintext();
+    sessions_.erase(file);
+    sessions_.emplace(file, std::move(session));
+    return resp;
+  }
+
+  ++blocked_;
+  return net::HttpResponse::make(
+      403, "blocked by private-editing extension: unsupported method");
+}
+
+// ------------------------------------------------------------- Buzzword
+
+BuzzwordMediator::BuzzwordMediator(net::Channel* upstream,
+                                   MediatorConfig config)
+    : upstream_(upstream), config_(std::move(config)) {
+  if (upstream_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "BuzzwordMediator: null upstream");
+  }
+}
+
+net::HttpResponse BuzzwordMediator::round_trip(
+    const net::HttpRequest& request) {
+  const std::string path = request.path();
+  if (path.rfind(kBuzzwordPrefix, 0) != 0) {
+    ++blocked_;
+    return net::HttpResponse::make(
+        403, "blocked by private-editing extension: unknown endpoint");
+  }
+
+  if (request.method == "POST") {
+    // Encrypt the text embedded in <textRun> tags (§III); every run is an
+    // independent ciphertext container under the same password.
+    net::HttpRequest encrypted = request;
+    encrypted.body = cloud::rewrite_text_runs(
+        request.body, [this](const std::string& text) {
+          DocumentSession session = DocumentSession::create_new(
+              config_.password, config_.scheme, config_.rng_factory);
+          return session.encrypt_full(text);
+        });
+    return upstream_->round_trip(encrypted);
+  }
+
+  if (request.method == "GET") {
+    net::HttpResponse resp = upstream_->round_trip(request);
+    if (!resp.ok()) return resp;
+    resp.body = cloud::rewrite_text_runs(
+        resp.body, [this](const std::string& text) {
+          if (text.empty()) return text;
+          DocumentSession session = DocumentSession::open(
+              config_.password, text, config_.rng_factory);
+          return session.plaintext();
+        });
+    return resp;
+  }
+
+  ++blocked_;
+  return net::HttpResponse::make(
+      403, "blocked by private-editing extension: unsupported method");
+}
+
+}  // namespace privedit::extension

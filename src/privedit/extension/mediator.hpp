@@ -1,0 +1,129 @@
+#pragma once
+// GDocsMediator — the browser extension's request-mediation core (Fig 2).
+//
+// Sits between the editor client and the network as a net::Channel
+// decorator. Outgoing requests containing docContents are replaced with the
+// full ciphertext; requests containing delta are replaced with the
+// transformed cdelta; *everything unrecognised is dropped* ("drop all
+// unknown requests"). Incoming Acks have contentFromServer blanked and
+// contentFromServerHash zeroed — the substitution §IV-A found the client
+// tolerates; open responses are decrypted before the client sees them.
+//
+// Malicious-client countermeasures (§VI-B), all off by default except
+// canonicalisation (which the transform performs inherently):
+//   rediff        recompute the delta from the two document versions
+//                 instead of trusting the client's op sequence
+//   pad_bucket    quantise the outgoing body length to a bucket by
+//                 appending no-op delta operations
+//   random_delay  add uniform random delay to outgoing updates (charged to
+//                 the simulated clock)
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "privedit/enc/types.hpp"
+#include "privedit/extension/session.hpp"
+#include "privedit/net/transport.hpp"
+
+namespace privedit::extension {
+
+struct MediatorConfig {
+  std::string password = "correct horse battery staple";
+  enc::SchemeConfig scheme;
+  RngFactory rng_factory = os_rng_factory();
+
+  bool rediff = false;
+  std::size_t pad_bucket = 0;          // 0 = off; else bytes
+  std::uint64_t random_delay_us = 0;   // 0 = off; else uniform [0, max]
+
+  /// Collaborative editing through the untrusted server — the capability
+  /// §VII-A reports as broken and defers to SPORC. Requires the server's
+  /// strict-revision (OCC) mode: when a save is rejected as stale, the
+  /// mediator decrypts the authoritative ciphertext from the 409, rebases
+  /// the local edit with Delta::transform, and retries; the final ack is
+  /// rewritten with the merged *plaintext* (and a matching hash) so the
+  /// unmodified client adopts it. The server still never sees plaintext.
+  bool collaborative = false;
+  int max_rebase_retries = 3;
+};
+
+class GDocsMediator final : public net::Channel {
+ public:
+  GDocsMediator(net::Channel* upstream, MediatorConfig config,
+                net::SimClock* clock = nullptr);
+
+  net::HttpResponse round_trip(const net::HttpRequest& request) override;
+
+  struct Counters {
+    std::size_t full_saves_encrypted = 0;
+    std::size_t deltas_transformed = 0;
+    std::size_t opens_decrypted = 0;
+    std::size_t acks_blanked = 0;
+    std::size_t requests_blocked = 0;
+    std::size_t passthrough_unmanaged = 0;
+    std::size_t rebases = 0;  // collaborative conflict rebases performed
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// The extension's plaintext mirror for a managed document.
+  std::optional<std::string> managed_plaintext(const std::string& doc_id) const;
+
+  /// Scheme statistics for a managed document (blow-up, block counts, ...).
+  std::optional<enc::SchemeStats> managed_stats(const std::string& doc_id) const;
+
+ private:
+  net::HttpResponse blocked(const std::string& why);
+  void blank_ack_fields(net::HttpResponse& response);
+  void apply_outgoing_mitigations(std::string& form_body);
+
+  net::Channel* upstream_;
+  MediatorConfig config_;
+  net::SimClock* clock_;
+  std::unique_ptr<RandomSource> mitigation_rng_;
+  std::map<std::string, DocumentSession> sessions_;
+  std::set<std::string> unmanaged_;  // legacy plaintext docs, passed through
+  Counters counters_;
+};
+
+/// BespinMediator — wraps the PUT/GET whole-file protocol (§III): PUT
+/// bodies are encrypted, GET responses decrypted. Unknown paths/methods
+/// are dropped.
+class BespinMediator final : public net::Channel {
+ public:
+  BespinMediator(net::Channel* upstream, MediatorConfig config);
+
+  net::HttpResponse round_trip(const net::HttpRequest& request) override;
+
+  std::size_t blocked_count() const { return blocked_; }
+
+ private:
+  net::Channel* upstream_;
+  MediatorConfig config_;
+  std::map<std::string, DocumentSession> sessions_;  // per file path
+  std::size_t blocked_ = 0;
+};
+
+/// BuzzwordMediator — encrypts the text inside every <textRun> element of
+/// POSTed XML and decrypts it again on GET (§III). The document structure
+/// (markup) stays visible; only user text is protected, matching the
+/// paper's description.
+class BuzzwordMediator final : public net::Channel {
+ public:
+  BuzzwordMediator(net::Channel* upstream, MediatorConfig config);
+
+  net::HttpResponse round_trip(const net::HttpRequest& request) override;
+
+  std::size_t blocked_count() const { return blocked_; }
+
+ private:
+  net::Channel* upstream_;
+  MediatorConfig config_;
+  std::map<std::string, DocumentSession> sessions_;  // per doc id
+  std::size_t blocked_ = 0;
+};
+
+}  // namespace privedit::extension

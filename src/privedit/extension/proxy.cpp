@@ -1,0 +1,18 @@
+#include "privedit/extension/proxy.hpp"
+
+namespace privedit::extension {
+
+MediatingProxy::MediatingProxy(std::uint16_t listen_port,
+                               std::uint16_t upstream_port,
+                               MediatorConfig config) {
+  upstream_ = std::make_unique<net::TcpChannel>(upstream_port);
+  mediator_ =
+      std::make_unique<GDocsMediator>(upstream_.get(), std::move(config));
+  server_ = std::make_unique<net::HttpServer>(
+      listen_port, [this](const net::HttpRequest& request) {
+        const std::lock_guard<std::mutex> lock(mediator_mutex_);
+        return mediator_->round_trip(request);
+      });
+}
+
+}  // namespace privedit::extension

@@ -1,0 +1,45 @@
+#pragma once
+// Standalone mediating proxy — §III interception option 1.
+//
+// "Standalone proxy. This is the most general approach, which could work
+// for even non-browser applications." The proxy listens on a local port;
+// the editor client points at the proxy instead of the service; every
+// request is mediated exactly as the browser-extension variant does
+// (encrypt docContents, transform deltas, blank acks, drop unknowns) and
+// forwarded to the real service over TCP.
+//
+// The paper notes the proxy approach struggles with TLS; like the 2011
+// deployment reality it targets (§II footnote: many cloud servers ran
+// plain HTTP), this proxy speaks cleartext HTTP on both legs.
+
+#include <memory>
+#include <mutex>
+
+#include "privedit/extension/mediator.hpp"
+#include "privedit/net/http_server.hpp"
+
+namespace privedit::extension {
+
+class MediatingProxy {
+ public:
+  /// Listens on 127.0.0.1:`listen_port` (0 = ephemeral) and forwards to
+  /// 127.0.0.1:`upstream_port`.
+  MediatingProxy(std::uint16_t listen_port, std::uint16_t upstream_port,
+                 MediatorConfig config);
+
+  std::uint16_t port() const { return server_->port(); }
+
+  const GDocsMediator::Counters& counters() const {
+    return mediator_->counters();
+  }
+
+  void stop() { server_->stop(); }
+
+ private:
+  std::unique_ptr<net::TcpChannel> upstream_;
+  std::unique_ptr<GDocsMediator> mediator_;
+  std::mutex mediator_mutex_;  // mediator state is not thread-safe
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+}  // namespace privedit::extension

@@ -1,0 +1,101 @@
+#include "privedit/extension/replication.hpp"
+
+#include "privedit/extension/session.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/urlencode.hpp"
+
+namespace privedit::extension {
+
+ReplicatedChannel::ReplicatedChannel(std::vector<net::Channel*> replicas,
+                                     Validator read_validator)
+    : replicas_(std::move(replicas)),
+      read_validator_(std::move(read_validator)) {
+  if (replicas_.empty()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "ReplicatedChannel: need at least one replica");
+  }
+  for (net::Channel* replica : replicas_) {
+    if (replica == nullptr) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "ReplicatedChannel: null replica");
+    }
+  }
+}
+
+bool ReplicatedChannel::is_read(const net::HttpRequest& request) {
+  if (request.method == "GET") return true;
+  if (request.method == "POST") {
+    const FormData form = FormData::parse(request.body);
+    const auto cmd = form.get("cmd");
+    return cmd == "open" || cmd == "export";
+  }
+  return false;
+}
+
+net::HttpResponse ReplicatedChannel::round_trip(
+    const net::HttpRequest& request) {
+  if (is_read(request)) {
+    ++counters_.reads;
+    net::HttpResponse last = net::HttpResponse::make(500, "no replica");
+    for (net::Channel* replica : replicas_) {
+      try {
+        net::HttpResponse resp = replica->round_trip(request);
+        if (resp.ok() && (!read_validator_ || read_validator_(resp))) {
+          return resp;
+        }
+        last = std::move(resp);
+      } catch (const Error&) {
+        // fall through to the next replica
+      }
+      ++counters_.read_failovers;
+    }
+    if (last.ok()) {
+      // Every replica answered but none validated — surface it loudly.
+      return net::HttpResponse::make(
+          502, "replication: no replica returned verifiable content");
+    }
+    return last;
+  }
+
+  // Write path: broadcast; succeed if any replica accepted.
+  ++counters_.writes_broadcast;
+  net::HttpResponse first_ok = net::HttpResponse::make(500, "no replica");
+  bool have_ok = false;
+  for (net::Channel* replica : replicas_) {
+    try {
+      net::HttpResponse resp = replica->round_trip(request);
+      if (resp.ok() && !have_ok) {
+        first_ok = std::move(resp);
+        have_ok = true;
+      } else if (!resp.ok()) {
+        ++counters_.write_replica_failures;
+      }
+    } catch (const Error&) {
+      ++counters_.write_replica_failures;
+    }
+  }
+  if (!have_ok) {
+    return net::HttpResponse::make(502, "replication: all replicas failed");
+  }
+  return first_ok;
+}
+
+ReplicatedChannel::Validator gdocs_open_validator(std::string password) {
+  return [password = std::move(password)](const net::HttpResponse& resp) {
+    const FormData form = FormData::parse(resp.body);
+    const auto content = form.get("content");
+    if (!content || content->empty()) {
+      return true;  // nothing to verify (new/empty document)
+    }
+    try {
+      // Decrypt-and-verify is the acceptance test; the throwaway RNG is
+      // never used for reading.
+      DocumentSession::open(password, *content, seeded_rng_factory(0));
+      return true;
+    } catch (const Error&) {
+      return false;
+    }
+  };
+}
+
+}  // namespace privedit::extension

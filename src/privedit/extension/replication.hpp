@@ -1,0 +1,55 @@
+#pragma once
+// Replication across multiple cloud providers.
+//
+// §II: "a malicious or incompetent cloud provider can easily prevent users
+// from accessing their documents. This could be addressed using replication
+// with multiple cloud providers, but this is outside the scope of this
+// paper." — implemented here as an extension feature.
+//
+// ReplicatedChannel fans every update out to all replicas and serves reads
+// from the first replica whose response passes a caller-supplied validator
+// (for encrypted documents: "does it decrypt and verify under the
+// password?"). A provider that withholds, corrupts or rolls back data is
+// skipped; availability holds as long as one replica is honest and
+// reachable.
+
+#include <functional>
+#include <vector>
+
+#include "privedit/net/transport.hpp"
+
+namespace privedit::extension {
+
+class ReplicatedChannel final : public net::Channel {
+ public:
+  /// Returns true if a read response is acceptable (decrypts/verifies).
+  /// An empty validator accepts any 2xx response.
+  using Validator = std::function<bool(const net::HttpResponse&)>;
+
+  ReplicatedChannel(std::vector<net::Channel*> replicas,
+                    Validator read_validator = {});
+
+  net::HttpResponse round_trip(const net::HttpRequest& request) override;
+
+  struct Counters {
+    std::size_t writes_broadcast = 0;
+    std::size_t write_replica_failures = 0;
+    std::size_t reads = 0;
+    std::size_t read_failovers = 0;  // replicas skipped before success
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  static bool is_read(const net::HttpRequest& request);
+
+  std::vector<net::Channel*> replicas_;
+  Validator read_validator_;
+  Counters counters_;
+};
+
+/// Builds a read validator for encrypted Google-Documents responses: the
+/// `content` field of an open reply must be absent/empty or decrypt and
+/// verify under `password`.
+ReplicatedChannel::Validator gdocs_open_validator(std::string password);
+
+}  // namespace privedit::extension

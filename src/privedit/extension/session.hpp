@@ -1,0 +1,68 @@
+#pragma once
+// DocumentSession — per-document crypto state held by the extension.
+//
+// Binds a password to an IncrementalScheme: creating a session mints a
+// fresh salt/header and derives keys; opening one reads the salt and KDF
+// parameters out of the ciphertext document itself (§IV-C: the user only
+// ever supplies the password).
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "privedit/enc/scheme.hpp"
+
+namespace privedit::extension {
+
+/// Factory for the scheme's nonce source; swap in a seeded DRBG for
+/// reproducible tests and benches.
+using RngFactory = std::function<std::unique_ptr<RandomSource>()>;
+
+/// Default: CtrDrbg seeded from the OS entropy pool.
+RngFactory os_rng_factory();
+
+/// Deterministic factory for tests (seed is advanced per call so distinct
+/// sessions do not share nonce streams).
+RngFactory seeded_rng_factory(std::uint64_t seed);
+
+class DocumentSession {
+ public:
+  /// New encrypted document: fresh salt, keys from `password`.
+  static DocumentSession create_new(const std::string& password,
+                                    const enc::SchemeConfig& config,
+                                    const RngFactory& rng_factory);
+
+  /// Existing encrypted document: header (mode, salt, KDF cost) is parsed
+  /// from `ciphertext_doc`; throws CryptoError on a wrong password and
+  /// IntegrityError on tampering (RPC).
+  static DocumentSession open(const std::string& password,
+                              std::string_view ciphertext_doc,
+                              const RngFactory& rng_factory);
+
+  enc::IncrementalScheme& scheme() { return *scheme_; }
+  const enc::IncrementalScheme& scheme() const { return *scheme_; }
+
+  std::string encrypt_full(std::string_view plaintext) {
+    return scheme_->initialize(plaintext);
+  }
+  delta::Delta transform_delta(const delta::Delta& pdelta) {
+    return scheme_->transform_delta(pdelta);
+  }
+  std::string plaintext() const { return scheme_->plaintext(); }
+
+ private:
+  explicit DocumentSession(std::unique_ptr<enc::IncrementalScheme> scheme)
+      : scheme_(std::move(scheme)) {}
+
+  std::unique_ptr<enc::IncrementalScheme> scheme_;
+};
+
+/// Password rotation: re-encrypts the session's current plaintext under a
+/// new password with a fresh salt (and fresh nonces throughout). Returns
+/// the new session; its scheme().ciphertext_doc() is the replacement the
+/// server should store. The old password can no longer open the result.
+DocumentSession rotate_password(const DocumentSession& current,
+                                const std::string& new_password,
+                                const RngFactory& rng_factory);
+
+}  // namespace privedit::extension

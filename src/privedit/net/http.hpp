@@ -1,0 +1,72 @@
+#pragma once
+// Minimal HTTP/1.1 message model with a real serialiser/parser.
+//
+// The cloud editors speak HTTP: Google Documents POSTs form bodies to
+// /Doc?docID=..., Bespin PUTs whole files, Buzzword POSTs XML. The mediator
+// operates on these messages, so they are first-class values here. The
+// parser covers the subset the simulated services need (Content-Length
+// framing, no chunked encoding) and rejects anything malformed.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace privedit::net {
+
+/// Ordered, case-insensitive-lookup header list.
+class Headers {
+ public:
+  void set(std::string name, std::string value);
+  void add(std::string name, std::string value);
+  std::optional<std::string> get(std::string_view name) const;
+  bool contains(std::string_view name) const;
+  std::size_t remove(std::string_view name);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";  // path + optional ?query
+  Headers headers;
+  std::string body;
+
+  /// Path without the query string.
+  std::string path() const;
+
+  /// First query parameter value, percent-decoded.
+  std::optional<std::string> query_param(std::string_view key) const;
+
+  /// Serialises to wire form (adds Content-Length).
+  std::string serialize() const;
+
+  /// Parses a complete message. Throws ParseError.
+  static HttpRequest parse(std::string_view wire);
+
+  /// Convenience constructor for a form POST.
+  static HttpRequest post_form(std::string target, std::string form_body);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  std::string serialize() const;
+  static HttpResponse parse(std::string_view wire);
+
+  static HttpResponse make(int status, std::string body,
+                           std::string content_type = "text/plain");
+};
+
+}  // namespace privedit::net

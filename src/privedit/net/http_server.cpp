@@ -1,0 +1,172 @@
+#include "privedit/net/http_server.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <memory>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+
+std::string read_http_message(TcpStream& stream, std::size_t max_bytes) {
+  std::string buf;
+  std::size_t body_needed = SIZE_MAX;  // unknown until headers parsed
+  std::size_t head_end = std::string::npos;
+
+  while (true) {
+    if (head_end == std::string::npos) {
+      head_end = buf.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        // Parse Content-Length out of the raw head (case-insensitive).
+        body_needed = 0;
+        std::size_t pos = 0;
+        while (pos < head_end) {
+          std::size_t eol = buf.find("\r\n", pos);
+          if (eol == std::string::npos || eol > head_end) eol = head_end;
+          const std::string_view line =
+              std::string_view(buf).substr(pos, eol - pos);
+          constexpr std::string_view kName = "content-length:";
+          if (line.size() > kName.size()) {
+            bool match = true;
+            for (std::size_t i = 0; i < kName.size(); ++i) {
+              if (std::tolower(static_cast<unsigned char>(line[i])) !=
+                  kName[i]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) {
+              std::string_view value = line.substr(kName.size());
+              while (!value.empty() && value.front() == ' ') {
+                value.remove_prefix(1);
+              }
+              std::size_t n = 0;
+              const auto* b = value.data();
+              auto [p, ec] = std::from_chars(b, b + value.size(), n);
+              if (ec != std::errc()) {
+                throw ParseError("http: bad Content-Length on stream");
+              }
+              body_needed = n;
+            }
+          }
+          pos = eol + 2;
+        }
+      }
+    }
+    if (head_end != std::string::npos) {
+      const std::size_t total = head_end + 4 + body_needed;
+      if (total > max_bytes) {
+        throw ProtocolError("http: message exceeds size limit");
+      }
+      if (buf.size() >= total) {
+        buf.resize(total);
+        return buf;
+      }
+    }
+    if (buf.size() > max_bytes) {
+      throw ProtocolError("http: message exceeds size limit");
+    }
+    const std::string chunk = stream.read_some();
+    if (chunk.empty()) {
+      throw ProtocolError("http: connection closed mid-message");
+    }
+    buf += chunk;
+  }
+}
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler)
+    : listener_(port), handler_(std::move(handler)) {
+  if (!handler_) {
+    throw Error(ErrorCode::kInvalidArgument, "HttpServer: null handler");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load()) {
+    TcpStream stream = [this]() -> TcpStream {
+      try {
+        return listener_.accept();
+      } catch (const ProtocolError&) {
+        return TcpStream(Fd{});
+      }
+    }();
+    if (stream.fd() < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    // Opportunistically reap finished workers to bound the vector.
+    if (workers_.size() > 64) {
+      for (std::thread& t : workers_) {
+        if (t.joinable()) t.join();
+      }
+      workers_.clear();
+    }
+    workers_.emplace_back(
+        [this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
+          serve(std::move(*s));
+        });
+  }
+}
+
+void HttpServer::serve(TcpStream stream) {
+  try {
+    stream.set_read_timeout_ms(5000);
+    const std::string wire = read_http_message(stream, 64 * 1024 * 1024);
+    const HttpRequest request = HttpRequest::parse(wire);
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response =
+          HttpResponse::make(500, std::string("handler error: ") + e.what());
+    }
+    response.headers.set("Connection", "close");
+    // Count before the write completes so a client that has already read
+    // the response always observes the increment.
+    ++served_;
+    stream.write_all(response.serialize());
+  } catch (const std::exception& e) {
+    // Malformed request or dead peer; drop the connection (with a trace
+    // for operators — this is a server, silence hides bugs).
+    std::fprintf(stderr, "privedit http_server: dropped connection: %s\n",
+                 e.what());
+  }
+}
+
+HttpResponse TcpChannel::round_trip(const HttpRequest& request) {
+  TcpStream stream = TcpStream::connect(port_);
+  stream.set_read_timeout_ms(timeout_ms_);
+  HttpRequest req = request;
+  req.headers.set("Connection", "close");
+  stream.write_all(req.serialize());
+  const std::string wire = read_http_message(stream, 64 * 1024 * 1024);
+  return HttpResponse::parse(wire);
+}
+
+Handler serialize_handler(Handler inner) {
+  auto mutex = std::make_shared<std::mutex>();
+  return [mutex, inner = std::move(inner)](const HttpRequest& request) {
+    const std::lock_guard<std::mutex> lock(*mutex);
+    return inner(request);
+  };
+}
+
+}  // namespace privedit::net

@@ -1,0 +1,75 @@
+#pragma once
+// Threaded HTTP/1.1 server and client channel over real TCP sockets.
+//
+// HttpServer accepts connections on a loopback port and dispatches each
+// complete request to a Handler (one request per connection, Connection:
+// close semantics — all the simulated 2009-era services need). TcpChannel
+// is the matching client side, implementing net::Channel so the editor
+// clients and the mediator run unchanged over real sockets.
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "privedit/net/http.hpp"
+#include "privedit/net/socket.hpp"
+#include "privedit/net/transport.hpp"
+
+namespace privedit::net {
+
+/// Reads one full HTTP message (headers + Content-Length body) from a
+/// stream. Throws ProtocolError/ParseError on malformed or truncated
+/// input. Exposed for testing.
+std::string read_http_message(TcpStream& stream, std::size_t max_bytes);
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  /// The handler is called concurrently from connection threads; it must
+  /// be thread-safe (or internally serialized).
+  HttpServer(std::uint16_t port, Handler handler);
+
+  /// Stops accepting, drains connection threads.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  std::size_t requests_served() const { return served_.load(); }
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve(TcpStream stream);
+
+  TcpListener listener_;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> served_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+/// net::Channel over a real TCP connection (one connection per request).
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(std::uint16_t port, int timeout_ms = 5000)
+      : port_(port), timeout_ms_(timeout_ms) {}
+
+  HttpResponse round_trip(const HttpRequest& request) override;
+
+ private:
+  std::uint16_t port_;
+  int timeout_ms_;
+};
+
+/// Wraps a non-thread-safe Handler with a mutex.
+Handler serialize_handler(Handler inner);
+
+}  // namespace privedit::net

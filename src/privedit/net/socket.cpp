@@ -1,0 +1,135 @@
+#include "privedit/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ProtocolError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  const sockaddr_in addr = loopback(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect to 127.0.0.1:" + std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(fd));
+}
+
+void TcpStream::write_all(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_.get(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string TcpStream::read_some(std::size_t max) {
+  std::string buf(max, '\0');
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    buf.resize(static_cast<std::size_t>(n));
+    return buf;
+  }
+}
+
+void TcpStream::set_read_timeout_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+      0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd_.get(), 64) != 0) throw_errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpStream TcpListener::accept() {
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) {
+    throw ProtocolError("accept: listener closed or failed");
+  }
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(Fd(client));
+}
+
+void TcpListener::shutdown() {
+  if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);
+    fd_.reset();
+  }
+}
+
+}  // namespace privedit::net

@@ -1,0 +1,81 @@
+#pragma once
+// Thin RAII layer over POSIX TCP sockets (IPv4 loopback-oriented).
+//
+// §III lists three ways to interpose on client/server traffic; option 1 is
+// "a standalone proxy … the most general approach, which could work for
+// even non-browser applications". This substrate makes that option real:
+// the simulated services can be served over actual sockets and the
+// mediator can run as a genuine HTTP proxy (extension/proxy.hpp).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::net {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connected TCP stream with blocking reads/writes and a receive timeout.
+class TcpStream {
+ public:
+  explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
+
+  /// Connects to 127.0.0.1:port. Throws ProtocolError on failure.
+  static TcpStream connect(std::uint16_t port);
+
+  /// Writes the whole buffer; throws ProtocolError on error/EPIPE.
+  void write_all(std::string_view data);
+
+  /// Reads up to `max` bytes; returns empty string on orderly EOF.
+  std::string read_some(std::size_t max = 16 * 1024);
+
+  /// Sets SO_RCVTIMEO. 0 disables the timeout.
+  void set_read_timeout_ms(int ms);
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  Fd fd_;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+
+  /// The actually-bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects; throws ProtocolError if the listener
+  /// was shut down.
+  TcpStream accept();
+
+  /// Unblocks accept() calls and closes the socket.
+  void shutdown();
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace privedit::net

@@ -1,0 +1,57 @@
+#include "privedit/net/transport.hpp"
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+
+std::uint64_t LatencyModel::round_trip_us(std::size_t up_bytes,
+                                          std::size_t down_bytes,
+                                          RandomSource& rng) const {
+  std::uint64_t us = base_us;
+  if (jitter_us > 0) us += rng.below(jitter_us + 1);
+  if (bytes_per_ms_up > 0) {
+    us += static_cast<std::uint64_t>(up_bytes) * 1000 / bytes_per_ms_up;
+  }
+  if (bytes_per_ms_down > 0) {
+    us += static_cast<std::uint64_t>(down_bytes) * 1000 / bytes_per_ms_down;
+  }
+  us += server_us_per_kb * ((up_bytes + down_bytes) / 1024 + 1);
+  return us;
+}
+
+LoopbackTransport::LoopbackTransport(Handler server, SimClock* clock,
+                                     LatencyModel latency,
+                                     std::unique_ptr<RandomSource> rng)
+    : server_(std::move(server)),
+      clock_(clock),
+      latency_(latency),
+      rng_(std::move(rng)) {
+  if (!server_ || clock_ == nullptr || rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "LoopbackTransport: null server, clock or rng");
+  }
+}
+
+HttpResponse LoopbackTransport::round_trip(const HttpRequest& request) {
+  // Full serialise/parse on both legs: the services receive exactly what a
+  // real wire would deliver.
+  const std::string request_wire = request.serialize();
+  const HttpRequest delivered = HttpRequest::parse(request_wire);
+
+  const HttpResponse raw_response = server_(delivered);
+  const std::string response_wire = raw_response.serialize();
+  const HttpResponse response = HttpResponse::parse(response_wire);
+
+  ++stats_.requests;
+  stats_.bytes_up += request_wire.size();
+  stats_.bytes_down += response_wire.size();
+  if (tap_enabled_) {
+    tap_.push_back(request_wire);
+    tap_.push_back(response_wire);
+  }
+  clock_->advance_us(
+      latency_.round_trip_us(request_wire.size(), response_wire.size(), *rng_));
+  return response;
+}
+
+}  // namespace privedit::net

@@ -1,0 +1,90 @@
+#pragma once
+// Transport abstractions: the client (or the mediator on its behalf) sends
+// an HttpRequest down a Channel and gets an HttpResponse back.
+//
+// LoopbackTransport is the simulated network: it serialises both messages
+// through the real HTTP codec (so framing bugs can't hide), charges a
+// LatencyModel for the round trip on a simulated clock, and keeps wire
+// statistics plus an optional tap of raw bytes — the eavesdropper's view,
+// which the security tests grep for plaintext leaks.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "privedit/net/http.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::net {
+
+/// Server-side request handler.
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Simulated wall clock, microsecond resolution. All network and server
+/// costs are charged here so experiments are deterministic and fast.
+class SimClock {
+ public:
+  std::uint64_t now_us() const { return now_us_; }
+  void advance_us(std::uint64_t us) { now_us_ += us; }
+
+ private:
+  std::uint64_t now_us_ = 0;
+};
+
+/// Round-trip latency: fixed propagation + uniform jitter + size-dependent
+/// transfer time. Defaults are calibrated to a 2009-era home broadband
+/// connection against a busy service (the paper's measurement setting):
+/// ~150 ms request round trip, ~1.2 Mbit/s up, ~7 Mbit/s down.
+struct LatencyModel {
+  std::uint64_t base_us = 150'000;       // propagation + request handling
+  std::uint64_t jitter_us = 50'000;      // uniform [0, jitter]
+  std::uint64_t bytes_per_ms_up = 150;   // upstream throughput (bytes/ms)
+  std::uint64_t bytes_per_ms_down = 900; // downstream throughput
+  std::uint64_t server_us_per_kb = 100;  // server processing per KiB handled
+
+  std::uint64_t round_trip_us(std::size_t up_bytes, std::size_t down_bytes,
+                              RandomSource& rng) const;
+};
+
+struct WireStats {
+  std::size_t requests = 0;
+  std::size_t bytes_up = 0;
+  std::size_t bytes_down = 0;
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual HttpResponse round_trip(const HttpRequest& request) = 0;
+};
+
+class LoopbackTransport final : public Channel {
+ public:
+  LoopbackTransport(Handler server, SimClock* clock, LatencyModel latency,
+                    std::unique_ptr<RandomSource> rng);
+
+  HttpResponse round_trip(const HttpRequest& request) override;
+
+  const WireStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = WireStats{}; }
+
+  /// When enabled, keeps the raw serialized bytes of every message —
+  /// exactly what a network eavesdropper (or the untrusted provider's
+  /// front end) sees.
+  void enable_tap(bool on) { tap_enabled_ = on; }
+  const std::vector<std::string>& tap() const { return tap_; }
+  void clear_tap() { tap_.clear(); }
+
+ private:
+  Handler server_;
+  SimClock* clock_;
+  LatencyModel latency_;
+  std::unique_ptr<RandomSource> rng_;
+  WireStats stats_;
+  bool tap_enabled_ = false;
+  std::vector<std::string> tap_;
+};
+
+}  // namespace privedit::net

@@ -1,0 +1,80 @@
+#include "privedit/util/base32.hpp"
+
+#include <array>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+namespace {
+
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+
+std::array<int, 256> build_reverse_table() {
+  std::array<int, 256> t{};
+  t.fill(-1);
+  for (int i = 0; i < 32; ++i) {
+    t[static_cast<unsigned char>(kAlphabet[i])] = i;
+    // accept lowercase too
+    t[static_cast<unsigned char>(kAlphabet[i] | 0x20)] = i;
+  }
+  return t;
+}
+
+const std::array<int, 256>& reverse_table() {
+  static const std::array<int, 256> t = build_reverse_table();
+  return t;
+}
+
+}  // namespace
+
+std::string base32_encode(ByteView data, bool pad) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5 + 8);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (std::uint8_t b : data) {
+    buffer = (buffer << 8) | b;
+    bits += 8;
+    while (bits >= 5) {
+      out.push_back(kAlphabet[(buffer >> (bits - 5)) & 0x1f]);
+      bits -= 5;
+    }
+  }
+  if (bits > 0) {
+    out.push_back(kAlphabet[(buffer << (5 - bits)) & 0x1f]);
+  }
+  if (pad) {
+    while (out.size() % 8 != 0) out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base32_decode(std::string_view text) {
+  // Strip trailing padding.
+  while (!text.empty() && text.back() == '=') text.remove_suffix(1);
+
+  Bytes out;
+  out.reserve(text.size() * 5 / 8 + 1);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    int v = reverse_table()[static_cast<unsigned char>(c)];
+    if (v < 0) {
+      throw ParseError("base32_decode: invalid character");
+    }
+    buffer = (buffer << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      out.push_back(static_cast<std::uint8_t>((buffer >> (bits - 8)) & 0xff));
+      bits -= 8;
+    }
+  }
+  // Leftover bits must be zero padding produced by the encoder; nonzero
+  // leftovers indicate truncation or corruption.
+  if (bits > 0 && (buffer & ((1u << bits) - 1)) != 0) {
+    throw ParseError("base32_decode: nonzero trailing bits");
+  }
+  return out;
+}
+
+}  // namespace privedit

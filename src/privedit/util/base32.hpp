@@ -1,0 +1,20 @@
+#pragma once
+// RFC 4648 Base32. The paper's extension Base32-encodes ciphertext before
+// placing it in form fields (Fig 2), because Base32 output is URL-safe and
+// survives the editors' content pipelines unmodified.
+
+#include <string>
+#include <string_view>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit {
+
+/// Encodes bytes as RFC 4648 Base32 (uppercase A–Z2–7, '=' padding).
+std::string base32_encode(ByteView data, bool pad = true);
+
+/// Decodes Base32 (case-insensitive, padding optional).
+/// Throws ParseError on invalid characters or impossible lengths.
+Bytes base32_decode(std::string_view text);
+
+}  // namespace privedit

@@ -1,0 +1,96 @@
+#include "privedit/util/base64.hpp"
+
+#include <array>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+namespace {
+
+constexpr char kStd[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+constexpr char kUrl[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+std::array<int, 256> build_reverse_table() {
+  std::array<int, 256> t{};
+  t.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    t[static_cast<unsigned char>(kStd[i])] = i;
+    t[static_cast<unsigned char>(kUrl[i])] = i;
+  }
+  return t;
+}
+
+const std::array<int, 256>& reverse_table() {
+  static const std::array<int, 256> t = build_reverse_table();
+  return t;
+}
+
+std::string encode_with(ByteView data, const char* alphabet, bool pad) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      data[i + 2];
+    out.push_back(alphabet[(v >> 18) & 0x3f]);
+    out.push_back(alphabet[(v >> 12) & 0x3f]);
+    out.push_back(alphabet[(v >> 6) & 0x3f]);
+    out.push_back(alphabet[v & 0x3f]);
+    i += 3;
+  }
+  std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(alphabet[(v >> 18) & 0x3f]);
+    out.push_back(alphabet[(v >> 12) & 0x3f]);
+    if (pad) out.append("==");
+  } else if (rem == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(alphabet[(v >> 18) & 0x3f]);
+    out.push_back(alphabet[(v >> 12) & 0x3f]);
+    out.push_back(alphabet[(v >> 6) & 0x3f]);
+    if (pad) out.push_back('=');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string base64_encode(ByteView data, bool pad) {
+  return encode_with(data, kStd, pad);
+}
+
+std::string base64url_encode(ByteView data, bool pad) {
+  return encode_with(data, kUrl, pad);
+}
+
+Bytes base64_decode(std::string_view text) {
+  while (!text.empty() && text.back() == '=') text.remove_suffix(1);
+
+  Bytes out;
+  out.reserve(text.size() * 3 / 4 + 1);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    int v = reverse_table()[static_cast<unsigned char>(c)];
+    if (v < 0) {
+      throw ParseError("base64_decode: invalid character");
+    }
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      out.push_back(static_cast<std::uint8_t>((buffer >> (bits - 8)) & 0xff));
+      bits -= 8;
+    }
+  }
+  if (bits > 0 && (buffer & ((1u << bits) - 1)) != 0) {
+    throw ParseError("base64_decode: nonzero trailing bits");
+  }
+  return out;
+}
+
+}  // namespace privedit

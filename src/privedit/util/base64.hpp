@@ -1,0 +1,21 @@
+#pragma once
+// RFC 4648 Base64 and base64url. Provided alongside Base32 so the blow-up
+// benches can compare encoding overheads (Fig 7 discussion).
+
+#include <string>
+#include <string_view>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit {
+
+/// Encodes bytes as standard Base64 ('+', '/', '=' padding).
+std::string base64_encode(ByteView data, bool pad = true);
+
+/// Encodes bytes as base64url ('-', '_', no padding by default).
+std::string base64url_encode(ByteView data, bool pad = false);
+
+/// Decodes either alphabet (padding optional). Throws ParseError.
+Bytes base64_decode(std::string_view text);
+
+}  // namespace privedit

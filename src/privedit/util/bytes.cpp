@@ -1,0 +1,81 @@
+#include "privedit/util/bytes.hpp"
+
+#include <cassert>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+
+void xor_into(MutByteView dst, ByteView src) {
+  if (dst.size() != src.size()) {
+    throw Error(ErrorCode::kInvalidArgument, "xor_into: size mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+Bytes xor_bytes(ByteView a, ByteView b) {
+  if (a.size() != b.size()) {
+    throw Error(ErrorCode::kInvalidArgument, "xor_bytes: size mismatch");
+  }
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return out;
+}
+
+void store_u64be(MutByteView out, std::uint64_t v) {
+  if (out.size() < 8) {
+    throw Error(ErrorCode::kInvalidArgument, "store_u64be: buffer too small");
+  }
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+std::uint64_t load_u64be(ByteView in) {
+  if (in.size() < 8) {
+    throw Error(ErrorCode::kInvalidArgument, "load_u64be: buffer too small");
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | in[i];
+  return v;
+}
+
+void store_u32be(MutByteView out, std::uint32_t v) {
+  if (out.size() < 4) {
+    throw Error(ErrorCode::kInvalidArgument, "store_u32be: buffer too small");
+  }
+  for (int i = 3; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+std::uint32_t load_u32be(ByteView in) {
+  if (in.size() < 4) {
+    throw Error(ErrorCode::kInvalidArgument, "load_u32be: buffer too small");
+  }
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) v = (v << 8) | in[i];
+  return v;
+}
+
+void secure_wipe(MutByteView buf) {
+  // volatile pointer write defeats dead-store elimination on the
+  // compilers we target; memset_s is not available on glibc.
+  volatile std::uint8_t* p = buf.data();
+  for (std::size_t i = 0; i < buf.size(); ++i) p[i] = 0;
+}
+
+bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+}  // namespace privedit

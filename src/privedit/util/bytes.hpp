@@ -1,0 +1,66 @@
+#pragma once
+// Basic byte-buffer vocabulary types and helpers shared by all modules.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privedit {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+using MutByteView = std::span<std::uint8_t>;
+
+/// Copies a text string into a byte buffer (no encoding conversion).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Reinterprets a byte buffer as text (no encoding conversion).
+inline std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Views a text string as bytes without copying.
+inline ByteView as_bytes(std::string_view s) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+/// XORs `src` into `dst` element-wise; sizes must match.
+void xor_into(MutByteView dst, ByteView src);
+
+/// Returns a ^ b; sizes must match.
+Bytes xor_bytes(ByteView a, ByteView b);
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenates any number of byte views.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  out.reserve((ByteView(views).size() + ...));
+  (append(out, ByteView(views)), ...);
+  return out;
+}
+
+/// Big-endian 64-bit store/load (used for nonces, lengths, counters).
+void store_u64be(MutByteView out, std::uint64_t v);
+std::uint64_t load_u64be(ByteView in);
+
+/// Big-endian 32-bit store/load.
+void store_u32be(MutByteView out, std::uint32_t v);
+std::uint32_t load_u32be(ByteView in);
+
+/// Best-effort zeroisation that the optimizer may not elide (for keys).
+void secure_wipe(MutByteView buf);
+
+/// Constant-time equality for secret-dependent comparisons (MACs, tags).
+bool ct_equal(ByteView a, ByteView b);
+
+}  // namespace privedit

@@ -1,0 +1,25 @@
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kParse:
+      return "parse";
+    case ErrorCode::kCrypto:
+      return "crypto";
+    case ErrorCode::kIntegrity:
+      return "integrity";
+    case ErrorCode::kProtocol:
+      return "protocol";
+    case ErrorCode::kState:
+      return "state";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+  }
+  return "unknown";
+}
+
+}  // namespace privedit

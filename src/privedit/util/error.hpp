@@ -1,0 +1,65 @@
+#pragma once
+// Error taxonomy for the privedit library.
+//
+// Exceptions are used for contract violations and for security-relevant
+// failures (integrity check failed, ciphertext malformed) that callers must
+// not be able to ignore silently.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace privedit {
+
+enum class ErrorCode {
+  kInvalidArgument,   // caller broke a precondition
+  kParse,             // malformed input (delta, http, encoding, container)
+  kCrypto,            // key/entropy/cipher misuse
+  kIntegrity,         // authenticated decryption failed — possible tampering
+  kProtocol,          // cloud-service protocol violation
+  kState,             // object used in an invalid state
+  kUnsupported,       // feature intentionally not available (e.g. blocked)
+};
+
+/// Human-readable name of an ErrorCode ("integrity", "parse", ...).
+std::string_view error_code_name(ErrorCode code);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + what),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Thrown when an authenticated scheme detects tampering. Deliberately a
+/// distinct type: callers must treat it differently from parse errors.
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& what)
+      : Error(ErrorCode::kIntegrity, what) {}
+};
+
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what)
+      : Error(ErrorCode::kParse, what) {}
+};
+
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what)
+      : Error(ErrorCode::kCrypto, what) {}
+};
+
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error(ErrorCode::kProtocol, what) {}
+};
+
+}  // namespace privedit

@@ -1,0 +1,46 @@
+#include "privedit/util/hex.hpp"
+
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw ParseError("hex_decode: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = digit_value(hex[i]);
+    int lo = digit_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw ParseError("hex_decode: invalid digit");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace privedit

@@ -1,0 +1,17 @@
+#pragma once
+// Lowercase hexadecimal encoding/decoding.
+
+#include <string>
+#include <string_view>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit {
+
+/// Encodes bytes as lowercase hex ("deadbeef").
+std::string hex_encode(ByteView data);
+
+/// Decodes hex (either case). Throws ParseError on odd length or bad digit.
+Bytes hex_decode(std::string_view hex);
+
+}  // namespace privedit

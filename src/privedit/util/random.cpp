@@ -1,0 +1,108 @@
+#include "privedit/util/random.hpp"
+
+#include <fstream>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+
+std::uint64_t RandomSource::next_u64() {
+  std::uint8_t buf[8];
+  fill(buf);
+  return load_u64be(buf);
+}
+
+std::uint64_t RandomSource::below(std::uint64_t bound) {
+  if (bound == 0) {
+    throw Error(ErrorCode::kInvalidArgument, "RandomSource::below: bound 0");
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+std::uint64_t RandomSource::between(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) {
+    throw Error(ErrorCode::kInvalidArgument, "RandomSource::between: lo > hi");
+  }
+  if (lo == 0 && hi == UINT64_MAX) return next_u64();
+  return lo + below(hi - lo + 1);
+}
+
+Bytes RandomSource::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+bool RandomSource::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // 53 bits of precision is plenty for workload decisions.
+  const double u =
+      static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  return u < p;
+}
+
+void OsEntropy::fill(MutByteView out) {
+  static thread_local std::ifstream urandom("/dev/urandom",
+                                            std::ios::in | std::ios::binary);
+  if (!urandom.good()) {
+    throw CryptoError("OsEntropy: cannot open /dev/urandom");
+  }
+  urandom.read(reinterpret_cast<char*>(out.data()),
+               static_cast<std::streamsize>(out.size()));
+  if (urandom.gcount() != static_cast<std::streamsize>(out.size())) {
+    throw CryptoError("OsEntropy: short read from /dev/urandom");
+  }
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::fill(MutByteView out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t v = next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  }
+}
+
+}  // namespace privedit

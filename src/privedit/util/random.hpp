@@ -1,0 +1,57 @@
+#pragma once
+// Randomness interface. All randomness in the library flows through
+// RandomSource so that tests and benchmarks can inject a seeded generator
+// and reproduce results bit-for-bit. Production crypto uses crypto::CtrDrbg
+// (an AES-based DRBG implementing this interface) seeded from OsEntropy.
+
+#include <cstdint>
+#include <memory>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(MutByteView out) = 0;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound) via rejection sampling; bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Random byte buffer of the given length.
+  Bytes bytes(std::size_t n);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+};
+
+/// Reads from the operating system entropy pool (/dev/urandom).
+/// Throws CryptoError if the pool is unavailable.
+class OsEntropy final : public RandomSource {
+ public:
+  void fill(MutByteView out) override;
+};
+
+/// xoshiro256** — fast, seedable, NOT cryptographic. For workload
+/// generation, skip-list coin flips in tests, and latency jitter.
+class Xoshiro256 final : public RandomSource {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  void fill(MutByteView out) override;
+
+ private:
+  std::uint64_t next();
+  std::uint64_t s_[4];
+};
+
+}  // namespace privedit

@@ -1,0 +1,140 @@
+#include "privedit/util/urlencode.hpp"
+
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+namespace {
+
+bool is_unreserved(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+         c == '~';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+}  // namespace
+
+std::string percent_encode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + s.size() / 2);
+  for (char c : s) {
+    if (is_unreserved(c)) {
+      out.push_back(c);
+    } else {
+      auto b = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHexDigits[b >> 4]);
+      out.push_back(kHexDigits[b & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::string percent_decode(std::string_view s, bool plus_as_space) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '%') {
+      if (i + 2 >= s.size()) {
+        throw ParseError("percent_decode: truncated escape");
+      }
+      int hi = hex_value(s[i + 1]);
+      int lo = hex_value(s[i + 2]);
+      if (hi < 0 || lo < 0) {
+        throw ParseError("percent_decode: invalid escape");
+      }
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (plus_as_space && c == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+FormData FormData::parse(std::string_view body) {
+  FormData form;
+  if (body.empty()) return form;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    std::size_t amp = body.find('&', pos);
+    std::string_view pair = (amp == std::string_view::npos)
+                                ? body.substr(pos)
+                                : body.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        form.add(percent_decode(pair, /*plus_as_space=*/true), "");
+      } else {
+        form.add(percent_decode(pair.substr(0, eq), true),
+                 percent_decode(pair.substr(eq + 1), true));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return form;
+}
+
+std::string FormData::encode() const {
+  std::string out;
+  bool first = true;
+  for (const auto& [key, value] : fields_) {
+    if (!first) out.push_back('&');
+    first = false;
+    out += percent_encode(key);
+    out.push_back('=');
+    out += percent_encode(value);
+  }
+  return out;
+}
+
+void FormData::add(std::string key, std::string value) {
+  fields_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string> FormData::get(std::string_view key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+bool FormData::contains(std::string_view key) const {
+  return get(key).has_value();
+}
+
+void FormData::set(std::string_view key, std::string value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  add(std::string(key), std::move(value));
+}
+
+std::size_t FormData::remove(std::string_view key) {
+  std::size_t removed = 0;
+  std::erase_if(fields_, [&](const auto& kv) {
+    if (kv.first == key) {
+      ++removed;
+      return true;
+    }
+    return false;
+  });
+  return removed;
+}
+
+}  // namespace privedit

@@ -1,0 +1,63 @@
+#pragma once
+// RFC 3986 percent-encoding and application/x-www-form-urlencoded handling.
+// The Google Documents protocol carries document content and deltas inside
+// form-encoded POST bodies, so faithful form handling is load-bearing: the
+// mediator must decode, rewrite and re-encode fields without perturbing the
+// surrounding control fields.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace privedit {
+
+/// Percent-encodes everything except RFC 3986 unreserved characters
+/// (ALPHA / DIGIT / '-' / '.' / '_' / '~'). Mirrors JS encodeURIComponent
+/// except that the latter also leaves !'()* unescaped; we escape them,
+/// which every decoder accepts.
+std::string percent_encode(std::string_view s);
+
+/// Decodes %XX sequences. If `plus_as_space`, '+' decodes to ' ' (form
+/// semantics). Throws ParseError on truncated/invalid escapes.
+std::string percent_decode(std::string_view s, bool plus_as_space = false);
+
+/// Ordered multimap of form fields. Order is preserved because the cloud
+/// protocols are order-sensitive in practice and the mediator must not
+/// reorder fields it does not understand.
+class FormData {
+ public:
+  FormData() = default;
+
+  /// Parses an application/x-www-form-urlencoded body.
+  static FormData parse(std::string_view body);
+
+  /// Serialises back to key=value&... with percent-encoding.
+  std::string encode() const;
+
+  void add(std::string key, std::string value);
+
+  /// First value for key, if any.
+  std::optional<std::string> get(std::string_view key) const;
+
+  bool contains(std::string_view key) const;
+
+  /// Replaces the first occurrence's value; adds the field if absent.
+  void set(std::string_view key, std::string value);
+
+  /// Removes all occurrences; returns how many were removed.
+  std::size_t remove(std::string_view key);
+
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+
+  bool empty() const { return fields_.empty(); }
+  std::size_t size() const { return fields_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace privedit

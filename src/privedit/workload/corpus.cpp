@@ -1,0 +1,76 @@
+#include "privedit/workload/corpus.hpp"
+
+namespace privedit::workload {
+namespace {
+
+constexpr const char* kWords[] = {
+    "the",      "quick",   "brown",   "fox",     "jumps",    "over",
+    "lazy",     "dog",     "cloud",   "service", "document", "editing",
+    "private",  "secure",  "content", "server",  "client",   "browser",
+    "update",   "delta",   "cipher",  "block",   "nonce",    "random",
+    "password", "key",     "user",    "data",    "storage",  "network",
+    "protocol", "message", "request", "response", "session", "editor",
+    "word",     "text",    "page",    "line",    "letter",   "draft",
+    "note",     "memo",    "report",  "paper",   "study",    "result",
+    "time",     "space",   "cost",    "value",   "system",   "design",
+    "model",    "threat",  "attack",  "defense", "channel",  "secret",
+    "public",   "hidden",  "visible", "trusted", "provider", "account",
+    "history",  "version", "change",  "insert",  "delete",   "replace",
+    "search",   "find",    "share",   "work",    "write",    "read",
+    "open",     "close",   "save",    "load",    "send",     "receive",
+    "small",    "large",   "fast",    "slow",    "early",    "late",
+    "first",    "second",  "third",   "final",   "whole",    "partial",
+    "simple",   "complex", "useful",  "common",  "typical",  "general"};
+
+constexpr std::size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+}  // namespace
+
+std::string random_word(RandomSource& rng) {
+  return kWords[rng.below(kWordCount)];
+}
+
+std::string random_sentence(RandomSource& rng, std::size_t words) {
+  std::string out;
+  for (std::size_t i = 0; i < words; ++i) {
+    std::string w = random_word(rng);
+    if (i == 0 && !w.empty()) {
+      w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+    }
+    if (i > 0) out.push_back(' ');
+    out += w;
+  }
+  out.push_back('.');
+  return out;
+}
+
+std::string random_document(RandomSource& rng, std::size_t min_chars) {
+  std::string out;
+  while (out.size() < min_chars) {
+    if (!out.empty()) out.push_back(' ');
+    out += random_sentence(rng, 4 + rng.below(9));
+  }
+  return out;
+}
+
+std::string random_string(RandomSource& rng, std::size_t len) {
+  static constexpr char kPrintable[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;:!?";
+  constexpr std::size_t kAlphabet = sizeof(kPrintable) - 1;
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kPrintable[rng.below(kAlphabet)]);
+  }
+  return out;
+}
+
+RandomPair random_pair(RandomSource& rng, std::size_t min_len,
+                       std::size_t max_len) {
+  RandomPair pair;
+  pair.before = random_string(rng, rng.between(min_len, max_len));
+  pair.after = random_string(rng, rng.between(min_len, max_len));
+  return pair;
+}
+
+}  // namespace privedit::workload

@@ -1,0 +1,35 @@
+#pragma once
+// Text generation for workloads: plausible English-ish documents built from
+// a fixed word list, plus the uniformly random strings the paper's
+// micro-benchmark draws (§VII-B). Everything is driven by an injected
+// RandomSource so workloads are reproducible.
+
+#include <string>
+
+#include "privedit/util/random.hpp"
+
+namespace privedit::workload {
+
+/// A word from the embedded corpus.
+std::string random_word(RandomSource& rng);
+
+/// A sentence of `words` words, capitalised, ending in a period.
+std::string random_sentence(RandomSource& rng, std::size_t words);
+
+/// A document of at least `min_chars` characters made of sentences.
+std::string random_document(RandomSource& rng, std::size_t min_chars);
+
+/// A uniformly random printable-ASCII string of exactly `len` characters
+/// (the micro-benchmark's D and D').
+std::string random_string(RandomSource& rng, std::size_t len);
+
+/// The paper's micro-benchmark pair: independent random strings with
+/// lengths uniform in [min_len, max_len].
+struct RandomPair {
+  std::string before;
+  std::string after;
+};
+RandomPair random_pair(RandomSource& rng, std::size_t min_len,
+                       std::size_t max_len);
+
+}  // namespace privedit::workload

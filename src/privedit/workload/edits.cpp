@@ -1,0 +1,133 @@
+#include "privedit/workload/edits.hpp"
+
+#include "privedit/util/error.hpp"
+#include "privedit/workload/corpus.hpp"
+
+namespace privedit::workload {
+
+SentenceEditor::SentenceEditor(std::string document, RandomSource* rng)
+    : doc_(std::move(document)), rng_(rng) {
+  if (rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "SentenceEditor: null rng");
+  }
+  if (doc_.empty()) {
+    doc_ = random_sentence(*rng_, 6);
+  }
+}
+
+SentenceEditor::Span SentenceEditor::pick_sentence() const {
+  // Choose a random position, then extend to sentence boundaries (periods).
+  const std::size_t anchor = rng_->below(doc_.size());
+  std::size_t start = anchor;
+  while (start > 0 && doc_[start - 1] != '.') --start;
+  std::size_t end = anchor;
+  while (end < doc_.size() && doc_[end] != '.') ++end;
+  if (end < doc_.size()) ++end;  // include the period
+  return Span{start, end - start};
+}
+
+delta::Delta SentenceEditor::step(MacroOp op) {
+  delta::Delta d;
+  switch (op) {
+    case MacroOp::kReplaceSentence: {
+      const Span span = pick_sentence();
+      const std::string replacement =
+          random_sentence(*rng_, 4 + rng_->below(9));
+      if (span.start > 0) d.push(delta::Op::retain(span.start));
+      if (span.length > 0) d.push(delta::Op::erase(span.length));
+      d.push(delta::Op::insert(replacement));
+      break;
+    }
+    case MacroOp::kInsertSentence: {
+      // Insert at a sentence boundary.
+      const Span span = pick_sentence();
+      const std::size_t pos = span.start;
+      std::string text = random_sentence(*rng_, 4 + rng_->below(9));
+      text.push_back(' ');
+      if (pos > 0) d.push(delta::Op::retain(pos));
+      d.push(delta::Op::insert(text));
+      break;
+    }
+    case MacroOp::kDeleteSentence: {
+      const Span span = pick_sentence();
+      // Keep the document non-empty.
+      if (span.length >= doc_.size()) {
+        return step(MacroOp::kReplaceSentence);
+      }
+      if (span.start > 0) d.push(delta::Op::retain(span.start));
+      d.push(delta::Op::erase(span.length));
+      break;
+    }
+  }
+  doc_ = d.apply(doc_);
+  return d;
+}
+
+delta::Delta SentenceEditor::step_mixed() {
+  const std::uint64_t roll = rng_->below(3);
+  return step(roll == 0   ? MacroOp::kReplaceSentence
+              : roll == 1 ? MacroOp::kInsertSentence
+                          : MacroOp::kDeleteSentence);
+}
+
+TypingSession::TypingSession(std::string document, RandomSource* rng)
+    : doc_(std::move(document)), cursor_(doc_.size()), rng_(rng) {
+  if (rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "TypingSession: null rng");
+  }
+}
+
+delta::Delta TypingSession::keystroke() {
+  delta::Delta d;
+  const std::uint64_t roll = rng_->below(100);
+  if (roll < 80 || doc_.empty()) {
+    // Insert a character at the cursor.
+    static constexpr char kKeys[] = "abcdefghijklmnopqrstuvwxyz      ,.";
+    const char ch = kKeys[rng_->below(sizeof(kKeys) - 1)];
+    if (cursor_ > 0) d.push(delta::Op::retain(cursor_));
+    d.push(delta::Op::insert(std::string(1, ch)));
+    doc_ = d.apply(doc_);
+    ++cursor_;
+  } else if (roll < 92 && cursor_ > 0) {
+    // Backspace.
+    if (cursor_ > 1) d.push(delta::Op::retain(cursor_ - 1));
+    d.push(delta::Op::erase(1));
+    doc_ = d.apply(doc_);
+    --cursor_;
+  } else {
+    // Cursor jump: no content change, empty delta.
+    cursor_ = rng_->below(doc_.size() + 1);
+  }
+  return d;
+}
+
+delta::Delta covert_ord_delta(const std::string& doc, std::size_t pos,
+                              char visible_char, char secret_char) {
+  if (pos > doc.size()) {
+    throw Error(ErrorCode::kInvalidArgument, "covert_ord_delta: bad position");
+  }
+  const int ord = (secret_char | 0x20) - 'a' + 1;  // Ord in 1..26
+  if (ord < 1 || ord > 26) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "covert_ord_delta: secret must be a letter");
+  }
+  const std::size_t k = static_cast<std::size_t>(ord);
+  if (pos + k > doc.size()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "covert_ord_delta: not enough characters after position");
+  }
+  // Delete Ord(q) original characters and re-insert them unchanged along
+  // with the visible character: the net effect is a single insert, but the
+  // run lengths leak Ord(q). Character-by-character ops maximise the
+  // pattern's visibility, as in the paper's example.
+  delta::Delta d;
+  if (pos > 0) d.push(delta::Op::retain(pos));
+  for (std::size_t i = 0; i < k; ++i) d.push(delta::Op::erase(1));
+  d.push(delta::Op::insert(std::string(1, visible_char)));
+  for (std::size_t i = 0; i < k; ++i) {
+    d.push(delta::Op::insert(std::string(1, doc[pos + i])));
+  }
+  return d;
+}
+
+}  // namespace privedit::workload

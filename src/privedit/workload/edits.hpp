@@ -1,0 +1,81 @@
+#pragma once
+// Edit-session generators.
+//
+// SentenceEditor drives the macro-benchmark workload (§VII-C): each test
+// case replaces an existing sentence, or inserts/deletes a sentence (or
+// group of sentences), expressed as a delta against the current document.
+//
+// TypingSession models a user typing: bursts of character inserts at a
+// cursor, occasional backspaces and cursor jumps — the workload under
+// which incremental encryption must win.
+//
+// covert_ord_delta reproduces the §VI-B malicious-client example: when the
+// user types character q, the client deletes Ord(q) original characters
+// one op at a time and re-inserts them unchanged around the real insert.
+// The visible effect is a single typed character; the op pattern smuggles
+// Ord(q) to anyone who can see the (encrypted) delta's shape.
+
+#include <string>
+
+#include "privedit/delta/delta.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::workload {
+
+/// Kinds of macro-benchmark operations (the rows of Fig 5 / Fig 8).
+enum class MacroOp {
+  kReplaceSentence,
+  kInsertSentence,
+  kDeleteSentence,
+};
+
+class SentenceEditor {
+ public:
+  SentenceEditor(std::string document, RandomSource* rng);
+
+  const std::string& document() const { return doc_; }
+
+  /// Generates one operation as a delta against the current document and
+  /// applies it locally. Keeps the document non-empty.
+  delta::Delta step(MacroOp op);
+
+  /// Mixed workload: replace/insert/delete with the given weights.
+  delta::Delta step_mixed();
+
+ private:
+  struct Span {
+    std::size_t start;
+    std::size_t length;
+  };
+  /// Picks a sentence-ish span ending at a period (or the whole doc tail).
+  Span pick_sentence() const;
+
+  std::string doc_;
+  RandomSource* rng_;
+};
+
+class TypingSession {
+ public:
+  TypingSession(std::string document, RandomSource* rng);
+
+  const std::string& document() const { return doc_; }
+  std::size_t cursor() const { return cursor_; }
+
+  /// One keystroke: mostly inserts at the cursor, sometimes backspace,
+  /// sometimes a cursor jump (which produces an empty delta).
+  delta::Delta keystroke();
+
+ private:
+  std::string doc_;
+  std::size_t cursor_ = 0;
+  RandomSource* rng_;
+};
+
+/// The §VI-B covert encoding of `secret_char` as an op pattern at `pos`.
+/// Applying the delta to `doc` inserts exactly one character, but the wire
+/// form leaks Ord(secret_char) through the lengths of the insert/delete
+/// runs.
+delta::Delta covert_ord_delta(const std::string& doc, std::size_t pos,
+                              char visible_char, char secret_char);
+
+}  // namespace privedit::workload

@@ -1,0 +1,136 @@
+// Client-side behaviour tests: local editing, undo, save lifecycle and
+// error handling of the scripted Google Documents client.
+
+#include <gtest/gtest.h>
+
+#include "privedit/client/gdocs_client.hpp"
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/net/transport.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::client {
+namespace {
+
+struct ClientStack {
+  ClientStack() {
+    transport = std::make_unique<net::LoopbackTransport>(
+        [this](const net::HttpRequest& r) { return server.handle(r); },
+        &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(500));
+  }
+  cloud::GDocsServer server;
+  net::SimClock clock;
+  std::unique_ptr<net::LoopbackTransport> transport;
+};
+
+TEST(GDocsClientTest, LocalEditsAndBounds) {
+  ClientStack stack;
+  GDocsClient c(stack.transport.get(), "d");
+  c.create();
+  c.insert(0, "hello");
+  c.insert(5, " world");
+  c.erase(0, 1);
+  c.replace(0, 4, "Hell");
+  EXPECT_EQ(c.text(), "Hell world");
+  EXPECT_THROW(c.insert(99, "x"), Error);
+  EXPECT_THROW(c.erase(5, 99), Error);
+  EXPECT_THROW(c.replace(9, 5, "x"), Error);
+}
+
+TEST(GDocsClientTest, UndoRevertsEditsInOrder) {
+  ClientStack stack;
+  GDocsClient c(stack.transport.get(), "d");
+  c.create();
+  c.insert(0, "base text");
+  c.insert(4, "!");
+  c.erase(0, 2);
+  c.replace(0, 2, "XY");
+  EXPECT_EQ(c.undo_depth(), 4u);
+
+  EXPECT_TRUE(c.undo());  // replace
+  EXPECT_EQ(c.text(), "se! text");
+  EXPECT_TRUE(c.undo());  // erase
+  EXPECT_EQ(c.text(), "base! text");
+  EXPECT_TRUE(c.undo());  // insert "!"
+  EXPECT_EQ(c.text(), "base text");
+  EXPECT_TRUE(c.undo());  // first insert
+  EXPECT_EQ(c.text(), "");
+  EXPECT_FALSE(c.undo());
+}
+
+TEST(GDocsClientTest, UndoSurvivesSaves) {
+  ClientStack stack;
+  GDocsClient c(stack.transport.get(), "d");
+  c.create();
+  c.insert(0, "saved content");
+  c.save();
+  c.insert(0, "unsaved ");
+  c.save();
+  // Undo works across the save boundary; the next save sends the revert.
+  EXPECT_TRUE(c.undo());
+  EXPECT_EQ(c.text(), "saved content");
+  c.save();
+  EXPECT_EQ(stack.server.raw_content("d"), "saved content");
+}
+
+TEST(GDocsClientTest, UndoHistoryClearedOnOpen) {
+  ClientStack stack;
+  GDocsClient a(stack.transport.get(), "d");
+  a.create();
+  a.insert(0, "content");
+  a.save();
+
+  GDocsClient b(stack.transport.get(), "d");
+  b.open();
+  EXPECT_EQ(b.undo_depth(), 0u);
+  EXPECT_FALSE(b.undo());
+}
+
+TEST(GDocsClientTest, SaveIsIdempotentWhenClean) {
+  ClientStack stack;
+  GDocsClient c(stack.transport.get(), "d");
+  c.create();
+  c.insert(0, "x");
+  EXPECT_TRUE(c.save());
+  EXPECT_FALSE(c.save());  // nothing changed
+  EXPECT_EQ(c.saves_sent(), 1u);
+}
+
+TEST(GDocsClientTest, SaveWithoutSessionThrows) {
+  ClientStack stack;
+  GDocsClient c(stack.transport.get(), "d");
+  EXPECT_THROW(c.save(), Error);
+}
+
+TEST(GDocsClientTest, OpenMissingDocumentThrows) {
+  ClientStack stack;
+  GDocsClient c(stack.transport.get(), "never-created");
+  EXPECT_THROW(c.open(), ProtocolError);
+}
+
+TEST(GDocsClientTest, BadRawDeltaRejectedLocally) {
+  ClientStack stack;
+  GDocsClient c(stack.transport.get(), "d");
+  c.create();
+  c.insert(0, "abc");
+  c.save();
+  c.insert(3, "d");
+  c.queue_raw_delta(delta::Delta::parse("+WRONG"));
+  EXPECT_THROW(c.save(), Error);  // delta does not produce current text
+}
+
+TEST(GDocsClientTest, SpellcheckRoundTrip) {
+  ClientStack stack;
+  GDocsClient c(stack.transport.get(), "d");
+  c.create();
+  c.insert(0, "the fox zzgrblat");
+  const auto words = c.spellcheck();
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], "zzgrblat");
+  EXPECT_EQ(c.export_txt(), "");  // nothing saved yet
+  c.save();
+  EXPECT_EQ(c.export_txt(), "the fox zzgrblat");
+}
+
+}  // namespace
+}  // namespace privedit::client

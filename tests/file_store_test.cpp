@@ -1,0 +1,175 @@
+// Tests for the durable provider storage: atomic persistence, restart
+// recovery, and the filesystem-level attacker (§II subpoena scenario).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "privedit/client/gdocs_client.hpp"
+#include "privedit/cloud/file_store.hpp"
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/extension/mediator.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::cloud {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("privedit_store_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FileStoreTest, PutGetRoundTrip) {
+  FileStore store(dir_);
+  store.put("doc-1", {"hello\nmultiline\ncontent", 7});
+  const auto record = store.get("doc-1");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->content, "hello\nmultiline\ncontent");
+  EXPECT_EQ(record->rev, 7u);
+  EXPECT_FALSE(store.get("missing").has_value());
+}
+
+TEST_F(FileStoreTest, BinaryContentAndOddIds) {
+  FileStore store(dir_);
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  const std::string odd_id = "docs/../weird id?&=";
+  store.put(odd_id, {binary, 1});
+  const auto record = store.get(odd_id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->content, binary);
+  // The id is hex-mangled into the filename; no path traversal possible.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().parent_path().string(), dir_);
+  }
+}
+
+TEST_F(FileStoreTest, OverwriteKeepsLatest) {
+  FileStore store(dir_);
+  store.put("d", {"v1", 1});
+  store.put("d", {"v2", 2});
+  EXPECT_EQ(store.get("d")->content, "v2");
+  EXPECT_EQ(store.get("d")->rev, 2u);
+}
+
+TEST_F(FileStoreTest, LoadAllRecoversEverything) {
+  {
+    FileStore store(dir_);
+    store.put("a", {"alpha", 1});
+    store.put("b", {"beta", 2});
+    store.remove("a");
+    store.put("c", {"gamma", 3});
+  }
+  FileStore reopened(dir_);
+  const auto all = reopened.load_all();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("b").content, "beta");
+  EXPECT_EQ(all.at("c").rev, 3u);
+}
+
+TEST_F(FileStoreTest, CorruptFileIsReported) {
+  FileStore store(dir_);
+  store.put("d", {"fine", 1});
+  // Clobber the file with garbage lacking the revision line.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc | std::ios::binary);
+    out << "no-newline-anywhere";
+  }
+  EXPECT_THROW(store.get("d"), ParseError);
+}
+
+TEST_F(FileStoreTest, ServerSurvivesRestart) {
+  // Encrypted editing session against a persistent provider...
+  net::SimClock clock;
+  extension::MediatorConfig config;
+  config.password = "pw";
+  config.scheme.mode = enc::Mode::kRpc;
+  config.scheme.kdf_iterations = 10;
+  config.rng_factory = extension::seeded_rng_factory(21);
+  {
+    GDocsServer server;
+    server.enable_persistence(dir_);
+    net::LoopbackTransport transport(
+        [&server](const net::HttpRequest& r) { return server.handle(r); },
+        &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(20));
+    extension::GDocsMediator mediator(&transport, config, &clock);
+    client::GDocsClient writer(&mediator, "durable");
+    writer.create();
+    writer.insert(0, "survives the provider restarting");
+    writer.save();
+    writer.insert(0, "still ");
+    writer.save();
+  }  // provider process "crashes"
+
+  // ...provider restarts from disk; a fresh client opens the document.
+  GDocsServer reborn;
+  reborn.enable_persistence(dir_);
+  EXPECT_EQ(reborn.document_count(), 1u);
+  net::LoopbackTransport transport(
+      [&reborn](const net::HttpRequest& r) { return reborn.handle(r); },
+      &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(22));
+  extension::GDocsMediator mediator(&transport, config, &clock);
+  client::GDocsClient reader(&mediator, "durable");
+  reader.open();
+  EXPECT_EQ(reader.text(), "still survives the provider restarting");
+}
+
+TEST_F(FileStoreTest, FilesystemAttackerSeesOnlyCiphertextAndTamperingIsCaught) {
+  net::SimClock clock;
+  extension::MediatorConfig config;
+  config.password = "pw";
+  config.scheme.mode = enc::Mode::kRpc;
+  config.scheme.kdf_iterations = 10;
+  config.rng_factory = extension::seeded_rng_factory(31);
+
+  GDocsServer server;
+  server.enable_persistence(dir_);
+  net::LoopbackTransport transport(
+      [&server](const net::HttpRequest& r) { return server.handle(r); },
+      &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(30));
+  extension::GDocsMediator mediator(&transport, config, &clock);
+  client::GDocsClient writer(&mediator, "subpoenaed");
+  writer.create();
+  writer.insert(0, "grand jury material");
+  writer.save();
+
+  // The subpoena delivers the files — which contain no plaintext.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string blob((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(blob.find("grand jury"), std::string::npos);
+    // An attacker editing the file on disk is caught at next open.
+    blob[blob.size() / 2] = blob[blob.size() / 2] == 'A' ? 'B' : 'A';
+    std::ofstream out(entry.path(), std::ios::trunc | std::ios::binary);
+    out << blob;
+  }
+
+  GDocsServer reborn;
+  reborn.enable_persistence(dir_);
+  net::LoopbackTransport transport2(
+      [&reborn](const net::HttpRequest& r) { return reborn.handle(r); },
+      &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(32));
+  extension::GDocsMediator mediator2(&transport2, config, &clock);
+  client::GDocsClient reader(&mediator2, "subpoenaed");
+  EXPECT_THROW(reader.open(), Error);
+}
+
+}  // namespace
+}  // namespace privedit::cloud

@@ -1,0 +1,149 @@
+// Tests for the incremental MACs of §V-A — including a working
+// demonstration of the substitution forgery against the XOR scheme (the
+// reason the paper rejects it) and its failure against the hash tree.
+
+#include <gtest/gtest.h>
+
+#include "privedit/crypto/inc_mac.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::crypto {
+namespace {
+
+std::vector<Bytes> blocks_of(std::initializer_list<const char*> parts) {
+  std::vector<Bytes> out;
+  for (const char* p : parts) out.push_back(to_bytes(p));
+  return out;
+}
+
+TEST(XorIncMac, DeterministicAndKeyed) {
+  const Bytes key = to_bytes("mac key");
+  XorIncMac mac(key);
+  const auto blocks = blocks_of({"alpha", "beta", "gamma"});
+  EXPECT_EQ(mac.tag(blocks), mac.tag(blocks));
+  XorIncMac other(to_bytes("different key"));
+  EXPECT_NE(mac.tag(blocks), other.tag(blocks));
+  EXPECT_TRUE(mac.verify(blocks, mac.tag(blocks)));
+  EXPECT_FALSE(mac.verify(blocks, other.tag(blocks)));
+}
+
+TEST(XorIncMac, PositionSensitive) {
+  XorIncMac mac(to_bytes("k"));
+  const auto ab = blocks_of({"a", "b"});
+  const auto ba = blocks_of({"b", "a"});
+  EXPECT_NE(mac.tag(ab), mac.tag(ba));
+}
+
+TEST(XorIncMac, IncrementalReplaceMatchesRecompute) {
+  XorIncMac mac(to_bytes("k"));
+  auto blocks = blocks_of({"one", "two", "three", "four"});
+  Bytes tag = mac.tag(blocks);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const Bytes old_block = blocks[i];
+    blocks[i] = to_bytes("replacement" + std::to_string(i));
+    tag = mac.update_replace(tag, i, old_block, blocks[i]);
+    ASSERT_EQ(tag, mac.tag(blocks)) << "after replace " << i;
+  }
+}
+
+// §V-A: "the hash-then-sign and XOR schemes are all subject to
+// substitution attacks". The attacker holds tags for three legitimately
+// authenticated documents and forges a tag for a fourth document no one
+// ever authenticated — because XOR tags are linear.
+TEST(XorIncMac, SubstitutionForgerySucceeds) {
+  XorIncMac mac(to_bytes("victim key"));
+  const auto m1 = blocks_of({"pay", "alice"});   // authenticated
+  const auto m2 = blocks_of({"pay", "bob"});     // authenticated
+  const auto m3 = blocks_of({"fire", "alice"});  // authenticated
+  const auto forged = blocks_of({"fire", "bob"});  // NEVER authenticated
+
+  const Bytes t1 = mac.tag(m1);
+  const Bytes t2 = mac.tag(m2);
+  const Bytes t3 = mac.tag(m3);
+
+  // tag(m1)⊕tag(m2)⊕tag(m3) = term(0,"pay")⊕term(1,"alice") ⊕ ... — the
+  // duplicated terms cancel, leaving exactly tag({"fire","bob"}).
+  Bytes forged_tag = t1;
+  xor_into(forged_tag, t2);
+  xor_into(forged_tag, t3);
+
+  EXPECT_TRUE(mac.verify(forged, forged_tag))
+      << "the XOR scheme should be forgeable — this is the attack the "
+         "paper cites";
+}
+
+TEST(TreeIncMac, RootStableAndKeyed) {
+  const auto blocks = blocks_of({"alpha", "beta", "gamma", "delta", "eps"});
+  const Bytes r1 = TreeIncMac::compute_root(to_bytes("k"), blocks);
+  const Bytes r2 = TreeIncMac::compute_root(to_bytes("k"), blocks);
+  const Bytes r3 = TreeIncMac::compute_root(to_bytes("other"), blocks);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, r3);
+  EXPECT_TRUE(TreeIncMac::verify(to_bytes("k"), blocks, r1));
+  EXPECT_FALSE(TreeIncMac::verify(to_bytes("k"), blocks, r3));
+}
+
+TEST(TreeIncMac, SubstitutionForgeryFails) {
+  const Bytes key = to_bytes("victim key");
+  const auto m1 = blocks_of({"pay", "alice"});
+  const auto m2 = blocks_of({"pay", "bob"});
+  const auto m3 = blocks_of({"fire", "alice"});
+  const auto forged = blocks_of({"fire", "bob"});
+
+  Bytes combined = TreeIncMac::compute_root(key, m1);
+  xor_into(combined, TreeIncMac::compute_root(key, m2));
+  xor_into(combined, TreeIncMac::compute_root(key, m3));
+  EXPECT_FALSE(TreeIncMac::verify(key, forged, combined));
+}
+
+TEST(TreeIncMac, DetectsReorderTruncateExtend) {
+  const Bytes key = to_bytes("k");
+  const auto blocks = blocks_of({"a", "b", "c", "d"});
+  const Bytes root = TreeIncMac::compute_root(key, blocks);
+  EXPECT_FALSE(TreeIncMac::verify(key, blocks_of({"b", "a", "c", "d"}), root));
+  EXPECT_FALSE(TreeIncMac::verify(key, blocks_of({"a", "b", "c"}), root));
+  EXPECT_FALSE(TreeIncMac::verify(key, blocks_of({"a", "b", "c", "d", "d"}),
+                                  root));
+}
+
+class TreeReplaceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeReplaceTest, IncrementalReplaceMatchesRebuild) {
+  const std::size_t n = GetParam();
+  const Bytes key = to_bytes("k");
+  Xoshiro256 rng(n);
+  std::vector<Bytes> blocks;
+  for (std::size_t i = 0; i < n; ++i) blocks.push_back(rng.bytes(8));
+
+  TreeIncMac tree(key, blocks);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t idx = rng.below(n);
+    blocks[idx] = rng.bytes(8);
+    tree.replace(idx, blocks[idx]);
+    ASSERT_EQ(tree.root(), TreeIncMac::compute_root(key, blocks))
+        << "n=" << n << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeReplaceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 64, 100));
+
+TEST(TreeIncMac, EmptyAndSingle) {
+  const Bytes key = to_bytes("k");
+  const Bytes empty_root = TreeIncMac::compute_root(key, {});
+  const Bytes one_root = TreeIncMac::compute_root(key, blocks_of({"x"}));
+  EXPECT_NE(empty_root, one_root);
+  TreeIncMac tree(key, blocks_of({"x"}));
+  tree.replace(0, to_bytes("y"));
+  EXPECT_EQ(tree.root(), TreeIncMac::compute_root(key, blocks_of({"y"})));
+  EXPECT_THROW(tree.replace(1, to_bytes("z")), Error);
+}
+
+TEST(IncMacs, RejectEmptyKeys) {
+  EXPECT_THROW(XorIncMac(Bytes{}), CryptoError);
+  EXPECT_THROW(TreeIncMac(Bytes{}, {}), CryptoError);
+}
+
+}  // namespace
+}  // namespace privedit::crypto

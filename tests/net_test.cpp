@@ -1,0 +1,164 @@
+// Tests for the HTTP message model and the simulated transport.
+
+#include <gtest/gtest.h>
+
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/net/http.hpp"
+#include "privedit/net/transport.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+namespace {
+
+TEST(Headers, CaseInsensitiveLookup) {
+  Headers h;
+  h.set("Content-Type", "text/plain");
+  EXPECT_EQ(h.get("content-type"), "text/plain");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/plain");
+  EXPECT_TRUE(h.contains("Content-type"));
+  EXPECT_FALSE(h.contains("X-Missing"));
+}
+
+TEST(Headers, SetReplacesAddAppends) {
+  Headers h;
+  h.add("X-A", "1");
+  h.add("X-A", "2");
+  EXPECT_EQ(h.entries().size(), 2u);
+  h.set("x-a", "3");
+  EXPECT_EQ(h.entries().size(), 2u);
+  EXPECT_EQ(h.entries()[0].second, "3");
+  EXPECT_EQ(h.remove("X-A"), 2u);
+  EXPECT_TRUE(h.entries().empty());
+}
+
+TEST(HttpRequest, SerializeParseRoundTrip) {
+  HttpRequest req = HttpRequest::post_form("/Doc?docID=abc%20d", "a=1&b=2");
+  req.headers.set("X-Custom", "value");
+  const std::string wire = req.serialize();
+  const HttpRequest parsed = HttpRequest::parse(wire);
+  EXPECT_EQ(parsed.method, "POST");
+  EXPECT_EQ(parsed.target, "/Doc?docID=abc%20d");
+  EXPECT_EQ(parsed.path(), "/Doc");
+  EXPECT_EQ(parsed.query_param("docID"), "abc d");
+  EXPECT_EQ(parsed.headers.get("X-Custom"), "value");
+  EXPECT_EQ(parsed.body, "a=1&b=2");
+}
+
+TEST(HttpRequest, BinaryBodySurvives) {
+  HttpRequest req;
+  req.method = "PUT";
+  req.target = "/file/at/x";
+  for (int i = 0; i < 256; ++i) req.body.push_back(static_cast<char>(i));
+  const HttpRequest parsed = HttpRequest::parse(req.serialize());
+  EXPECT_EQ(parsed.body, req.body);
+}
+
+TEST(HttpRequest, ParseErrors) {
+  EXPECT_THROW(HttpRequest::parse("garbage"), ParseError);
+  EXPECT_THROW(HttpRequest::parse("GET /\r\n\r\n"), ParseError);
+  EXPECT_THROW(HttpRequest::parse("GET / HTTP/2\r\n\r\n"), ParseError);
+  EXPECT_THROW(HttpRequest::parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+               ParseError);
+  EXPECT_THROW(
+      HttpRequest::parse("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+      ParseError);
+  EXPECT_THROW(
+      HttpRequest::parse("GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n"),
+      ParseError);
+}
+
+TEST(HttpRequest, QueryParamMissing) {
+  HttpRequest req;
+  req.target = "/Doc";
+  EXPECT_FALSE(req.query_param("docID").has_value());
+  req.target = "/Doc?other=1";
+  EXPECT_FALSE(req.query_param("docID").has_value());
+}
+
+TEST(HttpResponse, SerializeParseRoundTrip) {
+  HttpResponse resp = HttpResponse::make(409, "conflict body");
+  const HttpResponse parsed = HttpResponse::parse(resp.serialize());
+  EXPECT_EQ(parsed.status, 409);
+  EXPECT_EQ(parsed.reason, "Conflict");
+  EXPECT_EQ(parsed.body, "conflict body");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(HttpResponse::make(204, "").ok());
+}
+
+TEST(HttpResponse, ParseErrors) {
+  EXPECT_THROW(HttpResponse::parse("HTTP/1.1\r\n\r\n"), ParseError);
+  EXPECT_THROW(HttpResponse::parse("HTTP/1.1 xx OK\r\n\r\n"), ParseError);
+  EXPECT_THROW(HttpResponse::parse("NOPE 200 OK\r\n\r\n"), ParseError);
+}
+
+TEST(LatencyModel, MonotoneInSize) {
+  LatencyModel model;
+  model.jitter_us = 0;
+  auto rng = crypto::CtrDrbg::from_seed(1);
+  const auto small = model.round_trip_us(100, 100, *rng);
+  const auto large = model.round_trip_us(100'000, 100, *rng);
+  EXPECT_GT(large, small);
+}
+
+TEST(LatencyModel, JitterBounded) {
+  LatencyModel model;
+  model.base_us = 1000;
+  model.jitter_us = 500;
+  model.bytes_per_ms_up = 0;
+  model.bytes_per_ms_down = 0;
+  model.server_us_per_kb = 0;
+  auto rng = crypto::CtrDrbg::from_seed(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto us = model.round_trip_us(0, 0, *rng);
+    EXPECT_GE(us, 1000u);
+    EXPECT_LE(us, 1500u);
+  }
+}
+
+TEST(LoopbackTransport, DeliversAndCharges) {
+  SimClock clock;
+  Handler echo = [](const HttpRequest& req) {
+    return HttpResponse::make(200, "echo:" + req.body);
+  };
+  LatencyModel latency;
+  latency.jitter_us = 0;
+  LoopbackTransport transport(echo, &clock, latency,
+                              crypto::CtrDrbg::from_seed(3));
+
+  const HttpResponse resp =
+      transport.round_trip(HttpRequest::post_form("/x", "payload"));
+  EXPECT_EQ(resp.body, "echo:payload");
+  EXPECT_GT(clock.now_us(), 0u);
+  EXPECT_EQ(transport.stats().requests, 1u);
+  EXPECT_GT(transport.stats().bytes_up, 0u);
+  EXPECT_GT(transport.stats().bytes_down, 0u);
+}
+
+TEST(LoopbackTransport, TapCapturesWireBytes) {
+  SimClock clock;
+  Handler ok = [](const HttpRequest&) { return HttpResponse::make(200, "x"); };
+  LoopbackTransport transport(ok, &clock, LatencyModel{},
+                              crypto::CtrDrbg::from_seed(4));
+  transport.enable_tap(true);
+  transport.round_trip(HttpRequest::post_form("/x", "visible-on-wire"));
+  ASSERT_EQ(transport.tap().size(), 2u);
+  EXPECT_NE(transport.tap()[0].find("visible-on-wire"), std::string::npos);
+  transport.clear_tap();
+  EXPECT_TRUE(transport.tap().empty());
+}
+
+TEST(LoopbackTransport, NullArgsRejected) {
+  SimClock clock;
+  Handler ok = [](const HttpRequest&) { return HttpResponse::make(200, ""); };
+  EXPECT_THROW(LoopbackTransport(nullptr, &clock, LatencyModel{},
+                                 crypto::CtrDrbg::from_seed(5)),
+               Error);
+  EXPECT_THROW(
+      LoopbackTransport(ok, nullptr, LatencyModel{},
+                        crypto::CtrDrbg::from_seed(6)),
+      Error);
+  EXPECT_THROW(LoopbackTransport(ok, &clock, LatencyModel{}, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace privedit::net

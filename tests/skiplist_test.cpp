@@ -1,0 +1,253 @@
+// Tests for the IndexedSkipList (§V-C) — correctness against a reference
+// vector model, weight-indexed lookup, and structural invariants under
+// randomized operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "privedit/ds/indexed_skip_list.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::ds {
+namespace {
+
+TEST(LevelGenerator, RangeAndDistribution) {
+  LevelGenerator gen(1);
+  int counts[LevelGenerator::kMaxLevel + 1] = {};
+  for (int i = 0; i < 100000; ++i) {
+    const int level = gen.next_level();
+    ASSERT_GE(level, 1);
+    ASSERT_LE(level, LevelGenerator::kMaxLevel);
+    counts[level]++;
+  }
+  // P(level==1) = 1/2; allow generous slack.
+  EXPECT_GT(counts[1], 45000);
+  EXPECT_LT(counts[1], 55000);
+  // P(level==2) = 1/4.
+  EXPECT_GT(counts[2], 22000);
+  EXPECT_LT(counts[2], 28000);
+}
+
+TEST(IndexedSkipList, EmptyList) {
+  IndexedSkipList<int> list;
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.total_weight(), 0u);
+  EXPECT_TRUE(list.empty());
+  EXPECT_THROW(list.find(0), Error);
+  EXPECT_THROW(list.get(0), Error);
+  EXPECT_THROW(list.erase(0), Error);
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(IndexedSkipList, SingleElement) {
+  IndexedSkipList<std::string> list;
+  list.insert(0, "abc", 3);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.total_weight(), 3u);
+  EXPECT_EQ(list.get(0), "abc");
+  for (std::size_t pos = 0; pos < 3; ++pos) {
+    const auto loc = list.find(pos);
+    EXPECT_EQ(loc.element_index, 0u);
+    EXPECT_EQ(loc.offset, pos);
+    EXPECT_EQ(loc.start_weight, 0u);
+  }
+  EXPECT_THROW(list.find(3), Error);
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(IndexedSkipList, PaperInsertExample) {
+  // Fig 3: insert "xy" at character index 3 of "abc|fgh|ijk" (blocks of 3).
+  IndexedSkipList<std::string> list(7);
+  list.insert(0, "abc", 3);
+  list.insert(1, "fgh", 3);
+  list.insert(2, "ijk", 3);
+  ASSERT_EQ(list.total_weight(), 9u);
+
+  const auto loc = list.find(3);  // position 3 = start of "fgh"
+  EXPECT_EQ(loc.element_index, 1u);
+  EXPECT_EQ(loc.offset, 0u);
+
+  list.insert(1, "xy", 2);  // becomes the new element 1
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_EQ(list.total_weight(), 11u);
+  EXPECT_EQ(list.get(0), "abc");
+  EXPECT_EQ(list.get(1), "xy");
+  EXPECT_EQ(list.get(2), "fgh");
+  EXPECT_EQ(list.get(3), "ijk");
+  EXPECT_EQ(list.find(3).element_index, 1u);
+  EXPECT_EQ(list.find(4).element_index, 1u);
+  EXPECT_EQ(list.find(5).element_index, 2u);
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(IndexedSkipList, StartWeightOf) {
+  IndexedSkipList<int> list;
+  list.insert(0, 10, 4);
+  list.insert(1, 20, 2);
+  list.insert(2, 30, 5);
+  EXPECT_EQ(list.start_weight_of(0), 0u);
+  EXPECT_EQ(list.start_weight_of(1), 4u);
+  EXPECT_EQ(list.start_weight_of(2), 6u);
+  EXPECT_EQ(list.start_weight_of(3), 11u);  // end position
+}
+
+TEST(IndexedSkipList, EraseMiddle) {
+  IndexedSkipList<char> list;
+  for (std::size_t i = 0; i < 10; ++i) {
+    list.insert(i, static_cast<char>('a' + i), i + 1);
+  }
+  const char erased = list.erase(4);  // weight 5
+  EXPECT_EQ(erased, 'e');
+  EXPECT_EQ(list.size(), 9u);
+  EXPECT_EQ(list.total_weight(), 55u - 5u);
+  EXPECT_EQ(list.get(4), 'f');
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(IndexedSkipList, UpdateValueAndWeight) {
+  IndexedSkipList<std::string> list;
+  list.insert(0, "aa", 2);
+  list.insert(1, "bbb", 3);
+  list.insert(2, "c", 1);
+  list.update(1, [](std::string& v) {
+    v = "BBBBB";
+    return v.size();
+  });
+  EXPECT_EQ(list.get(1), "BBBBB");
+  EXPECT_EQ(list.total_weight(), 8u);
+  EXPECT_EQ(list.find(6).element_index, 1u);
+  EXPECT_EQ(list.find(7).element_index, 2u);
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(IndexedSkipList, ForEachVisitsInOrder) {
+  IndexedSkipList<int> list;
+  for (int i = 0; i < 20; ++i) {
+    list.insert(static_cast<std::size_t>(i), i, 1);
+  }
+  std::vector<int> seen;
+  list.for_each([&](const int& v, std::size_t) { seen.push_back(v); });
+  ASSERT_EQ(seen.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(IndexedSkipList, ClearResets) {
+  IndexedSkipList<int> list;
+  list.insert(0, 1, 5);
+  list.clear();
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.total_weight(), 0u);
+  list.insert(0, 2, 3);
+  EXPECT_EQ(list.get(0), 2);
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(IndexedSkipList, OutOfRangeChecks) {
+  IndexedSkipList<int> list;
+  list.insert(0, 1, 1);
+  EXPECT_THROW(list.insert(2, 9, 1), Error);
+  EXPECT_THROW(list.get(1), Error);
+  EXPECT_THROW(list.erase(1), Error);
+  EXPECT_THROW(list.find(1), Error);
+  EXPECT_THROW(list.start_weight_of(2), Error);
+}
+
+// Reference-model fuzz: a vector of (value, weight) pairs mirrors the list.
+class SkipListModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkipListModelTest, RandomOpsMatchReferenceModel) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  IndexedSkipList<int> list(seed ^ 0xabcdef);
+  std::vector<std::pair<int, std::size_t>> model;  // (value, weight)
+
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t action = rng.below(100);
+    if (action < 45 || model.empty()) {
+      // insert
+      const std::size_t idx = rng.below(model.size() + 1);
+      const int value = static_cast<int>(rng.below(1000000));
+      const std::size_t weight = 1 + rng.below(8);
+      list.insert(idx, value, weight);
+      model.insert(model.begin() + static_cast<std::ptrdiff_t>(idx),
+                   {value, weight});
+    } else if (action < 70) {
+      // erase
+      const std::size_t idx = rng.below(model.size());
+      const int erased = list.erase(idx);
+      EXPECT_EQ(erased, model[idx].first);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (action < 85) {
+      // update value + weight
+      const std::size_t idx = rng.below(model.size());
+      const int value = static_cast<int>(rng.below(1000000));
+      const std::size_t weight = 1 + rng.below(8);
+      list.update(idx, [&](int& v) {
+        v = value;
+        return weight;
+      });
+      model[idx] = {value, weight};
+    } else {
+      // point lookups
+      const std::size_t idx = rng.below(model.size());
+      EXPECT_EQ(list.get(idx), model[idx].first);
+      EXPECT_EQ(list.weight_of(idx), model[idx].second);
+    }
+  }
+
+  // Full structural comparison at the end.
+  ASSERT_EQ(list.size(), model.size());
+  std::size_t total = 0;
+  for (const auto& [v, w] : model) total += w;
+  ASSERT_EQ(list.total_weight(), total);
+
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(list.get(i), model[i].first);
+    EXPECT_EQ(list.start_weight_of(i), cumulative);
+    // Probe first/last position of each element.
+    const auto first = list.find(cumulative);
+    EXPECT_EQ(first.element_index, i);
+    EXPECT_EQ(first.offset, 0u);
+    const auto last = list.find(cumulative + model[i].second - 1);
+    EXPECT_EQ(last.element_index, i);
+    EXPECT_EQ(last.offset, model[i].second - 1);
+    cumulative += model[i].second;
+  }
+  EXPECT_TRUE(list.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(IndexedSkipList, LargeSequentialBuild) {
+  IndexedSkipList<int> list(99);
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    list.insert(static_cast<std::size_t>(i), i, 3);
+  }
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(list.total_weight(), static_cast<std::size_t>(kN) * 3);
+  // Spot-check weighted finds across the whole range.
+  for (int probe = 0; probe < 100; ++probe) {
+    const std::size_t pos = static_cast<std::size_t>(probe) * 600 + 1;
+    const auto loc = list.find(pos);
+    EXPECT_EQ(loc.element_index, pos / 3);
+    EXPECT_EQ(loc.offset, pos % 3);
+  }
+}
+
+TEST(IndexedSkipList, MoveConstruction) {
+  IndexedSkipList<int> a;
+  a.insert(0, 7, 2);
+  IndexedSkipList<int> b(std::move(a));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.get(0), 7);
+  EXPECT_TRUE(b.validate());
+}
+
+}  // namespace
+}  // namespace privedit::ds

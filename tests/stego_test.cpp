@@ -1,0 +1,102 @@
+// Tests for the steganographic codec (§VI) and its integration with the
+// container / scheme machinery.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/enc/scheme.hpp"
+#include "privedit/enc/stego.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::enc {
+namespace {
+
+TEST(Stego, DictionaryIsInjective) {
+  std::set<std::string> seen;
+  for (int v = 0; v < 256; ++v) {
+    const auto word = std::string(stego_word(static_cast<std::uint8_t>(v)));
+    EXPECT_EQ(word.size(), 5u);
+    for (char c : word) EXPECT_TRUE(c >= 'a' && c <= 'z');
+    EXPECT_TRUE(seen.insert(word).second) << "duplicate word " << word;
+  }
+}
+
+TEST(Stego, RoundTripAllByteValues) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  const std::string encoded = stego_encode(all);
+  EXPECT_EQ(encoded.size(), 256u * kStegoCharsPerByte);
+  EXPECT_EQ(stego_decode(encoded), all);
+}
+
+TEST(Stego, RandomRoundTrips) {
+  Xoshiro256 rng(1);
+  for (std::size_t n : {0u, 1u, 17u, 100u}) {
+    const Bytes data = rng.bytes(n);
+    EXPECT_EQ(stego_decode(stego_encode(data)), data);
+  }
+}
+
+TEST(Stego, RejectsMalformed) {
+  EXPECT_THROW(stego_decode("abc"), ParseError);            // bad length
+  EXPECT_THROW(stego_decode("zzzzz "), ParseError);         // unknown word
+  const std::string good = stego_encode(Bytes{0x42});
+  std::string no_space = good;
+  no_space[5] = 'x';
+  EXPECT_THROW(stego_decode(no_space), ParseError);
+}
+
+TEST(Stego, FullSchemeRoundTrip) {
+  ContainerHeader header;
+  header.mode = Mode::kRpc;
+  header.block_chars = 8;
+  header.codec = Codec::kStego;
+  header.kdf_iterations = 10;
+  header.salt = Bytes(16, 0x42);
+  const auto keys = crypto::derive_document_keys(
+      "pw", header.salt, crypto::KdfParams{.iterations = 10});
+
+  auto scheme = make_scheme(header, keys, crypto::CtrDrbg::from_seed(1));
+  const std::string doc = scheme->initialize("hide me among the words");
+
+  // The stored document reads as words: only lowercase letters and spaces
+  // after the one-character codec tag.
+  EXPECT_EQ(doc[0], 's');
+  for (std::size_t i = 1; i < doc.size(); ++i) {
+    const char c = doc[i];
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ') << "at " << i;
+  }
+
+  // Incremental updates still work (fixed unit width).
+  delta::Delta edit;
+  edit.push(delta::Op::retain(5));
+  edit.push(delta::Op::insert("XYZ"));
+  const delta::Delta cdelta = scheme->transform_delta(edit);
+  const std::string updated = cdelta.apply(doc);
+  EXPECT_EQ(updated, scheme->ciphertext_doc());
+
+  auto reader = make_scheme(header, keys, crypto::CtrDrbg::from_seed(2));
+  reader->load(updated);
+  EXPECT_EQ(reader->plaintext(), "hide XYZme among the words");
+}
+
+TEST(Stego, BlowupIsTheCostOfDisguise) {
+  ContainerHeader header;
+  header.mode = Mode::kRecb;
+  header.block_chars = 8;
+  header.codec = Codec::kStego;
+  header.kdf_iterations = 10;
+  header.salt = Bytes(16, 0x42);
+  const auto keys = crypto::derive_document_keys(
+      "pw", header.salt, crypto::KdfParams{.iterations = 10});
+  auto scheme = make_scheme(header, keys, crypto::CtrDrbg::from_seed(3));
+  scheme->initialize(std::string(8000, 'a'));
+  // 17 raw bytes -> 102 chars per 8 plaintext chars: ~12.75x + header.
+  EXPECT_NEAR(scheme->stats().blowup(), 12.75, 0.1);
+}
+
+}  // namespace
+}  // namespace privedit::enc

@@ -1,0 +1,186 @@
+// Tests for the real-socket substrate (§III option 1): TCP streams, the
+// threaded HTTP server, the client channel, and the standalone mediating
+// proxy end to end over loopback.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "privedit/client/gdocs_client.hpp"
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/extension/proxy.hpp"
+#include "privedit/net/http_server.hpp"
+#include "privedit/net/socket.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+namespace {
+
+TEST(TcpSocket, ListenerPicksEphemeralPort) {
+  TcpListener listener(0);
+  EXPECT_GT(listener.port(), 0);
+  listener.shutdown();
+}
+
+TEST(TcpSocket, RoundTripBytes) {
+  TcpListener listener(0);
+  std::thread server([&listener] {
+    TcpStream conn = listener.accept();
+    const std::string got = conn.read_some();
+    conn.write_all("pong:" + got);
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  client.write_all("ping");
+  client.set_read_timeout_ms(2000);
+  EXPECT_EQ(client.read_some(), "pong:ping");
+  server.join();
+  listener.shutdown();
+}
+
+TEST(TcpSocket, ConnectToClosedPortFails) {
+  // Bind-then-close to find a (very likely) dead port.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.shutdown();
+  }
+  EXPECT_THROW(TcpStream::connect(dead_port), ProtocolError);
+}
+
+TEST(ReadHttpMessage, ReassemblesSplitMessages) {
+  TcpListener listener(0);
+  std::thread sender([&listener] {
+    TcpStream conn = listener.accept();
+    // Drip the message in awkward pieces.
+    conn.write_all("POST /x HTTP/1.1\r\nConte");
+    conn.write_all("nt-Length: 11\r\n\r\nhello");
+    conn.write_all(" world");
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  client.set_read_timeout_ms(2000);
+  const std::string wire = read_http_message(client, 1 << 20);
+  const HttpRequest req = HttpRequest::parse(wire);
+  EXPECT_EQ(req.body, "hello world");
+  sender.join();
+  listener.shutdown();
+}
+
+TEST(ReadHttpMessage, RejectsOversize) {
+  TcpListener listener(0);
+  std::thread sender([&listener] {
+    TcpStream conn = listener.accept();
+    conn.write_all("POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\n" +
+                   std::string(99, 'a'));
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  client.set_read_timeout_ms(2000);
+  EXPECT_THROW(read_http_message(client, 10), ProtocolError);
+  sender.join();
+  listener.shutdown();
+}
+
+TEST(HttpServerTest, ServesOverRealSockets) {
+  HttpServer server(0, [](const HttpRequest& req) {
+    return HttpResponse::make(200, "echo:" + req.body);
+  });
+  TcpChannel channel(server.port());
+  const HttpResponse resp =
+      channel.round_trip(HttpRequest::post_form("/x", "payload"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "echo:payload");
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpServerTest, ConcurrentClients) {
+  std::atomic<int> hits{0};
+  HttpServer server(0, [&hits](const HttpRequest& req) {
+    ++hits;
+    return HttpResponse::make(200, req.body);
+  });
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 16; ++i) {
+    clients.emplace_back([&server, &ok, i] {
+      TcpChannel channel(server.port());
+      const std::string body = "client-" + std::to_string(i);
+      const HttpResponse resp =
+          channel.round_trip(HttpRequest::post_form("/x", body));
+      if (resp.ok() && resp.body == body) ++ok;
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 16);
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(HttpServerTest, HandlerExceptionsBecome500) {
+  HttpServer server(0, [](const HttpRequest&) -> HttpResponse {
+    throw ProtocolError("boom");
+  });
+  TcpChannel channel(server.port());
+  const HttpResponse resp =
+      channel.round_trip(HttpRequest::post_form("/x", ""));
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_NE(resp.body.find("boom"), std::string::npos);
+}
+
+TEST(MediatingProxyTest, FullStackOverRealSockets) {
+  // Real HTTP end to end: client -> proxy (mediator) -> service.
+  cloud::GDocsServer gdocs;
+  HttpServer service(0, serialize_handler([&gdocs](const HttpRequest& r) {
+                       return gdocs.handle(r);
+                     }));
+
+  extension::MediatorConfig config;
+  config.password = "proxy-pass";
+  config.scheme.mode = enc::Mode::kRpc;
+  config.scheme.kdf_iterations = 10;
+  config.rng_factory = extension::seeded_rng_factory(91);
+  extension::MediatingProxy proxy(0, service.port(), std::move(config));
+
+  TcpChannel via_proxy(proxy.port());
+  client::GDocsClient alice(&via_proxy, "tcp-doc");
+  alice.create();
+  alice.insert(0, "over real sockets, still private");
+  alice.save();
+  alice.insert(0, "and incremental: ");
+  alice.save();
+
+  const std::string stored = *gdocs.raw_content("tcp-doc");
+  EXPECT_EQ(stored.find("private"), std::string::npos);
+  EXPECT_EQ(stored.find("sockets"), std::string::npos);
+
+  // A second client through the same proxy opens the shared document.
+  TcpChannel via_proxy2(proxy.port());
+  client::GDocsClient bob(&via_proxy2, "tcp-doc");
+  bob.open();
+  EXPECT_EQ(bob.text(), "and incremental: over real sockets, still private");
+
+  // Unknown traffic is blocked at the proxy, never reaching the service.
+  HttpRequest telemetry = HttpRequest::post_form("/telemetry", "secrets!");
+  EXPECT_EQ(via_proxy.round_trip(telemetry).status, 403);
+  EXPECT_GE(proxy.counters().requests_blocked, 1u);
+
+  proxy.stop();
+  service.stop();
+}
+
+TEST(MediatingProxyTest, DirectClientBypassShowsPlaintextRisk) {
+  // Control: talking to the service directly (no proxy) stores plaintext —
+  // the situation the paper's tool exists to prevent.
+  cloud::GDocsServer gdocs;
+  HttpServer service(0, serialize_handler([&gdocs](const HttpRequest& r) {
+                       return gdocs.handle(r);
+                     }));
+  TcpChannel direct(service.port());
+  client::GDocsClient naive(&direct, "doc");
+  naive.create();
+  naive.insert(0, "exposed secret");
+  naive.save();
+  EXPECT_EQ(gdocs.raw_content("doc"), "exposed secret");
+  service.stop();
+}
+
+}  // namespace
+}  // namespace privedit::net

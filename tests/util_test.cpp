@@ -1,0 +1,268 @@
+// Unit tests for the util module: byte helpers, encodings, form handling,
+// and randomness plumbing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "privedit/util/base32.hpp"
+#include "privedit/util/base64.hpp"
+#include "privedit/util/bytes.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/hex.hpp"
+#include "privedit/util/random.hpp"
+#include "privedit/util/urlencode.hpp"
+
+namespace privedit {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const std::string s = "hello \xff\x00 world";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0x0f, 0xf0, 0xaa};
+  const Bytes b = {0xff, 0xff, 0x55};
+  xor_into(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0x0f, 0xff}));
+}
+
+TEST(Bytes, XorSizeMismatchThrows) {
+  Bytes a = {1, 2};
+  const Bytes b = {1};
+  EXPECT_THROW(xor_into(a, b), Error);
+  EXPECT_THROW(xor_bytes(a, b), Error);
+}
+
+TEST(Bytes, U64BigEndianRoundTrip) {
+  std::uint8_t buf[8];
+  store_u64be(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+  EXPECT_EQ(load_u64be(buf), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, U32BigEndianRoundTrip) {
+  std::uint8_t buf[4];
+  store_u32be(buf, 0xdeadbeef);
+  EXPECT_EQ(buf[0], 0xde);
+  EXPECT_EQ(load_u32be(buf), 0xdeadbeefu);
+}
+
+TEST(Bytes, ConcatJoinsViews) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = concat(a, b, a);
+  EXPECT_EQ(c, (Bytes{1, 2, 3, 1, 2}));
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, ByteView(a.data(), 2)));
+}
+
+TEST(Bytes, SecureWipeZeroes) {
+  Bytes a = {1, 2, 3};
+  secure_wipe(a);
+  EXPECT_EQ(a, (Bytes{0, 0, 0}));
+}
+
+TEST(Hex, EncodeDecode) {
+  const Bytes data = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  EXPECT_EQ(hex_encode(data), "deadbeef007f");
+  EXPECT_EQ(hex_decode("deadbeef007f"), data);
+  EXPECT_EQ(hex_decode("DEADBEEF007F"), data);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(hex_decode("abc"), ParseError);
+  EXPECT_THROW(hex_decode("zz"), ParseError);
+}
+
+// RFC 4648 §10 test vectors.
+TEST(Base32, Rfc4648Vectors) {
+  EXPECT_EQ(base32_encode(to_bytes("")), "");
+  EXPECT_EQ(base32_encode(to_bytes("f")), "MY======");
+  EXPECT_EQ(base32_encode(to_bytes("fo")), "MZXQ====");
+  EXPECT_EQ(base32_encode(to_bytes("foo")), "MZXW6===");
+  EXPECT_EQ(base32_encode(to_bytes("foob")), "MZXW6YQ=");
+  EXPECT_EQ(base32_encode(to_bytes("fooba")), "MZXW6YTB");
+  EXPECT_EQ(base32_encode(to_bytes("foobar")), "MZXW6YTBOI======");
+}
+
+TEST(Base32, DecodeVectors) {
+  EXPECT_EQ(to_string(base32_decode("MZXW6YTBOI======")), "foobar");
+  EXPECT_EQ(to_string(base32_decode("MZXW6YTBOI")), "foobar");  // no pad
+  EXPECT_EQ(to_string(base32_decode("mzxw6ytboi")), "foobar");  // lowercase
+}
+
+TEST(Base32, RejectsInvalid) {
+  EXPECT_THROW(base32_decode("M1======"), ParseError);  // '1' not in alphabet
+  EXPECT_THROW(base32_decode("M!"), ParseError);
+}
+
+TEST(Base32, RoundTripAllLengths) {
+  Xoshiro256 rng(42);
+  for (std::size_t n = 0; n <= 67; ++n) {
+    const Bytes data = rng.bytes(n);
+    EXPECT_EQ(base32_decode(base32_encode(data)), data) << "n=" << n;
+    EXPECT_EQ(base32_decode(base32_encode(data, /*pad=*/false)), data);
+  }
+}
+
+// RFC 4648 §10 test vectors.
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, UrlAlphabet) {
+  const Bytes data = {0xfb, 0xff, 0xfe};
+  const std::string std_form = base64_encode(data);
+  const std::string url_form = base64url_encode(data);
+  EXPECT_NE(std_form.find('+'), std::string::npos);
+  EXPECT_EQ(url_form.find('+'), std::string::npos);
+  EXPECT_EQ(url_form.find('='), std::string::npos);
+  EXPECT_EQ(base64_decode(std_form), data);
+  EXPECT_EQ(base64_decode(url_form), data);
+}
+
+TEST(Base64, RoundTripAllLengths) {
+  Xoshiro256 rng(7);
+  for (std::size_t n = 0; n <= 50; ++n) {
+    const Bytes data = rng.bytes(n);
+    EXPECT_EQ(base64_decode(base64_encode(data)), data) << "n=" << n;
+    EXPECT_EQ(base64_decode(base64url_encode(data)), data) << "n=" << n;
+  }
+}
+
+TEST(PercentEncode, UnreservedPassThrough) {
+  EXPECT_EQ(percent_encode("AZaz09-._~"), "AZaz09-._~");
+}
+
+TEST(PercentEncode, EscapesReserved) {
+  EXPECT_EQ(percent_encode("a b&c=d"), "a%20b%26c%3Dd");
+  EXPECT_EQ(percent_encode("\xff"), "%FF");
+}
+
+TEST(PercentDecode, Basic) {
+  EXPECT_EQ(percent_decode("a%20b%26c"), "a b&c");
+  EXPECT_EQ(percent_decode("a+b"), "a+b");
+  EXPECT_EQ(percent_decode("a+b", /*plus_as_space=*/true), "a b");
+}
+
+TEST(PercentDecode, RejectsTruncated) {
+  EXPECT_THROW(percent_decode("%2"), ParseError);
+  EXPECT_THROW(percent_decode("%"), ParseError);
+  EXPECT_THROW(percent_decode("%zz"), ParseError);
+}
+
+TEST(PercentCoding, RoundTripBinary) {
+  std::string all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<char>(i));
+  EXPECT_EQ(percent_decode(percent_encode(all)), all);
+}
+
+TEST(FormData, ParseAndEncode) {
+  FormData form = FormData::parse("a=1&b=hello%20world&c=&d");
+  EXPECT_EQ(form.size(), 4u);
+  EXPECT_EQ(form.get("a"), "1");
+  EXPECT_EQ(form.get("b"), "hello world");
+  EXPECT_EQ(form.get("c"), "");
+  EXPECT_EQ(form.get("d"), "");
+  EXPECT_FALSE(form.get("missing").has_value());
+}
+
+TEST(FormData, PreservesOrder) {
+  FormData form = FormData::parse("z=1&a=2&m=3");
+  const auto& fields = form.fields();
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0].first, "z");
+  EXPECT_EQ(fields[1].first, "a");
+  EXPECT_EQ(fields[2].first, "m");
+}
+
+TEST(FormData, SetReplacesFirst) {
+  FormData form = FormData::parse("a=1&a=2");
+  form.set("a", "x");
+  EXPECT_EQ(form.fields()[0].second, "x");
+  EXPECT_EQ(form.fields()[1].second, "2");
+  form.set("new", "v");
+  EXPECT_EQ(form.get("new"), "v");
+}
+
+TEST(FormData, RemoveAllOccurrences) {
+  FormData form = FormData::parse("a=1&b=2&a=3");
+  EXPECT_EQ(form.remove("a"), 2u);
+  EXPECT_FALSE(form.contains("a"));
+  EXPECT_EQ(form.size(), 1u);
+}
+
+TEST(FormData, RoundTripWithSpecialChars) {
+  FormData form;
+  form.add("delta", "=2\t-3\t+u&v=w");
+  form.add("docContents", "a b+c%d");
+  FormData parsed = FormData::parse(form.encode());
+  EXPECT_EQ(parsed.get("delta"), "=2\t-3\t+u&v=w");
+  EXPECT_EQ(parsed.get("docContents"), "a b+c%d");
+}
+
+TEST(Random, XoshiroDeterministic) {
+  Xoshiro256 a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Random, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(Random, BetweenInclusive) {
+  Xoshiro256 rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values hit
+  EXPECT_THROW(rng.between(5, 3), Error);
+}
+
+TEST(Random, ChanceExtremes) {
+  Xoshiro256 rng(11);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Random, OsEntropyProducesDistinctBuffers) {
+  OsEntropy os;
+  const Bytes a = os.bytes(32);
+  const Bytes b = os.bytes(32);
+  EXPECT_NE(a, b);
+}
+
+TEST(ErrorTaxonomy, CodesAndMessages) {
+  const IntegrityError err("block swapped");
+  EXPECT_EQ(err.code(), ErrorCode::kIntegrity);
+  EXPECT_NE(std::string(err.what()).find("integrity"), std::string::npos);
+  EXPECT_NE(std::string(err.what()).find("block swapped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privedit

@@ -1,0 +1,116 @@
+// Tests for the workload generators.
+
+#include <gtest/gtest.h>
+
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+#include "privedit/workload/corpus.hpp"
+#include "privedit/workload/edits.hpp"
+
+namespace privedit::workload {
+namespace {
+
+TEST(Corpus, RandomDocumentMeetsLength) {
+  Xoshiro256 rng(1);
+  for (std::size_t target : {10u, 100u, 500u, 10'000u}) {
+    const std::string doc = random_document(rng, target);
+    EXPECT_GE(doc.size(), target);
+    EXPECT_LT(doc.size(), target + 200);
+    EXPECT_EQ(doc.back(), '.');
+  }
+}
+
+TEST(Corpus, RandomSentenceShape) {
+  Xoshiro256 rng(2);
+  const std::string s = random_sentence(rng, 5);
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(s[0])));
+  EXPECT_EQ(s.back(), '.');
+  EXPECT_EQ(std::count(s.begin(), s.end(), ' '), 4);
+}
+
+TEST(Corpus, RandomStringUniformLengths) {
+  Xoshiro256 rng(3);
+  const RandomPair p = random_pair(rng, 100, 10'000);
+  EXPECT_GE(p.before.size(), 100u);
+  EXPECT_LE(p.before.size(), 10'000u);
+  EXPECT_GE(p.after.size(), 100u);
+  EXPECT_LE(p.after.size(), 10'000u);
+  EXPECT_NE(p.before, p.after);
+}
+
+TEST(Corpus, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  EXPECT_EQ(random_document(a, 300), random_document(b, 300));
+}
+
+TEST(SentenceEditorTest, StepsProduceValidDeltas) {
+  Xoshiro256 rng(4);
+  SentenceEditor editor(random_document(rng, 500), &rng);
+  for (int i = 0; i < 100; ++i) {
+    const std::string before = editor.document();
+    const delta::Delta d = editor.step_mixed();
+    EXPECT_EQ(d.apply(before), editor.document());
+    EXPECT_FALSE(editor.document().empty());
+  }
+}
+
+TEST(SentenceEditorTest, EachOpKindBehaves) {
+  Xoshiro256 rng(5);
+  SentenceEditor editor(random_document(rng, 500), &rng);
+
+  const std::string before_replace = editor.document();
+  editor.step(MacroOp::kReplaceSentence);
+  EXPECT_NE(editor.document(), before_replace);
+
+  const std::size_t before_insert = editor.document().size();
+  editor.step(MacroOp::kInsertSentence);
+  EXPECT_GT(editor.document().size(), before_insert);
+
+  const std::size_t before_delete = editor.document().size();
+  editor.step(MacroOp::kDeleteSentence);
+  EXPECT_LT(editor.document().size(), before_delete);
+}
+
+TEST(TypingSessionTest, KeystrokesApplyCleanly) {
+  Xoshiro256 rng(6);
+  TypingSession typing("seed text", &rng);
+  for (int i = 0; i < 500; ++i) {
+    const std::string before = typing.document();
+    const delta::Delta d = typing.keystroke();
+    EXPECT_EQ(d.apply(before), typing.document());
+    EXPECT_LE(typing.cursor(), typing.document().size());
+  }
+  // A typing session mostly inserts, so the document grows.
+  EXPECT_GT(typing.document().size(), 200u);
+}
+
+TEST(CovertDelta, EncodesWithoutChangingSemantics) {
+  const std::string doc = "abcdefghijklmnopqrstuvwxyz abcdefghijklmnopqrstuvwxyz";
+  for (char secret : {'a', 'm', 'z'}) {
+    const delta::Delta d = covert_ord_delta(doc, 3, 'X', secret);
+    const std::string result = d.apply(doc);
+    // Net effect: exactly one 'X' inserted at position 3.
+    EXPECT_EQ(result, doc.substr(0, 3) + "X" + doc.substr(3));
+    // The wire form leaks the ordinal through its length.
+    const int ord = secret - 'a' + 1;
+    EXPECT_GT(static_cast<int>(d.ops().size()), ord);
+  }
+}
+
+TEST(CovertDelta, DistinctSecretsDistinctWireForms) {
+  const std::string doc(64, 'q');
+  const delta::Delta a = covert_ord_delta(doc, 0, 'X', 'b');
+  const delta::Delta b = covert_ord_delta(doc, 0, 'X', 'y');
+  EXPECT_NE(a.to_wire().size(), b.to_wire().size());
+  // ...but both canonicalise/re-diff to the same minimal edit.
+  EXPECT_EQ(delta::myers_diff(doc, a.apply(doc)),
+            delta::myers_diff(doc, b.apply(doc)));
+}
+
+TEST(CovertDelta, RejectsBadArguments) {
+  EXPECT_THROW(covert_ord_delta("short", 4, 'X', 'z'), privedit::Error);
+  EXPECT_THROW(covert_ord_delta("whatever long enough", 0, 'X', '5'), privedit::Error);
+}
+
+}  // namespace
+}  // namespace privedit::workload
