@@ -115,6 +115,20 @@ std::size_t ContainerHeader::prefix_chars() const {
   return 1 + codec_width(codec, kRawSize);
 }
 
+bool looks_like_container(std::string_view encoded_doc) {
+  if (encoded_doc.empty()) return false;
+  try {
+    const Codec codec = codec_from_tag(encoded_doc[0]);
+    const std::size_t header_width =
+        codec_width(codec, ContainerHeader::kRawSize);
+    if (encoded_doc.size() < 1 + header_width) return false;
+    const Bytes raw = codec_decode(codec, encoded_doc.substr(1, header_width));
+    return raw.size() >= 4 && std::memcmp(raw.data(), kMagic, 4) == 0;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
 ContainerReader::ContainerReader(std::string_view encoded_doc)
     : doc_(encoded_doc) {
   if (encoded_doc.empty()) {

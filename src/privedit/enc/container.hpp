@@ -62,6 +62,14 @@ struct ContainerHeader {
   std::size_t prefix_chars() const;
 };
 
+/// True if the string plausibly is a privedit container: a valid codec
+/// tag whose decoded header prefix carries the "PEDC" magic. Lets the
+/// mediator distinguish a legacy plaintext document (pass through) from a
+/// container corrupted in transit or at the provider (fail loudly) —
+/// without this, one flipped byte of ciphertext would be handed to the
+/// client as if it were the document text.
+bool looks_like_container(std::string_view encoded_doc);
+
 /// Splits an encoded ciphertext document into (header, unit count) and
 /// yields the raw bytes of each unit. Throws ParseError on any framing
 /// violation (bad tag, non-integral unit count, undecodable text).

@@ -1,6 +1,7 @@
 #include "privedit/extension/mediator.hpp"
 
 #include "privedit/cloud/xml.hpp"
+#include "privedit/enc/container.hpp"
 #include "privedit/crypto/sha256.hpp"
 #include "privedit/delta/delta.hpp"
 #include "privedit/util/error.hpp"
@@ -119,8 +120,16 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
       ++counters_.opens_decrypted;
       return resp;
     } catch (const ParseError&) {
-      // Not a privedit container — a legacy plaintext document. Leave it
-      // alone and stop mediating this document.
+      // Unparseable content is either a legacy plaintext document (pass
+      // through, stop mediating) or a *corrupted* container. If we already
+      // hold a session for this document, or the bytes still carry the
+      // container magic, it is corruption — in transit or at the provider
+      // — and must fail loudly rather than reach the client as "text".
+      if (sessions_.count(doc_id) != 0 || enc::looks_like_container(content)) {
+        throw IntegrityError(
+            "open: ciphertext container corrupted for document '" + doc_id +
+            "'");
+      }
       unmanaged_.insert(doc_id);
       ++counters_.passthrough_unmanaged;
       return resp;

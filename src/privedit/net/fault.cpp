@@ -1,0 +1,62 @@
+#include "privedit/net/fault.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+
+FaultyChannel::FaultyChannel(Channel* inner, FaultSpec spec,
+                             std::unique_ptr<RandomSource> rng,
+                             SimClock* clock)
+    : inner_(inner), spec_(spec), rng_(std::move(rng)), clock_(clock) {
+  if (inner_ == nullptr || rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "FaultyChannel: null inner channel or rng");
+  }
+}
+
+HttpResponse FaultyChannel::round_trip(const HttpRequest& request) {
+  if (spec_.delay > 0 && rng_->chance(spec_.delay)) {
+    ++counters_.delayed;
+    const std::uint64_t us =
+        spec_.max_delay_us > 0 ? rng_->below(spec_.max_delay_us + 1) : 0;
+    if (clock_ != nullptr) {
+      clock_->advance_us(us);
+    } else if (us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+  if (spec_.drop > 0 && rng_->chance(spec_.drop)) {
+    ++counters_.dropped;
+    throw TransportError(FaultKind::kConnect,
+                         "injected: connection refused");
+  }
+  if (spec_.truncate_request > 0 && rng_->chance(spec_.truncate_request)) {
+    ++counters_.truncated_requests;
+    throw TransportError(FaultKind::kReset,
+                         "injected: stream reset mid-request");
+  }
+
+  ++counters_.delivered;
+  HttpResponse response = inner_->round_trip(request);
+
+  if (spec_.truncate_response > 0 &&
+      rng_->chance(spec_.truncate_response)) {
+    ++counters_.truncated_responses;
+    throw TransportError(FaultKind::kTruncated,
+                         "injected: connection closed mid-response");
+  }
+  if (spec_.garble_response > 0 && rng_->chance(spec_.garble_response) &&
+      !response.body.empty()) {
+    ++counters_.garbled;
+    // Flip a byte somewhere in the body — enough to break any integrity
+    // check, subtle enough that only an integrity check notices.
+    const std::size_t at = rng_->below(response.body.size());
+    response.body[at] = static_cast<char>(response.body[at] ^ 0x20);
+  }
+  return response;
+}
+
+}  // namespace privedit::net

@@ -1,0 +1,60 @@
+#pragma once
+// Fault injection for the network path.
+//
+// FaultyChannel wraps any net::Channel and makes a configured fraction of
+// round trips fail the way real networks fail: the connection is refused
+// before the request is delivered, the stream dies mid-request or
+// mid-response, the response body arrives garbled, or the round trip is
+// simply slow. Failures are thrown as the same TransportError kinds the
+// real socket layer produces, so retry policies, the mediator and the
+// replication layer exercise exactly the code paths a flaky production
+// network would hit — deterministically, from a seeded RandomSource.
+
+#include <cstdint>
+#include <memory>
+
+#include "privedit/net/socket.hpp"
+#include "privedit/net/transport.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::net {
+
+/// Per-round-trip fault probabilities, each independently sampled.
+/// Order of evaluation: delay, drop, truncate_request (these three fire
+/// before the request is delivered), then the inner round trip, then
+/// truncate_response / garble_response on the way back.
+struct FaultSpec {
+  double drop = 0.0;               // connect refused; request not delivered
+  double truncate_request = 0.0;   // stream dies mid-request; not delivered
+  double truncate_response = 0.0;  // request DELIVERED, response cut short
+  double garble_response = 0.0;    // request delivered, body bytes flipped
+  double delay = 0.0;              // round trip delayed but successful
+  std::uint64_t max_delay_us = 50'000;  // uniform [0, max] when delay fires
+};
+
+class FaultyChannel final : public Channel {
+ public:
+  FaultyChannel(Channel* inner, FaultSpec spec,
+                std::unique_ptr<RandomSource> rng, SimClock* clock = nullptr);
+
+  HttpResponse round_trip(const HttpRequest& request) override;
+
+  struct Counters {
+    std::size_t delivered = 0;  // round trips that reached the inner channel
+    std::size_t dropped = 0;
+    std::size_t truncated_requests = 0;
+    std::size_t truncated_responses = 0;
+    std::size_t garbled = 0;
+    std::size_t delayed = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Channel* inner_;
+  FaultSpec spec_;
+  std::unique_ptr<RandomSource> rng_;
+  SimClock* clock_;
+  Counters counters_;
+};
+
+}  // namespace privedit::net

@@ -79,14 +79,29 @@ ParsedHead parse_message(std::string_view wire) {
     pos = next + 2;
   }
 
+  // Collect every Content-Length header: request-smuggling classics are a
+  // value with trailing garbage ("123abc") and conflicting duplicates —
+  // both are rejected, not guessed at.
   std::size_t content_length = 0;
-  if (auto cl = out.headers.get("Content-Length")) {
-    const auto* b = cl->data();
-    const auto* e = b + cl->size();
-    auto [p, ec] = std::from_chars(b, e, content_length);
-    if (ec != std::errc() || p != e) {
+  bool seen_length = false;
+  for (const auto& [name, value] : out.headers.entries()) {
+    if (!iequals(name, "Content-Length")) continue;
+    std::string_view v = value;
+    while (!v.empty() && (v.back() == ' ' || v.back() == '\t')) {
+      v.remove_suffix(1);
+    }
+    std::size_t n = 0;
+    const auto* b = v.data();
+    const auto* e = b + v.size();
+    auto [p, ec] = std::from_chars(b, e, n);
+    if (ec != std::errc() || p != e || v.empty()) {
       throw ParseError("http: invalid Content-Length");
     }
+    if (seen_length && n != content_length) {
+      throw ParseError("http: conflicting duplicate Content-Length headers");
+    }
+    seen_length = true;
+    content_length = n;
   }
   if (rest.size() < content_length) {
     throw ParseError("http: truncated body");

@@ -1,17 +1,43 @@
 #include "privedit/net/http_server.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
-#include <memory>
+#include <thread>
 
 #include "privedit/util/error.hpp"
 
 namespace privedit::net {
+namespace {
 
-std::string read_http_message(TcpStream& stream, std::size_t max_bytes) {
+/// Strict Content-Length value parse: optional surrounding OWS, digits
+/// only, no trailing garbage ("123abc" is an attack, not a number).
+std::size_t parse_content_length(std::string_view value) {
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  std::size_t n = 0;
+  const auto* b = value.data();
+  const auto* e = b + value.size();
+  auto [p, ec] = std::from_chars(b, e, n);
+  if (ec != std::errc() || p != e || value.empty()) {
+    throw ParseError("http: bad Content-Length on stream");
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string read_http_message(TcpStream& stream, std::size_t max_bytes,
+                              int deadline_ms) {
   std::string buf;
   std::size_t body_needed = SIZE_MAX;  // unknown until headers parsed
   std::size_t head_end = std::string::npos;
+  const auto start = std::chrono::steady_clock::now();
 
   while (true) {
     if (head_end == std::string::npos) {
@@ -19,6 +45,7 @@ std::string read_http_message(TcpStream& stream, std::size_t max_bytes) {
       if (head_end != std::string::npos) {
         // Parse Content-Length out of the raw head (case-insensitive).
         body_needed = 0;
+        bool seen = false;
         std::size_t pos = 0;
         while (pos < head_end) {
           std::size_t eol = buf.find("\r\n", pos);
@@ -36,16 +63,13 @@ std::string read_http_message(TcpStream& stream, std::size_t max_bytes) {
               }
             }
             if (match) {
-              std::string_view value = line.substr(kName.size());
-              while (!value.empty() && value.front() == ' ') {
-                value.remove_prefix(1);
+              const std::size_t n =
+                  parse_content_length(line.substr(kName.size()));
+              if (seen && n != body_needed) {
+                throw ParseError(
+                    "http: conflicting duplicate Content-Length headers");
               }
-              std::size_t n = 0;
-              const auto* b = value.data();
-              auto [p, ec] = std::from_chars(b, b + value.size(), n);
-              if (ec != std::errc()) {
-                throw ParseError("http: bad Content-Length on stream");
-              }
+              seen = true;
               body_needed = n;
             }
           }
@@ -66,18 +90,43 @@ std::string read_http_message(TcpStream& stream, std::size_t max_bytes) {
     if (buf.size() > max_bytes) {
       throw ProtocolError("http: message exceeds size limit");
     }
+    if (deadline_ms > 0) {
+      // The whole message must arrive within the deadline — a client
+      // dripping one byte per SO_RCVTIMEO window cannot hold a worker
+      // hostage indefinitely.
+      const auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const auto remaining = deadline_ms - static_cast<int>(elapsed_ms);
+      if (remaining <= 0) {
+        throw TransportError(FaultKind::kTimeout,
+                             "http: request deadline expired");
+      }
+      stream.set_read_timeout_ms(remaining);
+    }
     const std::string chunk = stream.read_some();
     if (chunk.empty()) {
-      throw ProtocolError("http: connection closed mid-message");
+      throw TransportError(FaultKind::kTruncated,
+                           "http: connection closed mid-message");
     }
     buf += chunk;
   }
 }
 
-HttpServer::HttpServer(std::uint16_t port, Handler handler)
-    : listener_(port), handler_(std::move(handler)) {
+HttpServer::HttpServer(std::uint16_t port, Handler handler,
+                       HttpServerConfig config)
+    : listener_(port), handler_(std::move(handler)), config_(config) {
   if (!handler_) {
     throw Error(ErrorCode::kInvalidArgument, "HttpServer: null handler");
+  }
+  if (config_.worker_threads == 0 || config_.accept_queue_capacity == 0) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "HttpServer: need >= 1 worker and >= 1 queue slot");
+  }
+  workers_.reserve(config_.worker_threads);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -88,14 +137,34 @@ void HttpServer::stop() {
   if (stopping_.exchange(true)) return;
   listener_.shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
   {
-    const std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers.swap(workers_);
+    // Empty critical section: a worker that read stopping_==false cannot
+    // miss the wakeup — it is either already waiting or has not yet
+    // locked the mutex and will re-check the predicate.
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
   }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
   }
+}
+
+HttpServer::Counters HttpServer::counters() const {
+  Counters c;
+  c.served = served_.load();
+  c.write_failures = write_failures_.load();
+  c.rejected_busy = rejected_busy_.load();
+  c.dropped = dropped_.load();
+  return c;
+}
+
+std::size_t HttpServer::backlog() const {
+  std::size_t queued;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queued = queue_.size();
+  }
+  return queued + in_flight_.load();
 }
 
 void HttpServer::accept_loop() {
@@ -111,25 +180,62 @@ void HttpServer::accept_loop() {
       if (stopping_.load()) return;
       continue;
     }
-    const std::lock_guard<std::mutex> lock(workers_mutex_);
-    // Opportunistically reap finished workers to bound the vector.
-    if (workers_.size() > 64) {
-      for (std::thread& t : workers_) {
-        if (t.joinable()) t.join();
+    bool enqueued = false;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() < config_.accept_queue_capacity) {
+        queue_.push_back(std::move(stream));
+        enqueued = true;
       }
-      workers_.clear();
     }
-    workers_.emplace_back(
-        [this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
-          serve(std::move(*s));
-        });
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      ++rejected_busy_;
+      reject_busy(std::move(stream));
+    }
+  }
+}
+
+void HttpServer::reject_busy(TcpStream stream) {
+  // Shed load fast: the accept loop writes the 503 itself rather than
+  // waiting for a worker — that is the whole point of the bounded queue.
+  try {
+    HttpResponse busy = HttpResponse::make(503, "server busy, retry later");
+    busy.headers.set("Connection", "close");
+    busy.headers.set("Retry-After", "1");
+    stream.write_all(busy.serialize());
+  } catch (const std::exception&) {
+    // Peer already gone; nothing to shed.
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    TcpStream stream{Fd{}};
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        // stopping_ and the queue is drained — graceful exit.
+        return;
+      }
+      stream = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    serve(std::move(stream));
+    --in_flight_;
   }
 }
 
 void HttpServer::serve(TcpStream stream) {
   try {
-    stream.set_read_timeout_ms(5000);
-    const std::string wire = read_http_message(stream, 64 * 1024 * 1024);
+    stream.set_read_timeout_ms(config_.request_deadline_ms);
+    const std::string wire = read_http_message(
+        stream, config_.max_message_bytes, config_.request_deadline_ms);
     const HttpRequest request = HttpRequest::parse(wire);
     HttpResponse response;
     try {
@@ -139,26 +245,57 @@ void HttpServer::serve(TcpStream stream) {
           HttpResponse::make(500, std::string("handler error: ") + e.what());
     }
     response.headers.set("Connection", "close");
-    // Count before the write completes so a client that has already read
-    // the response always observes the increment.
-    ++served_;
-    stream.write_all(response.serialize());
+    try {
+      stream.write_all(response.serialize());
+      // Count only after the write completed — a response the peer never
+      // received is not "served".
+      ++served_;
+    } catch (const std::exception&) {
+      ++write_failures_;
+    }
   } catch (const std::exception& e) {
     // Malformed request or dead peer; drop the connection (with a trace
     // for operators — this is a server, silence hides bugs).
+    ++dropped_;
     std::fprintf(stderr, "privedit http_server: dropped connection: %s\n",
                  e.what());
   }
 }
 
-HttpResponse TcpChannel::round_trip(const HttpRequest& request) {
+TcpChannel::TcpChannel(std::uint16_t port, int timeout_ms, RetryPolicy retry)
+    : port_(port),
+      timeout_ms_(timeout_ms),
+      retry_(retry),
+      rng_(std::make_unique<OsEntropy>()) {}
+
+HttpResponse TcpChannel::attempt(const HttpRequest& request) {
   TcpStream stream = TcpStream::connect(port_);
   stream.set_read_timeout_ms(timeout_ms_);
   HttpRequest req = request;
   req.headers.set("Connection", "close");
   stream.write_all(req.serialize());
-  const std::string wire = read_http_message(stream, 64 * 1024 * 1024);
+  const std::string wire =
+      read_http_message(stream, 64 * 1024 * 1024, timeout_ms_);
   return HttpResponse::parse(wire);
+}
+
+HttpResponse TcpChannel::round_trip(const HttpRequest& request) {
+  for (int try_no = 0;; ++try_no) {
+    ++counters_.attempts;
+    try {
+      return attempt(request);
+    } catch (const TransportError& e) {
+      if (!retry_.retryable(e.kind()) || try_no + 1 >= retry_.max_attempts) {
+        ++counters_.giveups;
+        throw;
+      }
+    }
+    ++counters_.retries;
+    const std::uint64_t wait = retry_.backoff_us(try_no, *rng_);
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(wait));
+    }
+  }
 }
 
 Handler serialize_handler(Handler inner) {

@@ -1,37 +1,63 @@
 #pragma once
-// Threaded HTTP/1.1 server and client channel over real TCP sockets.
+// Worker-pool HTTP/1.1 server and retrying client channel over real TCP.
 //
 // HttpServer accepts connections on a loopback port and dispatches each
 // complete request to a Handler (one request per connection, Connection:
-// close semantics — all the simulated 2009-era services need). TcpChannel
-// is the matching client side, implementing net::Channel so the editor
-// clients and the mediator run unchanged over real sockets.
+// close semantics — all the simulated 2009-era services need). Accepted
+// connections land in a bounded queue drained by a fixed-size worker pool;
+// when the queue is full the server answers 503 immediately instead of
+// letting backlog grow without bound, and the accept loop never blocks on
+// a slow connection. Each request runs under a deadline: a client may
+// drip-feed bytes, but the whole read must finish within
+// `request_deadline_ms`. stop() drains gracefully — accepted work is
+// finished, then the workers exit and join.
+//
+// TcpChannel is the matching client side, implementing net::Channel so the
+// editor clients and the mediator run unchanged over real sockets. It
+// retries refused connects and (optionally) mid-message peer closes under
+// a RetryPolicy with exponential backoff + jitter.
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "privedit/net/http.hpp"
+#include "privedit/net/retry.hpp"
 #include "privedit/net/socket.hpp"
 #include "privedit/net/transport.hpp"
 
 namespace privedit::net {
 
 /// Reads one full HTTP message (headers + Content-Length body) from a
-/// stream. Throws ProtocolError/ParseError on malformed or truncated
-/// input. Exposed for testing.
-std::string read_http_message(TcpStream& stream, std::size_t max_bytes);
+/// stream. Throws ParseError on malformed Content-Length (trailing
+/// garbage, conflicting duplicates) and TransportError on truncation,
+/// timeout or oversize. `deadline_ms` bounds the total read time across
+/// all chunks (0 = no overall deadline; each read still honours the
+/// stream's SO_RCVTIMEO). Exposed for testing.
+std::string read_http_message(TcpStream& stream, std::size_t max_bytes,
+                              int deadline_ms = 0);
+
+struct HttpServerConfig {
+  std::size_t worker_threads = 8;
+  std::size_t accept_queue_capacity = 128;  // beyond this: 503
+  int request_deadline_ms = 5000;           // whole-request read budget
+  std::size_t max_message_bytes = 64 * 1024 * 1024;
+};
 
 class HttpServer {
  public:
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
-  /// The handler is called concurrently from connection threads; it must
-  /// be thread-safe (or internally serialized).
-  HttpServer(std::uint16_t port, Handler handler);
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), spawns the worker pool and
+  /// starts the accept loop. The handler is called concurrently from
+  /// worker threads; it must be thread-safe (or internally serialized).
+  HttpServer(std::uint16_t port, Handler handler,
+             HttpServerConfig config = {});
 
-  /// Stops accepting, drains connection threads.
+  /// Stops accepting, drains queued connections, joins all threads.
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -39,34 +65,70 @@ class HttpServer {
 
   std::uint16_t port() const { return listener_.port(); }
 
+  /// Responses fully written to the peer (a failed write does not count).
   std::size_t requests_served() const { return served_.load(); }
+
+  struct Counters {
+    std::size_t served = 0;          // responses fully written
+    std::size_t write_failures = 0;  // handler ran, response write failed
+    std::size_t rejected_busy = 0;   // 503'd because the queue was full
+    std::size_t dropped = 0;         // malformed / timed-out / dead peers
+  };
+  Counters counters() const;
+
+  /// Connections accepted but not yet finished (queued + in-flight).
+  std::size_t backlog() const;
 
   void stop();
 
  private:
   void accept_loop();
+  void worker_loop();
   void serve(TcpStream stream);
+  void reject_busy(TcpStream stream);
 
   TcpListener listener_;
   Handler handler_;
+  HttpServerConfig config_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> served_{0};
+  std::atomic<std::size_t> write_failures_{0};
+  std::atomic<std::size_t> rejected_busy_{0};
+  std::atomic<std::size_t> dropped_{0};
+  std::atomic<std::size_t> in_flight_{0};
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<TcpStream> queue_;
+
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
 };
 
-/// net::Channel over a real TCP connection (one connection per request).
+/// net::Channel over a real TCP connection (one connection per request),
+/// with retry/backoff on transient transport failures.
 class TcpChannel final : public Channel {
  public:
-  explicit TcpChannel(std::uint16_t port, int timeout_ms = 5000)
-      : port_(port), timeout_ms_(timeout_ms) {}
+  explicit TcpChannel(std::uint16_t port, int timeout_ms = 5000,
+                      RetryPolicy retry = RetryPolicy());
 
   HttpResponse round_trip(const HttpRequest& request) override;
 
+  struct Counters {
+    std::size_t attempts = 0;
+    std::size_t retries = 0;
+    std::size_t giveups = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
  private:
+  HttpResponse attempt(const HttpRequest& request);
+
   std::uint16_t port_;
   int timeout_ms_;
+  RetryPolicy retry_;
+  std::unique_ptr<RandomSource> rng_;
+  Counters counters_;
 };
 
 /// Wraps a non-thread-safe Handler with a mutex.

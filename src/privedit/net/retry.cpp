@@ -1,0 +1,75 @@
+#include "privedit/net/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+
+std::uint64_t RetryPolicy::backoff_us(int retry, RandomSource& rng) const {
+  double b = static_cast<double>(base_backoff_us);
+  for (int i = 0; i < retry; ++i) b *= multiplier;
+  b = std::min(b, static_cast<double>(max_backoff_us));
+  auto full = static_cast<std::uint64_t>(b);
+  if (jitter <= 0.0 || full == 0) return full;
+  const double j = std::min(jitter, 1.0);
+  const auto span = static_cast<std::uint64_t>(b * j);
+  // Uniform in [full - span, full]: decorrelates clients that all saw the
+  // same failure instant, so retries don't re-stampede the server.
+  return full - (span > 0 ? rng.below(span + 1) : 0);
+}
+
+bool RetryPolicy::retryable(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kConnect:
+      return true;  // request never delivered
+    case FaultKind::kTruncated:
+    case FaultKind::kReset:
+      return retry_truncated;
+    case FaultKind::kTimeout:
+    case FaultKind::kOther:
+      return false;
+  }
+  return false;
+}
+
+RetryChannel::RetryChannel(Channel* inner, RetryPolicy policy,
+                           std::unique_ptr<RandomSource> rng, SimClock* clock)
+    : inner_(inner), policy_(policy), rng_(std::move(rng)), clock_(clock) {
+  if (inner_ == nullptr || rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "RetryChannel: null inner channel or rng");
+  }
+  if (policy_.max_attempts < 1) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "RetryChannel: max_attempts must be >= 1");
+  }
+}
+
+HttpResponse RetryChannel::round_trip(const HttpRequest& request) {
+  for (int attempt = 0;; ++attempt) {
+    ++counters_.attempts;
+    try {
+      return inner_->round_trip(request);
+    } catch (const TransportError& e) {
+      if (!policy_.retryable(e.kind()) ||
+          attempt + 1 >= policy_.max_attempts) {
+        ++counters_.giveups;
+        throw;
+      }
+    }
+    const std::uint64_t wait = policy_.backoff_us(attempt, *rng_);
+    counters_.backoff_us += wait;
+    ++counters_.retries;
+    if (clock_ != nullptr) {
+      clock_->advance_us(wait);
+    } else if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(wait));
+    }
+  }
+}
+
+}  // namespace privedit::net

@@ -1,0 +1,77 @@
+#pragma once
+// Client-side retry with exponential backoff and jitter.
+//
+// The mediator sits on every request between the editor and the cloud, so
+// a transient connect refusal or a connection dying mid-message must not
+// surface to the user as a failed save. RetryPolicy decides which
+// FaultKinds are safe to retry and how long to back off; RetryChannel is a
+// net::Channel decorator applying the policy to any underlying channel
+// (TcpChannel applies the same policy internally to the real-socket path).
+//
+// Safety note: a refused connect means the request never reached the
+// server, so retrying is always safe. A truncated/reset *response* means
+// the server may already have applied the request; retrying is only safe
+// for idempotent traffic (full saves, opens, reads). `retry_truncated`
+// gates that class and defaults to on, matching the simulated services —
+// full docContents saves are idempotent and delta saves carry a base
+// revision the server reconciles.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "privedit/net/socket.hpp"
+#include "privedit/net/transport.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::net {
+
+struct RetryPolicy {
+  int max_attempts = 4;                  // total tries, including the first
+  std::uint64_t base_backoff_us = 2000;  // delay before the first retry
+  double multiplier = 2.0;               // exponential growth per retry
+  std::uint64_t max_backoff_us = 250'000;
+  double jitter = 0.5;        // backoff drawn from [b*(1-jitter), b]
+  bool retry_truncated = true;  // retry kTruncated / kReset responses
+
+  /// No retries at all (single attempt).
+  static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+
+  /// Backoff before retry number `retry` (0-based), jittered with `rng`.
+  std::uint64_t backoff_us(int retry, RandomSource& rng) const;
+
+  /// True if a failure of this kind should be retried under this policy.
+  bool retryable(FaultKind kind) const;
+};
+
+/// net::Channel decorator that retries the wrapped channel's round_trip on
+/// retryable TransportErrors. Backoff is charged to the SimClock when one
+/// is supplied (deterministic tests/benches) and slept for real otherwise.
+class RetryChannel final : public Channel {
+ public:
+  RetryChannel(Channel* inner, RetryPolicy policy,
+               std::unique_ptr<RandomSource> rng, SimClock* clock = nullptr);
+
+  HttpResponse round_trip(const HttpRequest& request) override;
+
+  struct Counters {
+    std::size_t attempts = 0;   // every call into the inner channel
+    std::size_t retries = 0;    // attempts beyond the first per request
+    std::size_t giveups = 0;    // requests that exhausted the policy
+    std::uint64_t backoff_us = 0;  // total backoff charged/slept
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Channel* inner_;
+  RetryPolicy policy_;
+  std::unique_ptr<RandomSource> rng_;
+  SimClock* clock_;
+  Counters counters_;
+};
+
+}  // namespace privedit::net

@@ -14,8 +14,9 @@
 namespace privedit::net {
 namespace {
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw ProtocolError(what + ": " + std::strerror(errno));
+[[noreturn]] void throw_errno(const std::string& what,
+                              FaultKind kind = FaultKind::kOther) {
+  throw TransportError(kind, what + ": " + std::strerror(errno));
 }
 
 sockaddr_in loopback(std::uint16_t port) {
@@ -27,6 +28,22 @@ sockaddr_in loopback(std::uint16_t port) {
 }
 
 }  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kConnect:
+      return "connect-refused";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kReset:
+      return "peer-reset";
+    case FaultKind::kTruncated:
+      return "truncated";
+    case FaultKind::kOther:
+      return "net";
+  }
+  return "net";
+}
 
 Fd::~Fd() { reset(); }
 
@@ -52,7 +69,8 @@ TcpStream TcpStream::connect(std::uint16_t port) {
   const sockaddr_in addr = loopback(port);
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    throw_errno("connect to 127.0.0.1:" + std::to_string(port));
+    throw_errno("connect to 127.0.0.1:" + std::to_string(port),
+                FaultKind::kConnect);
   }
   int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -66,6 +84,9 @@ void TcpStream::write_all(std::string_view data) {
                              data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw_errno("send", FaultKind::kReset);
+      }
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -78,6 +99,12 @@ std::string TcpStream::read_some(std::size_t max) {
     const ssize_t n = ::recv(fd_.get(), buf.data(), buf.size(), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw_errno("recv", FaultKind::kTimeout);
+      }
+      if (errno == ECONNRESET) {
+        throw_errno("recv", FaultKind::kReset);
+      }
       throw_errno("recv");
     }
     buf.resize(static_cast<std::size_t>(n));
@@ -126,9 +153,14 @@ TcpStream TcpListener::accept() {
 }
 
 void TcpListener::shutdown() {
+  // Only ::shutdown(), never close: this is called from stop() while the
+  // accept thread may be blocked inside ::accept() on the same fd.
+  // shutdown() wakes that accept (it fails with EINVAL); closing here
+  // would race the concurrent fd_ read and could hand a recycled
+  // descriptor to the accept call. The fd is closed by the destructor,
+  // after the accept thread has been joined.
   if (fd_.valid()) {
     ::shutdown(fd_.get(), SHUT_RDWR);
-    fd_.reset();
   }
 }
 

@@ -12,8 +12,37 @@
 #include <string_view>
 
 #include "privedit/util/bytes.hpp"
+#include "privedit/util/error.hpp"
 
 namespace privedit::net {
+
+/// What kind of transport-level failure occurred. Retry policies branch on
+/// this: a refused connect never delivered the request (always safe to
+/// retry); a truncated read may have — callers decide per endpoint.
+enum class FaultKind {
+  kConnect,    // connect() failed — request never left this host
+  kTimeout,    // read deadline expired (SO_RCVTIMEO or request deadline)
+  kReset,      // peer reset / broken pipe mid-stream
+  kTruncated,  // orderly EOF in the middle of a framed message
+  kOther,      // everything else (socket(), setsockopt(), ...)
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// ProtocolError carrying the failure classification. Everything the
+/// socket layer throws is a TransportError, so existing catch sites for
+/// ProtocolError keep working while retry logic can inspect the kind.
+class TransportError : public ProtocolError {
+ public:
+  TransportError(FaultKind kind, const std::string& what)
+      : ProtocolError(std::string(fault_kind_name(kind)) + ": " + what),
+        kind_(kind) {}
+
+  FaultKind kind() const noexcept { return kind_; }
+
+ private:
+  FaultKind kind_;
+};
 
 /// RAII file descriptor.
 class Fd {

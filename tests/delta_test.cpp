@@ -179,6 +179,46 @@ TEST(Compose, SecondDeletesBeyondFirstsSpan) {
   EXPECT_EQ(ab.apply("abc"), b.apply(a.apply("abc")));
 }
 
+TEST(Compose, BothStreamsEndAtImplicitTail) {
+  // Neither delta spells out a retain for the suffix; compose must line up
+  // the two implicit tails instead of running off either op list.
+  const Delta a = Delta::parse("=1\t+X");   // aXbcd
+  const Delta b = Delta::parse("=3\t+Y");   // aXbYcd
+  const Delta ab = Delta::compose(a, b);
+  EXPECT_EQ(ab.apply("abcd"), "aXbYcd");
+  EXPECT_EQ(ab.apply("abcd"), b.apply(a.apply("abcd")));
+  EXPECT_TRUE(ab.is_canonical());
+}
+
+TEST(Compose, EmptyDeltasBothWays) {
+  const Delta id;
+  EXPECT_TRUE(Delta::compose(id, id).empty());
+  const Delta edit = Delta::parse("=2\t-1\t+Z");
+  EXPECT_EQ(Delta::compose(id, edit).apply("abcd"), edit.apply("abcd"));
+  EXPECT_EQ(Delta::compose(edit, id).apply("abcd"), edit.apply("abcd"));
+}
+
+TEST(Compose, PartialAnnihilationAcrossOpBoundaries) {
+  // b's single delete spans the tail of a's first insert, a retained
+  // original char, and the head of a's second insert — compose must split
+  // all three correctly.
+  const Delta a = Delta::parse("+AB\t=1\t+CD");  // ABxCDyz
+  const Delta b = Delta::parse("=1\t-3\t=3");    // ADyz
+  const Delta ab = Delta::compose(a, b);
+  EXPECT_EQ(ab.apply("xyz"), "ADyz");
+  EXPECT_EQ(ab.apply("xyz"), b.apply(a.apply("xyz")));
+  EXPECT_TRUE(ab.is_canonical());
+}
+
+TEST(Compose, DeleteEverythingInserted) {
+  // b erases strictly more than a inserted, reaching into the original.
+  const Delta a = Delta::parse("+hello\t=3");   // helloabc
+  const Delta b = Delta::parse("-6\t=2");       // bc
+  const Delta ab = Delta::compose(a, b);
+  EXPECT_EQ(ab.apply("abc"), "bc");
+  EXPECT_EQ(ab.apply("abc"), b.apply(a.apply("abc")));
+}
+
 TEST(Compose, KeystrokeBatching) {
   // Typical autosave batch: type three characters at a moving cursor.
   std::string doc = "hello world";

@@ -67,6 +67,26 @@ TEST(HttpRequest, ParseErrors) {
       ParseError);
 }
 
+TEST(HttpRequest, RejectsContentLengthGarbageAndConflicts) {
+  // "123abc" must not silently parse as 123: std::from_chars stops at the
+  // first non-digit, so the parser has to check the end pointer.
+  EXPECT_THROW(
+      HttpRequest::parse("POST / HTTP/1.1\r\nContent-Length: 3abc\r\n\r\nxyz"),
+      ParseError);
+  EXPECT_THROW(
+      HttpRequest::parse("POST / HTTP/1.1\r\nContent-Length: -3\r\n\r\nxyz"),
+      ParseError);
+  // Conflicting duplicates are a smuggling vector — reject, don't last-wins.
+  EXPECT_THROW(HttpRequest::parse("POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                                  "Content-Length: 5\r\n\r\nxyzab"),
+               ParseError);
+  // Agreeing duplicates and trailing optional whitespace are tolerated.
+  const HttpRequest ok =
+      HttpRequest::parse("POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                         "Content-Length: 3 \r\n\r\nxyz");
+  EXPECT_EQ(ok.body, "xyz");
+}
+
 TEST(HttpRequest, QueryParamMissing) {
   HttpRequest req;
   req.target = "/Doc";

@@ -3,18 +3,39 @@
 // proxy end to end over loopback.
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "privedit/client/gdocs_client.hpp"
 #include "privedit/cloud/gdocs_server.hpp"
 #include "privedit/extension/proxy.hpp"
 #include "privedit/net/http_server.hpp"
+#include "privedit/net/retry.hpp"
 #include "privedit/net/socket.hpp"
 #include "privedit/util/error.hpp"
 
 namespace privedit::net {
 namespace {
+
+// The served_ counter is incremented by the worker *after* the response
+// write returns, so a client that has read the full response can observe
+// the counter a beat early — poll instead of asserting instantly.
+bool poll_until(const std::function<bool()>& done, int timeout_ms = 2000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
 
 TEST(TcpSocket, ListenerPicksEphemeralPort) {
   TcpListener listener(0);
@@ -80,6 +101,98 @@ TEST(ReadHttpMessage, RejectsOversize) {
   listener.shutdown();
 }
 
+// Serves one canned message from a throwaway listener and runs
+// read_http_message against it on the client side.
+std::string read_via_listener(const std::string& wire_to_send,
+                              std::size_t max_bytes) {
+  TcpListener listener(0);
+  std::thread sender([&listener, &wire_to_send] {
+    TcpStream conn = listener.accept();
+    conn.write_all(wire_to_send);
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  client.set_read_timeout_ms(2000);
+  std::string wire;
+  try {
+    wire = read_http_message(client, max_bytes);
+  } catch (...) {
+    sender.join();
+    listener.shutdown();
+    throw;
+  }
+  sender.join();
+  listener.shutdown();
+  return wire;
+}
+
+TEST(ReadHttpMessage, RejectsContentLengthTrailingGarbage) {
+  // "123abc" must not silently parse as 123 — that desynchronises framing
+  // and is the classic request-smuggling primitive.
+  EXPECT_THROW(read_via_listener("POST /x HTTP/1.1\r\nContent-Length: "
+                                 "3abc\r\n\r\nabcdef",
+                                 1 << 20),
+               ParseError);
+}
+
+TEST(ReadHttpMessage, RejectsConflictingDuplicateContentLength) {
+  EXPECT_THROW(
+      read_via_listener("POST /x HTTP/1.1\r\nContent-Length: 3\r\n"
+                        "Content-Length: 5\r\n\r\nabcde",
+                        1 << 20),
+      ParseError);
+}
+
+TEST(ReadHttpMessage, AcceptsEqualDuplicateAndTrailingSpace) {
+  const std::string wire = read_via_listener(
+      "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3 \r\n\r\nabc",
+      1 << 20);
+  EXPECT_EQ(HttpRequest::parse(wire).body, "abc");
+}
+
+TEST(ReadHttpMessage, DeadlineBoundsDripFeeding) {
+  // A peer dripping bytes forever must not hold the reader past the
+  // overall deadline, even though each individual read succeeds.
+  TcpListener listener(0);
+  std::atomic<bool> stop{false};
+  std::thread dripper([&listener, &stop] {
+    try {
+      TcpStream conn = listener.accept();
+      conn.write_all("POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n");
+      while (!stop.load()) {
+        conn.write_all("a");
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    } catch (const std::exception&) {
+      // Client went away — expected.
+    }
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  try {
+    read_http_message(client, 1 << 20, 250);
+    FAIL() << "drip-fed message should have hit the deadline";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kTimeout);
+  }
+  stop.store(true);
+  dripper.join();
+  listener.shutdown();
+}
+
+TEST(TcpSocket, RefusedConnectIsClassified) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.shutdown();
+  }
+  try {
+    TcpStream::connect(dead_port);
+    FAIL() << "connect to dead port should throw";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kConnect);
+  }
+}
+
 TEST(HttpServerTest, ServesOverRealSockets) {
   HttpServer server(0, [](const HttpRequest& req) {
     return HttpResponse::make(200, "echo:" + req.body);
@@ -89,7 +202,7 @@ TEST(HttpServerTest, ServesOverRealSockets) {
       channel.round_trip(HttpRequest::post_form("/x", "payload"));
   EXPECT_EQ(resp.status, 200);
   EXPECT_EQ(resp.body, "echo:payload");
-  EXPECT_EQ(server.requests_served(), 1u);
+  EXPECT_TRUE(poll_until([&server] { return server.requests_served() == 1; }));
 }
 
 TEST(HttpServerTest, ConcurrentClients) {
@@ -123,6 +236,293 @@ TEST(HttpServerTest, HandlerExceptionsBecome500) {
       channel.round_trip(HttpRequest::post_form("/x", ""));
   EXPECT_EQ(resp.status, 500);
   EXPECT_NE(resp.body.find("boom"), std::string::npos);
+}
+
+TEST(HttpServerTest, SlowClientDoesNotBlockFastOnes) {
+  // Regression for the pre-pool accept loop, which joined *all* connection
+  // threads behind the slowest one: with workers occupied by silent
+  // clients, fast requests must still be served promptly.
+  HttpServerConfig config;
+  config.worker_threads = 4;
+  config.request_deadline_ms = 1000;
+  HttpServer server(
+      0,
+      [](const HttpRequest& req) {
+        return HttpResponse::make(200, "echo:" + req.body);
+      },
+      config);
+
+  // Three connections that never send a byte, pinning up to three workers.
+  std::vector<TcpStream> slow;
+  for (int i = 0; i < 3; ++i) {
+    slow.push_back(TcpStream::connect(server.port()));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) {
+    TcpChannel channel(server.port());
+    const HttpResponse resp =
+        channel.round_trip(HttpRequest::post_form("/x", "fast"));
+    EXPECT_EQ(resp.body, "echo:fast");
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  // Well under the 1 s deadline the slow clients are charged against.
+  EXPECT_LT(elapsed.count(), 800);
+  slow.clear();  // EOF the silent connections so stop() drains instantly
+  server.stop();
+}
+
+TEST(HttpServerTest, RejectsWith503WhenSaturated) {
+  std::atomic<int> entered{0};
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+
+  HttpServerConfig config;
+  config.worker_threads = 1;
+  config.accept_queue_capacity = 1;
+  HttpServer server(
+      0,
+      [&entered, release](const HttpRequest&) {
+        ++entered;
+        release.wait();
+        return HttpResponse::make(200, "done");
+      },
+      config);
+
+  const std::string req = "POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+
+  // First connection occupies the only worker...
+  TcpStream a = TcpStream::connect(server.port());
+  a.write_all(req);
+  while (entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...second fills the single queue slot...
+  TcpStream b = TcpStream::connect(server.port());
+  b.write_all(req);
+  while (server.backlog() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...third is shed immediately with 503, without touching a worker.
+  TcpStream c = TcpStream::connect(server.port());
+  c.write_all(req);
+  c.set_read_timeout_ms(2000);
+  const HttpResponse shed =
+      HttpResponse::parse(read_http_message(c, 1 << 20, 2000));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(shed.headers.get("Retry-After"), "1");
+  EXPECT_GE(server.counters().rejected_busy, 1u);
+
+  release_promise.set_value();
+  a.set_read_timeout_ms(2000);
+  b.set_read_timeout_ms(2000);
+  EXPECT_EQ(HttpResponse::parse(read_http_message(a, 1 << 20, 2000)).status,
+            200);
+  EXPECT_EQ(HttpResponse::parse(read_http_message(b, 1 << 20, 2000)).status,
+            200);
+}
+
+TEST(HttpServerTest, CountsOnlySuccessfulWrites) {
+  // The peer disappears (RST via SO_LINGER 0) before the handler's large
+  // response can be written: served_ must NOT count it.
+  HttpServer server(0, [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    return HttpResponse::make(200, std::string(4 * 1024 * 1024, 'x'));
+  });
+  {
+    TcpStream client = TcpStream::connect(server.port());
+    client.write_all("POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    const linger lg{1, 0};
+    ::setsockopt(client.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }  // destructor closes with RST
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.counters().write_failures == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.counters().write_failures, 1u);
+  EXPECT_EQ(server.counters().served, 0u);
+  EXPECT_EQ(server.requests_served(), 0u);
+}
+
+TEST(HttpServerTest, DropsConnectionsPastRequestDeadline) {
+  HttpServerConfig config;
+  config.request_deadline_ms = 200;
+  HttpServer server(
+      0, [](const HttpRequest&) { return HttpResponse::make(200, "ok"); },
+      config);
+  TcpStream stall = TcpStream::connect(server.port());
+  stall.write_all("POST /x HTTP/1.1\r\nConten");  // partial head, then stall
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  while (server.counters().dropped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.counters().dropped, 1u);
+  EXPECT_EQ(server.counters().served, 0u);
+}
+
+TEST(HttpServerTest, DrainsQueuedConnectionsOnStop) {
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  HttpServerConfig config;
+  config.worker_threads = 2;
+  HttpServer server(
+      0,
+      [release](const HttpRequest& req) {
+        release.wait();
+        return HttpResponse::make(200, "echo:" + req.body);
+      },
+      config);
+
+  // Four full requests: two land in workers, two sit in the queue.
+  std::vector<TcpStream> conns;
+  for (int i = 0; i < 4; ++i) {
+    conns.push_back(TcpStream::connect(server.port()));
+    conns.back().write_all(
+        "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+  }
+  while (server.backlog() < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // stop() while two connections are still queued: graceful drain must
+  // serve them, not abandon them.
+  std::thread stopper([&server] { server.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  release_promise.set_value();
+  stopper.join();
+
+  for (TcpStream& conn : conns) {
+    conn.set_read_timeout_ms(2000);
+    const HttpResponse resp =
+        HttpResponse::parse(read_http_message(conn, 1 << 20, 2000));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "echo:hi");
+  }
+  EXPECT_EQ(server.counters().served, 4u);
+  EXPECT_EQ(server.backlog(), 0u);
+}
+
+TEST(HttpServerTest, ManyConcurrentClients) {
+  std::atomic<int> hits{0};
+  HttpServerConfig config;
+  config.worker_threads = 8;
+  config.accept_queue_capacity = 256;
+  HttpServer server(
+      0,
+      [&hits](const HttpRequest& req) {
+        ++hits;
+        return HttpResponse::make(200, req.body);
+      },
+      config);
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 64; ++i) {
+    clients.emplace_back([&server, &ok, i] {
+      for (int r = 0; r < 2; ++r) {
+        TcpChannel channel(server.port());
+        const std::string body =
+            "client-" + std::to_string(i) + "-" + std::to_string(r);
+        const HttpResponse resp =
+            channel.round_trip(HttpRequest::post_form("/x", body));
+        if (resp.ok() && resp.body == body) ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 128);
+  EXPECT_EQ(hits.load(), 128);
+  EXPECT_TRUE(
+      poll_until([&server] { return server.requests_served() == 128; }));
+  server.stop();
+  EXPECT_EQ(server.backlog(), 0u);
+}
+
+TEST(TcpChannelRetry, RetriesRefusedConnectUntilServerUp) {
+  std::uint16_t port;
+  {
+    TcpListener probe(0);
+    port = probe.port();
+    probe.shutdown();
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff_us = 20'000;
+  policy.multiplier = 2.0;
+  policy.max_backoff_us = 200'000;
+  policy.jitter = 0.25;
+
+  std::unique_ptr<HttpServer> late_server;
+  std::thread starter([&late_server, port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    late_server = std::make_unique<HttpServer>(port, [](const HttpRequest&) {
+      return HttpResponse::make(200, "finally up");
+    });
+  });
+
+  TcpChannel channel(port, 2000, policy);
+  const HttpResponse resp =
+      channel.round_trip(HttpRequest::post_form("/x", ""));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "finally up");
+  EXPECT_GE(channel.counters().retries, 1u);
+  EXPECT_EQ(channel.counters().giveups, 0u);
+  starter.join();
+  late_server->stop();
+}
+
+TEST(TcpChannelRetry, RetriesTruncatedResponse) {
+  TcpListener listener(0);
+  std::thread flaky([&listener] {
+    {
+      // First connection: deliver half a response, then close mid-message.
+      TcpStream conn = listener.accept();
+      conn.set_read_timeout_ms(2000);
+      read_http_message(conn, 1 << 20);
+      conn.write_all("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc");
+    }
+    {
+      // Retry lands here and gets the full message.
+      TcpStream conn = listener.accept();
+      conn.set_read_timeout_ms(2000);
+      read_http_message(conn, 1 << 20);
+      conn.write_all(HttpResponse::make(200, "recovered").serialize());
+    }
+  });
+
+  RetryPolicy policy;
+  policy.base_backoff_us = 1000;
+  TcpChannel channel(listener.port(), 2000, policy);
+  const HttpResponse resp =
+      channel.round_trip(HttpRequest::post_form("/x", "idempotent"));
+  EXPECT_EQ(resp.body, "recovered");
+  EXPECT_EQ(channel.counters().retries, 1u);
+  flaky.join();
+  listener.shutdown();
+}
+
+TEST(TcpChannelRetry, GivesUpAfterMaxAttempts) {
+  std::uint16_t dead_port;
+  {
+    TcpListener probe(0);
+    dead_port = probe.port();
+    probe.shutdown();
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_us = 500;
+  TcpChannel channel(dead_port, 500, policy);
+  EXPECT_THROW(channel.round_trip(HttpRequest::post_form("/x", "")),
+               TransportError);
+  EXPECT_EQ(channel.counters().attempts, 3u);
+  EXPECT_EQ(channel.counters().retries, 2u);
+  EXPECT_EQ(channel.counters().giveups, 1u);
 }
 
 TEST(MediatingProxyTest, FullStackOverRealSockets) {
