@@ -1,0 +1,194 @@
+// Recovery stress bench: repeated client crash/recover cycles over a large
+// (100k-char) encrypted document, measuring what recovery actually costs —
+// the latency of the journal-replaying open after each "reboot", and how
+// big the write-ahead journal gets on disk (compaction keeps it bounded:
+// every convergent open rewrites it as BASE + pending).
+//
+// Cycle shape: reboot the mediator on the same journal directory, open the
+// document (replays the previous cycle's unacknowledged edit), make a new
+// edit, then lose the connection mid-save so exactly one entry is left
+// pending for the next cycle. The provider stays up throughout; its
+// durable FileStore persistence is enabled so server-side fsyncs are in
+// the measured path too.
+//
+// Output: one JSON line per cycle (machine-consumable, see
+// EXPERIMENTS.md) followed by a human summary. --quick shrinks the
+// document and cycle count for CI smoke runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "privedit/client/gdocs_client.hpp"
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/extension/mediator.hpp"
+#include "privedit/net/socket.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FlakyChannel final : net::Channel {
+  explicit FlakyChannel(net::Channel* inner) : inner(inner) {}
+  net::HttpResponse round_trip(const net::HttpRequest& r) override {
+    if (down) {
+      throw net::TransportError(net::FaultKind::kConnect, "bench partition");
+    }
+    return inner->round_trip(r);
+  }
+  net::Channel* inner;
+  bool down = false;
+};
+
+extension::MediatorConfig mediator_config(std::string journal_dir,
+                                          std::uint64_t seed) {
+  extension::MediatorConfig c;
+  c.password = "bench-pw";
+  c.scheme.mode = enc::Mode::kRpc;
+  c.scheme.kdf_iterations = 10;
+  c.rng_factory = extension::seeded_rng_factory(seed);
+  c.journal_dir = std::move(journal_dir);
+  return c;
+}
+
+std::uint64_t dir_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+double percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      xs.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1)));
+  std::nth_element(xs.begin(), xs.begin() + static_cast<long>(idx), xs.end());
+  return xs[idx];
+}
+
+}  // namespace
+
+int run(bool quick) {
+  const std::size_t doc_chars = quick ? 20'000 : 100'000;
+  const int cycles = quick ? 5 : 50;
+
+  const std::string base =
+      (fs::temp_directory_path() / "privedit_recovery_stress").string();
+  fs::remove_all(base);
+  const std::string store_dir = base + "/store";
+  const std::string journal_dir = base + "/journal";
+
+  net::SimClock clock;
+  cloud::GDocsServer server;
+  server.enable_persistence(store_dir);
+  net::LoopbackTransport transport(
+      [&server](const net::HttpRequest& r) { return server.handle(r); },
+      &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(7));
+  FlakyChannel flaky(&transport);
+
+  // Seed the document: one big full save of doc_chars characters.
+  {
+    extension::GDocsMediator mediator(&flaky, mediator_config(journal_dir, 11),
+                                      &clock);
+    client::GDocsClient writer(&mediator, "bench-doc");
+    writer.create();
+    std::string body;
+    body.reserve(doc_chars);
+    Xoshiro256 rng(13);
+    while (body.size() < doc_chars) {
+      body += "the quick brown fox jumps over the lazy dog ";
+      if (rng.below(7) == 0) body += '\n';
+    }
+    body.resize(doc_chars);
+    writer.insert(0, body);
+    writer.save();
+    // Leave one edit unacknowledged for the first measured recovery.
+    writer.insert(rng.below(writer.text().size()), " [crashed edit 0]");
+    flaky.down = true;
+    try {
+      writer.save();
+    } catch (const net::TransportError&) {
+    }
+    flaky.down = false;
+  }
+
+  std::vector<double> open_us;
+  std::uint64_t max_journal_bytes = 0;
+  Xoshiro256 rng(17);
+  std::printf("# recovery_stress: doc_chars=%zu cycles=%d\n", doc_chars,
+              cycles);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Reboot: fresh mediator over the same journal directory.
+    extension::GDocsMediator mediator(
+        &flaky, mediator_config(journal_dir, 100 + cycle), &clock);
+    client::GDocsClient editor(&mediator, "bench-doc");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    editor.open();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    open_us.push_back(us);
+
+    const std::uint64_t journal_bytes = dir_bytes(journal_dir);
+    max_journal_bytes = std::max(max_journal_bytes, journal_bytes);
+    std::printf("{\"cycle\":%d,\"open_us\":%.1f,\"journal_replays\":%zu,"
+                "\"journal_bytes\":%llu,\"doc_chars\":%zu}\n",
+                cycle, us, mediator.counters().journal_replays,
+                static_cast<unsigned long long>(journal_bytes),
+                editor.text().size());
+
+    // Next crashed edit: saved into the journal, lost on the wire.
+    editor.insert(rng.below(editor.text().size()),
+                  " [crashed edit " + std::to_string(cycle + 1) + "]");
+    flaky.down = true;
+    try {
+      editor.save();
+    } catch (const net::TransportError&) {
+    }
+    flaky.down = false;
+
+    if (mediator.counters().journal_replays != 1) {
+      std::fprintf(stderr, "FAIL cycle %d: expected exactly 1 replay, got %zu\n",
+                   cycle, mediator.counters().journal_replays);
+      return 1;
+    }
+    if (mediator.counters().rollbacks_detected != 0) {
+      std::fprintf(stderr, "FAIL cycle %d: spurious rollback detection\n",
+                   cycle);
+      return 1;
+    }
+  }
+
+  std::vector<double> sorted = open_us;
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  std::printf("# summary: recover+open mean=%.1fus p50=%.1fus p95=%.1fus "
+              "max=%.1fus journal_max=%llu bytes\n",
+              sum / static_cast<double>(sorted.size()),
+              percentile(sorted, 0.50), percentile(sorted, 0.95),
+              *std::max_element(open_us.begin(), open_us.end()),
+              static_cast<unsigned long long>(max_journal_bytes));
+
+  fs::remove_all(base);
+  return 0;
+}
+
+}  // namespace privedit
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  return privedit::run(quick);
+}

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "privedit/util/durable_file.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/hex.hpp"
 
@@ -21,6 +22,14 @@ FileStore::FileStore(std::string directory) : directory_(std::move(directory)) {
                 "FileStore: cannot create directory " + directory_ + ": " +
                     ec.message());
   }
+  // A crash between temp-write and rename leaves a stale *.tmp behind;
+  // it was never acknowledged, so recovery is simply discarding it.
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tmp") {
+      std::error_code ignore;
+      fs::remove(entry.path(), ignore);
+    }
+  }
 }
 
 std::string FileStore::path_for(const std::string& doc_id) const {
@@ -28,25 +37,13 @@ std::string FileStore::path_for(const std::string& doc_id) const {
 }
 
 void FileStore::put(const std::string& doc_id, const Record& record) {
-  const std::string path = path_for(doc_id);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      throw Error(ErrorCode::kState, "FileStore: cannot write " + tmp);
-    }
-    out << record.rev << '\n' << record.content;
-    out.flush();
-    if (!out.good()) {
-      throw Error(ErrorCode::kState, "FileStore: short write to " + tmp);
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    throw Error(ErrorCode::kState,
-                "FileStore: rename failed: " + ec.message());
-  }
+  // temp + fsync + rename + dirsync: the rename alone (the previous
+  // implementation) is atomic against *readers* but not against power
+  // loss — without the fsyncs an acknowledged put can still come back
+  // empty or vanish after a provider crash.
+  const std::string serialized = std::to_string(record.rev) + '\n' +
+                                 record.content;
+  durable_replace_file(path_for(doc_id), serialized, "file_store.put");
 }
 
 std::optional<FileStore::Record> FileStore::get(

@@ -108,6 +108,28 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
                                    "application/x-www-form-urlencoded");
   }
 
+  if (cmd == "sync") {
+    // Anti-entropy push from a ReplicatedChannel repair pass: adopt the
+    // full ciphertext + revision wholesale, creating the document if this
+    // replica never saw it. Trusting the pushed bytes is fine — the server
+    // is untrusted anyway, and integrity is enforced client-side by the
+    // crypto (a bogus sync just fails the open validator later).
+    ++counters_.syncs;
+    Document& doc = docs_[*doc_id];
+    doc.history.push_back(doc.content);
+    doc.content = form.get("content").value_or("");
+    std::uint64_t rev = doc.rev + 1;
+    if (const auto rev_field = form.get("rev")) {
+      try {
+        rev = std::stoull(*rev_field);
+      } catch (...) {
+      }
+    }
+    doc.rev = rev;
+    persist(*doc_id, doc);
+    return ack(doc, /*include_content=*/false);
+  }
+
   auto it = docs_.find(*doc_id);
   if (it == docs_.end()) {
     ++counters_.bad_requests;

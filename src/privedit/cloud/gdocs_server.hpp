@@ -13,6 +13,9 @@
 //     cmd=spellcheck&text=…                → misspelt words (server-side
 //                                            feature: needs plaintext!)
 //     cmd=export&format=txt                → the stored content verbatim
+//     cmd=sync&rev=…&content=…             → replica anti-entropy push:
+//                                            adopt content+rev wholesale
+//                                            (creates the doc if absent)
 //
 // Content-update responses are Acks carrying contentFromServer and
 // contentFromServerHash — "the current content to the best of the server's
@@ -79,6 +82,7 @@ class GDocsServer {
     std::size_t exports = 0;
     std::size_t conflicts = 0;
     std::size_t bad_requests = 0;
+    std::size_t syncs = 0;  // anti-entropy pushes accepted (cmd=sync)
   };
   const Counters& counters() const { return counters_; }
 

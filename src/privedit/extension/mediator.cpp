@@ -1,5 +1,7 @@
 #include "privedit/extension/mediator.hpp"
 
+#include <filesystem>
+
 #include "privedit/cloud/xml.hpp"
 #include "privedit/enc/container.hpp"
 #include "privedit/crypto/sha256.hpp"
@@ -17,6 +19,15 @@ constexpr std::string_view kBuzzwordPrefix = "/doc/";
 // Must match the hash the clients and the GDocs service compute.
 std::string content_hash16(std::string_view content) {
   return hex_encode(crypto::Sha256::hash(as_bytes(content))).substr(0, 16);
+}
+
+std::uint64_t parse_rev(const std::optional<std::string>& rev) {
+  if (!rev) return 0;
+  try {
+    return std::stoull(*rev);
+  } catch (...) {
+    return 0;
+  }
 }
 
 }  // namespace
@@ -51,6 +62,115 @@ void GDocsMediator::blank_ack_fields(net::HttpResponse& response) {
     response.body = body.encode();
     ++counters_.acks_blanked;
   }
+}
+
+EditJournal* GDocsMediator::journal_for(const std::string& doc_id) {
+  if (config_.journal_dir.empty()) return nullptr;
+  auto it = journals_.find(doc_id);
+  if (it == journals_.end()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.journal_dir, ec);
+    if (ec) {
+      throw Error(ErrorCode::kState,
+                  "journal: cannot create " + config_.journal_dir + ": " +
+                      ec.message());
+    }
+    auto journal = std::make_unique<EditJournal>(
+        config_.journal_dir + "/" + hex_encode(as_bytes(doc_id)) + ".wal");
+    if (journal->recovered_torn_tail()) ++counters_.torn_tails_recovered;
+    it = journals_.emplace(doc_id, std::move(journal)).first;
+  }
+  return it->second.get();
+}
+
+void GDocsMediator::settle_journal(EditJournal& journal,
+                                   const net::HttpResponse& resp,
+                                   std::uint64_t base_rev,
+                                   const std::string& checksum) {
+  if (!resp.ok()) {
+    // A clean rejection (409 stale, 400 malformed) means the server did
+    // NOT apply the update — replaying it later would be wrong. Only a
+    // transport failure (exception, no response at all) leaves the entry
+    // pending for recovery, because only then is the outcome unknown.
+    journal.drop_front();
+    ++counters_.journal_drops;
+    return;
+  }
+  const FormData ack = FormData::parse(resp.body);
+  std::uint64_t acked_rev = base_rev + 1;
+  if (const auto rev = ack.get("rev")) acked_rev = parse_rev(rev);
+  if (const auto server_hash = ack.get("contentFromServerHash")) {
+    // The server's claim about its post-update content vs our mirror.
+    // A mismatch here is a concurrent (unmediated) writer or a lying
+    // server; the next open settles which via rollback detection.
+    if (*server_hash != checksum && *server_hash != "0") {
+      ++counters_.ack_checksum_mismatches;
+    }
+  }
+  journal.ack_front(acked_rev, checksum);
+}
+
+net::HttpResponse GDocsMediator::recover_open(const std::string& doc_id,
+                                              const net::HttpRequest& request,
+                                              net::HttpResponse resp) {
+  EditJournal* journal = journal_for(doc_id);
+  if (journal == nullptr) return resp;
+  const FormData reply = FormData::parse(resp.body);
+  const std::string content = reply.get("content").value_or("");
+  std::uint64_t rev = parse_rev(reply.get("rev"));
+
+  if (const auto& acked = journal->last_acked()) {
+    // §II rollback adversary: the provider restored a backup (older rev)
+    // or forked the history (same rev, different bytes). Either way the
+    // server is contradicting an acknowledgement it already gave us.
+    if (rev < acked->rev) {
+      ++counters_.rollbacks_detected;
+      throw RollbackError(
+          "server rolled back document '" + doc_id + "': presented rev " +
+          std::to_string(rev) + " older than acknowledged rev " +
+          std::to_string(acked->rev));
+    }
+    if (rev == acked->rev && content_hash16(content) != acked->checksum) {
+      ++counters_.rollbacks_detected;
+      throw RollbackError("server forked document '" + doc_id +
+                          "': content at acknowledged rev " +
+                          std::to_string(rev) +
+                          " differs from the acknowledged checksum");
+    }
+  }
+
+  // Idempotent replay of unacknowledged updates. The CAS is the revision:
+  // an entry is resent only while the server still sits at its base
+  // revision; a server already past it applied the update before the
+  // crash (ack lost in flight), so the entry is settled, not resent.
+  bool replayed = false;
+  while (!journal->pending().empty()) {
+    const JournalEntry& entry = journal->pending().front();
+    if (rev > entry.base_rev) {
+      journal->drop_front();
+      ++counters_.journal_drops;
+      continue;
+    }
+    if (rev < entry.base_rev) break;  // gap — never replay out of order
+    FormData form;
+    form.add("session", "journal-recovery");
+    form.add("rev", std::to_string(entry.base_rev));
+    form.add(entry.full_save ? "docContents" : "delta", entry.update);
+    const net::HttpResponse replay_resp = upstream_->round_trip(
+        net::HttpRequest::post_form(request.target, form.encode()));
+    if (!replay_resp.ok()) break;  // refused now; retried at the next open
+    const FormData ack = FormData::parse(replay_resp.body);
+    rev = ack.contains("rev") ? parse_rev(ack.get("rev"))
+                              : entry.base_rev + 1;
+    journal->ack_front(rev, entry.checksum);
+    ++counters_.journal_replays;
+    replayed = true;
+  }
+  if (replayed) {
+    // The authoritative content now includes the replayed edits.
+    resp = upstream_->round_trip(request);
+  }
+  return resp;
 }
 
 void GDocsMediator::apply_outgoing_mitigations(std::string& form_body) {
@@ -91,6 +211,12 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
                         DocumentSession::create_new(config_.password,
                                                     config_.scheme,
                                                     config_.rng_factory));
+      if (EditJournal* journal = journal_for(doc_id)) {
+        // A create wipes server history; stale pending entries and the old
+        // baseline must not outlive it.
+        journal->reset(parse_rev(FormData::parse(resp.body).get("rev")),
+                       content_hash16(""));
+      }
     }
     return resp;
   }
@@ -98,6 +224,7 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
   if (cmd == "open") {
     net::HttpResponse resp = upstream_->round_trip(request);
     if (!resp.ok()) return resp;
+    resp = recover_open(doc_id, request, std::move(resp));
     FormData reply = FormData::parse(resp.body);
     const std::string content = reply.get("content").value_or("");
     if (content.empty()) {
@@ -107,6 +234,11 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
                         DocumentSession::create_new(config_.password,
                                                     config_.scheme,
                                                     config_.rng_factory));
+      if (EditJournal* journal = journal_for(doc_id)) {
+        if (journal->pending().empty()) {
+          journal->reset(parse_rev(reply.get("rev")), content_hash16(""));
+        }
+      }
       return resp;
     }
     try {
@@ -118,6 +250,14 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
       unmanaged_.erase(doc_id);
       resp.body = reply.encode();
       ++counters_.opens_decrypted;
+      if (EditJournal* journal = journal_for(doc_id)) {
+        // Converged with the server: adopt its (verified) state as the
+        // new baseline. Entries the server refused to take stay pending
+        // for the next open, so the baseline must not clobber them.
+        if (journal->pending().empty()) {
+          journal->reset(parse_rev(reply.get("rev")), content_hash16(content));
+        }
+      }
       return resp;
     } catch (const ParseError&) {
       // Unparseable content is either a legacy plaintext document (pass
@@ -150,11 +290,23 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
   DocumentSession& session = session_it->second;
 
   if (const auto contents = form.get("docContents")) {
-    form.set("docContents", session.encrypt_full(*contents));
+    const std::string ciphertext = session.encrypt_full(*contents);
+    form.set("docContents", ciphertext);
+    const std::uint64_t base_rev = parse_rev(form.get("rev"));
+    const std::string checksum = content_hash16(ciphertext);
+    EditJournal* journal = journal_for(doc_id);
+    if (journal != nullptr) {
+      // Write-ahead: durable before the wire. If the send dies below, the
+      // entry is still pending at the next open and gets replayed.
+      journal->append_pending({base_rev, /*full_save=*/true, checksum,
+                               ciphertext});
+      ++counters_.journal_appends;
+    }
     std::string body = form.encode();
     apply_outgoing_mitigations(body);
     net::HttpResponse resp = upstream_->round_trip(
         net::HttpRequest::post_form(request.target, std::move(body)));
+    if (journal != nullptr) settle_journal(*journal, resp, base_rev, checksum);
     ++counters_.full_saves_encrypted;
     blank_ack_fields(resp);
     return resp;
@@ -177,14 +329,28 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
     delta::Delta working = std::move(pdelta);
     bool rebased = false;
     net::HttpResponse resp;
+    EditJournal* journal = journal_for(doc_id);
     for (int attempt = 0;; ++attempt) {
       DocumentSession& live = sessions_.find(doc_id)->second;
       const delta::Delta cdelta = live.transform_delta(working);
       form.set("delta", cdelta.to_wire());
+      const std::uint64_t base_rev = parse_rev(form.get("rev"));
+      const std::string checksum =
+          content_hash16(live.scheme().ciphertext_doc());
+      if (journal != nullptr) {
+        journal->append_pending({base_rev, /*full_save=*/false, checksum,
+                                 cdelta.to_wire()});
+        ++counters_.journal_appends;
+      }
       std::string body = form.encode();
       apply_outgoing_mitigations(body);
       resp = upstream_->round_trip(
           net::HttpRequest::post_form(request.target, std::move(body)));
+      if (journal != nullptr) {
+        // A 409 drops the entry (the server refused it); the rebase below
+        // appends a fresh one for the transformed retry.
+        settle_journal(*journal, resp, base_rev, checksum);
+      }
       if (resp.status != 409 || !config_.collaborative ||
           attempt >= config_.max_rebase_retries) {
         break;

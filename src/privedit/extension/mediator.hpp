@@ -26,6 +26,7 @@
 #include <string>
 
 #include "privedit/enc/types.hpp"
+#include "privedit/extension/journal.hpp"
 #include "privedit/extension/session.hpp"
 #include "privedit/net/transport.hpp"
 
@@ -49,6 +50,14 @@ struct MediatorConfig {
   /// unmodified client adopts it. The server still never sees plaintext.
   bool collaborative = false;
   int max_rebase_retries = 3;
+
+  /// Durable write-ahead journal (extension/journal.hpp). When non-empty,
+  /// every outgoing update is fsync'd to `<journal_dir>/<hex(doc)>.wal`
+  /// before it is sent; on open the mediator replays unacknowledged
+  /// entries (idempotent via revision CAS) and verifies the server has
+  /// not rolled the document back past the last acknowledged revision
+  /// (RollbackError otherwise). Empty = journaling off.
+  std::string journal_dir;
 };
 
 class GDocsMediator final : public net::Channel {
@@ -66,6 +75,14 @@ class GDocsMediator final : public net::Channel {
     std::size_t requests_blocked = 0;
     std::size_t passthrough_unmanaged = 0;
     std::size_t rebases = 0;  // collaborative conflict rebases performed
+
+    // Write-ahead journal & recovery (all zero when journal_dir is empty).
+    std::size_t journal_appends = 0;     // updates journalled before send
+    std::size_t journal_replays = 0;     // unacked entries resent at open
+    std::size_t journal_drops = 0;       // entries found applied/rejected
+    std::size_t torn_tails_recovered = 0;
+    std::size_t rollbacks_detected = 0;  // RollbackError raised at open
+    std::size_t ack_checksum_mismatches = 0;  // server hash != our mirror
   };
   const Counters& counters() const { return counters_; }
 
@@ -80,11 +97,28 @@ class GDocsMediator final : public net::Channel {
   void blank_ack_fields(net::HttpResponse& response);
   void apply_outgoing_mitigations(std::string& form_body);
 
+  /// Lazily opens the document's journal; nullptr when journaling is off.
+  EditJournal* journal_for(const std::string& doc_id);
+
+  /// Crash recovery at open: rollback/fork detection against the journal's
+  /// last-acknowledged (rev, checksum), then idempotent replay of pending
+  /// entries (revision CAS), re-fetching the document if anything was
+  /// replayed. Throws RollbackError on a §II rollback.
+  net::HttpResponse recover_open(const std::string& doc_id,
+                                 const net::HttpRequest& request,
+                                 net::HttpResponse resp);
+
+  /// Settles the oldest pending journal entry against a save response:
+  /// ack on 2xx (recording the new revision), drop on a clean rejection.
+  void settle_journal(EditJournal& journal, const net::HttpResponse& resp,
+                      std::uint64_t base_rev, const std::string& checksum);
+
   net::Channel* upstream_;
   MediatorConfig config_;
   net::SimClock* clock_;
   std::unique_ptr<RandomSource> mitigation_rng_;
   std::map<std::string, DocumentSession> sessions_;
+  std::map<std::string, std::unique_ptr<EditJournal>> journals_;
   std::set<std::string> unmanaged_;  // legacy plaintext docs, passed through
   Counters counters_;
 };

@@ -1,5 +1,7 @@
 #include "privedit/extension/replication.hpp"
 
+#include <algorithm>
+
 #include "privedit/extension/session.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/urlencode.hpp"
@@ -7,9 +9,11 @@
 namespace privedit::extension {
 
 ReplicatedChannel::ReplicatedChannel(std::vector<net::Channel*> replicas,
-                                     Validator read_validator)
+                                     Validator read_validator,
+                                     ReplicationConfig config)
     : replicas_(std::move(replicas)),
-      read_validator_(std::move(read_validator)) {
+      read_validator_(std::move(read_validator)),
+      config_(config) {
   if (replicas_.empty()) {
     throw Error(ErrorCode::kInvalidArgument,
                 "ReplicatedChannel: need at least one replica");
@@ -32,21 +36,140 @@ bool ReplicatedChannel::is_read(const net::HttpRequest& request) {
   return false;
 }
 
+std::size_t ReplicatedChannel::quorum() const {
+  const std::size_t n = replicas_.size();
+  if (config_.write_quorum == 0) return n / 2 + 1;
+  return std::min(config_.write_quorum, n);
+}
+
+void ReplicatedChannel::note_lag(
+    const std::string& target, const std::vector<std::size_t>& replica_indices) {
+  auto& lag = lagging_[target];
+  for (const std::size_t idx : replica_indices) {
+    // Replenish the budget on a fresh miss, but never mid-decay: a replica
+    // that keeps failing the same document must eventually be given up on.
+    if (lag.find(idx) == lag.end()) lag[idx] = config_.repair_budget;
+  }
+}
+
+std::optional<std::pair<std::string, std::string>>
+ReplicatedChannel::fetch_authoritative(const std::string& target,
+                                       const std::map<std::size_t, int>& lag) {
+  FormData form;
+  form.add("cmd", "open");
+  form.add("session", "anti-entropy");
+  const net::HttpRequest open =
+      net::HttpRequest::post_form(target, form.encode());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (lag.count(i) != 0) continue;  // a laggard cannot be authoritative
+    try {
+      net::HttpResponse resp = replicas_[i]->round_trip(open);
+      if (!resp.ok()) continue;
+      if (read_validator_ && !read_validator_(resp)) continue;
+      const FormData reply = FormData::parse(resp.body);
+      const std::string content = reply.get("content").value_or("");
+      if (content.empty()) continue;  // nothing verified to propagate
+      return std::make_pair(content, reply.get("rev").value_or("0"));
+    } catch (const Error&) {
+      // try the next replica
+    }
+  }
+  return std::nullopt;
+}
+
+bool ReplicatedChannel::push_sync(net::Channel* replica,
+                                  const std::string& target,
+                                  const std::string& content,
+                                  const std::string& rev) {
+  ++counters_.repairs_attempted;
+  FormData form;
+  form.add("cmd", "sync");
+  form.add("session", "anti-entropy");
+  form.add("rev", rev);
+  form.add("content", content);
+  try {
+    const net::HttpResponse resp =
+        replica->round_trip(net::HttpRequest::post_form(target, form.encode()));
+    if (resp.ok()) {
+      ++counters_.repairs_succeeded;
+      return true;
+    }
+  } catch (const Error&) {
+  }
+  return false;
+}
+
+void ReplicatedChannel::push_to_laggards(const std::string& target,
+                                         const std::string& content,
+                                         const std::string& rev) {
+  const auto lag_it = lagging_.find(target);
+  if (lag_it == lagging_.end()) return;
+  auto& lag = lag_it->second;
+  for (auto it = lag.begin(); it != lag.end();) {
+    if (it->second <= 0) {
+      ++it;  // budget exhausted; repair_all() replenishes
+      continue;
+    }
+    --it->second;
+    if (push_sync(replicas_[it->first], target, content, rev)) {
+      it = lag.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (lag.empty()) lagging_.erase(lag_it);
+}
+
+void ReplicatedChannel::repair_target(const std::string& target) {
+  const auto lag_it = lagging_.find(target);
+  if (lag_it == lagging_.end()) return;
+  const auto authoritative = fetch_authoritative(target, lag_it->second);
+  if (!authoritative) return;  // nothing verified to push — try again later
+  push_to_laggards(target, authoritative->first, authoritative->second);
+}
+
+std::size_t ReplicatedChannel::repair_all() {
+  const std::size_t before = counters_.repairs_succeeded;
+  std::vector<std::string> targets;
+  targets.reserve(lagging_.size());
+  for (auto& [target, lag] : lagging_) {
+    targets.push_back(target);
+    for (auto& [idx, budget] : lag) budget = config_.repair_budget;
+  }
+  for (const std::string& target : targets) repair_target(target);
+  return counters_.repairs_succeeded - before;
+}
+
 net::HttpResponse ReplicatedChannel::round_trip(
     const net::HttpRequest& request) {
   if (is_read(request)) {
     ++counters_.reads;
     net::HttpResponse last = net::HttpResponse::make(500, "no replica");
-    for (net::Channel* replica : replicas_) {
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
       try {
-        net::HttpResponse resp = replica->round_trip(request);
+        net::HttpResponse resp = replicas_[i]->round_trip(request);
         if (resp.ok() && (!read_validator_ || read_validator_(resp))) {
+          if (!failed.empty()) {
+            // The skipped replicas served nothing usable for this
+            // document: remember them and (optionally) heal them from the
+            // validated winner right away. An empty winner is never
+            // propagated — it must not wipe a healthier replica.
+            note_lag(request.target, failed);
+            const FormData reply = FormData::parse(resp.body);
+            const std::string content = reply.get("content").value_or("");
+            if (config_.auto_repair && !content.empty()) {
+              push_to_laggards(request.target, content,
+                               reply.get("rev").value_or("0"));
+            }
+          }
           return resp;
         }
         last = std::move(resp);
       } catch (const Error&) {
         // fall through to the next replica
       }
+      failed.push_back(i);
       ++counters_.read_failovers;
     }
     if (last.ok()) {
@@ -57,26 +180,49 @@ net::HttpResponse ReplicatedChannel::round_trip(
     return last;
   }
 
-  // Write path: broadcast; succeed if any replica accepted.
+  // Write path: broadcast, quorum-gated.
   ++counters_.writes_broadcast;
+  const std::size_t n = replicas_.size();
+  const std::size_t needed = quorum();
   net::HttpResponse first_ok = net::HttpResponse::make(500, "no replica");
   bool have_ok = false;
-  for (net::Channel* replica : replicas_) {
+  std::size_t acks = 0;
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < n; ++i) {
     try {
-      net::HttpResponse resp = replica->round_trip(request);
-      if (resp.ok() && !have_ok) {
-        first_ok = std::move(resp);
-        have_ok = true;
-      } else if (!resp.ok()) {
+      net::HttpResponse resp = replicas_[i]->round_trip(request);
+      if (resp.ok()) {
+        ++acks;
+        if (!have_ok) {
+          first_ok = std::move(resp);
+          have_ok = true;
+        }
+      } else {
         ++counters_.write_replica_failures;
+        failed.push_back(i);
       }
     } catch (const Error&) {
       ++counters_.write_replica_failures;
+      failed.push_back(i);
     }
   }
-  if (!have_ok) {
-    return net::HttpResponse::make(502, "replication: all replicas failed");
+  if (!failed.empty()) note_lag(request.target, failed);
+  if (acks < needed) {
+    // Below quorum the write is reported as failed even though some
+    // replicas may have applied it; the repair pass reconverges them on
+    // whatever a healthy replica serves next.
+    ++counters_.quorum_failures;
+    return net::HttpResponse::make(
+        502, "replication: write acknowledged by " + std::to_string(acks) +
+                 " of " + std::to_string(n) + " replicas, quorum " +
+                 std::to_string(needed));
   }
+  if (acks < n) {
+    ++counters_.partial_writes;
+    if (config_.auto_repair) repair_target(request.target);
+  }
+  first_ok.headers.set("X-Replication-Acks",
+                       std::to_string(acks) + "/" + std::to_string(n));
   return first_ok;
 }
 

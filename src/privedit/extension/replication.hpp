@@ -12,13 +12,42 @@
 // password?"). A provider that withholds, corrupts or rolls back data is
 // skipped; availability holds as long as one replica is honest and
 // reachable.
+//
+// Writes are quorum-gated: an update counts as accepted only when at least
+// `write_quorum` replicas acknowledged it (default: a majority, n/2+1).
+// Partial success is surfaced in the X-Replication-Acks response header
+// ("k/n") and the partial_writes counter, and the lagging replicas are
+// remembered for anti-entropy: a repair pass re-pushes the last verified
+// ciphertext (fetched from a healthy replica, validated) to replicas that
+// missed a write or served an invalid read, under a bounded per-replica
+// retry budget. Repair runs opportunistically after partial writes and
+// failed-over reads (auto_repair) and on demand via repair_all().
 
+#include <cstddef>
 #include <functional>
+#include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "privedit/net/transport.hpp"
 
 namespace privedit::extension {
+
+struct ReplicationConfig {
+  /// Replicas that must acknowledge a write before it counts as accepted.
+  /// 0 means majority (n/2 + 1); values above n are clamped to n. A
+  /// quorum of 1 restores pre-quorum "any replica" availability mode.
+  std::size_t write_quorum = 0;
+
+  /// Repair lagging replicas opportunistically, right after the partial
+  /// write or failed-over read that exposed them.
+  bool auto_repair = true;
+
+  /// Sync attempts per (document, replica) before giving up; repair_all()
+  /// replenishes the budget.
+  int repair_budget = 3;
+};
 
 class ReplicatedChannel final : public net::Channel {
  public:
@@ -27,23 +56,52 @@ class ReplicatedChannel final : public net::Channel {
   using Validator = std::function<bool(const net::HttpResponse&)>;
 
   ReplicatedChannel(std::vector<net::Channel*> replicas,
-                    Validator read_validator = {});
+                    Validator read_validator = {},
+                    ReplicationConfig config = {});
 
   net::HttpResponse round_trip(const net::HttpRequest& request) override;
+
+  /// Anti-entropy sweep: for every document with known-lagging replicas,
+  /// fetch the authoritative ciphertext from a healthy replica (validated)
+  /// and push it to the laggards. Replenishes retry budgets first. Returns
+  /// the number of (document, replica) repairs that succeeded.
+  std::size_t repair_all();
 
   struct Counters {
     std::size_t writes_broadcast = 0;
     std::size_t write_replica_failures = 0;
     std::size_t reads = 0;
-    std::size_t read_failovers = 0;  // replicas skipped before success
+    std::size_t read_failovers = 0;   // replicas skipped before success
+    std::size_t partial_writes = 0;   // quorum met but some replica missed
+    std::size_t quorum_failures = 0;  // write acks below quorum → 502
+    std::size_t repairs_attempted = 0;
+    std::size_t repairs_succeeded = 0;
   };
   const Counters& counters() const { return counters_; }
 
  private:
   static bool is_read(const net::HttpRequest& request);
 
+  std::size_t quorum() const;
+  void note_lag(const std::string& target,
+                const std::vector<std::size_t>& replica_indices);
+  /// Fetches validated authoritative (content, rev) for `target` from the
+  /// first healthy replica, skipping the indices in `lag`.
+  std::optional<std::pair<std::string, std::string>> fetch_authoritative(
+      const std::string& target, const std::map<std::size_t, int>& lag);
+  bool push_sync(net::Channel* replica, const std::string& target,
+                 const std::string& content, const std::string& rev);
+  /// Pushes known-good (content, rev) to every budgeted laggard of
+  /// `target`, clearing the ones that took it.
+  void push_to_laggards(const std::string& target, const std::string& content,
+                        const std::string& rev);
+  void repair_target(const std::string& target);
+
   std::vector<net::Channel*> replicas_;
   Validator read_validator_;
+  ReplicationConfig config_;
+  // target → (replica index → remaining repair budget)
+  std::map<std::string, std::map<std::size_t, int>> lagging_;
   Counters counters_;
 };
 

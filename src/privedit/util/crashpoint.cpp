@@ -1,0 +1,82 @@
+#include "privedit/util/crashpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+namespace privedit {
+namespace {
+
+struct State {
+  std::mutex mu;
+  std::string armed;          // empty = disarmed
+  int countdown = 0;          // fires when it reaches zero
+  std::vector<std::string> seen;  // first-seen order
+
+  State() {
+    // PRIVEDIT_CRASHPOINT="name" or "name:N" arms from the environment so
+    // the CLI and benches can be crashed without code changes.
+    if (const char* env = std::getenv("PRIVEDIT_CRASHPOINT")) {
+      std::string spec(env);
+      const std::size_t colon = spec.rfind(':');
+      int n = 1;
+      if (colon != std::string::npos) {
+        try {
+          n = std::stoi(spec.substr(colon + 1));
+          spec.resize(colon);
+        } catch (...) {
+          // no numeric suffix — the whole string is the point name
+        }
+      }
+      armed = spec;
+      countdown = n > 0 ? n : 1;
+    }
+  }
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+void CrashPoints::reach(const std::string& name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (std::find(s.seen.begin(), s.seen.end(), name) == s.seen.end()) {
+    s.seen.push_back(name);
+  }
+  if (s.armed == name && --s.countdown <= 0) {
+    s.armed.clear();  // a machine only loses power once per arming
+    throw CrashError(name);
+  }
+}
+
+void CrashPoints::arm(const std::string& name, int countdown) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.armed = name;
+  s.countdown = countdown > 0 ? countdown : 1;
+}
+
+void CrashPoints::disarm() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.armed.clear();
+  s.countdown = 0;
+}
+
+std::vector<std::string> CrashPoints::seen() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.seen;
+}
+
+void CrashPoints::clear_seen() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.seen.clear();
+}
+
+}  // namespace privedit

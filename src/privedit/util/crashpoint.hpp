@@ -1,0 +1,57 @@
+#pragma once
+// CrashPoints — deterministic power-loss injection for durability code.
+//
+// Durable-write paths (FileStore::put, the edit journal) call
+// CrashPoints::reach("name") between every externally visible step: after
+// the temp file is created, mid-write (leaving a torn file), before fsync,
+// before rename, before the directory fsync. Tests arm one point and drive
+// the workload; when the armed point is reached the process "loses power"
+// — a CrashError is thrown and whatever bytes made it to disk stay exactly
+// as they are. The test then rebuilds the stack on the same directory and
+// asserts recovery: no acknowledged write lost, no torn state surfaced.
+//
+// Arming is programmatic (CrashPoints::arm) or via the environment
+// (PRIVEDIT_CRASHPOINT="name" or "name:N" to crash on the Nth reach),
+// so the CLI and benches can be crashed from the outside too. The
+// registry also records every point reached, letting tests enumerate
+// the crash matrix instead of hard-coding it.
+//
+// All state is behind one mutex: the durability paths are not hot (one
+// reach() per fsync-bracketed step) and the suite runs under TSan.
+
+#include <string>
+#include <vector>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+
+/// The simulated power loss. Deliberately NOT an IntegrityError or
+/// ParseError: recovery tests must be able to tell "the machine died"
+/// from "the data is bad".
+class CrashError : public Error {
+ public:
+  explicit CrashError(const std::string& point)
+      : Error(ErrorCode::kState, "simulated crash at " + point) {}
+};
+
+class CrashPoints {
+ public:
+  /// Marks a step in a durable-write path. Throws CrashError when `name`
+  /// is the armed point and its countdown reaches zero.
+  static void reach(const std::string& name);
+
+  /// Arms `name` to crash on its `countdown`-th reach (1 = next reach).
+  /// Only one point is armed at a time; re-arming replaces it.
+  static void arm(const std::string& name, int countdown = 1);
+
+  /// Clears the armed point (and forgets any pending countdown).
+  static void disarm();
+
+  /// Every distinct point reached since the last clear_seen(), in
+  /// first-seen order — the crash matrix for exhaustive tests.
+  static std::vector<std::string> seen();
+  static void clear_seen();
+};
+
+}  // namespace privedit

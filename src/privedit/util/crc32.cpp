@@ -1,0 +1,33 @@
+#include "privedit/util/crc32.hpp"
+
+#include <array>
+
+namespace privedit {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, ByteView data) {
+  static const std::array<std::uint32_t, 256> kTable = make_table();
+  crc = ~crc;
+  for (std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32(ByteView data) { return crc32_update(0, data); }
+
+}  // namespace privedit

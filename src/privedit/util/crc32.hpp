@@ -1,0 +1,20 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the framing
+// checksum for the write-ahead edit journal. Not a cryptographic MAC: the
+// journal lives on the *trusted* side of the extension boundary, so the
+// checksum only needs to detect torn writes and bit rot, never an
+// adversary. Integrity against adversaries stays with the RPC scheme.
+
+#include <cstdint>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit {
+
+/// One-shot CRC-32 of `data`.
+std::uint32_t crc32(ByteView data);
+
+/// Streaming form: feed `crc` from a previous call (start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, ByteView data);
+
+}  // namespace privedit

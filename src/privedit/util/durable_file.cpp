@@ -1,0 +1,77 @@
+#include "privedit/util/durable_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "privedit/util/crashpoint.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit {
+namespace {
+
+[[noreturn]] void raise(const std::string& what) {
+  throw Error(ErrorCode::kState, what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t len,
+               const std::string& what) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise(what);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Closes `fd` on every exit path, including a CrashError unwinding.
+struct FdGuard {
+  int fd;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) raise("open directory " + dir);
+  FdGuard guard{fd};
+  if (::fsync(fd) != 0) raise("fsync directory " + dir);
+}
+
+void durable_replace_file(const std::string& path, std::string_view bytes,
+                          const std::string& crash_prefix) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) raise("create " + tmp);
+    FdGuard guard{fd};
+    CrashPoints::reach(crash_prefix + ".created");
+    // Two half-writes so a crash between them leaves a genuinely torn file.
+    const std::size_t half = bytes.size() / 2;
+    write_all(fd, bytes.data(), half, "write " + tmp);
+    CrashPoints::reach(crash_prefix + ".torn");
+    write_all(fd, bytes.data() + half, bytes.size() - half, "write " + tmp);
+    CrashPoints::reach(crash_prefix + ".before_fsync");
+    if (::fsync(fd) != 0) raise("fsync " + tmp);
+  }
+  CrashPoints::reach(crash_prefix + ".before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    raise("rename " + tmp + " -> " + path);
+  }
+  CrashPoints::reach(crash_prefix + ".before_dirsync");
+  fsync_parent_dir(path);
+}
+
+}  // namespace privedit

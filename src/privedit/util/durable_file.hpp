@@ -1,0 +1,29 @@
+#pragma once
+// Crash-consistent file replacement: write temp, fsync temp, rename over
+// target, fsync the containing directory. The classic sequence — skipping
+// any step reintroduces a power-loss window: an un-fsync'd temp can be
+// empty after the rename survives (data loss), and an un-fsync'd directory
+// can forget the rename itself (acknowledged write lost).
+//
+// Every step is bracketed by a CrashPoints::reach so recovery tests can
+// kill the "machine" at each one; the names are "<prefix>.created",
+// "<prefix>.torn" (mid-write — the torn-file case), "<prefix>.before_fsync",
+// "<prefix>.before_rename" and "<prefix>.before_dirsync".
+
+#include <string>
+#include <string_view>
+
+namespace privedit {
+
+/// Atomically and durably replaces `path` with `bytes`. Throws Error
+/// (kState) on I/O failure and CrashError when an armed crash point fires
+/// — in which case the on-disk state is exactly what a power loss at that
+/// step would leave.
+void durable_replace_file(const std::string& path, std::string_view bytes,
+                          const std::string& crash_prefix);
+
+/// fsync() the directory containing `path`, making a completed rename in
+/// it durable. Throws Error (kState) on failure.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace privedit

@@ -12,6 +12,8 @@ std::string_view error_code_name(ErrorCode code) {
       return "crypto";
     case ErrorCode::kIntegrity:
       return "integrity";
+    case ErrorCode::kRollback:
+      return "rollback";
     case ErrorCode::kProtocol:
       return "protocol";
     case ErrorCode::kState:

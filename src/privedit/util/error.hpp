@@ -16,6 +16,7 @@ enum class ErrorCode {
   kParse,             // malformed input (delta, http, encoding, container)
   kCrypto,            // key/entropy/cipher misuse
   kIntegrity,         // authenticated decryption failed — possible tampering
+  kRollback,          // server presented an older/forked document state
   kProtocol,          // cloud-service protocol violation
   kState,             // object used in an invalid state
   kUnsupported,       // feature intentionally not available (e.g. blocked)
@@ -42,6 +43,21 @@ class IntegrityError : public Error {
  public:
   explicit IntegrityError(const std::string& what)
       : Error(ErrorCode::kIntegrity, what) {}
+
+ protected:
+  IntegrityError(ErrorCode code, const std::string& what)
+      : Error(code, what) {}
+};
+
+/// Thrown when the server presents a document state *older* than one it
+/// already acknowledged (or a different state at the same revision) — the
+/// §II rollback/subpoena-restore attack. A kind of integrity failure
+/// (catch sites for IntegrityError see it), but with a distinct code so
+/// the UI can say "your provider is serving stale data", not "corrupt".
+class RollbackError : public IntegrityError {
+ public:
+  explicit RollbackError(const std::string& what)
+      : IntegrityError(ErrorCode::kRollback, what) {}
 };
 
 class ParseError : public Error {

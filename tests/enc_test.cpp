@@ -167,6 +167,39 @@ TEST(SpliceLog, AdjacentReplacesCoalesce) {
   EXPECT_EQ(log.splices()[0].units.size(), 2u);
 }
 
+TEST(SpliceLog, ReplaceExactlyAbuttingFromTheLeft) {
+  SpliceLog log;
+  log.replace(5, 7, {unit_of(1), unit_of(2)});  // cur [5,7)
+  // The new range ends exactly where the existing splice begins: the two
+  // must coalesce, and the earlier units keep their place after the new.
+  log.replace(3, 5, {unit_of(8)});
+  ASSERT_EQ(log.splices().size(), 1u);
+  const auto& s = log.splices()[0];
+  EXPECT_EQ(s.cur_start, 3u);
+  EXPECT_EQ(s.old_start, 3u);
+  EXPECT_EQ(s.old_len, 4u);  // old [3,5) + old [5,7)
+  ASSERT_EQ(s.units.size(), 3u);
+  EXPECT_EQ(s.units[0], unit_of(8));
+  EXPECT_EQ(s.units[1], unit_of(1));
+  EXPECT_EQ(s.units[2], unit_of(2));
+}
+
+TEST(SpliceLog, ReplaceFullyContainingEarlierSplice) {
+  SpliceLog log;
+  log.replace(4, 6, {unit_of(1)});  // old [4,6) -> 1 unit, cur [4,5)
+  // Rewrite a strictly larger range: the earlier splice's units are all
+  // inside it and must vanish, while its old extent is still accounted.
+  log.replace(2, 7, {unit_of(9), unit_of(9)});
+  ASSERT_EQ(log.splices().size(), 1u);
+  const auto& s = log.splices()[0];
+  EXPECT_EQ(s.old_start, 2u);
+  // old [2,4) + swallowed old [4,6) + cur [5,7) = old [6,8).
+  EXPECT_EQ(s.old_len, 6u);
+  ASSERT_EQ(s.units.size(), 2u);
+  EXPECT_EQ(s.units[0], unit_of(9));
+  EXPECT_EQ(s.units[1], unit_of(9));
+}
+
 TEST(SpliceLog, InsertionInsideExistingSplice) {
   SpliceLog log;
   log.replace(5, 6, {unit_of(1), unit_of(2)});  // cur [5,7)

@@ -291,8 +291,12 @@ TEST(FaultInjection, ReplicationMasksADeadProvider) {
   dead_spec.drop = 1.0;
   FaultyChannel dead(&dead_t, dead_spec, std::make_unique<Xoshiro256>(82));
 
+  // Availability mode: provider 0 is gone for good, so a majority quorum
+  // (2-of-2 here) could never be met — accept any single ack instead.
+  extension::ReplicationConfig repl_config;
+  repl_config.write_quorum = 1;
   extension::ReplicatedChannel replicated(
-      {&dead, &live_t}, extension::gdocs_open_validator("pw"));
+      {&dead, &live_t}, extension::gdocs_open_validator("pw"), repl_config);
   extension::MediatorConfig config;
   config.password = "pw";
   config.scheme.mode = enc::Mode::kRpc;

@@ -94,6 +94,49 @@ TEST_F(FileStoreTest, CorruptFileIsReported) {
   EXPECT_THROW(store.get("d"), ParseError);
 }
 
+TEST_F(FileStoreTest, ZeroLengthFileIsReportedNotEmptyRecord) {
+  FileStore store(dir_);
+  store.put("d", {"content", 3});
+  // A crash-truncated (zero-byte) file has no revision line: corrupt, not
+  // "an empty document at revision 0".
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc | std::ios::binary);
+  }
+  EXPECT_THROW(store.get("d"), ParseError);
+}
+
+TEST_F(FileStoreTest, RevisionLineAloneIsCorruptWithoutItsNewline) {
+  FileStore store(dir_);
+  store.put("d", {"content", 3});
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc | std::ios::binary);
+    out << "7";  // revision digits but no terminating newline
+  }
+  EXPECT_THROW(store.get("d"), ParseError);
+
+  // With the newline the same bytes are a valid empty document at rev 7.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc | std::ios::binary);
+    out << "7\n";
+  }
+  const auto record = store.get("d");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->rev, 7u);
+  EXPECT_TRUE(record->content.empty());
+}
+
+TEST_F(FileStoreTest, ConstructorDiscardsStaleTempFiles) {
+  {
+    FileStore store(dir_);
+    store.put("d", {"durable", 1});
+  }
+  // A crash between temp-write and rename leaves a .tmp behind.
+  std::ofstream(dir_ + "/deadbeef.doc.tmp", std::ios::binary) << "torn half";
+  FileStore reopened(dir_);
+  EXPECT_FALSE(fs::exists(dir_ + "/deadbeef.doc.tmp"));
+  EXPECT_EQ(reopened.get("d")->content, "durable");
+}
+
 TEST_F(FileStoreTest, ServerSurvivesRestart) {
   // Encrypted editing session against a persistent provider...
   net::SimClock clock;

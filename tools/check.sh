@@ -2,10 +2,13 @@
 # Build and run the test suite under a sanitizer (ThreadSanitizer by
 # default). The net layer is the main customer: the worker pool, accept
 # queue and retry paths are all multithreaded, and TSan catches ordering
-# bugs the plain suite can't.
+# bugs the plain suite can't. The asan-ubsan mode (ASan+UBSan combined)
+# is aimed at the durability paths — the journal's frame parser, the
+# crash-injected FileStore writes — where the recovery tests feed torn
+# and corrupt bytes through the decoders.
 #
 # Usage:
-#   tools/check.sh [thread|address] [extra ctest args...]
+#   tools/check.sh [thread|address|asan-ubsan] [extra ctest args...]
 #
 # Uses a separate build tree (build-<sanitizer>/) so the regular build/
 # stays untouched.
@@ -16,15 +19,16 @@ SANITIZER="${1:-thread}"
 shift || true
 
 case "${SANITIZER}" in
-  thread|address) ;;
-  *) echo "usage: tools/check.sh [thread|address] [ctest args...]" >&2
+  thread|address) CMAKE_SANITIZE="${SANITIZER}" ;;
+  asan-ubsan)     CMAKE_SANITIZE="address+undefined" ;;
+  *) echo "usage: tools/check.sh [thread|address|asan-ubsan] [ctest args...]" >&2
      exit 2 ;;
 esac
 
 BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}"
 
 cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" \
-  -DPRIVEDIT_SANITIZE="${SANITIZER}" \
+  -DPRIVEDIT_SANITIZE="${CMAKE_SANITIZE}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
@@ -34,6 +38,7 @@ if [ "${SANITIZER}" = "thread" ]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 history_size=4}"
 else
   export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1 halt_on_error=1}"
 fi
 
 cd "${BUILD_DIR}"
