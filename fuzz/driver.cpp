@@ -1,0 +1,75 @@
+// Shared driver for the four fuzz targets. Exactly one
+// PRIVEDIT_FUZZ_TARGET_<name> macro is defined per binary (fuzz/CMakeLists).
+//
+// File-replay mode (default): each argv is replayed through the entry
+// point; privedit's own error taxonomy is a correct rejection, while a
+// FuzzCheckFailure prints the offending file and exits 1 — the crash
+// artifact a fuzzer (or CI corpus replay) keeps.
+//
+// libFuzzer mode (-DPRIVEDIT_LIBFUZZER=ON): the same dispatch compiled as
+// LLVMFuzzerTestOneInput; FuzzCheckFailure escapes and aborts the process,
+// which is how libFuzzer detects a finding.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "privedit/sim/fuzz.hpp"
+
+namespace {
+
+void dispatch(std::string_view data) {
+#if defined(PRIVEDIT_FUZZ_TARGET_delta)
+  privedit::sim::fuzz_delta(data);
+#elif defined(PRIVEDIT_FUZZ_TARGET_container)
+  privedit::sim::fuzz_container(data);
+#elif defined(PRIVEDIT_FUZZ_TARGET_journal)
+  privedit::sim::fuzz_journal(data, "/tmp/privedit-fuzz-journal");
+#elif defined(PRIVEDIT_FUZZ_TARGET_http)
+  privedit::sim::fuzz_http(data);
+#else
+#error "no PRIVEDIT_FUZZ_TARGET_* defined"
+#endif
+}
+
+}  // namespace
+
+#if defined(PRIVEDIT_LIBFUZZER)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  dispatch(std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;  // FuzzCheckFailure escapes -> libFuzzer records the crash
+}
+
+#else
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s INPUT_FILE...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+    try {
+      dispatch(data);
+    } catch (const privedit::sim::FuzzCheckFailure& e) {
+      std::fprintf(stderr, "FUZZ FAILURE on %s: %s\n", argv[i], e.what());
+      return 1;
+    }
+    std::printf("ok %s (%zu bytes)\n", argv[i], data.size());
+  }
+  return 0;
+}
+
+#endif

@@ -81,6 +81,15 @@ void GDocsServer::persist(const std::string& doc_id, const Document& doc) {
   }
 }
 
+void GDocsServer::record_history(Document& doc) {
+  doc.history.push_back(doc.content);
+  if (history_limit_ > 0 && doc.history.size() > history_limit_) {
+    doc.history.erase(doc.history.begin(),
+                      doc.history.end() -
+                          static_cast<std::ptrdiff_t>(history_limit_));
+  }
+}
+
 net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
   if (request.method != "POST" || request.path() != "/Doc") {
     ++counters_.bad_requests;
@@ -116,7 +125,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     // crypto (a bogus sync just fails the open validator later).
     ++counters_.syncs;
     Document& doc = docs_[*doc_id];
-    doc.history.push_back(doc.content);
+    record_history(doc);
     doc.content = form.get("content").value_or("");
     std::uint64_t rev = doc.rev + 1;
     if (const auto rev_field = form.get("rev")) {
@@ -182,7 +191,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
       stale = *base_rev != std::to_string(doc.rev);
     }
     ++counters_.full_saves;
-    doc.history.push_back(doc.content);
+    record_history(doc);
     doc.content = *contents;
     ++doc.rev;
     persist(*doc_id, doc);
@@ -211,7 +220,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     }
     try {
       const delta::Delta d = delta::Delta::parse(*delta_wire);
-      doc.history.push_back(doc.content);
+      record_history(doc);
       doc.content = d.apply(doc.content);
     } catch (const Error&) {
       ++counters_.bad_requests;
@@ -246,7 +255,7 @@ void GDocsServer::set_raw_content(const std::string& doc_id,
   if (it == docs_.end()) {
     throw Error(ErrorCode::kInvalidArgument, "GDocsServer: no such document");
   }
-  it->second.history.push_back(it->second.content);
+  record_history(it->second);
   it->second.content = std::move(content);
   ++it->second.rev;
   persist(doc_id, it->second);

@@ -63,6 +63,11 @@ class GDocsServer {
   /// server instance on the same directory models a provider restart.
   void enable_persistence(const std::string& directory);
 
+  /// Caps the per-document version history at `n` entries (0 = unlimited,
+  /// the default). Real providers prune history too; the simulation
+  /// harness needs the cap so 100k-op runs don't retain every version.
+  void set_history_limit(std::size_t n) { history_limit_ = n; }
+
   /// Optimistic concurrency control: when enabled, a delta save whose base
   /// revision is stale is REJECTED with 409 (carrying the current content
   /// and revision) instead of being merged server-side. This is what an
@@ -97,9 +102,11 @@ class GDocsServer {
   net::HttpResponse ack(const Document& doc, bool include_content) const;
   std::string content_hash(const std::string& content) const;
   void persist(const std::string& doc_id, const Document& doc);
+  void record_history(Document& doc);
 
   std::unique_ptr<FileStore> store_;
   bool strict_revisions_ = false;
+  std::size_t history_limit_ = 0;  // 0 = keep everything
   std::map<std::string, Document> docs_;
   std::set<std::string> dictionary_;
   Counters counters_;

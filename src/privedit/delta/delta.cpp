@@ -22,6 +22,12 @@ std::string escape_insert(std::string_view text) {
   return out;
 }
 
+/// Cap on a single parsed retain/delete count. No real document needs a
+/// larger op, and without the cap a hostile count near SIZE_MAX overflows
+/// the `cursor + count` bounds checks in apply()/invert() — the sum wraps,
+/// the check passes, and substr() silently duplicates document content.
+constexpr std::size_t kMaxCount = std::size_t{1} << 32;
+
 std::size_t parse_count(std::string_view digits) {
   if (digits.empty()) {
     throw ParseError("delta: missing count");
@@ -32,6 +38,10 @@ std::size_t parse_count(std::string_view digits) {
   auto [ptr, ec] = std::from_chars(begin, end, value);
   if (ec != std::errc() || ptr != end) {
     throw ParseError("delta: invalid count '" + std::string(digits) + "'");
+  }
+  if (value > kMaxCount) {
+    throw ParseError("delta: count " + std::string(digits) +
+                     " exceeds the per-op limit");
   }
   return value;
 }
@@ -129,7 +139,9 @@ std::string Delta::apply(std::string_view doc) const {
   for (const Op& op : ops_) {
     switch (op.kind) {
       case OpKind::kRetain:
-        if (cursor + op.count > doc.size()) {
+        // Overflow-proof form of `cursor + op.count > doc.size()`: the sum
+        // wraps for counts near SIZE_MAX and would pass the check.
+        if (op.count > doc.size() - cursor) {
           throw Error(ErrorCode::kInvalidArgument,
                       "delta apply: retain past end of document");
         }
@@ -140,7 +152,7 @@ std::string Delta::apply(std::string_view doc) const {
         out.append(op.text);
         break;
       case OpKind::kDelete:
-        if (cursor + op.count > doc.size()) {
+        if (op.count > doc.size() - cursor) {
           throw Error(ErrorCode::kInvalidArgument,
                       "delta apply: delete past end of document");
         }
@@ -214,7 +226,7 @@ Delta Delta::invert(std::string_view doc) const {
   for (const Op& op : ops_) {
     switch (op.kind) {
       case OpKind::kRetain:
-        if (cursor + op.count > doc.size()) {
+        if (op.count > doc.size() - cursor) {  // overflow-proof bound check
           throw Error(ErrorCode::kInvalidArgument,
                       "delta invert: retain past end of document");
         }
@@ -225,7 +237,7 @@ Delta Delta::invert(std::string_view doc) const {
         out.push(Op::erase(op.count));
         break;
       case OpKind::kDelete:
-        if (cursor + op.count > doc.size()) {
+        if (op.count > doc.size() - cursor) {
           throw Error(ErrorCode::kInvalidArgument,
                       "delta invert: delete past end of document");
         }

@@ -324,8 +324,10 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
 
     // Collaborative rebase loop: on a strict-revision 409, adopt the
     // server's (decrypted) state, transform our edit over the concurrent
-    // one, and retry with the fresh revision.
-    std::string base = session.plaintext();
+    // one, and retry with the fresh revision. The base snapshot is only
+    // needed for that rebase diff — don't pay O(doc) for it otherwise.
+    std::string base;
+    if (config_.collaborative) base = session.plaintext();
     delta::Delta working = std::move(pdelta);
     bool rebased = false;
     net::HttpResponse resp;
@@ -335,9 +337,12 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
       const delta::Delta cdelta = live.transform_delta(working);
       form.set("delta", cdelta.to_wire());
       const std::uint64_t base_rev = parse_rev(form.get("rev"));
-      const std::string checksum =
-          content_hash16(live.scheme().ciphertext_doc());
+      // The checksum exists for the journal's rollback check; serialising
+      // and hashing the whole container per delta is pure waste without
+      // one (it dominated the per-edit cost at small block sizes).
+      std::string checksum;
       if (journal != nullptr) {
+        checksum = content_hash16(live.scheme().ciphertext_doc());
         journal->append_pending({base_rev, /*full_save=*/false, checksum,
                                  cdelta.to_wire()});
         ++counters_.journal_appends;

@@ -1,0 +1,162 @@
+#include "privedit/sim/fuzz.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "privedit/delta/delta.hpp"
+#include "privedit/enc/container.hpp"
+#include "privedit/extension/journal.hpp"
+#include "privedit/extension/session.hpp"
+#include "privedit/net/http.hpp"
+#include "privedit/util/crc32.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::sim {
+namespace {
+
+/// Documents bigger than this make apply()/invert() checks pointlessly
+/// slow without covering new code.
+constexpr std::size_t kMaxApplySpan = 4096;
+
+void check(bool ok, const char* what) {
+  if (!ok) throw FuzzCheckFailure(what);
+}
+
+}  // namespace
+
+void fuzz_delta(std::string_view data) {
+  delta::Delta parsed;
+  try {
+    parsed = delta::Delta::parse(data);
+  } catch (const ParseError&) {
+    return;  // correct rejection
+  } catch (const Error&) {
+    return;  // count caps etc. also reject loudly — fine
+  }
+  // Serialise/parse must be a fixed point of the accepted value.
+  const std::string wire = parsed.to_wire();
+  const delta::Delta reparsed = delta::Delta::parse(wire);
+  check(reparsed == parsed, "delta: to_wire/parse is not a fixed point");
+
+  const std::size_t span = parsed.input_span();
+  if (span > kMaxApplySpan) return;
+  // A delta is valid for any document of length >= input_span, so apply
+  // on exactly that document MUST succeed for an accepted delta.
+  std::string doc(span, 'a');
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    doc[i] = static_cast<char>('a' + i % 17);
+  }
+  std::string applied;
+  try {
+    applied = parsed.apply(doc);
+  } catch (const Error&) {
+    throw FuzzCheckFailure("delta: accepted by parse but apply rejected a "
+                           "document of input_span length");
+  }
+  check(static_cast<std::int64_t>(applied.size()) ==
+            static_cast<std::int64_t>(doc.size()) + parsed.length_change(),
+        "delta: length_change disagrees with apply");
+  const delta::Delta inverse = parsed.invert(doc);
+  check(inverse.apply(applied) == doc, "delta: invert does not round trip");
+  const delta::Delta canon = parsed.canonicalized();
+  check(canon.apply(doc) == applied,
+        "delta: canonical form changes the result");
+  check(canon.is_canonical(), "delta: canonicalized() not canonical");
+}
+
+void fuzz_container(std::string_view data) {
+  const bool plausible = enc::looks_like_container(data);
+  enc::ContainerHeader header;
+  std::size_t units = 0;
+  try {
+    enc::ContainerReader reader(data);
+    header = reader.header();
+    units = reader.unit_count();
+    for (std::size_t u = 0; u < units && u < 64; ++u) {
+      (void)reader.unit(u);
+    }
+  } catch (const Error&) {
+    return;  // malformed container, rejected loudly — correct
+  }
+  // A fully parsed container must have passed the plausibility probe.
+  check(plausible, "container: reader accepted what looks_like rejected");
+  check(header.unit_width() > 0, "container: zero unit width");
+  check(header.prefix_chars() + units * header.unit_width() == data.size(),
+        "container: unit arithmetic does not cover the document");
+  // Parsing succeeded: a real open must either succeed or fail loudly.
+  // Gate on the header's KDF cost so a fuzzed header cannot make the
+  // harness grind through millions of PBKDF2 iterations.
+  if (header.kdf_iterations > 64) return;
+  try {
+    extension::DocumentSession session = extension::DocumentSession::open(
+        "fuzz password", data, extension::seeded_rng_factory(1));
+    (void)session.plaintext();
+  } catch (const Error&) {
+    // Wrong password / tampering / truncation — all correct rejections.
+  }
+}
+
+void fuzz_journal(std::string_view data, const std::string& scratch_dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(scratch_dir);
+  // Distinct scratch file per input so parallel test shards never collide.
+  const std::string path =
+      (fs::path(scratch_dir) /
+       ("fuzz-" + std::to_string(crc32(as_bytes(data))) + "-" +
+        std::to_string(data.size()) + ".wal"))
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  std::size_t pending = 0;
+  std::uint64_t acked_rev = 0;
+  {
+    extension::EditJournal journal(path);  // load must never crash
+    pending = journal.pending().size();
+    if (journal.last_acked()) acked_rev = journal.last_acked()->rev;
+    // The recovered state must survive an append + reload round trip.
+    journal.append_pending({acked_rev + 1, false, "ck", "=1\t+x"});
+  }
+  {
+    extension::EditJournal journal(path);
+    check(journal.pending().size() == pending + 1,
+          "journal: append after recovery lost or duplicated entries");
+    check(!journal.pending().empty() &&
+              journal.pending().back().update == "=1\t+x",
+          "journal: appended entry corrupted across reload");
+    journal.compact();
+  }
+  {
+    extension::EditJournal journal(path);
+    check(journal.pending().size() == pending + 1,
+          "journal: compact changed the pending set");
+  }
+  fs::remove(path);
+}
+
+void fuzz_http(std::string_view data) {
+  try {
+    const net::HttpRequest request = net::HttpRequest::parse(data);
+    const net::HttpRequest again =
+        net::HttpRequest::parse(request.serialize());
+    check(again.method == request.method && again.target == request.target &&
+              again.body == request.body,
+          "http: request serialise/parse is not a fixed point");
+  } catch (const Error&) {
+    // rejected — fine
+  }
+  try {
+    const net::HttpResponse response = net::HttpResponse::parse(data);
+    const net::HttpResponse again =
+        net::HttpResponse::parse(response.serialize());
+    check(again.status == response.status && again.body == response.body,
+          "http: response serialise/parse is not a fixed point");
+  } catch (const Error&) {
+    // rejected — fine
+  }
+}
+
+}  // namespace privedit::sim

@@ -1,0 +1,131 @@
+#include "privedit/sim/gen.hpp"
+
+#include <array>
+
+#include "privedit/util/random.hpp"
+
+namespace privedit::sim {
+namespace {
+
+/// Geometric-ish edit length in [1, max]: short edits dominate (typing),
+/// with a heavy-enough tail to span several blocks.
+std::uint32_t edit_len(RandomSource& rng, std::uint32_t max) {
+  std::uint32_t len = 1;
+  while (len < max && rng.chance(0.70)) {
+    len += static_cast<std::uint32_t>(rng.below(4)) + 1;
+  }
+  return len > max ? max : len;
+}
+
+TextClass pick_class(RandomSource& rng) {
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 45) return TextClass::kWords;
+  if (roll < 55) return TextClass::kRun;
+  if (roll < 78) return TextClass::kUnicode;
+  return TextClass::kSpecial;
+}
+
+/// Position selector: usually uniform, sometimes pinned to an end, with a
+/// config-weighted chance of snapping to a block boundary at execution.
+void pick_pos(RandomSource& rng, const GenWeights& w, SimOp& op) {
+  if (rng.chance(w.append_bias)) {
+    op.pos_ppm = 1'000'000;  // end of document
+  } else if (rng.chance(0.05)) {
+    op.pos_ppm = 0;  // start of document
+  } else {
+    op.pos_ppm = static_cast<std::uint32_t>(rng.below(1'000'001));
+  }
+  op.snap = rng.chance(w.boundary_bias);
+}
+
+}  // namespace
+
+Script generate_script(const SimConfig& config) {
+  Xoshiro256 rng(config.seed * 0x9e3779b97f4a7c15ULL + 1);
+  const GenWeights& w = config.weights;
+
+  struct Entry {
+    double weight;
+    SimOpKind kind;
+  };
+  const std::array<Entry, 13> table = {{
+      {w.insert, SimOpKind::kInsert},
+      {w.erase, SimOpKind::kErase},
+      {w.replace, SimOpKind::kReplace},
+      {w.replace_all, SimOpKind::kReplaceAll},
+      {w.undo, SimOpKind::kUndo},
+      {w.reopen, SimOpKind::kReopen},
+      {w.tamper, SimOpKind::kTamperFlip},
+      {w.tamper / 2, SimOpKind::kTamperSwap},
+      {w.tamper / 3, SimOpKind::kTamperDrop},
+      {w.tamper / 3, SimOpKind::kTamperDup},
+      {w.rollback, SimOpKind::kRollback},
+      {w.fork, SimOpKind::kFork},
+      {w.crash, SimOpKind::kCrash},
+  }};
+  double total = 0;
+  for (const Entry& e : table) total += e.weight;
+
+  Script script;
+  script.ops.reserve(config.ops);
+  for (std::size_t i = 0; i < config.ops; ++i) {
+    // Weighted pick via a 1e9-grain roll so generation stays integer-only.
+    double roll = static_cast<double>(rng.below(1'000'000'000)) / 1e9 * total;
+    SimOpKind kind = SimOpKind::kInsert;
+    for (const Entry& e : table) {
+      if (roll < e.weight) {
+        kind = e.kind;
+        break;
+      }
+      roll -= e.weight;
+    }
+
+    SimOp op;
+    op.kind = kind;
+    switch (kind) {
+      case SimOpKind::kInsert:
+        pick_pos(rng, w, op);
+        op.cls = pick_class(rng);
+        op.len = rng.chance(w.empty_bias) ? 0 : edit_len(rng, w.max_edit);
+        op.arg = static_cast<std::uint32_t>(rng.next_u64());
+        break;
+      case SimOpKind::kErase:
+        pick_pos(rng, w, op);
+        op.len = rng.chance(w.empty_bias) ? 0 : edit_len(rng, w.max_edit);
+        break;
+      case SimOpKind::kReplace:
+        pick_pos(rng, w, op);
+        op.cls = pick_class(rng);
+        op.len = edit_len(rng, w.max_edit);
+        op.len2 = rng.chance(w.empty_bias) ? 0 : edit_len(rng, w.max_edit);
+        op.arg = static_cast<std::uint32_t>(rng.next_u64());
+        break;
+      case SimOpKind::kReplaceAll:
+        op.cls = pick_class(rng);
+        op.len = edit_len(rng, w.max_edit) * 4;
+        op.arg = static_cast<std::uint32_t>(rng.next_u64());
+        break;
+      case SimOpKind::kUndo:
+      case SimOpKind::kReopen:
+      case SimOpKind::kRollback:
+      case SimOpKind::kFork:
+        break;
+      case SimOpKind::kTamperFlip:
+      case SimOpKind::kTamperDrop:
+      case SimOpKind::kTamperDup:
+        op.arg = static_cast<std::uint32_t>(rng.next_u64());
+        break;
+      case SimOpKind::kTamperSwap:
+        op.arg = static_cast<std::uint32_t>(rng.next_u64());
+        op.arg2 = static_cast<std::uint32_t>(rng.next_u64());
+        break;
+      case SimOpKind::kCrash:
+        op.arg = static_cast<std::uint32_t>(rng.next_u64());
+        break;
+    }
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+}  // namespace privedit::sim

@@ -1,0 +1,20 @@
+#pragma once
+// Weighted edit-script and adversary generator.
+//
+// generate_script(config) expands config.seed into a Script: a weighted
+// mix of splices (skewed toward block boundaries and document ends, with
+// empty ops, unicode-width payloads and whole-document replaces), undo and
+// reopen steps, and — when the config arms them — adversary actions
+// (ciphertext tampering, rollback/fork at the provider, crash-seam power
+// loss). Generation is pure: the same (seed, weights, ops) always yields
+// the same script, and execution never consults the generator again, so a
+// shrunk subsequence replays without it.
+
+#include "privedit/sim/config.hpp"
+#include "privedit/sim/script.hpp"
+
+namespace privedit::sim {
+
+Script generate_script(const SimConfig& config);
+
+}  // namespace privedit::sim

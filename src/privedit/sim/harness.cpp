@@ -1,0 +1,819 @@
+#include "privedit/sim/harness.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/delta/delta.hpp"
+#include "privedit/enc/container.hpp"
+#include "privedit/extension/mediator.hpp"
+#include "privedit/extension/session.hpp"
+#include "privedit/net/fault.hpp"
+#include "privedit/net/retry.hpp"
+#include "privedit/net/socket.hpp"
+#include "privedit/net/transport.hpp"
+#include "privedit/sim/gen.hpp"
+#include "privedit/util/crashpoint.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+#include "privedit/util/urlencode.hpp"
+
+namespace privedit::sim {
+namespace {
+
+constexpr const char* kDocId = "simdoc";
+constexpr const char* kTarget = "/Doc?docID=simdoc";
+
+/// Crash seams reachable from a single edit. journal.compact.* fires during
+/// *recovery* opens, so arming it here would crash the recovery itself;
+/// the recovery_test crash-matrix covers those seams directly.
+constexpr const char* kJournalSeams[] = {
+    "journal.append.before_write",
+    "journal.append.torn",
+    "journal.append.before_fsync",
+};
+constexpr const char* kStoreSeams[] = {
+    "file_store.put.created",     "file_store.put.torn",
+    "file_store.put.before_fsync", "file_store.put.before_rename",
+    "file_store.put.before_dirsync",
+};
+
+std::uint64_t parse_rev_field(const std::optional<std::string>& field) {
+  if (!field) return 0;
+  std::uint64_t value = 0;
+  for (char c : *field) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Alphabet-preserving ciphertext flip: substituting within the Base32
+/// alphabet keeps the container decodable so the corruption reaches the
+/// *cryptographic* integrity check rather than dying in the codec. Chars
+/// outside the alphabet (the codec tag) get a plain byte change, which
+/// exercises the framing validator instead.
+char flip_char(char c, std::uint32_t salt) {
+  static constexpr std::string_view kB32 = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+  const std::size_t at = kB32.find(c);
+  if (at == std::string_view::npos) {
+    return c == '3' ? '6' : '3';  // codec tag (or stray byte): break framing
+  }
+  return kB32[(at + 1 + salt % 31) % kB32.size()];
+}
+
+struct Splice {
+  std::size_t pos = 0;
+  std::size_t del = 0;
+  std::string text;
+};
+
+class Runner {
+ public:
+  Runner(const SimConfig& config, const Script& script)
+      : cfg_(config), script_(script) {}
+
+  SimReport run() {
+    rep_.config_wire = cfg_.to_wire();
+    try {
+      prepare_dirs();
+      build_world();
+      setup_document();
+    } catch (const std::exception& e) {
+      fail("setup", e.what());
+    }
+    for (std::size_t i = 0; i < script_.ops.size() && rep_.ok; ++i) {
+      current_op_ = i;
+      try {
+        exec_op(script_.ops[i]);
+      } catch (const Error& e) {
+        fail("unexpected-error", e.what());
+      } catch (const std::exception& e) {
+        fail("unexpected-exception", e.what());
+      }
+      if (rep_.ok) {
+        ++rep_.cov.ops_executed;
+        if (cfg_.deep_verify_every > 0 &&
+            (i + 1) % cfg_.deep_verify_every == 0) {
+          deep_verify();
+        }
+      }
+    }
+    if (rep_.ok && cfg_.deep_verify_every > 0) deep_verify();
+    rep_.final_doc_chars = model_.size();
+    rep_.final_rev = rev_;
+    if (!rep_.ok) {
+      rep_.script_wire = script_.to_wire();
+      rep_.repro = "PRIVEDIT_SIM_CONFIG='" + rep_.config_wire +
+                   "' PRIVEDIT_SIM_SCRIPT='" + rep_.script_wire +
+                   "' ./build/tests/sim_test --gtest_filter='SimRepro.*'";
+    }
+    return rep_;
+  }
+
+ private:
+  // ----- world construction -----
+
+  void prepare_dirs() {
+    if (!cfg_.journal && !cfg_.persist) return;
+    if (cfg_.work_dir.empty()) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "sim: journal/persist need config.work_dir");
+    }
+    namespace fs = std::filesystem;
+    if (cfg_.journal) fs::create_directories(fs::path(cfg_.work_dir) / "journal");
+    if (cfg_.persist) fs::create_directories(fs::path(cfg_.work_dir) / "store");
+  }
+
+  bool faults_armed() const {
+    const net::FaultSpec& f = cfg_.faults;
+    return f.drop > 0 || f.truncate_request > 0 || f.truncate_response > 0 ||
+           f.garble_response > 0 || f.delay > 0;
+  }
+
+  /// (Re)builds the whole stack. `epoch_` keeps rebuild RNG streams
+  /// deterministic yet distinct from the pre-crash instance's.
+  void build_world() {
+    namespace fs = std::filesystem;
+    mediator_.reset();
+    retry_.reset();
+    faulty_.reset();
+    loop_.reset();
+    server_.reset();
+
+    server_ = std::make_unique<cloud::GDocsServer>();
+    server_->set_history_limit(cfg_.history_limit);
+    if (cfg_.persist) {
+      server_->enable_persistence((fs::path(cfg_.work_dir) / "store").string());
+    }
+
+    net::LatencyModel latency;
+    latency.base_us = 0;
+    latency.jitter_us = 0;
+    latency.bytes_per_ms_up = 0;
+    latency.bytes_per_ms_down = 0;
+    latency.server_us_per_kb = 0;
+    loop_ = std::make_unique<net::LoopbackTransport>(
+        [srv = server_.get()](const net::HttpRequest& r) {
+          return srv->handle(r);
+        },
+        &clock_, latency,
+        std::make_unique<Xoshiro256>(cfg_.seed ^ 0x100bacc0ULL));
+
+    net::Channel* upstream = loop_.get();
+    if (faults_armed()) {
+      faulty_ = std::make_unique<net::FaultyChannel>(
+          upstream, cfg_.faults,
+          std::make_unique<Xoshiro256>(cfg_.seed * 0x9e3779b97f4a7c15ULL +
+                                       0xfa01 + epoch_),
+          &clock_);
+      upstream = faulty_.get();
+    }
+    if (cfg_.retry) {
+      net::RetryPolicy policy;
+      policy.max_attempts = 12;
+      policy.base_backoff_us = 100;
+      policy.max_backoff_us = 5'000;
+      retry_ = std::make_unique<net::RetryChannel>(
+          upstream, policy,
+          std::make_unique<Xoshiro256>(cfg_.seed * 0x2545f4914f6cdd1dULL +
+                                       3 * epoch_ + 5),
+          &clock_);
+      upstream = retry_.get();
+    }
+
+    extension::MediatorConfig mc;
+    mc.password = cfg_.password;
+    mc.scheme.mode = cfg_.mode;
+    mc.scheme.block_chars = cfg_.block_chars;
+    mc.scheme.kdf_iterations = cfg_.kdf_iterations;
+    mc.rng_factory = extension::seeded_rng_factory(
+        cfg_.seed * 6364136223846793005ULL + 1442695040888963407ULL * (epoch_ + 1));
+    if (cfg_.journal) {
+      mc.journal_dir = (fs::path(cfg_.work_dir) / "journal").string();
+    }
+    mediator_ = std::make_unique<extension::GDocsMediator>(upstream, std::move(mc),
+                                                           &clock_);
+  }
+
+  // ----- document lifecycle -----
+
+  net::HttpResponse post(std::string form_body) {
+    return mediator_->round_trip(
+        net::HttpRequest::post_form(kTarget, std::move(form_body)));
+  }
+
+  net::HttpResponse open_request() {
+    FormData f;
+    f.add("cmd", "open");
+    return post(f.encode());
+  }
+
+  void setup_document() {
+    // cmd=create is idempotent end to end (server wipes the doc, mediator
+    // resets session + journal), so under faults it can simply be retried.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        FormData f;
+        f.add("cmd", "create");
+        const net::HttpResponse resp = post(f.encode());
+        if (!resp.ok()) {
+          fail("setup", "create rejected: " + std::to_string(resp.status));
+          return;
+        }
+        rev_ = parse_rev_field(FormData::parse(resp.body).get("rev"));
+        break;
+      } catch (const net::TransportError&) {
+        ++rep_.cov.transport_errors;
+        if (attempt >= 64) {
+          fail("setup", "create: transport faults exhausted retries");
+          return;
+        }
+      }
+    }
+    model_.clear();
+    if (cfg_.initial_chars > 0) {
+      std::string text =
+          op_text(TextClass::kWords, static_cast<std::uint32_t>(cfg_.seed),
+                  static_cast<std::uint32_t>(cfg_.initial_chars / 6 + 1));
+      if (text.size() > cfg_.initial_chars) text.resize(cfg_.initial_chars);
+      exec_full_save(std::move(text));
+    }
+  }
+
+  // ----- op dispatch -----
+
+  void exec_op(const SimOp& op) {
+    switch (op.kind) {
+      case SimOpKind::kInsert:
+      case SimOpKind::kErase:
+      case SimOpKind::kReplace:
+        exec_edit(op);
+        return;
+      case SimOpKind::kReplaceAll: {
+        std::string text = op_text(op.cls, op.arg, op.len);
+        if (text.size() > cfg_.max_doc_chars) text.resize(cfg_.max_doc_chars);
+        track_payload(op.cls, text);
+        exec_full_save(std::move(text));
+        return;
+      }
+      case SimOpKind::kUndo:
+        exec_undo();
+        return;
+      case SimOpKind::kReopen:
+        exec_reopen();
+        return;
+      case SimOpKind::kTamperFlip:
+      case SimOpKind::kTamperSwap:
+      case SimOpKind::kTamperDrop:
+      case SimOpKind::kTamperDup:
+        exec_tamper(op);
+        return;
+      case SimOpKind::kRollback:
+        exec_rollback(op);
+        return;
+      case SimOpKind::kFork:
+        exec_fork(op);
+        return;
+      case SimOpKind::kCrash:
+        exec_crash(op);
+        return;
+    }
+  }
+
+  // ----- edits -----
+
+  std::size_t resolve_pos(const SimOp& op) {
+    std::size_t pos = static_cast<std::size_t>(
+        std::uint64_t{op.pos_ppm} * model_.size() / 1'000'000);
+    if (pos > model_.size()) pos = model_.size();
+    if (op.snap && cfg_.block_chars > 1) {
+      pos -= pos % cfg_.block_chars;
+      ++rep_.cov.boundary_snaps;
+    }
+    return pos;
+  }
+
+  void track_payload(TextClass cls, const std::string& text) {
+    if (text.empty()) return;
+    if (cls == TextClass::kUnicode) ++rep_.cov.unicode_inserts;
+    if (cls == TextClass::kSpecial) ++rep_.cov.special_inserts;
+  }
+
+  Splice make_splice(const SimOp& op) {
+    Splice s;
+    s.pos = resolve_pos(op);
+    switch (op.kind) {
+      case SimOpKind::kInsert:
+        s.text = op_text(op.cls, op.arg, op.len);
+        ++rep_.cov.inserts;
+        break;
+      case SimOpKind::kErase:
+        s.del = std::min<std::size_t>(op.len, model_.size() - s.pos);
+        ++rep_.cov.erases;
+        break;
+      case SimOpKind::kReplace:
+        s.del = std::min<std::size_t>(op.len, model_.size() - s.pos);
+        s.text = op_text(op.cls, op.arg, op.len2);
+        ++rep_.cov.replaces;
+        break;
+      default:
+        break;
+    }
+    // Clamp the insert so the document never outgrows the configured cap
+    // (the harness targets splice arithmetic, not memory growth).
+    const std::size_t base = model_.size() - s.del;
+    const std::size_t room = cfg_.max_doc_chars > base
+                                 ? cfg_.max_doc_chars - base
+                                 : 0;
+    if (s.text.size() > room) s.text.resize(room);
+    track_payload(op.cls, s.text);
+    if (s.del == 0 && s.text.empty()) ++rep_.cov.empty_ops;
+    return s;
+  }
+
+  delta::Delta splice_delta(const Splice& s) const {
+    delta::Delta d;
+    if (s.pos > 0) d.push(delta::Op::retain(s.pos));
+    std::size_t del = s.del;
+    if (cfg_.mutation == Mutation::kDropDelete) del = 0;  // deliberate SUT bug
+    if (del > 0) d.push(delta::Op::erase(del));
+    if (!s.text.empty()) d.push(delta::Op::insert(s.text));
+    if (d.empty()) d.push(delta::Op::retain(0));  // explicit no-op on the wire
+    return d;
+  }
+
+  /// Sends one delta update. Returns false if the op was absorbed by fault
+  /// reconciliation (model already resynced) or the run has failed.
+  bool send_splice(const Splice& s, bool push_undo) {
+    std::string after = model_;
+    after.replace(s.pos, s.del, s.text);
+    FormData f;
+    f.add("session", "1");
+    f.add("rev", std::to_string(rev_));
+    f.add("delta", splice_delta(s).to_wire());
+    net::HttpResponse resp;
+    try {
+      resp = post(f.encode());
+    } catch (const net::TransportError&) {
+      ++rep_.cov.transport_errors;
+      reconcile(model_, after);
+      return false;
+    }
+    if (!resp.ok()) {
+      fail("save-rejected", "delta save: HTTP " + std::to_string(resp.status) +
+                                " " + resp.body);
+      return false;
+    }
+    if (push_undo) {
+      undo_.push_back(
+          Splice{s.pos, s.text.size(), model_.substr(s.pos, s.del)});
+      if (undo_.size() > 64) undo_.pop_front();
+    }
+    model_ = std::move(after);
+    rev_ = parse_rev_field(FormData::parse(resp.body).get("rev"));
+    note_snapshot();
+    check_model();
+    return true;
+  }
+
+  void exec_edit(const SimOp& op) { send_splice(make_splice(op), true); }
+
+  void exec_full_save(std::string text) {
+    ++rep_.cov.full_saves;
+    FormData f;
+    f.add("session", "1");
+    f.add("rev", std::to_string(rev_));
+    f.add("docContents", text);
+    net::HttpResponse resp;
+    try {
+      resp = post(f.encode());
+    } catch (const net::TransportError&) {
+      ++rep_.cov.transport_errors;
+      reconcile(model_, text);
+      return;
+    }
+    if (!resp.ok()) {
+      fail("save-rejected", "full save: HTTP " + std::to_string(resp.status));
+      return;
+    }
+    undo_.push_back(Splice{0, text.size(), model_});
+    if (undo_.size() > 64) undo_.pop_front();
+    model_ = std::move(text);
+    rev_ = parse_rev_field(FormData::parse(resp.body).get("rev"));
+    note_snapshot();
+    check_model();
+  }
+
+  void exec_undo() {
+    if (undo_.empty()) return;
+    const Splice inverse = undo_.back();
+    undo_.pop_back();
+    if (send_splice(inverse, false)) ++rep_.cov.undos;
+  }
+
+  void exec_reopen() {
+    net::HttpResponse resp;
+    try {
+      resp = open_request();
+    } catch (const net::TransportError&) {
+      ++rep_.cov.transport_errors;
+      reconcile(model_, model_);
+      return;
+    }
+    if (!resp.ok()) {
+      fail("reopen-rejected", "open: HTTP " + std::to_string(resp.status));
+      return;
+    }
+    const FormData reply = FormData::parse(resp.body);
+    const std::string content = reply.get("content").value_or("");
+    if (content != model_) {
+      fail("reopen-mismatch",
+           "decrypted open returned " + std::to_string(content.size()) +
+               " bytes, reference has " + std::to_string(model_.size()));
+      return;
+    }
+    rev_ = parse_rev_field(reply.get("rev"));
+    ++rep_.cov.reopens;
+    check_model();
+  }
+
+  // ----- invariants -----
+
+  void check_model() {
+    if (!rep_.ok) return;
+    const auto mirror = mediator_->managed_plaintext(kDocId);
+    if (!mirror) {
+      fail("model-equiv", "mediator holds no mirror for the document");
+      return;
+    }
+    if (*mirror != model_) {
+      std::size_t at = 0;
+      while (at < mirror->size() && at < model_.size() &&
+             (*mirror)[at] == model_[at]) {
+        ++at;
+      }
+      fail("model-equiv",
+           "mirror (" + std::to_string(mirror->size()) +
+               " bytes) diverges from reference (" +
+               std::to_string(model_.size()) + " bytes) at byte " +
+               std::to_string(at));
+    }
+  }
+
+  void deep_verify() {
+    if (!rep_.ok) return;
+    const auto raw = server_->raw_content(kDocId);
+    if (!raw) {
+      fail("deep-equiv", "server lost the document");
+      return;
+    }
+    try {
+      extension::DocumentSession session = extension::DocumentSession::open(
+          cfg_.password, *raw,
+          extension::seeded_rng_factory(cfg_.seed ^ 0xdee9ULL));
+      if (session.plaintext() != model_) {
+        fail("deep-equiv",
+             "independent decrypt of the stored ciphertext (" +
+                 std::to_string(session.plaintext().size()) +
+                 " bytes) != reference (" + std::to_string(model_.size()) +
+                 " bytes)");
+        return;
+      }
+    } catch (const Error& e) {
+      fail("deep-equiv", std::string("stored ciphertext failed to open: ") +
+                             e.what());
+      return;
+    }
+    // The provider must never see plaintext: generated payloads are
+    // lowercase/multi-byte/punctuation, the Base32 body is uppercase, so
+    // any 16-byte plaintext window appearing verbatim is a leak.
+    if (model_.size() >= 16 &&
+        raw->find(model_.substr(0, 16)) != std::string::npos) {
+      fail("plaintext-leak", "stored document contains reference plaintext");
+      return;
+    }
+    ++rep_.cov.deep_verifies;
+  }
+
+  /// Fault aftermath: re-open until the channel cooperates and adopt
+  /// whichever of {before, after} the server settled on. With the journal
+  /// on, open replays the pending entry (revision CAS), so `after` wins;
+  /// without it, a never-delivered request legitimately leaves `before`.
+  void reconcile(const std::string& before, const std::string& after) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      net::HttpResponse resp;
+      try {
+        resp = open_request();
+      } catch (const net::TransportError&) {
+        ++rep_.cov.transport_errors;
+        continue;
+      }
+      if (!resp.ok()) {
+        fail("reconcile", "open: HTTP " + std::to_string(resp.status));
+        return;
+      }
+      const FormData reply = FormData::parse(resp.body);
+      const std::string content = reply.get("content").value_or("");
+      if (content != before && content != after) {
+        fail("reconcile-divergence",
+             "post-fault document (" + std::to_string(content.size()) +
+                 " bytes) matches neither the pre-op (" +
+                 std::to_string(before.size()) + ") nor post-op (" +
+                 std::to_string(after.size()) + ") state");
+        return;
+      }
+      model_ = content;
+      rev_ = parse_rev_field(reply.get("rev"));
+      undo_.clear();  // inverses were computed against an uncertain lineage
+      check_model();
+      return;
+    }
+    fail("reconcile", "transport faults exhausted 64 reopen attempts");
+  }
+
+  // ----- adversary -----
+
+  void note_snapshot() {
+    if (!cfg_.journal) return;
+    const auto raw = server_->raw_content(kDocId);
+    if (!raw) return;
+    snapshots_.push_back({rev_, *raw});
+    if (snapshots_.size() > 32) snapshots_.pop_front();
+  }
+
+  std::string mutate_ciphertext(const std::string& good, const SimOp& op) {
+    std::string bad = good;
+    if (op.kind == SimOpKind::kTamperFlip) {
+      if (bad.empty()) return bad;
+      const std::size_t at = op.arg % bad.size();
+      bad[at] = flip_char(bad[at], op.arg >> 8);
+      return bad;
+    }
+    // Unit-level surgery relies on the container's arithmetic framing:
+    // unit u spans encoded chars [P + u*W, P + (u+1)*W).
+    enc::ContainerHeader header;
+    std::size_t units = 0;
+    try {
+      enc::ContainerReader reader(good);
+      header = reader.header();
+      units = reader.unit_count();
+    } catch (const Error&) {
+      return good;  // not a container (should not happen); skip
+    }
+    const std::size_t prefix = header.prefix_chars();
+    const std::size_t width = header.unit_width();
+    if (width == 0 || units == 0) return good;
+    const auto span = [&](std::size_t u) { return prefix + u * width; };
+    switch (op.kind) {
+      case SimOpKind::kTamperSwap: {
+        if (units < 2) return good;
+        std::size_t i = op.arg % units;
+        std::size_t j = op.arg2 % units;
+        if (i == j) j = (i + 1) % units;
+        if (i > j) std::swap(i, j);
+        const std::string a = bad.substr(span(i), width);
+        const std::string b = bad.substr(span(j), width);
+        bad.replace(span(j), width, a);
+        bad.replace(span(i), width, b);
+        return bad;
+      }
+      case SimOpKind::kTamperDrop: {
+        bad.erase(span(op.arg % units), width);
+        return bad;
+      }
+      case SimOpKind::kTamperDup: {
+        const std::size_t u = op.arg % units;
+        bad.insert(span(u), bad.substr(span(u), width));
+        return bad;
+      }
+      default:
+        return good;
+    }
+  }
+
+  void exec_tamper(const SimOp& op) {
+    const auto raw = server_->raw_content(kDocId);
+    if (!raw || raw->empty()) return;
+    const std::string good = *raw;
+    const std::string bad = mutate_ciphertext(good, op);
+    if (bad == good) return;
+    server_->set_raw_content(kDocId, bad);
+    ++rep_.cov.tampers_injected;
+    bool detected = false;
+    try {
+      const net::HttpResponse resp = open_request();
+      detected = !resp.ok();
+    } catch (const IntegrityError&) {
+      detected = true;  // includes RollbackError
+    } catch (const CryptoError&) {
+      detected = true;
+    }
+    if (detected) {
+      ++rep_.cov.tampers_detected;
+    } else if (cfg_.mode == enc::Mode::kRpc) {
+      fail("tamper-undetected",
+           "RPC accepted tampered ciphertext (" + op.to_wire() + ")");
+      return;
+    }
+    heal(good);
+  }
+
+  void exec_rollback(const SimOp& op) {
+    (void)op;
+    if (!cfg_.journal) return;
+    const auto raw = server_->raw_content(kDocId);
+    if (!raw) return;
+    const std::string good = *raw;
+    const Snapshot* older = nullptr;
+    for (const Snapshot& s : snapshots_) {
+      if (s.rev < rev_) {
+        older = &s;
+        break;
+      }
+    }
+    if (older == nullptr) return;  // no strictly older acked state yet
+    push_sync(older->rev, older->content);
+    ++rep_.cov.rollbacks_injected;
+    if (expect_rollback_detected("rollback")) ++rep_.cov.rollbacks_detected;
+    heal(good);
+  }
+
+  void exec_fork(const SimOp& op) {
+    if (!cfg_.journal) return;
+    const auto raw = server_->raw_content(kDocId);
+    if (!raw || raw->empty()) return;
+    const std::string good = *raw;
+    std::string forked = good;
+    const std::size_t at = op.arg % forked.size();
+    forked[at] = flip_char(forked[at], op.arg >> 8);
+    if (forked == good) return;
+    push_sync(rev_, forked);  // same acknowledged revision, different bytes
+    ++rep_.cov.forks_injected;
+    if (expect_rollback_detected("fork")) ++rep_.cov.forks_detected;
+    heal(good);
+  }
+
+  /// Adversary lever: a cmd=sync straight at the server (not through the
+  /// mediator) adopts content+rev wholesale, exactly what a malicious
+  /// replica push can do.
+  void push_sync(std::uint64_t rev, const std::string& content) {
+    FormData f;
+    f.add("cmd", "sync");
+    f.add("rev", std::to_string(rev));
+    f.add("content", content);
+    server_->handle(net::HttpRequest::post_form(kTarget, f.encode()));
+  }
+
+  bool expect_rollback_detected(const char* what) {
+    try {
+      const net::HttpResponse resp = open_request();
+      (void)resp;
+    } catch (const IntegrityError&) {
+      return true;  // RollbackError (or the decrypt noticed first) — good
+    } catch (const CryptoError&) {
+      return true;
+    }
+    fail(std::string(what) + "-undetected",
+         std::string("journal open accepted a ") + what +
+             " of the acknowledged state");
+    return false;
+  }
+
+  /// Restores the last good stored state and re-syncs the session so the
+  /// run continues: sync the bytes back at the acknowledged revision, then
+  /// a normal open must succeed and agree with the reference.
+  void heal(const std::string& good) {
+    if (!rep_.ok) return;
+    push_sync(rev_, good);
+    net::HttpResponse resp;
+    try {
+      resp = open_request();
+    } catch (const Error& e) {
+      fail("heal", std::string("open after restore failed: ") + e.what());
+      return;
+    }
+    if (!resp.ok()) {
+      fail("heal", "open after restore: HTTP " + std::to_string(resp.status));
+      return;
+    }
+    const FormData reply = FormData::parse(resp.body);
+    if (reply.get("content").value_or("") != model_) {
+      fail("heal", "document changed across an injected-attack round trip");
+      return;
+    }
+    rev_ = parse_rev_field(reply.get("rev"));
+    check_model();
+  }
+
+  // ----- crash seams -----
+
+  void exec_crash(const SimOp& op) {
+    if (!cfg_.journal || !cfg_.persist) return;  // needs durable both sides
+    std::vector<const char*> seams(std::begin(kJournalSeams),
+                                   std::end(kJournalSeams));
+    seams.insert(seams.end(), std::begin(kStoreSeams), std::end(kStoreSeams));
+    const char* seam = seams[op.arg % seams.size()];
+
+    SimOp edit;
+    edit.kind = SimOpKind::kInsert;
+    edit.pos_ppm = 1'000'000;
+    edit.len = op.arg % 5 + 1;
+    edit.cls = TextClass::kWords;
+    edit.arg = op.arg;
+    const Splice s = make_splice(edit);
+    const std::string before = model_;
+    std::string after = model_;
+    after.replace(s.pos, s.del, s.text);
+
+    CrashPoints::arm(seam, 1);
+    bool crashed = false;
+    try {
+      send_splice(s, false);
+    } catch (const CrashError&) {
+      crashed = true;
+    }
+    CrashPoints::disarm();
+    if (!crashed) return;  // seam not reached before the op completed
+
+    ++rep_.cov.crashes_fired;
+    ++epoch_;
+    build_world();  // power loss: everything volatile is gone
+    net::HttpResponse resp;
+    try {
+      resp = open_request();  // replays the journal (revision CAS)
+    } catch (const Error& e) {
+      fail("crash-recovery", std::string("open after crash threw: ") + e.what());
+      return;
+    }
+    if (!resp.ok()) {
+      fail("crash-recovery",
+           "open after crash: HTTP " + std::to_string(resp.status));
+      return;
+    }
+    const FormData reply = FormData::parse(resp.body);
+    const std::string content = reply.get("content").value_or("");
+    if (content != before && content != after) {
+      fail("crash-divergence",
+           "recovered document (" + std::to_string(content.size()) +
+               " bytes) is neither the pre-crash (" +
+               std::to_string(before.size()) + ") nor the attempted (" +
+               std::to_string(after.size()) + ") state [seam " + seam + "]");
+      return;
+    }
+    model_ = content;
+    rev_ = parse_rev_field(reply.get("rev"));
+    undo_.clear();
+    ++rep_.cov.crashes_recovered;
+    check_model();
+  }
+
+  // ----- failure bookkeeping -----
+
+  void fail(const std::string& id, const std::string& message) {
+    if (!rep_.ok) return;  // first failure wins
+    rep_.ok = false;
+    rep_.failure_id = id;
+    rep_.message = message;
+    rep_.failed_at_op = current_op_;
+  }
+
+  struct Snapshot {
+    std::uint64_t rev;
+    std::string content;
+  };
+
+  const SimConfig& cfg_;
+  const Script& script_;
+  SimReport rep_;
+
+  net::SimClock clock_;
+  std::unique_ptr<cloud::GDocsServer> server_;
+  std::unique_ptr<net::LoopbackTransport> loop_;
+  std::unique_ptr<net::FaultyChannel> faulty_;
+  std::unique_ptr<net::RetryChannel> retry_;
+  std::unique_ptr<extension::GDocsMediator> mediator_;
+
+  std::string model_;  // the reference: a plain byte string
+  std::uint64_t rev_ = 0;
+  std::deque<Splice> undo_;       // inverse splices, most recent last
+  std::deque<Snapshot> snapshots_;  // older acked states (rollback fodder)
+  std::uint64_t epoch_ = 0;       // bumped per world rebuild
+  std::size_t current_op_ = 0;
+};
+
+}  // namespace
+
+SimReport run_script(const SimConfig& config, const Script& script) {
+  return Runner(config, script).run();
+}
+
+SimReport run_sim(const SimConfig& config) {
+  return run_script(config, generate_script(config));
+}
+
+}  // namespace privedit::sim

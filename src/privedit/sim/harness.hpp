@@ -1,0 +1,37 @@
+#pragma once
+// Deterministic simulation harness: drives the real private-editing stack
+// (GDocsMediator -> IncrementalScheme -> IndexedSkipList/BlockStore ->
+// optional Retry/Faulty channels -> LoopbackTransport -> GDocsServer with
+// optional FileStore persistence, plus the client write-ahead journal)
+// against a trivial std::string reference model, one Script op at a time.
+//
+// Invariants checked while executing:
+//   * model equivalence — the mediator's plaintext mirror equals the
+//     reference string after every op, and every deep_verify_every ops the
+//     stored ciphertext is independently decrypted (fresh DocumentSession)
+//     and compared; the ciphertext must never contain the plaintext.
+//   * mandatory detection — under RPC every injected tamper (bit flip,
+//     unit swap/drop/replay) must raise IntegrityError/CryptoError at the
+//     next open, and every injected rollback/fork must raise RollbackError.
+//   * convergence — after a crash-seam power loss or a transport fault the
+//     rebuilt stack recovers to either the pre-op or post-op document
+//     (never a third state), and the run continues from there.
+//
+// run_script never throws for SUT misbehaviour: any invariant violation or
+// unexpected exception becomes a SimReport with ok=false, a stable
+// failure_id, and a one-line repro command (see sim/shrink.hpp for
+// reducing the script first).
+
+#include "privedit/sim/config.hpp"
+#include "privedit/sim/script.hpp"
+
+namespace privedit::sim {
+
+/// Executes `script` under `config`. Deterministic: equal inputs give
+/// equal reports, including across processes.
+SimReport run_script(const SimConfig& config, const Script& script);
+
+/// generate_script + run_script in one call.
+SimReport run_sim(const SimConfig& config);
+
+}  // namespace privedit::sim

@@ -1,0 +1,279 @@
+#include "privedit/sim/script.hpp"
+
+#include <array>
+#include <charconv>
+
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::sim {
+namespace {
+
+char class_tag(TextClass cls) {
+  switch (cls) {
+    case TextClass::kWords:
+      return 'w';
+    case TextClass::kRun:
+      return 'x';
+    case TextClass::kUnicode:
+      return 'u';
+    case TextClass::kSpecial:
+      return 't';
+    case TextClass::kEmpty:
+      return 'e';
+  }
+  throw Error(ErrorCode::kInvalidArgument, "sim: bad text class");
+}
+
+TextClass class_from_tag(char tag) {
+  switch (tag) {
+    case 'w':
+      return TextClass::kWords;
+    case 'x':
+      return TextClass::kRun;
+    case 'u':
+      return TextClass::kUnicode;
+    case 't':
+      return TextClass::kSpecial;
+    case 'e':
+      return TextClass::kEmpty;
+    default:
+      throw ParseError(std::string("sim op: unknown text class '") + tag +
+                       "'");
+  }
+}
+
+std::uint32_t parse_u32(std::string_view digits, const char* what) {
+  std::uint32_t value = 0;
+  const auto* begin = digits.data();
+  const auto* end = digits.data() + digits.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (digits.empty() || ec != std::errc() || ptr != end) {
+    throw ParseError(std::string("sim op: bad ") + what + " '" +
+                     std::string(digits) + "'");
+  }
+  return value;
+}
+
+/// Splits `s` on ':' into at most 8 fields.
+std::vector<std::string_view> split_fields(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == ':') {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+      if (out.size() > 8) {
+        throw ParseError("sim op: too many fields");
+      }
+    }
+  }
+  return out;
+}
+
+/// Position field: decimal ppm, 'b' prefix = snap to a block boundary.
+std::string pos_field(const SimOp& op) {
+  std::string out;
+  if (op.snap) out.push_back('b');
+  out += std::to_string(op.pos_ppm);
+  return out;
+}
+
+void parse_pos_field(std::string_view field, SimOp& op) {
+  if (!field.empty() && field.front() == 'b') {
+    op.snap = true;
+    field.remove_prefix(1);
+  }
+  op.pos_ppm = parse_u32(field, "position");
+  if (op.pos_ppm > 1'000'000) {
+    throw ParseError("sim op: position selector above 1e6 ppm");
+  }
+}
+
+}  // namespace
+
+std::string SimOp::to_wire() const {
+  switch (kind) {
+    case SimOpKind::kInsert:
+      return "i:" + pos_field(*this) + ":" + std::to_string(len) + ":" +
+             class_tag(cls) + ":" + std::to_string(arg);
+    case SimOpKind::kErase:
+      return "d:" + pos_field(*this) + ":" + std::to_string(len);
+    case SimOpKind::kReplace:
+      return "r:" + pos_field(*this) + ":" + std::to_string(len) + ":" +
+             std::to_string(len2) + ":" + class_tag(cls) + ":" +
+             std::to_string(arg);
+    case SimOpKind::kReplaceAll:
+      return "R:" + std::to_string(len) + ":" + class_tag(cls) + ":" +
+             std::to_string(arg);
+    case SimOpKind::kUndo:
+      return "u";
+    case SimOpKind::kReopen:
+      return "o";
+    case SimOpKind::kTamperFlip:
+      return "tf:" + std::to_string(arg);
+    case SimOpKind::kTamperSwap:
+      return "ts:" + std::to_string(arg) + ":" + std::to_string(arg2);
+    case SimOpKind::kTamperDrop:
+      return "td:" + std::to_string(arg);
+    case SimOpKind::kTamperDup:
+      return "tp:" + std::to_string(arg);
+    case SimOpKind::kRollback:
+      return "kb";
+    case SimOpKind::kFork:
+      return "kf";
+    case SimOpKind::kCrash:
+      return "c:" + std::to_string(arg);
+  }
+  throw Error(ErrorCode::kInvalidArgument, "sim: bad op kind");
+}
+
+SimOp SimOp::parse(std::string_view wire) {
+  const auto fields = split_fields(wire);
+  const std::string_view tag = fields[0];
+  SimOp op;
+  auto want = [&](std::size_t n) {
+    if (fields.size() != n) {
+      throw ParseError("sim op: wrong field count for '" + std::string(tag) +
+                       "'");
+    }
+  };
+  if (tag == "i") {
+    want(5);
+    op.kind = SimOpKind::kInsert;
+    parse_pos_field(fields[1], op);
+    op.len = parse_u32(fields[2], "length");
+    op.cls = class_from_tag(fields[3].size() == 1 ? fields[3][0] : '?');
+    op.arg = parse_u32(fields[4], "arg");
+  } else if (tag == "d") {
+    want(3);
+    op.kind = SimOpKind::kErase;
+    parse_pos_field(fields[1], op);
+    op.len = parse_u32(fields[2], "length");
+  } else if (tag == "r") {
+    want(6);
+    op.kind = SimOpKind::kReplace;
+    parse_pos_field(fields[1], op);
+    op.len = parse_u32(fields[2], "length");
+    op.len2 = parse_u32(fields[3], "insert length");
+    op.cls = class_from_tag(fields[4].size() == 1 ? fields[4][0] : '?');
+    op.arg = parse_u32(fields[5], "arg");
+  } else if (tag == "R") {
+    want(4);
+    op.kind = SimOpKind::kReplaceAll;
+    op.len = parse_u32(fields[1], "length");
+    op.cls = class_from_tag(fields[2].size() == 1 ? fields[2][0] : '?');
+    op.arg = parse_u32(fields[3], "arg");
+  } else if (tag == "u") {
+    want(1);
+    op.kind = SimOpKind::kUndo;
+  } else if (tag == "o") {
+    want(1);
+    op.kind = SimOpKind::kReopen;
+  } else if (tag == "tf") {
+    want(2);
+    op.kind = SimOpKind::kTamperFlip;
+    op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "ts") {
+    want(3);
+    op.kind = SimOpKind::kTamperSwap;
+    op.arg = parse_u32(fields[1], "arg");
+    op.arg2 = parse_u32(fields[2], "arg2");
+  } else if (tag == "td") {
+    want(2);
+    op.kind = SimOpKind::kTamperDrop;
+    op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "tp") {
+    want(2);
+    op.kind = SimOpKind::kTamperDup;
+    op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "kb") {
+    want(1);
+    op.kind = SimOpKind::kRollback;
+  } else if (tag == "kf") {
+    want(1);
+    op.kind = SimOpKind::kFork;
+  } else if (tag == "c") {
+    want(2);
+    op.kind = SimOpKind::kCrash;
+    op.arg = parse_u32(fields[1], "arg");
+  } else {
+    throw ParseError("sim op: unknown tag '" + std::string(tag) + "'");
+  }
+  return op;
+}
+
+std::string Script::to_wire() const {
+  std::string out;
+  for (const SimOp& op : ops) {
+    if (!out.empty()) out.push_back(';');
+    out += op.to_wire();
+  }
+  return out;
+}
+
+Script Script::parse(std::string_view wire) {
+  Script script;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= wire.size(); ++i) {
+    if (i == wire.size() || wire[i] == ';') {
+      const std::string_view piece = wire.substr(start, i - start);
+      if (!piece.empty()) script.ops.push_back(SimOp::parse(piece));
+      start = i + 1;
+    }
+  }
+  return script;
+}
+
+std::string op_text(TextClass cls, std::uint32_t arg, std::uint32_t len) {
+  if (cls == TextClass::kEmpty || len == 0) return {};
+  Xoshiro256 rng(0x51309a11ULL ^ (std::uint64_t{arg} << 20) ^ len);
+  std::string out;
+  switch (cls) {
+    case TextClass::kWords: {
+      static constexpr std::array<const char*, 16> kWords = {
+          "secure",  "delta",  "cloud",  "editing", "private", "block",
+          "cipher",  "nonce",  "splice", "medium",  "journal", "replay",
+          "skiplist", "the",   "a",      "of"};
+      for (std::uint32_t i = 0; i < len; ++i) {
+        if (i > 0) out.push_back(' ');
+        out += kWords[rng.below(kWords.size())];
+      }
+      break;
+    }
+    case TextClass::kRun: {
+      const char c = static_cast<char>('a' + rng.below(26));
+      out.assign(len, c);
+      break;
+    }
+    case TextClass::kUnicode: {
+      // Mixed-width UTF-8: 2-, 3- and 4-byte sequences plus a combining
+      // mark, so code points straddle cipher-block boundaries at every
+      // block size.
+      static constexpr std::array<const char*, 6> kGlyphs = {
+          "\xc3\xa9",              // é  (2 bytes)
+          "\xc2\xa3",              // £  (2 bytes)
+          "\xe2\x9c\x93",          // ✓  (3 bytes)
+          "\xe6\xbc\xa2",          // 漢 (3 bytes)
+          "\xf0\x9f\x99\x82",      // 🙂 (4 bytes)
+          "\xcc\x81",              // combining acute (2 bytes)
+      };
+      for (std::uint32_t i = 0; i < len; ++i) {
+        out += kGlyphs[rng.below(kGlyphs.size())];
+      }
+      break;
+    }
+    case TextClass::kSpecial: {
+      static constexpr std::string_view kSpecials = "\t\\&=%+-;:@#\n\r\"' ";
+      for (std::uint32_t i = 0; i < len; ++i) {
+        out.push_back(kSpecials[rng.below(kSpecials.size())]);
+      }
+      break;
+    }
+    case TextClass::kEmpty:
+      break;
+  }
+  return out;
+}
+
+}  // namespace privedit::sim

@@ -1,0 +1,82 @@
+#pragma once
+// SimOp / Script — the serialisable op language of the simulation harness.
+//
+// A script is the *entire* input of a simulation run: every edit, every
+// adversary action and every crash is one SimOp. Ops carry no absolute
+// document positions — positions are selectors (parts-per-million of the
+// current document length, optionally snapped to a block boundary) resolved
+// at execution time, so any subsequence of a failing script is itself a
+// well-formed script. That property is what makes delta-debugging
+// (sim/shrink.hpp) a plain subsequence search.
+//
+// The wire form is a single shell-safe line (`i:b500000:12:w:7781;d:0:3`),
+// printed as part of every failure's repro command and parsed back by the
+// SimRepro test, so a shrunk counterexample reproduces from a copy-paste.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privedit::sim {
+
+enum class SimOpKind : std::uint8_t {
+  kInsert,      // i:POS:LEN:CLS:ARG     insert LEN chars of CLS at POS
+  kErase,       // d:POS:LEN             delete up to LEN chars at POS
+  kReplace,     // r:POS:LEN:ILEN:CLS:ARG delete LEN, insert ILEN at POS
+  kReplaceAll,  // R:LEN:CLS:ARG         whole-document replace (full save)
+  kUndo,        // u                     undo the most recent edit
+  kReopen,      // o                     cmd=open through the mediator
+  kTamperFlip,  // tf:ARG                flip one stored ciphertext char
+  kTamperSwap,  // ts:ARG:ARG2           swap two container units
+  kTamperDrop,  // td:ARG                remove one container unit
+  kTamperDup,   // tp:ARG                duplicate one container unit
+  kRollback,    // kb                    serve an older acknowledged state
+  kFork,        // kf                    different bytes at the acked revision
+  kCrash,       // c:ARG                 arm a crash seam, then edit
+};
+
+/// Insert-payload character classes. The mix is chosen to hit the update
+/// paths the related deployments report as fragile: multi-byte UTF-8
+/// sequences that straddle block boundaries, delta-metacharacters that
+/// stress wire escaping, and empty payloads.
+enum class TextClass : std::uint8_t {
+  kWords = 0,    // 'w' — English-ish words
+  kRun = 1,      // 'x' — a run of one repeated character
+  kUnicode = 2,  // 'u' — multi-byte UTF-8 code points
+  kSpecial = 3,  // 't' — tabs, backslashes, '&', '=', '%', newlines, quotes
+  kEmpty = 4,    // 'e' — zero-length payload
+};
+
+struct SimOp {
+  SimOpKind kind = SimOpKind::kInsert;
+  std::uint32_t pos_ppm = 0;  // position selector in [0, 1'000'000]
+  bool snap = false;          // snap the resolved position to a block boundary
+  std::uint32_t len = 0;      // delete length / insert length (code points)
+  std::uint32_t len2 = 0;     // replace: insert length
+  TextClass cls = TextClass::kWords;
+  std::uint32_t arg = 0;      // payload seed / unit index / seam index
+  std::uint32_t arg2 = 0;     // second unit index (kTamperSwap)
+
+  std::string to_wire() const;
+  static SimOp parse(std::string_view wire);
+
+  bool operator==(const SimOp&) const = default;
+};
+
+struct Script {
+  std::vector<SimOp> ops;
+
+  /// One line, ops joined by ';'. Empty script -> empty string.
+  std::string to_wire() const;
+  static Script parse(std::string_view wire);
+
+  bool operator==(const Script&) const = default;
+};
+
+/// Deterministic insert payload for an op: a function of (cls, arg, len)
+/// only, so the same op yields the same text in any script position.
+/// `len` counts code points; the returned string may be longer in bytes.
+std::string op_text(TextClass cls, std::uint32_t arg, std::uint32_t len);
+
+}  // namespace privedit::sim

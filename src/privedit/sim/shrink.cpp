@@ -1,0 +1,99 @@
+#include "privedit/sim/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "privedit/sim/harness.hpp"
+
+namespace privedit::sim {
+namespace {
+
+/// "Still the same bug": the failure class must match; the message and op
+/// index are allowed to drift as the script shrinks.
+bool same_failure(const SimReport& report, const SimReport& original) {
+  return !report.ok && report.failure_id == original.failure_id;
+}
+
+}  // namespace
+
+ShrinkResult shrink_failure(const SimConfig& config, const Script& script,
+                            const SimReport& original, std::size_t max_runs) {
+  ShrinkResult result;
+  result.report = original;
+
+  // Everything after the failing op is dead weight by construction.
+  Script current;
+  const std::size_t keep =
+      std::min(script.ops.size(),
+               original.ok ? script.ops.size() : original.failed_at_op + 1);
+  current.ops.assign(script.ops.begin(), script.ops.begin() + keep);
+
+  auto attempt = [&](const Script& candidate) -> bool {
+    if (result.runs >= max_runs) return false;
+    ++result.runs;
+    SimReport report = run_script(config, candidate);
+    if (!same_failure(report, original)) return false;
+    current = candidate;
+    result.report = std::move(report);
+    return true;
+  };
+
+  // The truncation itself must reproduce; if not (a flaky failure — which
+  // determinism should preclude), fall back to the full script.
+  if (!attempt(current)) {
+    current.ops = script.ops;
+    if (!attempt(current)) {
+      result.script = std::move(current);
+      return result;
+    }
+  }
+
+  // ddmin: remove chunks at ever finer granularity until single ops.
+  std::size_t chunk = (current.ops.size() + 1) / 2;
+  while (chunk >= 1 && !current.ops.empty() && result.runs < max_runs) {
+    bool removed_any = false;
+    for (std::size_t start = 0;
+         start < current.ops.size() && result.runs < max_runs;) {
+      Script candidate;
+      candidate.ops.reserve(current.ops.size());
+      const std::size_t end = std::min(start + chunk, current.ops.size());
+      candidate.ops.assign(current.ops.begin(), current.ops.begin() + start);
+      candidate.ops.insert(candidate.ops.end(), current.ops.begin() + end,
+                           current.ops.end());
+      if (!candidate.ops.empty() && attempt(candidate)) {
+        removed_any = true;  // chunk gone; `start` now names the next ops
+      } else {
+        start = end;
+      }
+    }
+    if (removed_any) {
+      chunk = std::min(chunk, (current.ops.size() + 1) / 2);
+      if (chunk == 0) break;
+      continue;  // retry at the same granularity on the smaller script
+    }
+    if (chunk == 1) break;
+    chunk = (chunk + 1) / 2;
+  }
+
+  // Per-op simplification: halve lengths while the failure persists, so
+  // e.g. a 64-char insert shrinks to the 1-char insert that suffices.
+  for (std::size_t i = 0; i < current.ops.size() && result.runs < max_runs;
+       ++i) {
+    for (int which = 0; which < 2; ++which) {
+      while (result.runs < max_runs) {
+        const std::uint32_t value =
+            which == 0 ? current.ops[i].len : current.ops[i].len2;
+        if (value <= 1) break;
+        Script candidate = current;
+        (which == 0 ? candidate.ops[i].len : candidate.ops[i].len2) =
+            value / 2;
+        if (!attempt(candidate)) break;
+      }
+    }
+  }
+
+  result.script = std::move(current);
+  return result;
+}
+
+}  // namespace privedit::sim

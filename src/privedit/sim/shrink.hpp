@@ -1,0 +1,31 @@
+#pragma once
+// Delta-debugging shrinker for failing simulation scripts.
+//
+// Script ops carry position *selectors* (ppm of the live document length)
+// and deterministic payload seeds rather than absolute coordinates, so any
+// subsequence of a failing script is itself well-formed. That closure
+// property reduces shrinking to plain ddmin: drop chunks of ops while the
+// re-run still fails with the same failure_id, then shrink the surviving
+// ops' lengths. The result is the script printed in the repro command.
+
+#include <cstddef>
+
+#include "privedit/sim/config.hpp"
+#include "privedit/sim/script.hpp"
+
+namespace privedit::sim {
+
+struct ShrinkResult {
+  Script script;      // minimal script still producing original.failure_id
+  SimReport report;   // the minimal script's report (ok == false)
+  std::size_t runs = 0;  // harness executions the search spent
+};
+
+/// Minimises `script` (which produced `original` under `config`) with at
+/// most `max_runs` harness re-executions. If the failure does not
+/// reproduce even once, returns the truncated original unshrunk.
+ShrinkResult shrink_failure(const SimConfig& config, const Script& script,
+                            const SimReport& original,
+                            std::size_t max_runs = 400);
+
+}  // namespace privedit::sim

@@ -73,6 +73,57 @@ TEST(Delta, ApplyOutOfRangeThrows) {
   EXPECT_THROW(Delta::parse("=2\t-2").apply("abc"), Error);
 }
 
+TEST(Delta, NoOpSegmentsAreAccepted) {
+  // "=0" and "+<empty>" are legal no-ops on the wire; both must apply as
+  // the identity and survive a wire round trip.
+  EXPECT_EQ(Delta::parse("=0").apply("abc"), "abc");
+  EXPECT_EQ(Delta::parse("+").apply("abc"), "abc");
+  EXPECT_EQ(Delta::parse("=0\t+\t=0").apply("abc"), "abc");
+  const Delta d = Delta::parse("=0\t+\t-0");
+  EXPECT_EQ(Delta::parse(d.to_wire()).apply("xy"), "xy");
+  EXPECT_TRUE(d.canonicalized().ops().empty());
+}
+
+TEST(Delta, MalformedTabSequences) {
+  // Runs of separators and segment boundaries that don't line up with the
+  // grammar: bare tabs are tolerated as empty segments, but a count glued
+  // to another op is not.
+  EXPECT_EQ(Delta::parse("\t").apply("ab"), "ab");
+  EXPECT_EQ(Delta::parse("\t\t\t").apply("ab"), "ab");
+  EXPECT_EQ(Delta::parse("=1\t\t+z").apply("ab"), "azb");
+  EXPECT_EQ(Delta::parse("\t=1").apply("ab"), "ab");
+  EXPECT_THROW(Delta::parse("=1=2"), ParseError);
+  EXPECT_THROW(Delta::parse("-1-2"), ParseError);
+  EXPECT_THROW(Delta::parse("=1 \t=1"), ParseError);
+}
+
+TEST(Delta, CountExceedingDocLengthThrows) {
+  // Counts inside the parse cap but beyond the document must throw from
+  // apply()/invert(), never read out of bounds.
+  const std::string doc = "0123456789";
+  for (const char* wire : {"=11", "-11", "=5\t-6", "=10\t=1", "=4294967296"}) {
+    EXPECT_THROW(Delta::parse(wire).apply(doc), Error) << wire;
+    EXPECT_THROW(Delta::parse(wire).invert(doc), Error) << wire;
+  }
+}
+
+TEST(Delta, SixtyFourBitCountOverflowRejected) {
+  // Regression (found by the simulation harness's fuzz seams): a count
+  // near SIZE_MAX made `cursor + count` wrap past the bounds check, and
+  // apply() then silently duplicated document content via the trailing
+  // `doc.substr(cursor)`. Such counts are now rejected at parse time.
+  EXPECT_THROW(Delta::parse("=1\t-18446744073709551615"), ParseError);
+  EXPECT_THROW(Delta::parse("=18446744073709551615"), ParseError);
+  EXPECT_THROW(Delta::parse("-9223372036854775808"), ParseError);
+  // Just above the 2^32 per-op cap: rejected. At the cap: parses (and
+  // then fails in apply() against any real document).
+  EXPECT_THROW(Delta::parse("=4294967297"), ParseError);
+  EXPECT_NO_THROW(Delta::parse("=4294967296"));
+  EXPECT_THROW(Delta::parse("=4294967296").apply("abc"), Error);
+  // Counts wider than the integer type itself are plain parse errors.
+  EXPECT_THROW(Delta::parse("=99999999999999999999999999"), ParseError);
+}
+
 TEST(Delta, InputSpanAndLengthChange) {
   const Delta d = Delta::parse("=2\t-3\t+uvw\t=1");
   EXPECT_EQ(d.input_span(), 6u);

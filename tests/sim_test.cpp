@@ -1,0 +1,550 @@
+// Deterministic simulation harness tests (DESIGN.md §9).
+//
+// Bulk phases drive the full stack — mediator, scheme, skip-list mirror,
+// loopback HTTP, simulated server — through tens of thousands of generated
+// edits per (scheme, block size) pair, checking the reference model after
+// every op and independently decrypting the stored ciphertext on a
+// cadence. Adversary phases must *detect* every tamper/rollback/fork;
+// crash phases must recover to an adjacent state; a deliberately broken
+// SUT must be caught and shrunk to a hand-readable script.
+//
+// Scale with PRIVEDIT_SIM_ITERS=n (multiplies the bulk op budgets).
+// Reproduce a printed failure with:
+//   PRIVEDIT_SIM_CONFIG='...' PRIVEDIT_SIM_SCRIPT='...'
+//     ./build/tests/sim_test --gtest_filter='SimRepro.*'
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "privedit/client/gdocs_client.hpp"
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/extension/mediator.hpp"
+#include "privedit/extension/session.hpp"
+#include "privedit/net/transport.hpp"
+#include "privedit/sim/config.hpp"
+#include "privedit/sim/fuzz.hpp"
+#include "privedit/sim/gen.hpp"
+#include "privedit/sim/harness.hpp"
+#include "privedit/sim/script.hpp"
+#include "privedit/sim/shrink.hpp"
+#include "privedit/util/random.hpp"
+
+namespace {
+
+using privedit::Xoshiro256;
+namespace enc = privedit::enc;
+namespace sim = privedit::sim;
+
+std::size_t iter_scale() {
+  const char* env = std::getenv("PRIVEDIT_SIM_ITERS");
+  if (env == nullptr) return 1;
+  const long v = std::atol(env);
+  return v > 1 ? static_cast<std::size_t>(v) : 1;
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag) {
+    path = std::filesystem::temp_directory_path() /
+           ("privedit-sim-" + tag + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+void expect_ok(const sim::SimReport& rep) {
+  EXPECT_TRUE(rep.ok) << rep.failure_id << " at op " << rep.failed_at_op
+                      << ": " << rep.message << "\nrepro: " << rep.repro;
+}
+
+void print_coverage(const char* tag, const sim::SimReport& rep) {
+  const auto& c = rep.cov;
+  std::cout << "[sim] " << tag << " ops=" << c.ops_executed
+            << " ins=" << c.inserts << " del=" << c.erases
+            << " rep=" << c.replaces << " full=" << c.full_saves
+            << " undo=" << c.undos << " reopen=" << c.reopens
+            << " empty=" << c.empty_ops << " snap=" << c.boundary_snaps
+            << " uni=" << c.unicode_inserts << " spec=" << c.special_inserts
+            << " deep=" << c.deep_verifies
+            << " tamper=" << c.tampers_detected << "/" << c.tampers_injected
+            << " rollback=" << c.rollbacks_detected << "/"
+            << c.rollbacks_injected << " fork=" << c.forks_detected << "/"
+            << c.forks_injected << " crash=" << c.crashes_recovered << "/"
+            << c.crashes_fired << " xport=" << c.transport_errors
+            << " final_chars=" << rep.final_doc_chars
+            << " final_rev=" << rep.final_rev << "\n";
+}
+
+// ---------------------------------------------------------------- bulk --
+
+sim::SimReport run_bulk(enc::Mode mode, std::size_t block,
+                        std::uint64_t seed, const char* tag) {
+  sim::SimConfig cfg;
+  cfg.mode = mode;
+  cfg.block_chars = block;
+  cfg.seed = seed;
+  cfg.ops = 50'000 * iter_scale();
+  // Per-op cost is O(doc) for RPC (suffix re-chaining); cap the document
+  // so six 50k-op runs fit the tier-1 budget. Block behaviour is fully
+  // exercised: 1024 chars is still 128-1024 cipher units.
+  cfg.initial_chars = 192;
+  cfg.max_doc_chars = 1024;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  expect_ok(rep);
+  print_coverage(tag, rep);
+  // The generator must have exercised every state-space dimension.
+  EXPECT_GT(rep.cov.inserts, 0u);
+  EXPECT_GT(rep.cov.erases, 0u);
+  EXPECT_GT(rep.cov.replaces, 0u);
+  EXPECT_GT(rep.cov.full_saves, 0u);
+  EXPECT_GT(rep.cov.undos, 0u);
+  EXPECT_GT(rep.cov.reopens, 0u);
+  EXPECT_GT(rep.cov.empty_ops, 0u);
+  EXPECT_GT(rep.cov.unicode_inserts, 0u);
+  EXPECT_GT(rep.cov.special_inserts, 0u);
+  EXPECT_GT(rep.cov.deep_verifies, 0u);
+  if (block > 1) {
+    EXPECT_GT(rep.cov.boundary_snaps, 0u);
+  }
+  EXPECT_EQ(rep.cov.ops_executed, cfg.ops);
+  return rep;
+}
+
+TEST(SimBulk, RecbBlock1) { run_bulk(enc::Mode::kRecb, 1, 1101, "recb/b1"); }
+TEST(SimBulk, RecbBlock4) { run_bulk(enc::Mode::kRecb, 4, 1104, "recb/b4"); }
+TEST(SimBulk, RecbBlock8) { run_bulk(enc::Mode::kRecb, 8, 1108, "recb/b8"); }
+TEST(SimBulk, RpcBlock1) { run_bulk(enc::Mode::kRpc, 1, 2201, "rpc/b1"); }
+TEST(SimBulk, RpcBlock4) { run_bulk(enc::Mode::kRpc, 4, 2204, "rpc/b4"); }
+TEST(SimBulk, RpcBlock8) { run_bulk(enc::Mode::kRpc, 8, 2208, "rpc/b8"); }
+
+// ----------------------------------------------------------- adversary --
+
+TEST(SimAdversary, RpcDetectsEveryTamper) {
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = 31;
+  cfg.ops = 400;
+  cfg.weights.tamper = 8;  // flips + unit swap/drop/replay interleaved
+  cfg.deep_verify_every = 64;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  expect_ok(rep);
+  print_coverage("adversary/tamper", rep);
+  EXPECT_GT(rep.cov.tampers_injected, 10u);
+  EXPECT_EQ(rep.cov.tampers_detected, rep.cov.tampers_injected)
+      << "an injected tamper slipped past RPC integrity";
+}
+
+TEST(SimAdversary, JournalDetectsRollbackAndFork) {
+  TempDir tmp("rollback");
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = 47;
+  cfg.ops = 300;
+  cfg.journal = true;
+  cfg.work_dir = tmp.path.string();
+  cfg.weights.rollback = 5;
+  cfg.weights.fork = 5;
+  cfg.deep_verify_every = 64;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  expect_ok(rep);
+  print_coverage("adversary/rollback", rep);
+  EXPECT_GT(rep.cov.rollbacks_injected, 3u);
+  EXPECT_GT(rep.cov.forks_injected, 3u);
+  EXPECT_EQ(rep.cov.rollbacks_detected, rep.cov.rollbacks_injected);
+  EXPECT_EQ(rep.cov.forks_detected, rep.cov.forks_injected);
+}
+
+TEST(SimAdversary, SeedSweep) {
+  // Same adversary configurations, more seeds: the per-run cost is small
+  // and distinct seeds explore different interleavings of edits and
+  // injections.
+  for (const std::uint64_t seed : {301u, 302u, 303u, 304u, 305u, 306u}) {
+    sim::SimConfig tamper;
+    tamper.mode = enc::Mode::kRpc;
+    tamper.block_chars = seed % 2 == 0 ? 1 : 8;
+    tamper.seed = seed;
+    tamper.ops = 150;
+    tamper.weights.tamper = 8;
+    tamper.deep_verify_every = 64;
+    expect_ok(sim::run_sim(tamper));
+
+    TempDir tmp("sweep-" + std::to_string(seed));
+    sim::SimConfig crash;
+    crash.mode = seed % 2 == 0 ? enc::Mode::kRecb : enc::Mode::kRpc;
+    crash.block_chars = 4;
+    crash.seed = seed;
+    crash.ops = 100;
+    crash.journal = true;
+    crash.persist = true;
+    crash.work_dir = tmp.path.string();
+    crash.weights.crash = 8;
+    crash.weights.rollback = 3;
+    crash.weights.fork = 3;
+    crash.deep_verify_every = 50;
+    expect_ok(sim::run_sim(crash));
+  }
+}
+
+// --------------------------------------------------------------- crash --
+
+TEST(SimCrash, EveryCrashRecoversToAdjacentState) {
+  TempDir tmp("crash");
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = 59;
+  cfg.ops = 160;
+  cfg.journal = true;
+  cfg.persist = true;
+  cfg.work_dir = tmp.path.string();
+  cfg.weights.crash = 10;
+  cfg.deep_verify_every = 40;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  expect_ok(rep);
+  print_coverage("crash", rep);
+  EXPECT_GT(rep.cov.crashes_fired, 3u);
+  EXPECT_EQ(rep.cov.crashes_recovered, rep.cov.crashes_fired);
+}
+
+// -------------------------------------------------------------- faults --
+
+TEST(SimFaults, PreDeliveryFaultsUnderRetry) {
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRecb;
+  cfg.block_chars = 8;
+  cfg.seed = 67;
+  cfg.ops = 300;
+  cfg.retry = true;
+  cfg.faults.drop = 0.15;             // refused connects: never delivered,
+  cfg.faults.truncate_request = 0.1;  // always safe to retry
+  cfg.deep_verify_every = 64;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  expect_ok(rep);
+  print_coverage("faults/retry", rep);
+}
+
+TEST(SimFaults, LostAcksReconcileThroughJournal) {
+  TempDir tmp("truncresp");
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = 71;
+  cfg.ops = 250;
+  cfg.journal = true;  // replay CAS is what reconciles a lost ack
+  cfg.work_dir = tmp.path.string();
+  cfg.faults.truncate_response = 0.12;  // delivered, ack lost: NOT retried
+  cfg.deep_verify_every = 64;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  expect_ok(rep);
+  print_coverage("faults/lost-ack", rep);
+  EXPECT_GT(rep.cov.transport_errors, 5u);
+}
+
+// ------------------------------------------------- mutation validation --
+
+TEST(SimMutation, DroppedDeleteIsCaughtAndShrunk) {
+  // Break the SUT on purpose (every sent delta loses its delete component)
+  // and require the harness to (a) notice, (b) shrink the failure to a
+  // script a human can read, (c) reproduce it from the shrunk script.
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRecb;
+  cfg.block_chars = 4;
+  cfg.seed = 42;
+  cfg.ops = 300;
+  cfg.mutation = sim::Mutation::kDropDelete;
+  const sim::Script script = sim::generate_script(cfg);
+  const sim::SimReport rep = sim::run_script(cfg, script);
+  ASSERT_FALSE(rep.ok) << "the deliberately broken SUT was not caught";
+  EXPECT_EQ(rep.failure_id, "model-equiv");
+  EXPECT_FALSE(rep.repro.empty());
+
+  const sim::ShrinkResult shrunk = sim::shrink_failure(cfg, script, rep);
+  std::cout << "[sim] mutation shrunk " << script.ops.size() << " -> "
+            << shrunk.script.ops.size() << " ops in " << shrunk.runs
+            << " runs: " << shrunk.script.to_wire() << "\n";
+  EXPECT_LE(shrunk.script.ops.size(), 10u);
+  EXPECT_EQ(shrunk.report.failure_id, "model-equiv");
+
+  // The shrunk script must reproduce on a fresh run...
+  const sim::SimReport again = sim::run_script(cfg, shrunk.script);
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.failure_id, rep.failure_id);
+  // ...and the shrinker itself must be deterministic.
+  const sim::ShrinkResult shrunk2 = sim::shrink_failure(cfg, script, rep);
+  EXPECT_EQ(shrunk.script.to_wire(), shrunk2.script.to_wire());
+}
+
+// --------------------------------------------------------- determinism --
+
+TEST(SimDeterminism, SameSeedSameRun) {
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 8;
+  cfg.seed = 90;
+  cfg.ops = 1'000;
+  const sim::SimReport a = sim::run_sim(cfg);
+  const sim::SimReport b = sim::run_sim(cfg);
+  expect_ok(a);
+  expect_ok(b);
+  EXPECT_EQ(a.final_doc_chars, b.final_doc_chars);
+  EXPECT_EQ(a.final_rev, b.final_rev);
+  EXPECT_EQ(a.cov.inserts, b.cov.inserts);
+  EXPECT_EQ(a.cov.erases, b.cov.erases);
+  EXPECT_EQ(a.cov.replaces, b.cov.replaces);
+  EXPECT_EQ(a.cov.undos, b.cov.undos);
+  EXPECT_EQ(a.cov.empty_ops, b.cov.empty_ops);
+  EXPECT_EQ(a.cov.boundary_snaps, b.cov.boundary_snaps);
+
+  sim::SimConfig other = cfg;
+  other.seed = 91;
+  EXPECT_NE(sim::generate_script(cfg).to_wire(),
+            sim::generate_script(other).to_wire());
+}
+
+// --------------------------------------------------------------- wires --
+
+TEST(SimWire, ScriptRoundTripsEveryOpKind) {
+  sim::Script script;
+  script.ops.push_back(sim::SimOp::parse("i:b500000:12:w:7781"));
+  script.ops.push_back(sim::SimOp::parse("d:0:3"));
+  script.ops.push_back(sim::SimOp::parse("r:1000000:4:2:u:99"));
+  script.ops.push_back(sim::SimOp::parse("R:40:t:5"));
+  script.ops.push_back(sim::SimOp::parse("u"));
+  script.ops.push_back(sim::SimOp::parse("o"));
+  script.ops.push_back(sim::SimOp::parse("tf:17"));
+  script.ops.push_back(sim::SimOp::parse("ts:3:9"));
+  script.ops.push_back(sim::SimOp::parse("td:2"));
+  script.ops.push_back(sim::SimOp::parse("tp:6"));
+  script.ops.push_back(sim::SimOp::parse("kb"));
+  script.ops.push_back(sim::SimOp::parse("kf"));
+  script.ops.push_back(sim::SimOp::parse("c:4"));
+  const sim::Script reparsed = sim::Script::parse(script.to_wire());
+  EXPECT_EQ(reparsed, script);
+
+  EXPECT_THROW(sim::SimOp::parse("q:1"), privedit::ParseError);
+  EXPECT_THROW(sim::SimOp::parse("i:2000001:1:w:0"), privedit::ParseError);
+  EXPECT_THROW(sim::SimOp::parse("i:0:1:z:0"), privedit::ParseError);
+
+  // op_text is a pure function of (class, arg, len).
+  EXPECT_EQ(sim::op_text(sim::TextClass::kUnicode, 7, 9),
+            sim::op_text(sim::TextClass::kUnicode, 7, 9));
+  EXPECT_TRUE(sim::op_text(sim::TextClass::kEmpty, 1, 5).empty());
+}
+
+TEST(SimWire, ConfigRoundTrips) {
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = 12345;
+  cfg.ops = 777;
+  cfg.journal = true;
+  cfg.retry = true;
+  cfg.faults.drop = 0.25;
+  cfg.weights.tamper = 8;
+  cfg.mutation = sim::Mutation::kDropDelete;
+  const sim::SimConfig reparsed = sim::SimConfig::parse(cfg.to_wire());
+  EXPECT_EQ(reparsed.to_wire(), cfg.to_wire());
+  EXPECT_EQ(reparsed.mode, cfg.mode);
+  EXPECT_EQ(reparsed.seed, cfg.seed);
+  EXPECT_EQ(reparsed.journal, cfg.journal);
+  EXPECT_EQ(reparsed.mutation, cfg.mutation);
+  EXPECT_THROW(sim::SimConfig::parse("bogus=1"), privedit::ParseError);
+}
+
+// --------------------------------------------------------------- repro --
+
+TEST(SimRepro, FromEnvOrSelfCheck) {
+  const char* config_env = std::getenv("PRIVEDIT_SIM_CONFIG");
+  const char* script_env = std::getenv("PRIVEDIT_SIM_SCRIPT");
+  TempDir tmp("repro");
+  if (config_env != nullptr) {
+    // Replay mode: reproduce the printed counterexample.
+    sim::SimConfig cfg = sim::SimConfig::parse(config_env);
+    cfg.work_dir = tmp.path.string();
+    const sim::Script script = script_env != nullptr
+                                   ? sim::Script::parse(script_env)
+                                   : sim::generate_script(cfg);
+    const sim::SimReport rep = sim::run_script(cfg, script);
+    std::cout << "[sim-repro] ok=" << rep.ok << " failure=" << rep.failure_id
+              << " at op " << rep.failed_at_op << ": " << rep.message << "\n";
+    EXPECT_FALSE(rep.ok) << "the reproduced run passes — bug already fixed?";
+    return;
+  }
+  // Self-check: the wire forms drive an identical run.
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = 7;
+  cfg.ops = 300;
+  const sim::Script script = sim::generate_script(cfg);
+  const sim::SimConfig cfg2 = sim::SimConfig::parse(cfg.to_wire());
+  const sim::Script script2 = sim::Script::parse(script.to_wire());
+  EXPECT_EQ(script2, script);
+  const sim::SimReport a = sim::run_script(cfg, script);
+  const sim::SimReport b = sim::run_script(cfg2, script2);
+  expect_ok(a);
+  expect_ok(b);
+  EXPECT_EQ(a.final_doc_chars, b.final_doc_chars);
+  EXPECT_EQ(a.final_rev, b.final_rev);
+}
+
+// ------------------------------------------------ client-driven phase --
+
+TEST(SimClient, RealClientDifferential) {
+  // The harness drives the mediator directly for throughput; this phase
+  // puts the real GDocsClient (myers-diff saves, undo stack, ack
+  // consumption) on top of the same stack and uses its text as the model.
+  privedit::net::SimClock clock;
+  privedit::cloud::GDocsServer server;
+  server.set_history_limit(4);
+  privedit::net::LatencyModel latency;
+  latency.base_us = 0;
+  latency.jitter_us = 0;
+  latency.bytes_per_ms_up = 0;
+  latency.bytes_per_ms_down = 0;
+  latency.server_us_per_kb = 0;
+  privedit::net::LoopbackTransport loop(
+      [&server](const privedit::net::HttpRequest& r) {
+        return server.handle(r);
+      },
+      &clock, latency, std::make_unique<Xoshiro256>(5));
+  privedit::extension::MediatorConfig mc;
+  mc.password = "client phase";
+  mc.scheme.mode = enc::Mode::kRpc;
+  mc.scheme.block_chars = 4;
+  mc.scheme.kdf_iterations = 4;
+  mc.rng_factory = privedit::extension::seeded_rng_factory(77);
+  privedit::extension::GDocsMediator mediator(&loop, mc, &clock);
+
+  privedit::client::GDocsClient client(&mediator, "cdoc");
+  client.create();
+  Xoshiro256 rng(123);
+  const std::size_t rounds = 400 * iter_scale();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const std::uint64_t roll = rng.below(100);
+    const std::size_t len = client.text().size();
+    const std::size_t pos = len == 0 ? 0 : rng.below(len + 1);
+    if (roll < 45 || len == 0) {
+      client.insert(pos, sim::op_text(sim::TextClass::kWords,
+                                      static_cast<std::uint32_t>(rng.next_u64()),
+                                      static_cast<std::uint32_t>(rng.below(4)) + 1));
+    } else if (roll < 70) {
+      client.erase(pos, rng.below(std::min<std::size_t>(len - pos, 24) + 1));
+    } else if (roll < 90) {
+      client.replace(pos, rng.below(std::min<std::size_t>(len - pos, 12) + 1),
+                     sim::op_text(sim::TextClass::kUnicode,
+                                  static_cast<std::uint32_t>(rng.next_u64()),
+                                  static_cast<std::uint32_t>(rng.below(3)) + 1));
+    } else {
+      client.undo();
+    }
+    if (i % 5 == 4) {
+      client.save();
+      const auto mirror = mediator.managed_plaintext("cdoc");
+      ASSERT_TRUE(mirror.has_value());
+      ASSERT_EQ(*mirror, client.text()) << "at round " << i;
+    }
+    if (client.text().size() > 4096) {
+      client.erase(0, client.text().size() - 64);
+    }
+  }
+  client.save();
+  // Independent decrypt of what the provider actually stores.
+  const auto raw = server.raw_content("cdoc");
+  ASSERT_TRUE(raw.has_value());
+  privedit::extension::DocumentSession session =
+      privedit::extension::DocumentSession::open(
+          "client phase", *raw, privedit::extension::seeded_rng_factory(9));
+  EXPECT_EQ(session.plaintext(), client.text());
+}
+
+// -------------------------------------------------------------- corpus --
+
+std::vector<std::filesystem::path> corpus_files(const char* sub) {
+  std::vector<std::filesystem::path> out;
+  const std::filesystem::path dir =
+      std::filesystem::path(PRIVEDIT_CORPUS_DIR) / sub;
+  if (std::filesystem::exists(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file()) out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(FuzzCorpus, Delta) {
+  const auto files = corpus_files("delta");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files) {
+    EXPECT_NO_THROW(sim::fuzz_delta(slurp(f))) << f;
+  }
+}
+
+TEST(FuzzCorpus, Container) {
+  const auto files = corpus_files("container");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files) {
+    EXPECT_NO_THROW(sim::fuzz_container(slurp(f))) << f;
+  }
+}
+
+TEST(FuzzCorpus, Journal) {
+  TempDir tmp("fuzz-journal");
+  const auto files = corpus_files("journal");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files) {
+    EXPECT_NO_THROW(sim::fuzz_journal(slurp(f), tmp.path.string())) << f;
+  }
+}
+
+TEST(FuzzCorpus, Http) {
+  const auto files = corpus_files("http");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files) {
+    EXPECT_NO_THROW(sim::fuzz_http(slurp(f))) << f;
+  }
+}
+
+TEST(FuzzCorpus, LiveCiphertextSurvivesEntryPoint) {
+  // Real containers (and truncations of them) through fuzz_container: the
+  // entry point must treat valid ones as valid and truncated ones as a
+  // loud-but-clean rejection.
+  for (const enc::Mode mode : {enc::Mode::kRecb, enc::Mode::kRpc}) {
+    enc::SchemeConfig sc;
+    sc.mode = mode;
+    sc.block_chars = 4;
+    sc.kdf_iterations = 4;
+    privedit::extension::DocumentSession session =
+        privedit::extension::DocumentSession::create_new(
+            "fuzz password", sc, privedit::extension::seeded_rng_factory(3));
+    const std::string doc = session.encrypt_full("private editing corpus");
+    EXPECT_NO_THROW(sim::fuzz_container(doc));
+    for (const std::size_t cut : {std::size_t{1}, doc.size() / 2,
+                                  doc.size() - 1}) {
+      EXPECT_NO_THROW(sim::fuzz_container(std::string_view(doc).substr(0, cut)));
+    }
+  }
+}
+
+}  // namespace

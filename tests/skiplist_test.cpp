@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "privedit/ds/indexed_skip_list.hpp"
+#include "privedit/enc/block_store.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/random.hpp"
 
@@ -248,6 +249,66 @@ TEST(IndexedSkipList, MoveConstruction) {
   EXPECT_EQ(b.get(0), 7);
   EXPECT_TRUE(b.validate());
 }
+
+// Differential test of the skip-list-backed BlockStore against a flat
+// std::string: the same splice stream must produce the same document,
+// for every block size the schemes support. Splice positions are biased
+// onto block boundaries (and spans to whole multiples of the block size)
+// so edits abut and exactly contain node boundaries — the cases where
+// the re-chunking arithmetic can be off by one.
+class BlockStoreDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockStoreDifferentialTest, SplicesMatchFlatString) {
+  const std::uint64_t seed = GetParam();
+  for (std::size_t block_chars = 1; block_chars <= 8; ++block_chars) {
+    Xoshiro256 rng(seed * 1000 + block_chars);
+    enc::BlockStore store(block_chars, enc::BlockPolicy{},
+                          /*skiplist_seed=*/seed ^ 0xb10c);
+    std::string model = "seed document for the block store differential";
+    store.reset(model);
+
+    const int kOps = 10'000;
+    for (int step = 0; step < kOps; ++step) {
+      // Position: half the time aligned to a block boundary.
+      std::size_t pos = rng.below(model.size() + 1);
+      if (rng.chance(0.5)) pos -= pos % block_chars;
+      // Deletion span: half the time a whole number of blocks, so the
+      // splice exactly covers [k, k+n) nodes.
+      std::size_t del = rng.below(std::min<std::size_t>(
+                            model.size() - pos, 4 * block_chars) +
+                        1);
+      if (rng.chance(0.5)) del -= del % block_chars;
+      std::string text;
+      if (model.size() < 4096 && !rng.chance(0.25)) {
+        const std::size_t len = rng.below(3 * block_chars + 1);
+        for (std::size_t i = 0; i < len; ++i) {
+          text.push_back(static_cast<char>('a' + rng.below(26)));
+        }
+      }
+      store.replace_range(pos, del, text);
+      model.replace(pos, del, text);
+
+      ASSERT_EQ(store.char_count(), model.size())
+          << "b=" << block_chars << " step=" << step;
+      if (step % 256 == 0 || step == kOps - 1) {
+        ASSERT_EQ(store.plaintext(), model)
+            << "b=" << block_chars << " step=" << step;
+        ASSERT_TRUE(store.validate());
+        // No block may be empty or overfull.
+        for (std::size_t e = 0; e < store.block_count(); ++e) {
+          const std::size_t n = store.block(e).plain.size();
+          ASSERT_GE(n, 1u);
+          ASSERT_LE(n, block_chars);
+        }
+      }
+    }
+    EXPECT_EQ(store.plaintext(), model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockStoreDifferentialTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
 }  // namespace
 }  // namespace privedit::ds

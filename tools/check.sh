@@ -8,7 +8,11 @@
 # and corrupt bytes through the decoders.
 #
 # Usage:
-#   tools/check.sh [thread|address|asan-ubsan] [extra ctest args...]
+#   tools/check.sh [thread|address|asan-ubsan|sim] [extra ctest args...]
+#
+# The sim mode runs only the simulation-harness tests (ctest label "sim")
+# in a plain build, scaled up via PRIVEDIT_SIM_ITERS (default 10x the
+# tier-1 budget — override in the environment for longer soaks).
 #
 # Uses a separate build tree (build-<sanitizer>/) so the regular build/
 # stays untouched.
@@ -18,10 +22,20 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 SANITIZER="${1:-thread}"
 shift || true
 
+if [ "${SANITIZER}" = "sim" ]; then
+  BUILD_DIR="${REPO_ROOT}/build-sim"
+  cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}" -j"$(nproc)" --target sim_test
+  export PRIVEDIT_SIM_ITERS="${PRIVEDIT_SIM_ITERS:-10}"
+  echo "sim soak at PRIVEDIT_SIM_ITERS=${PRIVEDIT_SIM_ITERS}"
+  cd "${BUILD_DIR}"
+  exec ctest --output-on-failure -j"$(nproc)" -L sim "$@"
+fi
+
 case "${SANITIZER}" in
   thread|address) CMAKE_SANITIZE="${SANITIZER}" ;;
   asan-ubsan)     CMAKE_SANITIZE="address+undefined" ;;
-  *) echo "usage: tools/check.sh [thread|address|asan-ubsan] [ctest args...]" >&2
+  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim] [ctest args...]" >&2
      exit 2 ;;
 esac
 

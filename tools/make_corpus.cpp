@@ -1,0 +1,145 @@
+// Regenerates the checked-in fuzz seed corpus (tests/corpus/). The seeds
+// are committed so CI replays them without running this tool; rerun it
+// only when a wire format changes:
+//
+//   ./build/tools/make_corpus tests/corpus
+//
+// Each subdirectory matches a fuzz entry point (sim/fuzz.hpp): valid
+// inputs the entry point must accept, plus near-valid mutants (torn
+// tails, flipped bytes, truncations) it must reject *cleanly*.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "privedit/extension/journal.hpp"
+#include "privedit/extension/session.hpp"
+#include "privedit/net/http.hpp"
+#include "privedit/util/crc32.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void put(const fs::path& dir, const std::string& name,
+         const std::string& bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::cerr << "write failed: " << (dir / name) << "\n";
+    std::exit(1);
+  }
+  std::cout << (dir / name).string() << " (" << bytes.size() << " bytes)\n";
+}
+
+std::string make_container(privedit::enc::Mode mode) {
+  privedit::enc::SchemeConfig config;
+  config.mode = mode;
+  config.block_chars = 4;
+  config.kdf_iterations = 4;
+  privedit::extension::DocumentSession session =
+      privedit::extension::DocumentSession::create_new(
+          "corpus password", config, privedit::extension::seeded_rng_factory(7));
+  return session.encrypt_full("the quick brown fox jumps over the lazy dog");
+}
+
+std::string make_journal(const fs::path& scratch) {
+  const fs::path wal = scratch / "corpus.wal";
+  fs::create_directories(scratch);
+  fs::remove(wal);
+  {
+    privedit::extension::EditJournal journal(wal.string());
+    journal.append_pending({1, /*full_save=*/true, "checksum0", "ciphertext"});
+    journal.append_pending({2, /*full_save=*/false, "checksum1", "=4\t+abcd"});
+    journal.ack_front(2, "checksum1");
+    journal.append_pending({3, /*full_save=*/false, "checksum2", "=2\t-2"});
+  }
+  std::ifstream in(wal, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  fs::remove(wal);
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " CORPUS_DIR\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+
+  // --- delta: the grammar's corners and its two historical crashers ---
+  const fs::path delta = root / "delta";
+  put(delta, "basic.txt", "=5\t+hello\t-3");
+  put(delta, "escapes.txt", "+a\\tb\\\\c\t=1");
+  put(delta, "noop-retain-zero.txt", "=0");
+  put(delta, "noop-empty-insert.txt", "+");
+  put(delta, "empty.txt", "");
+  put(delta, "trailing-tab.txt", "=1\t");
+  put(delta, "dangling-escape.txt", "+abc\\");
+  put(delta, "unknown-escape.txt", "+a\\nb");
+  put(delta, "unknown-tag.txt", "?5");
+  put(delta, "missing-count.txt", "=");
+  put(delta, "count-not-digits.txt", "=12x4");
+  put(delta, "retain-past-end.txt", "=999999");
+  // The overflow crasher: cursor + 2^64-1 wrapped past the bounds check
+  // and apply() silently duplicated document content before the fix.
+  put(delta, "count-overflow-u64.txt", "=1\t-18446744073709551615");
+  put(delta, "count-overflow-cap.txt", "-4294967297");
+  put(delta, "count-at-cap.txt", "=4294967296");
+  put(delta, "mixed-unsorted.txt", "+x\t-1\t+y\t-1\t=2\t+\t=0");
+
+  // --- container: a real document per scheme + damaged variants ---
+  const fs::path container = root / "container";
+  const std::string recb = make_container(privedit::enc::Mode::kRecb);
+  const std::string rpc = make_container(privedit::enc::Mode::kRpc);
+  put(container, "recb-valid.txt", recb);
+  put(container, "rpc-valid.txt", rpc);
+  put(container, "truncated-header.txt", recb.substr(0, 9));
+  put(container, "truncated-mid-unit.txt", recb.substr(0, recb.size() - 3));
+  std::string flipped = rpc;
+  flipped[flipped.size() / 2] =
+      flipped[flipped.size() / 2] == 'A' ? 'B' : 'A';
+  put(container, "flipped-unit-byte.txt", flipped);
+  std::string bad_magic = recb;
+  bad_magic[1] = 'X';
+  put(container, "bad-magic.txt", bad_magic);
+  put(container, "not-a-container.txt", "just some plaintext, no header");
+  put(container, "empty.txt", "");
+
+  // --- journal: a real PEWJ log + torn/corrupt variants ---
+  const fs::path journal = root / "journal";
+  const std::string wal = make_journal(root / ".scratch");
+  put(journal, "valid.wal", wal);
+  put(journal, "torn-tail.wal", wal.substr(0, wal.size() - 5));
+  std::string crc_flip = wal;
+  crc_flip[wal.size() - 1] = static_cast<char>(crc_flip[wal.size() - 1] ^ 1);
+  put(journal, "crc-flip.wal", crc_flip);
+  put(journal, "garbage-prefix.wal", "NOTAJOURNAL" + wal);
+  put(journal, "empty.wal", "");
+  fs::remove_all(root / ".scratch");
+
+  // --- http: valid requests/responses + malformed framing ---
+  const fs::path http = root / "http";
+  put(http, "post-form.txt",
+      privedit::net::HttpRequest::post_form(
+          "/Doc?docID=corpus", "cmd=open&session=1")
+          .serialize());
+  put(http, "response-ok.txt",
+      privedit::net::HttpResponse::make(200, "rev=7&session=abc").serialize());
+  put(http, "get-bare.txt", "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+  put(http, "no-terminator.txt", "POST /Doc HTTP/1.1\r\nContent-Length: 4\r\n");
+  put(http, "bad-content-length.txt",
+      "POST /Doc HTTP/1.1\r\nContent-Length: banana\r\n\r\nhi");
+  put(http, "length-exceeds-body.txt",
+      "POST /Doc HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort");
+  put(http, "lf-only-lines.txt", "GET / HTTP/1.1\nHost: x\n\n");
+  put(http, "empty.txt", "");
+  put(http, "binary-noise.txt", std::string("\x00\xff\x7f\r\n\r\n\x01", 8));
+
+  return 0;
+}
