@@ -1,0 +1,301 @@
+// Outage stress bench: editor availability and save latency while the
+// network suffers a scripted blackout covering 30% of a 30-second
+// simulated session (three 3 s windows on the SimClock).
+//
+// Three scenarios over the same edit stream shape:
+//
+//   control           — no outage; offline mode armed but never triggered.
+//   blackout30        — 30% blackout, offline mode OFF: every save inside
+//                       a window surfaces as a transport error to the
+//                       editor (the pre-PR-5 behaviour).
+//   blackout30+offline — 30% blackout with the offline queue + circuit
+//                       breaker: saves are absorbed locally, the breaker
+//                       caps wire traffic to one probe per cool-down, and
+//                       the composed update is replayed after heal.
+//
+// Availability = accepted saves / attempted saves (an offline ack counts:
+// the editor got its acknowledgement and kept typing). Latency is charged
+// on the SimClock — the same clock the outage schedule runs on — and is
+// recorded in the log-bucketed LatencyHistogram the replication health
+// scores use, so the percentiles here are directly comparable with the
+// PR 4 per-replica baselines. After heal, each scenario drains the queue
+// and a fresh reader verifies the server converged to the editor's mirror
+// (zero loss, zero duplication) — a scenario that fails verification
+// fails the bench.
+//
+// Output: one JSON object per scenario on stdout plus the combined report
+// written to BENCH_pr5.json (override with --out). --quick shrinks the
+// horizon for CI smoke runs.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "privedit/client/gdocs_client.hpp"
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/extension/mediator.hpp"
+#include "privedit/net/fault.hpp"
+#include "privedit/net/socket.hpp"
+#include "privedit/util/histogram.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit {
+namespace {
+
+constexpr std::uint64_t kOpIntervalUs = 20'000;   // editor types every 20 ms
+constexpr std::uint64_t kCooldownUs = 500'000;    // breaker probe cadence
+constexpr std::size_t kMaxDocChars = 4'000;
+
+/// A LAN-ish latency model (the paper's WAN defaults would dwarf the
+/// outage windows): saves cost single-digit milliseconds, so the 30 s
+/// horizon holds on the order of a thousand edits.
+net::LatencyModel lan_model() {
+  net::LatencyModel m;
+  m.base_us = 4'000;
+  m.jitter_us = 2'000;
+  m.bytes_per_ms_up = 5'000;
+  m.bytes_per_ms_down = 20'000;
+  m.server_us_per_kb = 20;
+  return m;
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t attempted = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;  // editor saw an error (transport or 503)
+  LatencyHistogram save_latency;
+  extension::GDocsMediator::Counters mediator;
+  net::CircuitBreaker::Counters breaker;
+  net::FaultyChannel::Counters wire;
+  bool converged = false;
+  std::size_t final_chars = 0;
+  double wall_outage_s = 0.0;
+  double horizon_s = 0.0;
+};
+
+extension::MediatorConfig mediator_config(bool offline, std::uint64_t seed) {
+  extension::MediatorConfig c;
+  c.password = "bench-pw";
+  c.scheme.mode = enc::Mode::kRpc;
+  c.scheme.kdf_iterations = 10;
+  c.rng_factory = extension::seeded_rng_factory(seed);
+  c.offline.enabled = offline;
+  c.offline.max_queued_edits = 4'096;  // the 9 s blackout queues ~450 edits
+  c.offline.breaker.cooldown_us = kCooldownUs;
+  return c;
+}
+
+net::OutageSchedule blackout30(std::uint64_t horizon_us) {
+  // Three equal blackout windows covering 30% of the horizon, spread so
+  // the breaker re-trips and the queue flushes repeatedly.
+  net::OutageSchedule schedule;
+  const std::uint64_t w = horizon_us / 10;  // 3 windows x 10% each
+  for (std::uint64_t start : {horizon_us / 6, horizon_us / 2,
+                              (horizon_us * 5) / 6 - w}) {
+    schedule.windows.push_back(
+        {start, start + w, net::OutageKind::kBlackout, 1.0});
+  }
+  return schedule;
+}
+
+ScenarioResult run_scenario(const std::string& name, bool offline,
+                            bool outage, std::uint64_t horizon_us) {
+  ScenarioResult result;
+  result.name = name;
+  result.horizon_s = static_cast<double>(horizon_us) / 1e6;
+
+  net::SimClock clock;
+  cloud::GDocsServer server;
+  // OCC mode: the offline flush's revision CAS needs stale deltas rejected
+  // with a 409, not merged — same setting the sim's offline phases use.
+  server.set_strict_revisions(true);
+  net::LoopbackTransport transport(
+      [&server](const net::HttpRequest& r) { return server.handle(r); },
+      &clock, lan_model(), crypto::CtrDrbg::from_seed(21));
+  net::FaultyChannel faulty(&transport, net::FaultSpec{},
+                            std::make_unique<Xoshiro256>(23), &clock);
+  if (outage) {
+    const auto schedule = blackout30(horizon_us);
+    for (const auto& w : schedule.windows) {
+      result.wall_outage_s +=
+          static_cast<double>(w.end_us - w.start_us) / 1e6;
+    }
+    faulty.set_outages(schedule);
+  }
+  extension::GDocsMediator mediator(&faulty, mediator_config(offline, 31),
+                                    &clock);
+  client::GDocsClient editor(&mediator, "bench-doc");
+  editor.create();
+  editor.insert(0, std::string(512, 'a'));
+  editor.save();  // seed save: full container, outside any window
+
+  Xoshiro256 rng(41);
+  while (clock.now_us() < horizon_us) {
+    // One small edit per tick, skewed toward inserts; erase chunks once
+    // the document hits the cap so growth stays bounded.
+    const std::size_t len = editor.text().size();
+    if (len > kMaxDocChars) {
+      editor.erase(rng.below(len / 2), len / 4);
+    } else if (rng.below(4) == 0 && len > 64) {
+      editor.erase(rng.below(len - 16), 1 + rng.below(8));
+    } else {
+      editor.insert(rng.below(len + 1), "word" + std::to_string(rng.below(97)));
+    }
+    ++result.attempted;
+    const std::uint64_t t0 = clock.now_us();
+    try {
+      editor.save();
+      ++result.accepted;
+      result.save_latency.record(clock.now_us() - t0);
+    } catch (const Error&) {
+      // Transport error or explicit 503. Pre-PR-5 there is no offline
+      // queue: a failed send leaves the mediator's mirror ahead of the
+      // server, so the only way forward is to re-open — which discards
+      // the unsaved edit. That data loss is exactly what the offline
+      // queue removes.
+      ++result.rejected;
+      if (!offline) {
+        try {
+          editor.open();
+        } catch (const net::TransportError&) {
+          // Still dark; the next tick tries again.
+        }
+      }
+    }
+    clock.advance_us(kOpIntervalUs);
+  }
+
+  // Heal: the horizon is past every window. Drain the offline queue (one
+  // probe per cool-down), then verify the server converged to the mirror.
+  for (int i = 0; i < 64 && mediator.offline_active("bench-doc"); ++i) {
+    mediator.try_flush("bench-doc");
+    clock.advance_us(kCooldownUs);
+  }
+  if (!offline) {
+    editor.open();  // final resync; whatever was never saved is gone
+  }
+  result.final_chars = editor.text().size();
+
+  extension::GDocsMediator reader_mediator(
+      &transport, mediator_config(/*offline=*/false, 67), &clock);
+  client::GDocsClient reader(&reader_mediator, "bench-doc");
+  reader.open();
+  result.converged = reader.text() == editor.text();
+
+  result.mediator = mediator.counters();
+  if (mediator.breaker() != nullptr) result.breaker = mediator.breaker()->counters();
+  result.wire = faulty.counters();
+  return result;
+}
+
+std::string scenario_json(const ScenarioResult& r) {
+  char buf[1024];
+  std::string json = "{";
+  std::snprintf(buf, sizeof buf,
+                "\"scenario\":\"%s\",\"horizon_s\":%.1f,\"outage_s\":%.1f,"
+                "\"attempted\":%zu,\"accepted\":%zu,\"rejected\":%zu,"
+                "\"availability\":%.4f,",
+                r.name.c_str(), r.horizon_s, r.wall_outage_s, r.attempted,
+                r.accepted, r.rejected,
+                r.attempted == 0
+                    ? 0.0
+                    : static_cast<double>(r.accepted) /
+                          static_cast<double>(r.attempted));
+  json += buf;
+  json += "\"save_latency\":" + r.save_latency.to_json() + ",";
+  std::snprintf(
+      buf, sizeof buf,
+      "\"offline\":{\"entered\":%zu,\"acks\":%zu,\"flushes\":%zu,"
+      "\"flush_edits\":%zu,\"rebases\":%zu,\"dedupes\":%zu,"
+      "\"backpressure\":%zu},"
+      "\"breaker\":{\"trips\":%zu,\"probes\":%zu,\"rejections\":%zu,"
+      "\"short_circuits\":%zu},"
+      "\"wire\":{\"delivered\":%zu,\"outage_faults\":%zu},"
+      "\"converged\":%s,\"final_chars\":%zu}",
+      r.mediator.offline_entered, r.mediator.offline_acks,
+      r.mediator.offline_flushes, r.mediator.offline_flush_edits,
+      r.mediator.offline_rebases, r.mediator.offline_dedupes,
+      r.mediator.offline_backpressure, r.breaker.trips, r.breaker.probes,
+      r.breaker.rejections, r.mediator.breaker_short_circuits,
+      r.wire.delivered, r.wire.outage_faults,
+      r.converged ? "true" : "false", r.final_chars);
+  json += buf;
+  return json;
+}
+
+}  // namespace
+
+int run(bool quick, const std::string& out_path) {
+  const std::uint64_t horizon_us = quick ? 6'000'000 : 30'000'000;
+  std::printf("# outage_stress: horizon=%.0fs blackout=30%% interval=%.0fms\n",
+              static_cast<double>(horizon_us) / 1e6,
+              static_cast<double>(kOpIntervalUs) / 1e3);
+
+  std::vector<ScenarioResult> results;
+  results.push_back(
+      run_scenario("control", /*offline=*/true, /*outage=*/false, horizon_us));
+  results.push_back(run_scenario("blackout30", /*offline=*/false,
+                                 /*outage=*/true, horizon_us));
+  results.push_back(run_scenario("blackout30+offline", /*offline=*/true,
+                                 /*outage=*/true, horizon_us));
+
+  std::string report = "[";
+  bool failed = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string line = scenario_json(results[i]);
+    std::printf("%s\n", line.c_str());
+    report += (i ? ",\n " : "") + line;
+    if (!results[i].converged) {
+      std::fprintf(stderr, "FAIL %s: reader does not match editor mirror\n",
+                   results[i].name.c_str());
+      failed = true;
+    }
+  }
+  report += "]\n";
+
+  const ScenarioResult& off = results[2];
+  if (off.accepted != off.attempted) {
+    std::fprintf(stderr,
+                 "FAIL blackout30+offline: %zu of %zu saves rejected — "
+                 "offline mode must absorb every edit\n",
+                 off.attempted - off.accepted, off.attempted);
+    failed = true;
+  }
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    failed = true;
+  }
+  std::printf(
+      "# summary: control p99=%lluus avail=%.3f | blackout30 p99=%lluus "
+      "avail=%.3f | +offline p99=%lluus avail=%.3f\n",
+      static_cast<unsigned long long>(results[0].save_latency.percentile(0.99)),
+      static_cast<double>(results[0].accepted) /
+          static_cast<double>(results[0].attempted),
+      static_cast<unsigned long long>(results[1].save_latency.percentile(0.99)),
+      static_cast<double>(results[1].accepted) /
+          static_cast<double>(results[1].attempted),
+      static_cast<unsigned long long>(results[2].save_latency.percentile(0.99)),
+      static_cast<double>(results[2].accepted) /
+          static_cast<double>(results[2].attempted));
+  return failed ? 1 : 0;
+}
+
+}  // namespace privedit
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_pr5.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+  return privedit::run(quick, out);
+}

@@ -4,6 +4,7 @@
 
 #include "privedit/crypto/sha256.hpp"
 #include "privedit/delta/delta.hpp"
+#include "privedit/net/breaker.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/hex.hpp"
 #include "privedit/util/urlencode.hpp"
@@ -66,6 +67,14 @@ net::HttpResponse GDocsServer::ack(const Document& doc,
                                  "application/x-www-form-urlencoded");
 }
 
+void GDocsServer::enable_admission(net::AdmissionConfig config,
+                                   std::function<std::uint64_t()> now_us) {
+  admission_now_ = now_us ? std::move(now_us)
+                          : std::function<std::uint64_t()>(net::now_steady_us);
+  admission_ =
+      std::make_unique<net::AdmissionController>(config, admission_now_);
+}
+
 void GDocsServer::enable_persistence(const std::string& directory) {
   store_ = std::make_unique<FileStore>(directory);
   for (auto& [doc_id, record] : store_->load_all()) {
@@ -91,6 +100,14 @@ void GDocsServer::record_history(Document& doc) {
 }
 
 net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
+  if (admission_ != nullptr) {
+    // Overload check first: a rate-limited client must get its 503 +
+    // Retry-After before the server spends any work on the request.
+    if (auto refusal = admission_->admit(request, admission_now_())) {
+      ++counters_.admission_rejections;
+      return *refusal;
+    }
+  }
   if (request.method != "POST" || request.path() != "/Doc") {
     ++counters_.bad_requests;
     return net::HttpResponse::make(404, "unknown endpoint");

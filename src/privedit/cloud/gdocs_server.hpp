@@ -34,7 +34,10 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "privedit/cloud/file_store.hpp"
+#include "privedit/net/admission.hpp"
 #include "privedit/net/http.hpp"
 
 namespace privedit::cloud {
@@ -76,6 +79,18 @@ class GDocsServer {
   /// against.
   void set_strict_revisions(bool on) { strict_revisions_ = on; }
 
+  /// Overload protection: per-client token-bucket admission (keyed on the
+  /// X-Privedit-Client header). Refused requests get 503 + Retry-After —
+  /// explicit backpressure the client's RetryPolicy understands — before
+  /// any command dispatch. Circuit-breaker probes bypass the bucket.
+  /// `now_us` defaults to the steady clock; pass the SimClock's reading for
+  /// deterministic tests.
+  void enable_admission(net::AdmissionConfig config,
+                        std::function<std::uint64_t()> now_us = {});
+
+  /// The admission controller; nullptr until enable_admission.
+  const net::AdmissionController* admission() const { return admission_.get(); }
+
   std::size_t document_count() const { return docs_.size(); }
 
   struct Counters {
@@ -88,6 +103,7 @@ class GDocsServer {
     std::size_t conflicts = 0;
     std::size_t bad_requests = 0;
     std::size_t syncs = 0;  // anti-entropy pushes accepted (cmd=sync)
+    std::size_t admission_rejections = 0;  // 503s from the token bucket
   };
   const Counters& counters() const { return counters_; }
 
@@ -105,6 +121,8 @@ class GDocsServer {
   void record_history(Document& doc);
 
   std::unique_ptr<FileStore> store_;
+  std::unique_ptr<net::AdmissionController> admission_;
+  std::function<std::uint64_t()> admission_now_;
   bool strict_revisions_ = false;
   std::size_t history_limit_ = 0;  // 0 = keep everything
   std::map<std::string, Document> docs_;

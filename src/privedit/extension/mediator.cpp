@@ -6,6 +6,7 @@
 #include "privedit/enc/container.hpp"
 #include "privedit/crypto/sha256.hpp"
 #include "privedit/delta/delta.hpp"
+#include "privedit/net/retry.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/hex.hpp"
 #include "privedit/util/urlencode.hpp"
@@ -30,6 +31,37 @@ std::uint64_t parse_rev(const std::optional<std::string>& rev) {
   }
 }
 
+/// The Ack the mediator synthesizes for an edit it queued offline. The
+/// hash is "0" — the same blanked value the editor tolerates online — and
+/// the revision continues the editor's own sequence so it keeps editing
+/// without noticing the outage. `offline=1` is a diagnostic marker.
+net::HttpResponse synth_offline_ack(std::uint64_t editor_rev) {
+  FormData form;
+  form.add("contentFromServerHash", "0");
+  form.add("rev", std::to_string(editor_rev));
+  form.add("offline", "1");
+  return net::HttpResponse::make(200, form.encode(),
+                                 "application/x-www-form-urlencoded");
+}
+
+/// Explicit backpressure: the offline queue is at capacity and the editor
+/// must slow down (or the user must reconnect). Never a silent drop.
+net::HttpResponse offline_backpressure_response() {
+  net::HttpResponse resp = net::HttpResponse::make(
+      503, "offline edit queue full; server unreachable");
+  resp.headers.set("Retry-After", "1");
+  return resp;
+}
+
+/// Rewrites the ack's revision to the editor's expected value. Needed when
+/// the mediator owns the wire revision (offline mode): the server's real
+/// revision lags the editor's virtual one after a composed flush.
+void rewrite_ack_rev(net::HttpResponse& resp, std::uint64_t editor_rev) {
+  FormData body = FormData::parse(resp.body);
+  body.set("rev", std::to_string(editor_rev));
+  resp.body = body.encode();
+}
+
 }  // namespace
 
 GDocsMediator::GDocsMediator(net::Channel* upstream, MediatorConfig config,
@@ -39,6 +71,48 @@ GDocsMediator::GDocsMediator(net::Channel* upstream, MediatorConfig config,
     throw Error(ErrorCode::kInvalidArgument, "GDocsMediator: null upstream");
   }
   mitigation_rng_ = config_.rng_factory();
+  if (config_.offline.enabled) {
+    std::function<std::uint64_t()> now =
+        clock_ != nullptr
+            ? std::function<std::uint64_t()>(
+                  [c = clock_] { return c->now_us(); })
+            : net::now_steady_us;
+    breaker_ = std::make_unique<net::CircuitBreaker>(config_.offline.breaker,
+                                                     std::move(now));
+  }
+}
+
+net::HttpResponse GDocsMediator::send_upstream(
+    const net::HttpRequest& request) {
+  if (breaker_ == nullptr) return upstream_->round_trip(request);
+  if (!breaker_->allow()) {
+    ++counters_.breaker_short_circuits;
+    throw net::TransportError(net::FaultKind::kConnect,
+                              "mediator: circuit breaker open");
+  }
+  try {
+    net::HttpResponse resp = upstream_->round_trip(request);
+    breaker_->record_success();
+    return resp;
+  } catch (const net::TransportError&) {
+    breaker_->record_failure();
+    throw;
+  }
+}
+
+OfflineQueue* GDocsMediator::offline_queue(const std::string& doc_id) {
+  if (!config_.offline.enabled) return nullptr;
+  return &offline_[doc_id];
+}
+
+bool GDocsMediator::offline_active(const std::string& doc_id) const {
+  const auto it = offline_.find(doc_id);
+  return it != offline_.end() && it->second.active();
+}
+
+std::size_t GDocsMediator::offline_queued(const std::string& doc_id) const {
+  const auto it = offline_.find(doc_id);
+  return it == offline_.end() ? 0 : it->second.queued();
 }
 
 net::HttpResponse GDocsMediator::blocked(const std::string& why) {
@@ -110,6 +184,143 @@ void GDocsMediator::settle_journal(EditJournal& journal,
   journal.ack_front(acked_rev, checksum);
 }
 
+void GDocsMediator::journal_offline_entry(const std::string& doc_id,
+                                          const OfflineQueue& q) {
+  EditJournal* journal = journal_for(doc_id);
+  if (journal == nullptr) return;
+  const auto it = sessions_.find(doc_id);
+  if (it == sessions_.end()) return;
+  // At most ONE offline entry is ever pending: the composed update. Each
+  // newly queued edit replaces it (drop + append), so a crash while offline
+  // recovers exactly the composed state through the normal WAL replay.
+  while (!journal->pending().empty()) journal->drop_front();
+  const std::string cipher_doc = it->second.scheme().ciphertext_doc();
+  JournalEntry entry;
+  entry.base_rev = q.base_rev();
+  entry.full_save = q.full_save();
+  entry.checksum = content_hash16(cipher_doc);
+  entry.update = q.full_save() ? cipher_doc : q.pending_cipher()->to_wire();
+  journal->append_pending(entry);
+  ++counters_.journal_appends;
+}
+
+bool GDocsMediator::try_flush(const std::string& doc_id) {
+  if (!config_.offline.enabled) return true;
+  const auto oit = offline_.find(doc_id);
+  if (oit == offline_.end() || !oit->second.active()) return true;
+  OfflineQueue& q = oit->second;
+  if (sessions_.find(doc_id) == sessions_.end()) {
+    q.clear();  // document vanished under us; nothing left to replay
+    return true;
+  }
+  for (int attempt = 0; attempt <= config_.max_rebase_retries; ++attempt) {
+    DocumentSession& session = sessions_.find(doc_id)->second;
+    FormData form;
+    form.add("session", "offline-replay");
+    form.add("rev", std::to_string(q.base_rev()));
+    if (q.full_save()) {
+      form.add("docContents", session.scheme().ciphertext_doc());
+    } else {
+      form.add("delta", q.pending_cipher()->to_wire());
+    }
+    net::HttpRequest flush =
+        net::HttpRequest::post_form(q.target(), form.encode());
+    // One wire request per breaker cool-down: the probe marker makes every
+    // retry layer below take exactly one attempt.
+    flush.headers.set(net::kProbeHeader, "1");
+    q.note_attempt(session.plaintext());
+    net::HttpResponse resp;
+    try {
+      resp = send_upstream(flush);
+    } catch (const net::TransportError&) {
+      return false;  // still unreachable (or the breaker refused the probe)
+    }
+    if (resp.ok()) {
+      const std::uint64_t acked =
+          parse_rev(FormData::parse(resp.body).get("rev"));
+      server_rev_[doc_id] = acked;
+      if (EditJournal* journal = journal_for(doc_id)) {
+        if (!journal->pending().empty()) {
+          journal->ack_front(acked,
+                             content_hash16(session.scheme().ciphertext_doc()));
+        }
+      }
+      ++counters_.offline_flushes;
+      counters_.offline_flush_edits += q.queued();
+      q.clear();
+      return true;
+    }
+    if (resp.status != 409) {
+      return false;  // alive but refusing (overload?); stay offline
+    }
+    // The server advanced while we were away — or our previous flush landed
+    // and its ack was lost. Decrypt its authoritative state and decide.
+    const FormData ack = FormData::parse(resp.body);
+    const auto server_cipher = ack.get("contentFromServer");
+    const auto server_rev = ack.get("rev");
+    if (!server_cipher || !server_rev) return false;
+    DocumentSession fresh = DocumentSession::open(
+        config_.password, *server_cipher, config_.rng_factory);
+    const std::string server_plain = fresh.plaintext();
+    const std::string mirror = session.plaintext();
+    const std::uint64_t new_rev = parse_rev(server_rev);
+    if (server_plain == mirror) {
+      // Everything we queued is already there (a delivered flush whose ack
+      // died): adopt the server's container, settle, go back online.
+      // Resending would duplicate every queued edit.
+      const std::string checksum =
+          content_hash16(fresh.scheme().ciphertext_doc());
+      sessions_.erase(doc_id);
+      sessions_.emplace(doc_id, std::move(fresh));
+      server_rev_[doc_id] = new_rev;
+      if (EditJournal* journal = journal_for(doc_id)) {
+        if (!journal->pending().empty()) journal->ack_front(new_rev, checksum);
+      }
+      ++counters_.offline_dedupes;
+      ++counters_.offline_flushes;
+      counters_.offline_flush_edits += q.queued();
+      q.clear();
+      return true;
+    }
+    if (q.full_save()) {
+      // A full save overwrites whatever the server holds; only the CAS
+      // base needs refreshing. The mirror stays OUR content — it is the
+      // payload — so the fresh session is discarded.
+      server_rev_[doc_id] = new_rev;
+      q.rebase(new_rev, server_plain, delta::Delta{}, delta::Delta{});
+      journal_offline_entry(doc_id, q);
+      continue;
+    }
+    delta::Delta remaining;
+    if (q.attempted(server_plain)) {
+      // An earlier flush attempt landed (ack lost) and more edits queued
+      // since: only the difference still needs to go. Resending the whole
+      // composed update would duplicate the half that landed. The history
+      // check matters: under an asymmetric outage several attempts can be
+      // in doubt at once, and the one the server holds need not be the
+      // latest — misreading it as foreign progress would rebase our own
+      // edits over themselves.
+      remaining = delta::myers_diff(server_plain, mirror);
+      ++counters_.offline_dedupes;
+    } else {
+      // Genuine concurrent server-side progress: rebase the composed
+      // update over it, exactly like the collaborative 409 path.
+      const delta::Delta theirs =
+          delta::myers_diff(q.base_plain(), server_plain);
+      remaining =
+          delta::Delta::transform(*q.pending_plain(), theirs, /*a_wins=*/false);
+      ++counters_.offline_rebases;
+    }
+    const delta::Delta new_cipher = fresh.transform_delta(remaining);
+    sessions_.erase(doc_id);
+    sessions_.emplace(doc_id, std::move(fresh));
+    server_rev_[doc_id] = new_rev;
+    q.rebase(new_rev, server_plain, remaining, new_cipher);
+    journal_offline_entry(doc_id, q);
+  }
+  return false;
+}
+
 net::HttpResponse GDocsMediator::recover_open(const std::string& doc_id,
                                               const net::HttpRequest& request,
                                               net::HttpResponse resp) {
@@ -156,7 +367,7 @@ net::HttpResponse GDocsMediator::recover_open(const std::string& doc_id,
     form.add("session", "journal-recovery");
     form.add("rev", std::to_string(entry.base_rev));
     form.add(entry.full_save ? "docContents" : "delta", entry.update);
-    const net::HttpResponse replay_resp = upstream_->round_trip(
+    const net::HttpResponse replay_resp = send_upstream(
         net::HttpRequest::post_form(request.target, form.encode()));
     if (!replay_resp.ok()) break;  // refused now; retried at the next open
     const FormData ack = FormData::parse(replay_resp.body);
@@ -168,7 +379,7 @@ net::HttpResponse GDocsMediator::recover_open(const std::string& doc_id,
   }
   if (replayed) {
     // The authoritative content now includes the replayed edits.
-    resp = upstream_->round_trip(request);
+    resp = send_upstream(request);
   }
   return resp;
 }
@@ -203,7 +414,7 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
   const bool unmanaged = unmanaged_.count(doc_id) > 0;
 
   if (cmd == "create") {
-    net::HttpResponse resp = upstream_->round_trip(request);
+    net::HttpResponse resp = send_upstream(request);
     if (resp.ok()) {
       unmanaged_.erase(doc_id);
       sessions_.erase(doc_id);
@@ -211,18 +422,39 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
                         DocumentSession::create_new(config_.password,
                                                     config_.scheme,
                                                     config_.rng_factory));
+      const std::uint64_t rev =
+          parse_rev(FormData::parse(resp.body).get("rev"));
       if (EditJournal* journal = journal_for(doc_id)) {
         // A create wipes server history; stale pending entries and the old
         // baseline must not outlive it.
-        journal->reset(parse_rev(FormData::parse(resp.body).get("rev")),
-                       content_hash16(""));
+        journal->reset(rev, content_hash16(""));
+      }
+      if (config_.offline.enabled) {
+        offline_[doc_id].clear();
+        server_rev_[doc_id] = rev;
+        editor_rev_[doc_id] = rev;
       }
     }
     return resp;
   }
 
   if (cmd == "open") {
-    net::HttpResponse resp = upstream_->round_trip(request);
+    if (offline_active(doc_id) && !try_flush(doc_id)) {
+      // Still cut off: answer from the plaintext mirror so the user keeps
+      // their document. The revision continues the editor's own sequence.
+      const auto sess_it = sessions_.find(doc_id);
+      if (sess_it != sessions_.end()) {
+        FormData reply;
+        reply.add("content", sess_it->second.plaintext());
+        reply.add("rev", std::to_string(editor_rev_[doc_id]));
+        reply.add("session", "offline");
+        reply.add("offline", "1");
+        ++counters_.offline_opens_local;
+        return net::HttpResponse::make(200, reply.encode(),
+                                       "application/x-www-form-urlencoded");
+      }
+    }
+    net::HttpResponse resp = send_upstream(request);
     if (!resp.ok()) return resp;
     resp = recover_open(doc_id, request, std::move(resp));
     FormData reply = FormData::parse(resp.body);
@@ -238,6 +470,10 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
         if (journal->pending().empty()) {
           journal->reset(parse_rev(reply.get("rev")), content_hash16(""));
         }
+      }
+      if (config_.offline.enabled) {
+        server_rev_[doc_id] = parse_rev(reply.get("rev"));
+        editor_rev_[doc_id] = server_rev_[doc_id];
       }
       return resp;
     }
@@ -257,6 +493,12 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
         if (journal->pending().empty()) {
           journal->reset(parse_rev(reply.get("rev")), content_hash16(content));
         }
+      }
+      if (config_.offline.enabled) {
+        // The editor now sees the server's real revision: the virtual
+        // sequence (if any) reconverges here.
+        server_rev_[doc_id] = parse_rev(reply.get("rev"));
+        editor_rev_[doc_id] = server_rev_[doc_id];
       }
       return resp;
     } catch (const ParseError&) {
@@ -283,15 +525,35 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
     return upstream_->round_trip(request);
   }
 
-  auto session_it = sessions_.find(doc_id);
-  if (session_it == sessions_.end()) {
+  if (sessions_.find(doc_id) == sessions_.end()) {
     return blocked("document has no active encrypted session");
   }
-  DocumentSession& session = session_it->second;
 
   if (const auto contents = form.get("docContents")) {
-    const std::string ciphertext = session.encrypt_full(*contents);
+    OfflineQueue* oq = offline_queue(doc_id);
+    if (oq != nullptr && oq->active() && !try_flush(doc_id)) {
+      // Still cut off: absorb the save locally — or push back at the cap.
+      if (oq->queued() >= config_.offline.max_queued_edits) {
+        ++counters_.offline_backpressure;
+        return offline_backpressure_response();
+      }
+      sessions_.find(doc_id)->second.encrypt_full(*contents);
+      oq->queue_full_save();
+      journal_offline_entry(doc_id, *oq);
+      ++counters_.full_saves_encrypted;
+      ++counters_.offline_acks;
+      return synth_offline_ack(++editor_rev_[doc_id]);
+    }
+    // try_flush may have swapped the session (dedupe/rebase adopt the
+    // server's container) — re-resolve before touching the mirror.
+    DocumentSession& live = sessions_.find(doc_id)->second;
+    const std::string ciphertext = live.encrypt_full(*contents);
     form.set("docContents", ciphertext);
+    if (config_.offline.enabled) {
+      // The mediator owns the wire revision: the editor's view may be a
+      // virtual (offline) sequence running ahead of the server's.
+      form.set("rev", std::to_string(server_rev_[doc_id]));
+    }
     const std::uint64_t base_rev = parse_rev(form.get("rev"));
     const std::string checksum = content_hash16(ciphertext);
     EditJournal* journal = journal_for(doc_id);
@@ -304,20 +566,67 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
     }
     std::string body = form.encode();
     apply_outgoing_mitigations(body);
-    net::HttpResponse resp = upstream_->round_trip(
-        net::HttpRequest::post_form(request.target, std::move(body)));
+    net::HttpResponse resp;
+    try {
+      resp = send_upstream(
+          net::HttpRequest::post_form(request.target, std::move(body)));
+    } catch (const net::TransportError&) {
+      if (oq == nullptr) throw;
+      // Retry budget exhausted (or breaker open): flip the document
+      // offline. The mirror already holds the new content; the flush will
+      // push the whole container when the server comes back.
+      oq->enter(server_rev_[doc_id], *contents, request.target);
+      oq->queue_full_save();
+      journal_offline_entry(doc_id, *oq);
+      ++counters_.offline_entered;
+      ++counters_.full_saves_encrypted;
+      ++counters_.offline_acks;
+      return synth_offline_ack(++editor_rev_[doc_id]);
+    }
     if (journal != nullptr) settle_journal(*journal, resp, base_rev, checksum);
     ++counters_.full_saves_encrypted;
+    if (config_.offline.enabled && resp.ok()) {
+      const bool drifted = editor_rev_[doc_id] != server_rev_[doc_id];
+      server_rev_[doc_id] = parse_rev(FormData::parse(resp.body).get("rev"));
+      if (drifted) {
+        rewrite_ack_rev(resp, ++editor_rev_[doc_id]);
+      } else {
+        editor_rev_[doc_id] = server_rev_[doc_id];
+      }
+    }
     blank_ack_fields(resp);
     return resp;
   }
 
   if (const auto delta_wire = form.get("delta")) {
+    OfflineQueue* oq = offline_queue(doc_id);
+    if (oq != nullptr && oq->active() && !try_flush(doc_id)) {
+      // Still cut off: compose the edit into the pending update — or push
+      // back at the cap *before* the mirror moves.
+      if (oq->queued() >= config_.offline.max_queued_edits) {
+        ++counters_.offline_backpressure;
+        return offline_backpressure_response();
+      }
+      DocumentSession& live = sessions_.find(doc_id)->second;
+      delta::Delta pdelta = delta::Delta::parse(*delta_wire);
+      if (config_.rediff) {
+        const std::string before = live.plaintext();
+        const std::string after = pdelta.apply(before);
+        pdelta = delta::myers_diff(before, after);
+      }
+      const delta::Delta cdelta = live.transform_delta(pdelta);
+      oq->queue_delta(pdelta, cdelta);
+      journal_offline_entry(doc_id, *oq);
+      ++counters_.deltas_transformed;
+      ++counters_.offline_acks;
+      return synth_offline_ack(++editor_rev_[doc_id]);
+    }
+    DocumentSession& fronted = sessions_.find(doc_id)->second;
     delta::Delta pdelta = delta::Delta::parse(*delta_wire);
     if (config_.rediff) {
       // Don't trust the client's op sequence: recompute a minimal delta
       // between the two document versions (§VI-B countermeasure).
-      const std::string before = session.plaintext();
+      const std::string before = fronted.plaintext();
       const std::string after = pdelta.apply(before);
       pdelta = delta::myers_diff(before, after);
     }
@@ -326,8 +635,12 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
     // server's (decrypted) state, transform our edit over the concurrent
     // one, and retry with the fresh revision. The base snapshot is only
     // needed for that rebase diff — don't pay O(doc) for it otherwise.
+    // Offline mode needs it too: it is the rebase base if this very send
+    // fails and the document flips offline.
     std::string base;
-    if (config_.collaborative) base = session.plaintext();
+    if (config_.collaborative || config_.offline.enabled) {
+      base = fronted.plaintext();
+    }
     delta::Delta working = std::move(pdelta);
     bool rebased = false;
     net::HttpResponse resp;
@@ -336,6 +649,9 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
       DocumentSession& live = sessions_.find(doc_id)->second;
       const delta::Delta cdelta = live.transform_delta(working);
       form.set("delta", cdelta.to_wire());
+      if (config_.offline.enabled) {
+        form.set("rev", std::to_string(server_rev_[doc_id]));
+      }
       const std::uint64_t base_rev = parse_rev(form.get("rev"));
       // The checksum exists for the journal's rollback check; serialising
       // and hashing the whole container per delta is pure waste without
@@ -349,8 +665,22 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
       }
       std::string body = form.encode();
       apply_outgoing_mitigations(body);
-      resp = upstream_->round_trip(
-          net::HttpRequest::post_form(request.target, std::move(body)));
+      try {
+        resp = send_upstream(
+            net::HttpRequest::post_form(request.target, std::move(body)));
+      } catch (const net::TransportError&) {
+        if (oq == nullptr) throw;
+        // Retry budget exhausted (or breaker open): flip the document
+        // offline. The mirror already holds base+working (transform_delta
+        // above advanced it), which is exactly the queue invariant.
+        oq->enter(server_rev_[doc_id], base, request.target);
+        oq->queue_delta(working, cdelta);
+        journal_offline_entry(doc_id, *oq);
+        ++counters_.offline_entered;
+        ++counters_.deltas_transformed;
+        ++counters_.offline_acks;
+        return synth_offline_ack(++editor_rev_[doc_id]);
+      }
       if (journal != nullptr) {
         // A 409 drops the entry (the server refused it); the rebase below
         // appends a fresh one for the transformed retry.
@@ -377,10 +707,24 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
       sessions_.emplace(doc_id, std::move(fresh));
       base = server_plain;
       form.set("rev", *server_rev);
+      if (config_.offline.enabled) {
+        // Keep the CAS base honest: the next iteration re-substitutes the
+        // rev field from this map.
+        server_rev_[doc_id] = parse_rev(server_rev);
+      }
       rebased = true;
       ++counters_.rebases;
     }
     ++counters_.deltas_transformed;
+    if (config_.offline.enabled && resp.ok()) {
+      const bool drifted = editor_rev_[doc_id] != server_rev_[doc_id];
+      server_rev_[doc_id] = parse_rev(FormData::parse(resp.body).get("rev"));
+      if (drifted) {
+        rewrite_ack_rev(resp, ++editor_rev_[doc_id]);
+      } else {
+        editor_rev_[doc_id] = server_rev_[doc_id];
+      }
+    }
 
     if (resp.ok() && rebased) {
       // Tell the client about the merged state in terms it can verify:

@@ -27,7 +27,9 @@
 
 #include "privedit/enc/types.hpp"
 #include "privedit/extension/journal.hpp"
+#include "privedit/extension/offline.hpp"
 #include "privedit/extension/session.hpp"
+#include "privedit/net/breaker.hpp"
 #include "privedit/net/transport.hpp"
 
 namespace privedit::extension {
@@ -58,6 +60,17 @@ struct MediatorConfig {
   /// not rolled the document back past the last acknowledged revision
   /// (RollbackError otherwise). Empty = journaling off.
   std::string journal_dir;
+
+  /// Disconnected operation (extension/offline.hpp): when enabled, a save
+  /// whose transport fails flips the document offline — edits keep flowing
+  /// into the local mirror, are composed into one pending update, and are
+  /// acknowledged locally; a circuit breaker gates reconnect probes; the
+  /// first successful probe replays (and if needed rebases) the composed
+  /// update. While enabled the mediator also owns the revision field on
+  /// the wire, so the editor's view of revisions may run ahead of the
+  /// server's during an outage. Costs one O(doc) plaintext snapshot per
+  /// delta save (the rebase base), so it is opt-in.
+  OfflineConfig offline;
 };
 
 class GDocsMediator final : public net::Channel {
@@ -83,6 +96,17 @@ class GDocsMediator final : public net::Channel {
     std::size_t torn_tails_recovered = 0;
     std::size_t rollbacks_detected = 0;  // RollbackError raised at open
     std::size_t ack_checksum_mismatches = 0;  // server hash != our mirror
+
+    // Disconnected operation (all zero unless offline.enabled).
+    std::size_t offline_entered = 0;       // docs flipped offline
+    std::size_t offline_acks = 0;          // edits acknowledged locally
+    std::size_t offline_backpressure = 0;  // 503s: queue cap reached
+    std::size_t offline_flushes = 0;       // composed updates replayed
+    std::size_t offline_flush_edits = 0;   // edits released by flushes
+    std::size_t offline_dedupes = 0;       // flush found update applied
+    std::size_t offline_rebases = 0;       // flush rebased over server edits
+    std::size_t offline_opens_local = 0;   // opens served from the mirror
+    std::size_t breaker_short_circuits = 0;  // sends refused by the breaker
   };
   const Counters& counters() const { return counters_; }
 
@@ -92,10 +116,38 @@ class GDocsMediator final : public net::Channel {
   /// Scheme statistics for a managed document (blow-up, block counts, ...).
   std::optional<enc::SchemeStats> managed_stats(const std::string& doc_id) const;
 
+  /// True while the document has a pending offline queue.
+  bool offline_active(const std::string& doc_id) const;
+
+  /// Edits currently queued offline for the document.
+  std::size_t offline_queued(const std::string& doc_id) const;
+
+  /// Reconnect probe: if the document is offline, attempts to replay the
+  /// composed update (subject to the circuit breaker — at most one wire
+  /// request per cool-down while the breaker is open). Returns true when
+  /// the document is (back) online. Also invoked implicitly on every
+  /// editor request for an offline document.
+  bool try_flush(const std::string& doc_id);
+
+  /// The upstream circuit breaker; nullptr unless offline.enabled.
+  const net::CircuitBreaker* breaker() const { return breaker_.get(); }
+
  private:
   net::HttpResponse blocked(const std::string& why);
   void blank_ack_fields(net::HttpResponse& response);
   void apply_outgoing_mitigations(std::string& form_body);
+
+  /// All upstream traffic funnels through here: applies the circuit
+  /// breaker (when offline.enabled) so a dead endpoint is short-circuited
+  /// locally instead of hammered.
+  net::HttpResponse send_upstream(const net::HttpRequest& request);
+
+  /// The document's offline queue; nullptr unless offline.enabled.
+  OfflineQueue* offline_queue(const std::string& doc_id);
+
+  /// Replaces the journal's pending entry with the current composed
+  /// offline update (at most one offline entry is ever pending).
+  void journal_offline_entry(const std::string& doc_id, const OfflineQueue& q);
 
   /// Lazily opens the document's journal; nullptr when journaling is off.
   EditJournal* journal_for(const std::string& doc_id);
@@ -120,6 +172,10 @@ class GDocsMediator final : public net::Channel {
   std::map<std::string, DocumentSession> sessions_;
   std::map<std::string, std::unique_ptr<EditJournal>> journals_;
   std::set<std::string> unmanaged_;  // legacy plaintext docs, passed through
+  std::unique_ptr<net::CircuitBreaker> breaker_;  // offline.enabled only
+  std::map<std::string, OfflineQueue> offline_;
+  std::map<std::string, std::uint64_t> server_rev_;  // truth from acks/opens
+  std::map<std::string, std::uint64_t> editor_rev_;  // what the editor saw
   Counters counters_;
 };
 

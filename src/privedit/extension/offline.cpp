@@ -1,0 +1,93 @@
+#include "privedit/extension/offline.hpp"
+
+#include <utility>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::extension {
+
+void OfflineQueue::enter(std::uint64_t base_rev, std::string base_plain,
+                         std::string target) {
+  if (active_) {
+    throw Error(ErrorCode::kState, "OfflineQueue: already offline");
+  }
+  active_ = true;
+  base_rev_ = base_rev;
+  base_plain_ = std::move(base_plain);
+  target_ = std::move(target);
+  queued_ = 0;
+  full_save_ = false;
+  pending_plain_.reset();
+  pending_cipher_.reset();
+  attempt_plains_.clear();
+}
+
+void OfflineQueue::queue_delta(const delta::Delta& plain,
+                               const delta::Delta& cipher) {
+  if (!active_) {
+    throw Error(ErrorCode::kState, "OfflineQueue: not offline");
+  }
+  pending_plain_ = pending_plain_
+                       ? delta::Delta::compose(*pending_plain_, plain)
+                       : plain;
+  pending_cipher_ = pending_cipher_
+                        ? delta::Delta::compose(*pending_cipher_, cipher)
+                        : cipher;
+  ++queued_;
+}
+
+void OfflineQueue::queue_full_save() {
+  if (!active_) {
+    throw Error(ErrorCode::kState, "OfflineQueue: not offline");
+  }
+  // The whole container rides the flush; the composed deltas are moot.
+  full_save_ = true;
+  pending_plain_.reset();
+  pending_cipher_.reset();
+  ++queued_;
+}
+
+void OfflineQueue::rebase(std::uint64_t new_rev, std::string new_base_plain,
+                          delta::Delta new_plain, delta::Delta new_cipher) {
+  if (!active_) {
+    throw Error(ErrorCode::kState, "OfflineQueue: not offline");
+  }
+  base_rev_ = new_rev;
+  base_plain_ = std::move(new_base_plain);
+  pending_plain_ = std::move(new_plain);
+  pending_cipher_ = std::move(new_cipher);
+}
+
+void OfflineQueue::note_attempt(std::string mirror_plain) {
+  if (!active_) {
+    throw Error(ErrorCode::kState, "OfflineQueue: not offline");
+  }
+  if (!attempt_plains_.empty() && attempt_plains_.back() == mirror_plain) {
+    return;  // re-probe of the same composed update; one snapshot suffices
+  }
+  if (attempt_plains_.size() == kMaxAttemptHistory) {
+    attempt_plains_.erase(attempt_plains_.begin());
+  }
+  attempt_plains_.push_back(std::move(mirror_plain));
+}
+
+bool OfflineQueue::attempted(const std::string& plain) const {
+  for (const auto& snapshot : attempt_plains_) {
+    if (snapshot == plain) return true;
+  }
+  return false;
+}
+
+void OfflineQueue::clear() {
+  active_ = false;
+  base_rev_ = 0;
+  base_plain_.clear();
+  target_.clear();
+  queued_ = 0;
+  full_save_ = false;
+  pending_plain_.reset();
+  pending_cipher_.reset();
+  attempt_plains_.clear();
+}
+
+}  // namespace privedit::extension

@@ -1,0 +1,125 @@
+#pragma once
+// Disconnected operation: the mediator's offline edit queue.
+//
+// §II assumes the provider is at least *reachable*; in practice the cloud
+// disappears for minutes at a time. The paper's architecture already gives
+// the extension everything it needs to ride that out — it holds the full
+// plaintext mirror and the ciphertext container locally — so losing the
+// server must not lose edits or stall the editor.
+//
+// When an update exhausts its retry budget (or the circuit breaker is
+// open), the mediator flips the document into offline mode:
+//
+//   * editor traffic keeps flowing: each edit is applied to the local
+//     mirror, composed into ONE pending update via Delta::compose, and
+//     acknowledged locally with a synthesized Ack;
+//   * the composed update replaces the journal's pending entry, so a crash
+//     while offline recovers through the existing WAL replay;
+//   * opens are answered from the plaintext mirror;
+//   * the queue is bounded: past `max_queued_edits` the editor receives an
+//     explicit 503 + Retry-After — backpressure, never a silent drop;
+//   * a circuit breaker gates reconnect probes to one wire request per
+//     cool-down; the first successful probe flushes the composed update
+//     under revision CAS, rebasing over concurrent server-side edits via
+//     Delta::transform if the server advanced (replay-and-rebase).
+//
+// OfflineQueue is the pure bookkeeping half (composition, caps, rebase
+// state); the protocol half (probing, flushing, ack synthesis) lives in
+// GDocsMediator, which owns one queue per managed document.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "privedit/delta/delta.hpp"
+#include "privedit/net/breaker.hpp"
+
+namespace privedit::extension {
+
+struct OfflineConfig {
+  bool enabled = false;
+  /// Edits queued per document before the editor sees backpressure (503).
+  std::size_t max_queued_edits = 256;
+  /// Per-endpoint circuit breaker; its cool-down bounds probe traffic.
+  net::BreakerConfig breaker;
+};
+
+/// Per-document offline state: the composed pending update and the base it
+/// applies to. Invariant while active: mirror == base_plain + pending_plain
+/// (or mirror == the last full save when full_save is set), and the
+/// document's journal holds exactly one pending entry — the composed one.
+class OfflineQueue {
+ public:
+  bool active() const { return active_; }
+
+  /// Enters offline mode at server revision `base_rev`, whose plaintext is
+  /// `base_plain`. `target` is the request target flushes repost to.
+  void enter(std::uint64_t base_rev, std::string base_plain,
+             std::string target);
+
+  /// Composes one more delta edit into the pending update. `plain` is the
+  /// editor's plaintext delta, `cipher` the scheme's cdelta for it (both
+  /// relative to the current mirror, which the caller has already advanced).
+  void queue_delta(const delta::Delta& plain, const delta::Delta& cipher);
+
+  /// A full save arrived while offline: it supersedes every queued delta —
+  /// the flush sends the whole ciphertext container instead.
+  void queue_full_save();
+
+  /// The server advanced while we were away (flush got a 409): rebase onto
+  /// its state. `new_base_plain` is the server's decrypted content at
+  /// `new_rev`; `new_plain`/`new_cipher` are the pending update transformed
+  /// to apply on top of it.
+  void rebase(std::uint64_t new_rev, std::string new_base_plain,
+              delta::Delta new_plain, delta::Delta new_cipher);
+
+  /// Records the mirror plaintext a flush attempt is about to push. If an
+  /// attempt is delivered but its ack is lost, a later flush's 409 carries
+  /// server content equal to one of these snapshots — proof the server
+  /// already has that attempt, so only the edits queued since need resending
+  /// (the at-most-once half of replay-and-rebase). A *history* is kept, not
+  /// just the latest: under an asymmetric outage several attempts can go out
+  /// before any response returns, and the one that landed need not be the
+  /// most recent. Matching only the last snapshot would misread our own
+  /// delivered edits as concurrent server progress and rebase the pending
+  /// update over them — duplicating every edit in the delivered attempt.
+  void note_attempt(std::string mirror_plain);
+
+  /// True when `plain` byte-matches a recorded flush-attempt snapshot, i.e.
+  /// the server state is provably one of our own deliveries.
+  bool attempted(const std::string& plain) const;
+
+  /// Flush succeeded (or the server provably already has our edits):
+  /// leaves offline mode and forgets the pending state.
+  void clear();
+
+  std::uint64_t base_rev() const { return base_rev_; }
+  const std::string& base_plain() const { return base_plain_; }
+  const std::string& target() const { return target_; }
+  std::size_t queued() const { return queued_; }
+  bool full_save() const { return full_save_; }
+  const std::optional<delta::Delta>& pending_plain() const {
+    return pending_plain_;
+  }
+  const std::optional<delta::Delta>& pending_cipher() const {
+    return pending_cipher_;
+  }
+
+ private:
+  bool active_ = false;
+  std::uint64_t base_rev_ = 0;
+  std::string base_plain_;
+  std::string target_;
+  std::size_t queued_ = 0;
+  bool full_save_ = false;
+  std::optional<delta::Delta> pending_plain_;
+  std::optional<delta::Delta> pending_cipher_;
+  /// Ring of recent flush-attempt snapshots, oldest first. The cap bounds
+  /// memory; the breaker's one-probe-per-cool-down pacing keeps the number
+  /// of in-doubt attempts far below it in practice.
+  static constexpr std::size_t kMaxAttemptHistory = 32;
+  std::vector<std::string> attempt_plains_;
+};
+
+}  // namespace privedit::extension

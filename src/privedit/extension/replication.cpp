@@ -1,19 +1,32 @@
 #include "privedit/extension/replication.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "privedit/extension/session.hpp"
+#include "privedit/net/breaker.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/urlencode.hpp"
 
 namespace privedit::extension {
 
+double ReplicaHealth::score() const {
+  // Error rate dominates: a replica failing half its requests is worse
+  // than any merely-slow one. Latency contributes in 10 ms steps — coarse
+  // enough that micro-jitter between healthy replicas never reshuffles the
+  // read order, fine enough to demote a browned-out (50 ms+) replica.
+  return ewma_error * 100.0 + std::floor(ewma_latency_us / 10'000.0) * 0.01;
+}
+
 ReplicatedChannel::ReplicatedChannel(std::vector<net::Channel*> replicas,
                                      Validator read_validator,
-                                     ReplicationConfig config)
+                                     ReplicationConfig config,
+                                     net::SimClock* clock)
     : replicas_(std::move(replicas)),
       read_validator_(std::move(read_validator)),
-      config_(config) {
+      config_(config),
+      clock_(clock),
+      health_(replicas_.size()) {
   if (replicas_.empty()) {
     throw Error(ErrorCode::kInvalidArgument,
                 "ReplicatedChannel: need at least one replica");
@@ -24,6 +37,76 @@ ReplicatedChannel::ReplicatedChannel(std::vector<net::Channel*> replicas,
                   "ReplicatedChannel: null replica");
     }
   }
+}
+
+std::uint64_t ReplicatedChannel::now_us() const {
+  return clock_ != nullptr ? clock_->now_us() : net::now_steady_us();
+}
+
+void ReplicatedChannel::record_outcome(std::size_t replica, bool ok,
+                                       std::uint64_t latency_us) {
+  ReplicaHealth& h = health_[replica];
+  const double a = config_.health_alpha;
+  h.ewma_error = (1.0 - a) * h.ewma_error + (ok ? 0.0 : a);
+  if (ok) {
+    ++h.successes;
+    h.ewma_latency_us =
+        h.successes == 1 ? static_cast<double>(latency_us)
+                         : (1.0 - a) * h.ewma_latency_us +
+                               a * static_cast<double>(latency_us);
+    h.latency.record(latency_us);
+    if (h.quarantined) {
+      // Probation passed: the replica is back in the healthy rotation.
+      h.quarantined = false;
+    }
+    return;
+  }
+  ++h.failures;
+  if (h.quarantined) {
+    // Failed its probation (or failed as a last resort): restart the
+    // quarantine clock — this is the damping that stops a flapping
+    // replica from whipsawing the read order.
+    h.quarantined_at_us = now_us();
+    return;
+  }
+  if (h.successes + h.failures >= config_.health_min_samples &&
+      h.ewma_error >= config_.quarantine_error_rate) {
+    h.quarantined = true;
+    h.quarantined_at_us = now_us();
+    ++h.quarantine_trips;
+    ++counters_.quarantines;
+  }
+}
+
+std::vector<std::size_t> ReplicatedChannel::read_order() const {
+  const std::uint64_t now = now_us();
+  std::vector<std::size_t> healthy;
+  std::vector<std::size_t> probation;
+  std::vector<std::size_t> benched;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const ReplicaHealth& h = health_[i];
+    if (!h.quarantined) {
+      healthy.push_back(i);
+    } else if (now - h.quarantined_at_us >= config_.probation_us) {
+      probation.push_back(i);
+    } else {
+      benched.push_back(i);
+    }
+  }
+  const auto by_score = [this](std::size_t a, std::size_t b) {
+    const double sa = health_[a].score();
+    const double sb = health_[b].score();
+    return sa != sb ? sa < sb : a < b;  // deterministic tie-break
+  };
+  std::sort(healthy.begin(), healthy.end(), by_score);
+  std::sort(probation.begin(), probation.end(), by_score);
+  std::sort(benched.begin(), benched.end(), by_score);
+  std::vector<std::size_t> order = std::move(healthy);
+  order.insert(order.end(), probation.begin(), probation.end());
+  // Still-quarantined replicas stay reachable as a last resort:
+  // availability beats the score when nothing else answers.
+  order.insert(order.end(), benched.begin(), benched.end());
+  return order;
 }
 
 bool ReplicatedChannel::is_read(const net::HttpRequest& request) {
@@ -146,10 +229,15 @@ net::HttpResponse ReplicatedChannel::round_trip(
     ++counters_.reads;
     net::HttpResponse last = net::HttpResponse::make(500, "no replica");
     std::vector<std::size_t> failed;
-    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const std::vector<std::size_t> order = read_order();
+    if (!order.empty() && order.front() != 0) ++counters_.health_reorders;
+    for (const std::size_t i : order) {
+      if (health_[i].quarantined) ++counters_.probations;
+      const std::uint64_t start = now_us();
       try {
         net::HttpResponse resp = replicas_[i]->round_trip(request);
         if (resp.ok() && (!read_validator_ || read_validator_(resp))) {
+          record_outcome(i, true, now_us() - start);
           if (!failed.empty()) {
             // The skipped replicas served nothing usable for this
             // document: remember them and (optionally) heal them from the
@@ -169,6 +257,7 @@ net::HttpResponse ReplicatedChannel::round_trip(
       } catch (const Error&) {
         // fall through to the next replica
       }
+      record_outcome(i, false, 0);
       failed.push_back(i);
       ++counters_.read_failovers;
     }
@@ -189,19 +278,23 @@ net::HttpResponse ReplicatedChannel::round_trip(
   std::size_t acks = 0;
   std::vector<std::size_t> failed;
   for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t start = now_us();
     try {
       net::HttpResponse resp = replicas_[i]->round_trip(request);
       if (resp.ok()) {
+        record_outcome(i, true, now_us() - start);
         ++acks;
         if (!have_ok) {
           first_ok = std::move(resp);
           have_ok = true;
         }
       } else {
+        record_outcome(i, false, 0);
         ++counters_.write_replica_failures;
         failed.push_back(i);
       }
     } catch (const Error&) {
+      record_outcome(i, false, 0);
       ++counters_.write_replica_failures;
       failed.push_back(i);
     }

@@ -22,8 +22,19 @@
 // missed a write or served an invalid read, under a bounded per-replica
 // retry budget. Repair runs opportunistically after partial writes and
 // failed-over reads (auto_repair) and on demand via repair_all().
+//
+// Replica health (degraded-mode PR): every round trip feeds a per-replica
+// score — an EWMA of the error rate plus an EWMA of latency, backed by a
+// LatencyHistogram for percentiles. Reads try replicas in health order
+// (healthiest first) instead of fixed order, so a flapping or slow replica
+// stops being the first hop for every read. A replica whose error EWMA
+// crosses quarantine_error_rate is quarantined: demoted to last resort
+// until probation_us elapses, then given one probationary attempt —
+// success restores it, failure re-quarantines. Writes still broadcast to
+// every replica (replication requires it); their outcomes feed the scores.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -31,6 +42,7 @@
 #include <vector>
 
 #include "privedit/net/transport.hpp"
+#include "privedit/util/histogram.hpp"
 
 namespace privedit::extension {
 
@@ -47,6 +59,40 @@ struct ReplicationConfig {
   /// Sync attempts per (document, replica) before giving up; repair_all()
   /// replenishes the budget.
   int repair_budget = 3;
+
+  // ----- replica health scoring -----
+
+  /// EWMA smoothing for per-replica latency and error rate. Higher reacts
+  /// faster to a state change; lower damps flapping.
+  double health_alpha = 0.2;
+
+  /// Error-rate EWMA at or above which a replica is quarantined (skipped
+  /// by reads except as a last resort). Needs health_min_samples
+  /// observations first, so one unlucky request cannot quarantine.
+  double quarantine_error_rate = 0.5;
+  std::size_t health_min_samples = 3;
+
+  /// Quarantine duration: after this many microseconds the replica gets
+  /// ONE probationary attempt; success restores it, failure re-quarantines
+  /// (this is what keeps a flapping replica from whipsawing the read
+  /// order). Measured on the injected clock (SimClock when provided).
+  std::uint64_t probation_us = 500'000;
+};
+
+/// Per-replica health state, exposed for tests, benches and operators.
+struct ReplicaHealth {
+  double ewma_latency_us = 0.0;
+  double ewma_error = 0.0;  // 0 = perfect, 1 = always failing
+  bool quarantined = false;
+  std::uint64_t quarantined_at_us = 0;
+  std::size_t successes = 0;
+  std::size_t failures = 0;
+  std::size_t quarantine_trips = 0;
+  LatencyHistogram latency;
+
+  /// Composite score, lower = healthier: the error EWMA dominates (a
+  /// failing replica is worse than any slow one), latency breaks ties.
+  double score() const;
 };
 
 class ReplicatedChannel final : public net::Channel {
@@ -55,9 +101,12 @@ class ReplicatedChannel final : public net::Channel {
   /// An empty validator accepts any 2xx response.
   using Validator = std::function<bool(const net::HttpResponse&)>;
 
+  /// `clock` (optional) drives health timestamps and latency measurement
+  /// deterministically; defaults to the process steady clock.
   ReplicatedChannel(std::vector<net::Channel*> replicas,
                     Validator read_validator = {},
-                    ReplicationConfig config = {});
+                    ReplicationConfig config = {},
+                    net::SimClock* clock = nullptr);
 
   net::HttpResponse round_trip(const net::HttpRequest& request) override;
 
@@ -76,11 +125,25 @@ class ReplicatedChannel final : public net::Channel {
     std::size_t quorum_failures = 0;  // write acks below quorum → 502
     std::size_t repairs_attempted = 0;
     std::size_t repairs_succeeded = 0;
+    std::size_t quarantines = 0;        // replicas demoted by error EWMA
+    std::size_t probations = 0;         // probationary attempts granted
+    std::size_t health_reorders = 0;    // reads whose first hop != replica 0
   };
   const Counters& counters() const { return counters_; }
 
+  /// Health state for replica `i` (index into the constructor vector).
+  const ReplicaHealth& health(std::size_t i) const { return health_.at(i); }
+
+  /// Replica indices in the order reads will try them right now:
+  /// non-quarantined by ascending score, then probation-expired
+  /// quarantined, then still-quarantined (last resort).
+  std::vector<std::size_t> read_order() const;
+
  private:
   static bool is_read(const net::HttpRequest& request);
+
+  std::uint64_t now_us() const;
+  void record_outcome(std::size_t replica, bool ok, std::uint64_t latency_us);
 
   std::size_t quorum() const;
   void note_lag(const std::string& target,
@@ -100,6 +163,8 @@ class ReplicatedChannel final : public net::Channel {
   std::vector<net::Channel*> replicas_;
   Validator read_validator_;
   ReplicationConfig config_;
+  net::SimClock* clock_;
+  std::vector<ReplicaHealth> health_;
   // target → (replica index → remaining repair budget)
   std::map<std::string, std::map<std::size_t, int>> lagging_;
   Counters counters_;

@@ -1,0 +1,97 @@
+#include "privedit/net/admission.hpp"
+
+#include <algorithm>
+
+#include "privedit/net/retry.hpp"
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+
+void TokenBucket::refill(std::uint64_t now_us) {
+  if (now_us <= last_us_) return;
+  const double elapsed_s =
+      static_cast<double>(now_us - last_us_) / 1'000'000.0;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  last_us_ = now_us;
+}
+
+std::optional<std::uint64_t> TokenBucket::try_take(std::uint64_t now_us) {
+  refill(now_us);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return std::nullopt;
+  }
+  if (rate_ <= 0.0) return UINT64_MAX;
+  const double deficit = 1.0 - tokens_;
+  return static_cast<std::uint64_t>(deficit / rate_ * 1'000'000.0) + 1;
+}
+
+double TokenBucket::tokens(std::uint64_t now_us) {
+  refill(now_us);
+  return tokens_;
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         std::function<std::uint64_t()> now_us)
+    : config_(config), now_us_(std::move(now_us)) {
+  if (!now_us_) {
+    throw Error(ErrorCode::kInvalidArgument, "AdmissionController: null clock");
+  }
+  if (config_.burst < 1.0) config_.burst = 1.0;
+}
+
+std::optional<HttpResponse> AdmissionController::admit(
+    const HttpRequest& request, std::uint64_t arrival_us) {
+  const std::uint64_t now = now_us_();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.queue_deadline_us > 0 && now >= arrival_us &&
+      now - arrival_us > config_.queue_deadline_us) {
+    ++counters_.deadline_expired;
+    return overloaded_response(config_.queue_deadline_us,
+                               "queue deadline exceeded");
+  }
+  if (request.headers.get(kProbeHeader).has_value()) {
+    // Breaker probes are the client's per-cool-down liveness check; they
+    // are already rate-limited at the source and must see the real server.
+    ++counters_.admitted;
+    return std::nullopt;
+  }
+  std::string client{request.headers.get(kClientIdHeader).value_or("anon")};
+  auto it = buckets_.find(client);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= config_.max_clients) {
+      ++counters_.rate_limited;
+      return overloaded_response(1'000'000, "client table full");
+    }
+    it = buckets_
+             .emplace(std::move(client),
+                      TokenBucket(config_.rate_per_sec, config_.burst, now))
+             .first;
+  }
+  if (auto wait = it->second.try_take(now)) {
+    ++counters_.rate_limited;
+    return overloaded_response(*wait, "rate limit exceeded");
+  }
+  ++counters_.admitted;
+  return std::nullopt;
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+HttpResponse overloaded_response(std::uint64_t wait_us,
+                                 const std::string& reason) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.reason = "Service Unavailable";
+  const std::uint64_t secs =
+      std::max<std::uint64_t>(1, (wait_us + 999'999) / 1'000'000);
+  resp.headers.set("Retry-After", std::to_string(secs));
+  resp.headers.set("Content-Type", "text/plain");
+  resp.body = reason + "\n";
+  return resp;
+}
+
+}  // namespace privedit::net

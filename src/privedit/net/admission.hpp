@@ -1,0 +1,102 @@
+#pragma once
+// Server-side admission control: per-client token buckets and deadline-aware
+// queueing.
+//
+// When every mediator retries aggressively, the server's worker pool is the
+// shared resource that melts first. Admission control converts that
+// meltdown into explicit backpressure: a client over its rate budget gets
+// an immediate 503 with Retry-After (which RetryPolicy honors), instead of
+// a request that parks in the accept queue until its sender has long since
+// given up.
+//
+// Two mechanisms, both cheap enough for the request hot path:
+//
+//   * TokenBucket per client (keyed on the X-Privedit-Client header, with
+//     an "anonymous" shared bucket for unlabeled traffic): capacity burst_
+//     tokens, refilled at rate_per_sec. A request costs one token; an empty
+//     bucket yields 503 + Retry-After rounded up to the time the next token
+//     arrives.
+//   * Queue deadline: the server stamps each request's arrival; if it waited
+//     longer than queue_deadline_us before a worker picked it up, the server
+//     answers 503 instead of doing work nobody is waiting for.
+//
+// Probe requests (kProbeHeader) bypass the bucket: they are the breaker's
+// single per-cool-down liveness check, and rejecting them would keep a
+// recovered server looking dead.
+//
+// AdmissionController is thread-safe; HttpServer calls it from every worker.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "privedit/net/http.hpp"
+#include "privedit/net/transport.hpp"
+
+namespace privedit::net {
+
+/// Header carrying the client identity admission control keys on.
+inline constexpr const char* kClientIdHeader = "X-Privedit-Client";
+
+struct AdmissionConfig {
+  double rate_per_sec = 50.0;   // sustained tokens per client per second
+  double burst = 10.0;          // bucket capacity (initial + max tokens)
+  std::uint64_t queue_deadline_us = 0;  // 0 = no queue deadline
+  std::size_t max_clients = 1024;       // bucket table cap (LRU-free: reject)
+};
+
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst, std::uint64_t now_us)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst), last_us_(now_us) {}
+
+  /// Takes one token if available. On refusal returns the microseconds
+  /// until one token will have accrued (the Retry-After hint).
+  std::optional<std::uint64_t> try_take(std::uint64_t now_us);
+
+  double tokens(std::uint64_t now_us);
+
+ private:
+  void refill(std::uint64_t now_us);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_us_;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionConfig config,
+                      std::function<std::uint64_t()> now_us);
+
+  /// Called with a freshly parsed request (arrival_us = when it was read
+  /// off the wire). Returns nullopt to admit, or the 503 response to send.
+  std::optional<HttpResponse> admit(const HttpRequest& request,
+                                    std::uint64_t arrival_us);
+
+  struct Counters {
+    std::size_t admitted = 0;
+    std::size_t rate_limited = 0;    // 503: bucket empty
+    std::size_t deadline_expired = 0;  // 503: waited too long in queue
+  };
+  Counters counters() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  std::function<std::uint64_t()> now_us_;
+  mutable std::mutex mu_;
+  std::map<std::string, TokenBucket> buckets_;
+  Counters counters_;
+};
+
+/// Builds the 503 admission response: Retry-After in whole seconds
+/// (rounded up, minimum 1) plus a plain-text reason body.
+HttpResponse overloaded_response(std::uint64_t wait_us,
+                                 const std::string& reason);
+
+}  // namespace privedit::net

@@ -1,0 +1,136 @@
+#include "privedit/net/breaker.hpp"
+
+#include <bit>
+#include <chrono>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::net {
+
+std::uint64_t now_steady_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config,
+                               std::function<std::uint64_t()> now_us)
+    : config_(config), now_us_(std::move(now_us)) {
+  if (!now_us_) {
+    throw Error(ErrorCode::kInvalidArgument, "CircuitBreaker: null clock");
+  }
+  if (config_.consecutive_failures < 1) config_.consecutive_failures = 1;
+  if (config_.window < 1) config_.window = 1;
+  if (config_.window > 64) config_.window = 64;  // bitset capacity
+  if (config_.min_window > config_.window) config_.min_window = config_.window;
+}
+
+bool CircuitBreaker::allow() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_us_() < open_until_) {
+        ++counters_.rejections;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_outstanding_ = false;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probe_outstanding_) {
+        ++counters_.rejections;
+        return false;
+      }
+      probe_outstanding_ = true;
+      ++counters_.probes;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  if (state_ == State::kHalfOpen) {
+    ++counters_.probe_successes;
+    reset();
+    return;
+  }
+  if (state_ == State::kOpen) return;  // stale report from before the trip
+  consecutive_failures_ = 0;
+  sample(false);
+}
+
+void CircuitBreaker::record_failure() {
+  if (state_ == State::kHalfOpen) {
+    trip();  // probe failed: full cool-down again
+    return;
+  }
+  if (state_ == State::kOpen) return;
+  ++consecutive_failures_;
+  sample(true);
+  if (consecutive_failures_ >= config_.consecutive_failures) {
+    trip();
+    return;
+  }
+  if (window_count_ >= config_.min_window &&
+      window_failure_rate() > config_.failure_rate) {
+    trip();
+  }
+}
+
+void CircuitBreaker::reset() {
+  state_ = State::kClosed;
+  probe_outstanding_ = false;
+  consecutive_failures_ = 0;
+  window_bits_ = 0;
+  window_count_ = 0;
+}
+
+void CircuitBreaker::trip() {
+  ++counters_.trips;
+  state_ = State::kOpen;
+  open_until_ = now_us_() + config_.cooldown_us;
+  probe_outstanding_ = false;
+  consecutive_failures_ = 0;
+  window_bits_ = 0;
+  window_count_ = 0;
+}
+
+void CircuitBreaker::sample(bool failed) {
+  window_bits_ = (window_bits_ << 1) | (failed ? 1u : 0u);
+  if (config_.window < 64) {
+    window_bits_ &= (1ULL << config_.window) - 1;
+  }
+  if (window_count_ < config_.window) ++window_count_;
+}
+
+double CircuitBreaker::window_failure_rate() const {
+  if (window_count_ == 0) return 0.0;
+  return static_cast<double>(std::popcount(window_bits_)) /
+         static_cast<double>(window_count_);
+}
+
+BreakerChannel::BreakerChannel(Channel* inner, BreakerConfig config,
+                               std::function<std::uint64_t()> now_us)
+    : inner_(inner), breaker_(config, std::move(now_us)) {
+  if (inner_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "BreakerChannel: null inner");
+  }
+}
+
+HttpResponse BreakerChannel::round_trip(const HttpRequest& request) {
+  if (!breaker_.allow()) {
+    throw TransportError(FaultKind::kConnect, "circuit breaker open");
+  }
+  try {
+    HttpResponse resp = inner_->round_trip(request);
+    breaker_.record_success();
+    return resp;
+  } catch (const TransportError&) {
+    breaker_.record_failure();
+    throw;
+  }
+}
+
+}  // namespace privedit::net

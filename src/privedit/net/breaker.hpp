@@ -1,0 +1,111 @@
+#pragma once
+// CircuitBreaker — per-endpoint failure isolation for the degraded-mode
+// session layer.
+//
+// A dead or drowning server must not be hammered by every autosave: once
+// requests start failing, the client should *stop sending*, keep working
+// locally, and probe cheaply until the endpoint recovers. The breaker is
+// the classic three-state machine:
+//
+//   closed    traffic flows; failures are sampled into a sliding window.
+//             Trips to open when either `consecutive_failures` requests in
+//             a row failed, or the window's failure rate exceeds
+//             `failure_rate` with at least `min_window` samples.
+//   open      all traffic is refused locally (allow() == false) until
+//             `cooldown_us` has elapsed since the trip.
+//   half-open after the cool-down, allow() admits exactly ONE probe; its
+//             outcome decides: success closes the breaker (window reset),
+//             failure re-trips it for another full cool-down. While a
+//             probe is outstanding, further allow() calls are refused, so
+//             probe traffic is bounded by one request per cool-down.
+//
+// Time comes from an injected now_us() so the simulated clock drives the
+// state machine deterministically in tests; real deployments pass a
+// steady_clock reader (now_steady_us below). The breaker itself is not
+// synchronized — it lives in single-threaded client stacks (the mediator);
+// wrap externally if shared.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "privedit/net/socket.hpp"
+#include "privedit/net/transport.hpp"
+
+namespace privedit::net {
+
+struct BreakerConfig {
+  int consecutive_failures = 3;    // trip after N straight failures
+  double failure_rate = 0.5;       // or this fraction of the window failing
+  std::size_t min_window = 8;      // rate applies only past this many samples
+  std::size_t window = 32;         // sliding sample window (capped at 64)
+  std::uint64_t cooldown_us = 1'000'000;  // open -> half-open delay
+};
+
+/// Monotonic microseconds from std::chrono::steady_clock.
+std::uint64_t now_steady_us();
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(BreakerConfig config, std::function<std::uint64_t()> now_us);
+
+  /// May this request proceed? Transitions open -> half-open once the
+  /// cool-down elapses; in half-open, admits a single outstanding probe.
+  bool allow();
+
+  /// Report the outcome of a request that allow() admitted.
+  void record_success();
+  void record_failure();
+
+  State state() const { return state_; }
+
+  /// Forces the breaker back to closed with a clean window (tests,
+  /// operator reset).
+  void reset();
+
+  struct Counters {
+    std::size_t trips = 0;       // closed/half-open -> open transitions
+    std::size_t rejections = 0;  // allow() == false
+    std::size_t probes = 0;      // half-open admissions
+    std::size_t probe_successes = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void trip();
+  void sample(bool failed);
+  double window_failure_rate() const;
+
+  BreakerConfig config_;
+  std::function<std::uint64_t()> now_us_;
+  State state_ = State::kClosed;
+  std::uint64_t open_until_ = 0;
+  bool probe_outstanding_ = false;
+  int consecutive_failures_ = 0;
+  std::uint64_t window_bits_ = 0;  // 1 bit per sample, newest at bit 0
+  std::size_t window_count_ = 0;
+  Counters counters_;
+};
+
+/// net::Channel decorator applying a CircuitBreaker to every round trip:
+/// refused calls throw TransportError(kConnect) without touching the inner
+/// channel; TransportErrors from the inner channel count as failures
+/// (HTTP-level errors do not — a 503 proves the server is alive).
+class BreakerChannel final : public Channel {
+ public:
+  BreakerChannel(Channel* inner, BreakerConfig config,
+                 std::function<std::uint64_t()> now_us = now_steady_us);
+
+  HttpResponse round_trip(const HttpRequest& request) override;
+
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  Channel* inner_;
+  CircuitBreaker breaker_;
+};
+
+}  // namespace privedit::net

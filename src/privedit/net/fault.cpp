@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "privedit/util/error.hpp"
 
@@ -17,7 +18,43 @@ FaultyChannel::FaultyChannel(Channel* inner, FaultSpec spec,
   }
 }
 
+void FaultyChannel::set_outages(OutageSchedule schedule) {
+  if (!schedule.empty() && clock_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "FaultyChannel: outage schedule requires a SimClock");
+  }
+  outages_ = std::move(schedule);
+}
+
+bool FaultyChannel::apply_outage() {
+  if (outages_.empty() || clock_ == nullptr) return false;
+  const OutageWindow* w = outages_.active(clock_->now_us());
+  if (w == nullptr) return false;
+  switch (w->kind) {
+    case OutageKind::kBlackout:
+      ++counters_.outage_faults;
+      throw TransportError(FaultKind::kConnect, "outage: blackout");
+    case OutageKind::kBrownout:
+      if (rng_->chance(w->intensity)) {
+        ++counters_.outage_faults;
+        throw TransportError(FaultKind::kConnect, "outage: brownout drop");
+      }
+      // Surviving requests crawl: charge the full delay envelope.
+      clock_->advance_us(spec_.max_delay_us > 0 ? spec_.max_delay_us : 50'000);
+      return false;
+    case OutageKind::kAsymUp:
+      ++counters_.outage_faults;
+      throw TransportError(FaultKind::kReset, "outage: request lost");
+    case OutageKind::kAsymDown:
+      // The request WILL be delivered and applied; the response dies on
+      // the way back. This is the duplication hazard replay must survive.
+      return true;
+  }
+  return false;
+}
+
 HttpResponse FaultyChannel::round_trip(const HttpRequest& request) {
+  const bool kill_response = apply_outage();
   if (spec_.delay > 0 && rng_->chance(spec_.delay)) {
     ++counters_.delayed;
     const std::uint64_t us =
@@ -42,6 +79,10 @@ HttpResponse FaultyChannel::round_trip(const HttpRequest& request) {
   ++counters_.delivered;
   HttpResponse response = inner_->round_trip(request);
 
+  if (kill_response) {
+    ++counters_.outage_faults;
+    throw TransportError(FaultKind::kTruncated, "outage: response lost");
+  }
   if (spec_.truncate_response > 0 &&
       rng_->chance(spec_.truncate_response)) {
     ++counters_.truncated_responses;

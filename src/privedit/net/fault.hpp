@@ -12,12 +12,43 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "privedit/net/socket.hpp"
 #include "privedit/net/transport.hpp"
 #include "privedit/util/random.hpp"
 
 namespace privedit::net {
+
+/// A scripted network outage, active on the simulated clock.
+enum class OutageKind : std::uint8_t {
+  kBlackout,  // every connect refused; nothing reaches the server
+  kBrownout,  // probabilistic drops + heavy delay (intensity = drop prob)
+  kAsymUp,    // requests die mid-send; server never sees them
+  kAsymDown,  // requests ARE delivered and applied; responses are lost
+};
+
+struct OutageWindow {
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;  // exclusive
+  OutageKind kind = OutageKind::kBlackout;
+  double intensity = 1.0;  // brownout drop probability; ignored otherwise
+};
+
+/// An ordered list of outage windows consulted against the sim clock.
+/// Windows may overlap; the first one covering `now` wins.
+struct OutageSchedule {
+  std::vector<OutageWindow> windows;
+
+  const OutageWindow* active(std::uint64_t now_us) const {
+    for (const auto& w : windows) {
+      if (now_us >= w.start_us && now_us < w.end_us) return &w;
+    }
+    return nullptr;
+  }
+
+  bool empty() const { return windows.empty(); }
+};
 
 /// Per-round-trip fault probabilities, each independently sampled.
 /// Order of evaluation: delay, drop, truncate_request (these three fire
@@ -39,6 +70,15 @@ class FaultyChannel final : public Channel {
 
   HttpResponse round_trip(const HttpRequest& request) override;
 
+  /// Installs a scripted outage schedule, evaluated against the SimClock
+  /// on every round trip (before the probabilistic FaultSpec). Requires a
+  /// non-null clock. Outage faults are thrown as the matching
+  /// TransportError kinds, so clients cannot tell scripted outages from
+  /// random ones — exactly the point.
+  void set_outages(OutageSchedule schedule);
+
+  const OutageSchedule& outages() const { return outages_; }
+
   struct Counters {
     std::size_t delivered = 0;  // round trips that reached the inner channel
     std::size_t dropped = 0;
@@ -46,14 +86,21 @@ class FaultyChannel final : public Channel {
     std::size_t truncated_responses = 0;
     std::size_t garbled = 0;
     std::size_t delayed = 0;
+    std::size_t outage_faults = 0;  // failures caused by the schedule
   };
   const Counters& counters() const { return counters_; }
 
  private:
+  /// Applies the active outage window, throwing or passing through.
+  /// Returns true if the request should still be delivered but the
+  /// response must be discarded afterwards (asym_down).
+  bool apply_outage();
+
   Channel* inner_;
   FaultSpec spec_;
   std::unique_ptr<RandomSource> rng_;
   SimClock* clock_;
+  OutageSchedule outages_;
   Counters counters_;
 };
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "privedit/net/breaker.hpp"  // now_steady_us
 #include "privedit/util/error.hpp"
 
 namespace privedit::net {
@@ -124,6 +125,11 @@ HttpServer::HttpServer(std::uint16_t port, Handler handler,
     throw Error(ErrorCode::kInvalidArgument,
                 "HttpServer: need >= 1 worker and >= 1 queue slot");
   }
+  if (config_.admission) {
+    admission_ =
+        std::make_unique<AdmissionController>(*config_.admission,
+                                              now_steady_us);
+  }
   workers_.reserve(config_.worker_threads);
   for (std::size_t i = 0; i < config_.worker_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -155,6 +161,7 @@ HttpServer::Counters HttpServer::counters() const {
   c.write_failures = write_failures_.load();
   c.rejected_busy = rejected_busy_.load();
   c.dropped = dropped_.load();
+  c.rejected_admission = rejected_admission_.load();
   return c;
 }
 
@@ -184,7 +191,7 @@ void HttpServer::accept_loop() {
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       if (queue_.size() < config_.accept_queue_capacity) {
-        queue_.push_back(std::move(stream));
+        queue_.push_back(Accepted{std::move(stream), now_steady_us()});
         enqueued = true;
       }
     }
@@ -212,7 +219,7 @@ void HttpServer::reject_busy(TcpStream stream) {
 
 void HttpServer::worker_loop() {
   while (true) {
-    TcpStream stream{Fd{}};
+    Accepted accepted{TcpStream{Fd{}}, 0};
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] {
@@ -222,27 +229,35 @@ void HttpServer::worker_loop() {
         // stopping_ and the queue is drained — graceful exit.
         return;
       }
-      stream = std::move(queue_.front());
+      accepted = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
-    serve(std::move(stream));
+    serve(std::move(accepted));
     --in_flight_;
   }
 }
 
-void HttpServer::serve(TcpStream stream) {
+void HttpServer::serve(Accepted accepted) {
+  TcpStream stream = std::move(accepted.stream);
   try {
     stream.set_read_timeout_ms(config_.request_deadline_ms);
     const std::string wire = read_http_message(
         stream, config_.max_message_bytes, config_.request_deadline_ms);
     const HttpRequest request = HttpRequest::parse(wire);
     HttpResponse response;
-    try {
-      response = handler_(request);
-    } catch (const std::exception& e) {
-      response =
-          HttpResponse::make(500, std::string("handler error: ") + e.what());
+    std::optional<HttpResponse> refusal;
+    if (admission_) refusal = admission_->admit(request, accepted.arrival_us);
+    if (refusal) {
+      ++rejected_admission_;
+      response = *refusal;
+    } else {
+      try {
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response =
+            HttpResponse::make(500, std::string("handler error: ") + e.what());
+      }
     }
     response.headers.set("Connection", "close");
     try {
@@ -280,18 +295,35 @@ HttpResponse TcpChannel::attempt(const HttpRequest& request) {
 }
 
 HttpResponse TcpChannel::round_trip(const HttpRequest& request) {
+  const bool probe = request.headers.get(kProbeHeader).has_value();
+  std::uint64_t prev_backoff = 0;
   for (int try_no = 0;; ++try_no) {
     ++counters_.attempts;
+    const bool last = probe || try_no + 1 >= retry_.max_attempts;
     try {
-      return attempt(request);
+      HttpResponse resp = attempt(request);
+      if (resp.status == 503 && retry_.retry_on_503 && !last) {
+        const std::uint64_t backoff =
+            retry_.next_backoff_us(prev_backoff, *rng_);
+        prev_backoff = backoff;
+        const std::uint64_t wait =
+            retry_.overload_wait_us(backoff, retry_after_us(resp));
+        ++counters_.retries;
+        if (wait > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(wait));
+        }
+        continue;
+      }
+      return resp;
     } catch (const TransportError& e) {
-      if (!retry_.retryable(e.kind()) || try_no + 1 >= retry_.max_attempts) {
+      if (!retry_.retryable(e.kind()) || last) {
         ++counters_.giveups;
         throw;
       }
     }
     ++counters_.retries;
-    const std::uint64_t wait = retry_.backoff_us(try_no, *rng_);
+    const std::uint64_t wait = retry_.next_backoff_us(prev_backoff, *rng_);
+    prev_backoff = wait;
     if (wait > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(wait));
     }

@@ -22,10 +22,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "privedit/net/admission.hpp"
 #include "privedit/net/http.hpp"
 #include "privedit/net/retry.hpp"
 #include "privedit/net/socket.hpp"
@@ -47,6 +50,12 @@ struct HttpServerConfig {
   std::size_t accept_queue_capacity = 128;  // beyond this: 503
   int request_deadline_ms = 5000;           // whole-request read budget
   std::size_t max_message_bytes = 64 * 1024 * 1024;
+  /// When set, every parsed request passes admission control (per-client
+  /// token bucket + queue deadline) before the handler runs; refusals are
+  /// answered 503 + Retry-After. The queue deadline is measured from
+  /// accept to handler dispatch, so work nobody is still waiting for is
+  /// shed instead of executed.
+  std::optional<AdmissionConfig> admission;
 };
 
 class HttpServer {
@@ -73,8 +82,12 @@ class HttpServer {
     std::size_t write_failures = 0;  // handler ran, response write failed
     std::size_t rejected_busy = 0;   // 503'd because the queue was full
     std::size_t dropped = 0;         // malformed / timed-out / dead peers
+    std::size_t rejected_admission = 0;  // 503'd by admission control
   };
   Counters counters() const;
+
+  /// The admission controller, or nullptr when admission is disabled.
+  const AdmissionController* admission() const { return admission_.get(); }
 
   /// Connections accepted but not yet finished (queued + in-flight).
   std::size_t backlog() const;
@@ -82,24 +95,31 @@ class HttpServer {
   void stop();
 
  private:
+  struct Accepted {
+    TcpStream stream;
+    std::uint64_t arrival_us = 0;  // steady-clock stamp at accept time
+  };
+
   void accept_loop();
   void worker_loop();
-  void serve(TcpStream stream);
+  void serve(Accepted accepted);
   void reject_busy(TcpStream stream);
 
   TcpListener listener_;
   Handler handler_;
   HttpServerConfig config_;
+  std::unique_ptr<AdmissionController> admission_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> served_{0};
   std::atomic<std::size_t> write_failures_{0};
   std::atomic<std::size_t> rejected_busy_{0};
   std::atomic<std::size_t> dropped_{0};
+  std::atomic<std::size_t> rejected_admission_{0};
   std::atomic<std::size_t> in_flight_{0};
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<TcpStream> queue_;
+  std::deque<Accepted> queue_;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

@@ -1,6 +1,7 @@
 #include "privedit/net/retry.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -9,17 +10,24 @@
 
 namespace privedit::net {
 
-std::uint64_t RetryPolicy::backoff_us(int retry, RandomSource& rng) const {
-  double b = static_cast<double>(base_backoff_us);
-  for (int i = 0; i < retry; ++i) b *= multiplier;
-  b = std::min(b, static_cast<double>(max_backoff_us));
-  auto full = static_cast<std::uint64_t>(b);
-  if (jitter <= 0.0 || full == 0) return full;
-  const double j = std::min(jitter, 1.0);
-  const auto span = static_cast<std::uint64_t>(b * j);
-  // Uniform in [full - span, full]: decorrelates clients that all saw the
-  // same failure instant, so retries don't re-stampede the server.
-  return full - (span > 0 ? rng.below(span + 1) : 0);
+std::uint64_t RetryPolicy::next_backoff_us(std::uint64_t prev_us,
+                                           RandomSource& rng) const {
+  const std::uint64_t base = std::min(base_backoff_us, max_backoff_us);
+  if (jitter <= 0.0) {
+    // Deterministic exponential ladder, chained through prev_us.
+    if (prev_us == 0) return base;
+    const double next = static_cast<double>(prev_us) * multiplier;
+    return static_cast<std::uint64_t>(
+        std::min(next, static_cast<double>(max_backoff_us)));
+  }
+  // Decorrelated jitter: uniform in [base, min(3*prev, cap)]. The envelope
+  // expands from the previous *actual* sleep, so two clients that failed at
+  // the same instant diverge after the first draw instead of marching in
+  // the same [b*(1-j), b] band forever.
+  std::uint64_t hi = prev_us == 0 ? base * 3 : prev_us * 3;
+  hi = std::clamp<std::uint64_t>(hi, base, max_backoff_us);
+  if (hi <= base) return base;
+  return base + rng.below(hi - base + 1);
 }
 
 bool RetryPolicy::retryable(FaultKind kind) const {
@@ -36,6 +44,32 @@ bool RetryPolicy::retryable(FaultKind kind) const {
   return false;
 }
 
+std::uint64_t RetryPolicy::overload_wait_us(
+    std::uint64_t backoff_us,
+    std::optional<std::uint64_t> retry_after) const {
+  if (!retry_after) return backoff_us;
+  return std::max(backoff_us, std::min(*retry_after, retry_after_cap_us));
+}
+
+std::optional<std::uint64_t> retry_after_us(const HttpResponse& response) {
+  const auto header = response.headers.get("Retry-After");
+  if (!header) return std::nullopt;
+  std::string_view value = *header;
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  std::uint64_t seconds = 0;
+  const auto* b = value.data();
+  const auto* e = b + value.size();
+  auto [p, ec] = std::from_chars(b, e, seconds);
+  if (value.empty() || ec != std::errc() || p != e) return std::nullopt;
+  if (seconds > UINT64_MAX / 1'000'000) return UINT64_MAX;
+  return seconds * 1'000'000;
+}
+
 RetryChannel::RetryChannel(Channel* inner, RetryPolicy policy,
                            std::unique_ptr<RandomSource> rng, SimClock* clock)
     : inner_(inner), policy_(policy), rng_(std::move(rng)), clock_(clock) {
@@ -49,26 +83,44 @@ RetryChannel::RetryChannel(Channel* inner, RetryPolicy policy,
   }
 }
 
+void RetryChannel::wait(std::uint64_t us) {
+  counters_.backoff_us += us;
+  if (clock_ != nullptr) {
+    clock_->advance_us(us);
+  } else if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
 HttpResponse RetryChannel::round_trip(const HttpRequest& request) {
+  const bool probe = request.headers.get(kProbeHeader).has_value();
+  std::uint64_t prev_backoff = 0;
   for (int attempt = 0;; ++attempt) {
     ++counters_.attempts;
+    const bool last = probe || attempt + 1 >= policy_.max_attempts;
     try {
-      return inner_->round_trip(request);
+      HttpResponse resp = inner_->round_trip(request);
+      if (resp.status == 503 && policy_.retry_on_503 && !last) {
+        // The server is alive but shedding: it told us when to come back.
+        const std::uint64_t backoff =
+            policy_.next_backoff_us(prev_backoff, *rng_);
+        prev_backoff = backoff;
+        wait(policy_.overload_wait_us(backoff, retry_after_us(resp)));
+        ++counters_.retries;
+        ++counters_.overload_retries;
+        continue;
+      }
+      return resp;
     } catch (const TransportError& e) {
-      if (!policy_.retryable(e.kind()) ||
-          attempt + 1 >= policy_.max_attempts) {
+      if (!policy_.retryable(e.kind()) || last) {
         ++counters_.giveups;
         throw;
       }
     }
-    const std::uint64_t wait = policy_.backoff_us(attempt, *rng_);
-    counters_.backoff_us += wait;
+    const std::uint64_t backoff = policy_.next_backoff_us(prev_backoff, *rng_);
+    prev_backoff = backoff;
     ++counters_.retries;
-    if (clock_ != nullptr) {
-      clock_->advance_us(wait);
-    } else if (wait > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(wait));
-    }
+    wait(backoff);
   }
 }
 

@@ -69,6 +69,22 @@ std::string SimConfig::to_wire() const {
   out += ",fork=" + std::to_string(permille(weights.fork / 100.0));
   out += ",crash=" + std::to_string(permille(weights.crash / 100.0));
   out += ",mutation=" + std::to_string(static_cast<int>(mutation));
+  out += ",offline=" + std::to_string(offline ? 1 : 0);
+  out += ",strict=" + std::to_string(strict ? 1 : 0);
+  out += ",opint=" + std::to_string(op_interval_us);
+  if (!outages.empty()) {
+    // start:end:kind:intensity-permille, windows joined by '+' (',' is the
+    // field separator and ';' needs shell quoting in repro commands).
+    out += ",outage=";
+    bool first = true;
+    for (const net::OutageWindow& w : outages.windows) {
+      if (!first) out += '+';
+      first = false;
+      out += std::to_string(w.start_us) + ':' + std::to_string(w.end_us) +
+             ':' + std::to_string(static_cast<int>(w.kind)) + ':' +
+             std::to_string(permille(w.intensity));
+    }
+  }
   return out;
 }
 
@@ -122,6 +138,37 @@ SimConfig SimConfig::parse(std::string_view wire) {
       config.weights.crash = parse_u64(value, "crash permille") / 10.0;
     } else if (key == "mutation") {
       config.mutation = static_cast<Mutation>(parse_u64(value, "mutation"));
+    } else if (key == "offline") {
+      config.offline = parse_u64(value, "offline flag") != 0;
+    } else if (key == "strict") {
+      config.strict = parse_u64(value, "strict flag") != 0;
+    } else if (key == "opint") {
+      config.op_interval_us = parse_u64(value, "op interval");
+    } else if (key == "outage") {
+      std::size_t wstart = 0;
+      for (std::size_t j = 0; j <= value.size(); ++j) {
+        if (j != value.size() && value[j] != '+') continue;
+        const std::string_view win = value.substr(wstart, j - wstart);
+        wstart = j + 1;
+        if (win.empty()) continue;
+        std::vector<std::string_view> parts;
+        std::size_t pstart = 0;
+        for (std::size_t k = 0; k <= win.size(); ++k) {
+          if (k != win.size() && win[k] != ':') continue;
+          parts.push_back(win.substr(pstart, k - pstart));
+          pstart = k + 1;
+        }
+        if (parts.size() != 4) {
+          throw ParseError("sim config: bad outage window '" +
+                           std::string(win) + "'");
+        }
+        net::OutageWindow w;
+        w.start_us = parse_u64(parts[0], "outage start");
+        w.end_us = parse_u64(parts[1], "outage end");
+        w.kind = static_cast<net::OutageKind>(parse_u64(parts[2], "outage kind"));
+        w.intensity = parse_u64(parts[3], "outage intensity") / 1000.0;
+        config.outages.windows.push_back(w);
+      }
     } else {
       throw ParseError("sim config: unknown key '" + std::string(key) + "'");
     }

@@ -69,6 +69,17 @@ struct SimConfig {
   net::FaultSpec faults;
   bool retry = false;    // RetryChannel between mediator and fault layer
 
+  /// Disconnected operation under scripted outages. `offline` turns on the
+  /// mediator's offline queue + circuit breaker; `strict` puts the server
+  /// in strict-revision (OCC) mode, which the flush's revision CAS needs to
+  /// be duplicate-safe; `op_interval_us` charges the sim clock per op so
+  /// outage windows and breaker cool-downs actually elapse (the loopback
+  /// transport itself is zero-latency here).
+  bool offline = false;
+  bool strict = false;
+  std::uint64_t op_interval_us = 0;
+  net::OutageSchedule outages;
+
   std::size_t deep_verify_every = 512;  // full decrypt-and-compare cadence
   std::size_t history_limit = 4;        // server version-history cap
 
@@ -112,6 +123,16 @@ struct SimReport {
     std::size_t crashes_recovered = 0;
     std::size_t transport_errors = 0;
     std::size_t deep_verifies = 0;
+
+    // Disconnected operation (offline=1 runs; copied from the mediator).
+    std::size_t offline_entered = 0;     // documents flipped offline
+    std::size_t offline_acks = 0;        // edits absorbed locally
+    std::size_t offline_flushes = 0;     // composed updates replayed
+    std::size_t offline_rebases = 0;     // flushes rebased over server edits
+    std::size_t offline_dedupes = 0;     // ack-lost duplicates suppressed
+    std::size_t offline_backpressure = 0;  // 503s at the queue cap
+    std::size_t breaker_trips = 0;
+    std::size_t outage_faults = 0;       // requests killed by the schedule
   } cov;
 
   std::size_t final_doc_chars = 0;

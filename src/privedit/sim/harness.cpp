@@ -88,6 +88,9 @@ class Runner {
     }
     for (std::size_t i = 0; i < script_.ops.size() && rep_.ok; ++i) {
       current_op_ = i;
+      // Each op costs wall time; without this the zero-latency loopback
+      // never lets an outage window or breaker cool-down elapse.
+      if (cfg_.op_interval_us > 0) clock_.advance_us(cfg_.op_interval_us);
       try {
         exec_op(script_.ops[i]);
       } catch (const Error& e) {
@@ -98,12 +101,16 @@ class Runner {
       if (rep_.ok) {
         ++rep_.cov.ops_executed;
         if (cfg_.deep_verify_every > 0 &&
-            (i + 1) % cfg_.deep_verify_every == 0) {
+            (i + 1) % cfg_.deep_verify_every == 0 && !offline_now()) {
+          // While offline the server is *expected* to be stale; the drain
+          // below re-runs the deep check once the queue has flushed.
           deep_verify();
         }
       }
     }
+    if (rep_.ok && cfg_.offline) drain_offline();
     if (rep_.ok && cfg_.deep_verify_every > 0) deep_verify();
+    collect_resilience_cov();
     rep_.final_doc_chars = model_.size();
     rep_.final_rev = rev_;
     if (!rep_.ok) {
@@ -132,7 +139,7 @@ class Runner {
   bool faults_armed() const {
     const net::FaultSpec& f = cfg_.faults;
     return f.drop > 0 || f.truncate_request > 0 || f.truncate_response > 0 ||
-           f.garble_response > 0 || f.delay > 0;
+           f.garble_response > 0 || f.delay > 0 || !cfg_.outages.empty();
   }
 
   /// (Re)builds the whole stack. `epoch_` keeps rebuild RNG streams
@@ -147,6 +154,7 @@ class Runner {
 
     server_ = std::make_unique<cloud::GDocsServer>();
     server_->set_history_limit(cfg_.history_limit);
+    server_->set_strict_revisions(cfg_.strict);
     if (cfg_.persist) {
       server_->enable_persistence((fs::path(cfg_.work_dir) / "store").string());
     }
@@ -171,6 +179,7 @@ class Runner {
           std::make_unique<Xoshiro256>(cfg_.seed * 0x9e3779b97f4a7c15ULL +
                                        0xfa01 + epoch_),
           &clock_);
+      if (!cfg_.outages.empty()) faulty_->set_outages(cfg_.outages);
       upstream = faulty_.get();
     }
     if (cfg_.retry) {
@@ -195,6 +204,15 @@ class Runner {
         cfg_.seed * 6364136223846793005ULL + 1442695040888963407ULL * (epoch_ + 1));
     if (cfg_.journal) {
       mc.journal_dir = (fs::path(cfg_.work_dir) / "journal").string();
+    }
+    if (cfg_.offline) {
+      mc.offline.enabled = true;
+      if (cfg_.op_interval_us > 0) {
+        // Scale the breaker cool-down to the op cadence so probes (and thus
+        // mid-run recovery, not just the end-of-run drain) happen during
+        // the scripted flap schedule.
+        mc.offline.breaker.cooldown_us = 20 * cfg_.op_interval_us;
+      }
     }
     mediator_ = std::make_unique<extension::GDocsMediator>(upstream, std::move(mc),
                                                            &clock_);
@@ -364,6 +382,11 @@ class Runner {
       reconcile(model_, after);
       return false;
     }
+    if (resp.status == 503 && cfg_.offline) {
+      // Offline-queue backpressure: the mediator refused the edit *before*
+      // touching the mirror, so the reference simply drops it too.
+      return false;
+    }
     if (!resp.ok()) {
       fail("save-rejected", "delta save: HTTP " + std::to_string(resp.status) +
                                 " " + resp.body);
@@ -397,6 +420,9 @@ class Runner {
       reconcile(model_, text);
       return;
     }
+    if (resp.status == 503 && cfg_.offline) {
+      return;  // offline-queue backpressure: edit dropped on both sides
+    }
     if (!resp.ok()) {
       fail("save-rejected", "full save: HTTP " + std::to_string(resp.status));
       return;
@@ -422,6 +448,12 @@ class Runner {
       resp = open_request();
     } catch (const net::TransportError&) {
       ++rep_.cov.transport_errors;
+      if (cfg_.offline) {
+        // The document was not offline yet (or has no session), so the
+        // open hit the wire and died. Keep the local view; the next save
+        // flips the document offline and edits keep flowing.
+        return;
+      }
       reconcile(model_, model_);
       return;
     }
@@ -498,6 +530,70 @@ class Runner {
       return;
     }
     ++rep_.cov.deep_verifies;
+  }
+
+  bool offline_now() const {
+    return cfg_.offline && mediator_ != nullptr &&
+           mediator_->offline_active(kDocId);
+  }
+
+  /// End-of-run drain (offline runs): the outage schedule is finite, so
+  /// advancing the clock and probing must eventually flush the composed
+  /// update — then the server must hold exactly the reference (zero lost,
+  /// zero duplicated edits after heal).
+  void drain_offline() {
+    if (mediator_ == nullptr || !mediator_->offline_active(kDocId)) return;
+    const std::uint64_t step = std::max<std::uint64_t>(cfg_.op_interval_us,
+                                                       1'000);
+    for (int i = 0; i < 10'000 && mediator_->offline_active(kDocId); ++i) {
+      clock_.advance_us(step);
+      mediator_->try_flush(kDocId);
+    }
+    if (mediator_->offline_active(kDocId)) {
+      fail("offline-drain",
+           "offline queue failed to flush after the outage schedule ended");
+      return;
+    }
+    net::HttpResponse resp;
+    try {
+      resp = open_request();
+    } catch (const Error& e) {
+      fail("offline-drain", std::string("open after drain threw: ") + e.what());
+      return;
+    }
+    if (!resp.ok()) {
+      fail("offline-drain",
+           "open after drain: HTTP " + std::to_string(resp.status));
+      return;
+    }
+    const FormData reply = FormData::parse(resp.body);
+    const std::string content = reply.get("content").value_or("");
+    if (content != model_) {
+      fail("offline-convergence",
+           "post-heal document (" + std::to_string(content.size()) +
+               " bytes) != reference (" + std::to_string(model_.size()) +
+               " bytes): edits were lost or duplicated across the outage");
+      return;
+    }
+    rev_ = parse_rev_field(reply.get("rev"));
+    check_model();
+  }
+
+  void collect_resilience_cov() {
+    if (mediator_ == nullptr) return;
+    const auto& mc = mediator_->counters();
+    rep_.cov.offline_entered = mc.offline_entered;
+    rep_.cov.offline_acks = mc.offline_acks;
+    rep_.cov.offline_flushes = mc.offline_flushes;
+    rep_.cov.offline_rebases = mc.offline_rebases;
+    rep_.cov.offline_dedupes = mc.offline_dedupes;
+    rep_.cov.offline_backpressure = mc.offline_backpressure;
+    if (mediator_->breaker() != nullptr) {
+      rep_.cov.breaker_trips = mediator_->breaker()->counters().trips;
+    }
+    if (faulty_ != nullptr) {
+      rep_.cov.outage_faults = faulty_->counters().outage_faults;
+    }
   }
 
   /// Fault aftermath: re-open until the channel cooperates and adopt

@@ -1,0 +1,76 @@
+#include "privedit/util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace privedit {
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t value) {
+  if (value < (1u << kSubBits)) return static_cast<std::size_t>(value);
+  // Octave = position of the highest set bit; sub-bucket = the kSubBits
+  // bits right below it. Monotone in `value`, so percentile scans work.
+  const int high = 63 - std::countl_zero(value);
+  const std::uint64_t sub =
+      (value >> (high - static_cast<int>(kSubBits))) & ((1u << kSubBits) - 1);
+  return (static_cast<std::size_t>(high) << kSubBits) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t index) {
+  if (index < (1u << kSubBits)) return index;
+  const std::size_t high = index >> kSubBits;
+  const std::uint64_t sub = index & ((1u << kSubBits) - 1);
+  // Upper edge of the sub-bucket range (inclusive).
+  return ((1ULL << high) +
+          ((sub + 1) << (high - kSubBits))) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  ++buckets_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based; q=1 must land on the last sample.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+std::string LatencyHistogram::to_json() const {
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(count_);
+  out += ",\"mean_us\":" + std::to_string(static_cast<std::uint64_t>(mean()));
+  out += ",\"p50_us\":" + std::to_string(percentile(0.50));
+  out += ",\"p90_us\":" + std::to_string(percentile(0.90));
+  out += ",\"p99_us\":" + std::to_string(percentile(0.99));
+  out += ",\"p999_us\":" + std::to_string(percentile(0.999));
+  out += ",\"max_us\":" + std::to_string(max_);
+  out += "}";
+  return out;
+}
+
+}  // namespace privedit

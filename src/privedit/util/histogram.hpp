@@ -1,0 +1,58 @@
+#pragma once
+// LatencyHistogram — fixed-footprint log-bucketed histogram for latency
+// and availability accounting.
+//
+// The degraded-mode subsystem needs cheap percentiles in three places: the
+// replication layer's per-replica health scores (EWMA + histogram), the
+// outage bench's availability/p99 report, and operator counters. Buckets
+// are power-of-two ranges split into 4 linear sub-buckets, so the relative
+// quantization error is bounded by ~12.5% at any magnitude while the whole
+// histogram stays a flat 256-entry array — no allocation on the record
+// path, trivially mergeable across runs.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace privedit {
+
+class LatencyHistogram {
+ public:
+  /// Records one sample (microseconds by convention, but unit-agnostic).
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1] (upper bound of the containing bucket;
+  /// exact for the recorded max). 0 when empty.
+  std::uint64_t percentile(double q) const;
+
+  /// Accumulates another histogram into this one.
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+  /// {"count":N,"mean_us":...,"p50_us":...,"p90_us":...,"p99_us":...,
+  ///  "p999_us":...,"max_us":N} — the shape the bench JSON embeds.
+  std::string to_json() const;
+
+ private:
+  static constexpr std::size_t kSubBits = 2;   // 4 sub-buckets per octave
+  static constexpr std::size_t kBuckets = (64 << kSubBits);
+
+  static std::size_t bucket_of(std::uint64_t value);
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace privedit

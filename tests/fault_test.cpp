@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "privedit/client/gdocs_client.hpp"
@@ -28,31 +30,97 @@ HttpResponse echo_handler(const HttpRequest& req) {
   return HttpResponse::make(200, "echo:" + req.body);
 }
 
-TEST(RetryPolicy, BackoffGrowsAndCaps) {
+TEST(RetryPolicy, DeterministicBackoffGrowsAndCaps) {
   RetryPolicy policy;
   policy.base_backoff_us = 1000;
   policy.multiplier = 2.0;
   policy.max_backoff_us = 5000;
   policy.jitter = 0.0;
   Xoshiro256 rng(1);
-  EXPECT_EQ(policy.backoff_us(0, rng), 1000u);
-  EXPECT_EQ(policy.backoff_us(1, rng), 2000u);
-  EXPECT_EQ(policy.backoff_us(2, rng), 4000u);
-  EXPECT_EQ(policy.backoff_us(3, rng), 5000u);  // capped
-  EXPECT_EQ(policy.backoff_us(9, rng), 5000u);
+  std::uint64_t prev = 0;
+  prev = policy.next_backoff_us(prev, rng);
+  EXPECT_EQ(prev, 1000u);
+  prev = policy.next_backoff_us(prev, rng);
+  EXPECT_EQ(prev, 2000u);
+  prev = policy.next_backoff_us(prev, rng);
+  EXPECT_EQ(prev, 4000u);
+  prev = policy.next_backoff_us(prev, rng);
+  EXPECT_EQ(prev, 5000u);  // capped
+  prev = policy.next_backoff_us(prev, rng);
+  EXPECT_EQ(prev, 5000u);  // stays capped
 }
 
-TEST(RetryPolicy, JitterStaysInBand) {
+TEST(RetryPolicy, DecorrelatedJitterStaysInEnvelopeAndSpreads) {
   RetryPolicy policy;
   policy.base_backoff_us = 10'000;
-  policy.multiplier = 1.0;
+  policy.max_backoff_us = 90'000;
   policy.jitter = 0.5;
   Xoshiro256 rng(2);
-  for (int i = 0; i < 200; ++i) {
-    const std::uint64_t b = policy.backoff_us(0, rng);
-    EXPECT_GE(b, 5000u);
-    EXPECT_LE(b, 10'000u);
+  // First retry draws from [base, 3*base]; later retries from
+  // [base, min(3*prev, cap)]. Every draw must stay in that envelope.
+  std::uint64_t prev = 0;
+  std::uint64_t lo_seen = UINT64_MAX, hi_seen = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t hi =
+        prev == 0 ? 30'000u
+                  : std::min<std::uint64_t>(prev * 3, policy.max_backoff_us);
+    const std::uint64_t b = policy.next_backoff_us(prev, rng);
+    EXPECT_GE(b, 10'000u);
+    EXPECT_LE(b, std::max<std::uint64_t>(hi, 10'000u));
+    EXPECT_LE(b, 90'000u);
+    lo_seen = std::min(lo_seen, b);
+    hi_seen = std::max(hi_seen, b);
+    prev = i % 5 == 4 ? 0 : b;  // restart the chain now and then
   }
+  // The draws must actually use the envelope, not cluster in the old
+  // narrow [b*(1-j), b] band: across 400 draws we expect samples near
+  // both ends of [base, cap].
+  EXPECT_LT(lo_seen, 15'000u);
+  EXPECT_GT(hi_seen, 60'000u);
+}
+
+TEST(RetryPolicy, TwoClientsWithSameFailureInstantDiverge) {
+  // The regression the jitter rework fixes: two clients observing the
+  // same failure must not march in lock-step retry waves. With seeded but
+  // different RNG streams the sleep sequences should separate quickly.
+  RetryPolicy policy;
+  policy.base_backoff_us = 2000;
+  policy.max_backoff_us = 250'000;
+  policy.jitter = 0.5;
+  Xoshiro256 rng_a(100), rng_b(200);
+  std::uint64_t prev_a = 0, prev_b = 0, identical = 0;
+  for (int i = 0; i < 50; ++i) {
+    prev_a = policy.next_backoff_us(prev_a, rng_a);
+    prev_b = policy.next_backoff_us(prev_b, rng_b);
+    if (prev_a == prev_b) ++identical;
+  }
+  EXPECT_LE(identical, 2u);
+}
+
+TEST(RetryPolicy, RetryAfterParsing) {
+  HttpResponse resp;
+  EXPECT_FALSE(retry_after_us(resp).has_value());
+  resp.headers.set("Retry-After", "2");
+  EXPECT_EQ(retry_after_us(resp), 2'000'000u);
+  resp.headers.set("Retry-After", "  7  ");
+  EXPECT_EQ(retry_after_us(resp), 7'000'000u);
+  resp.headers.set("Retry-After", "nonsense");
+  EXPECT_FALSE(retry_after_us(resp).has_value());
+  resp.headers.set("Retry-After", "3x");
+  EXPECT_FALSE(retry_after_us(resp).has_value());
+  resp.headers.set("Retry-After", "");
+  EXPECT_FALSE(retry_after_us(resp).has_value());
+}
+
+TEST(RetryPolicy, OverloadWaitHonorsRetryAfterUpToCap) {
+  RetryPolicy policy;
+  policy.retry_after_cap_us = 2'000'000;
+  EXPECT_EQ(policy.overload_wait_us(5000, std::nullopt), 5000u);
+  EXPECT_EQ(policy.overload_wait_us(5000, 1'000'000u), 1'000'000u);
+  // Server asking for an hour is clamped to the cap.
+  EXPECT_EQ(policy.overload_wait_us(5000, 3'600'000'000u), 2'000'000u);
+  // Backoff already larger than the ask wins.
+  EXPECT_EQ(policy.overload_wait_us(1'500'000, 1'000'000u), 1'500'000u);
 }
 
 TEST(RetryPolicy, ClassifiesFaultKinds) {
@@ -316,7 +384,11 @@ TEST(FaultInjection, ReplicationMasksADeadProvider) {
   client::GDocsClient reader(&mediator, "doc");
   reader.open();
   EXPECT_EQ(reader.text(), "replicated in spite of provider 0");
-  EXPECT_GT(replicated.counters().read_failovers, 0u);
+  // The write failures already taught the health scores that provider 0 is
+  // dead, so the read goes straight to the live replica instead of timing
+  // out against the dead one first.
+  EXPECT_GT(replicated.counters().health_reorders, 0u);
+  EXPECT_EQ(replicated.counters().read_failovers, 0u);
 }
 
 TEST(FaultInjection, ReplicationSkipsGarblingProvider) {

@@ -1,0 +1,915 @@
+// Resilience tests: disconnected operation end to end.
+//
+// Covers the degraded-mode session layer — the circuit breaker state
+// machine, server-side admission control (503 + Retry-After, never a
+// hang), the mediator's offline edit queue (local acks, local opens,
+// bounded queue with explicit backpressure, replay-and-rebase on heal),
+// replica health scoring with quarantine/probation, and whole-stack
+// simulation runs under scripted outage schedules that must converge with
+// zero lost or duplicated edits.
+//
+// Everything runs on the SimClock, so outage windows, breaker cool-downs
+// and token-bucket refills elapse deterministically. Scale the simulation
+// phase with PRIVEDIT_RESILIENCE_ITERS=n (multiplies op budgets).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "privedit/client/gdocs_client.hpp"
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/delta/delta.hpp"
+#include "privedit/extension/mediator.hpp"
+#include "privedit/extension/replication.hpp"
+#include "privedit/extension/session.hpp"
+#include "privedit/net/admission.hpp"
+#include "privedit/net/breaker.hpp"
+#include "privedit/net/fault.hpp"
+#include "privedit/net/http_server.hpp"
+#include "privedit/net/retry.hpp"
+#include "privedit/net/transport.hpp"
+#include "privedit/sim/config.hpp"
+#include "privedit/sim/harness.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+#include "privedit/util/urlencode.hpp"
+
+namespace privedit::net {
+namespace {
+
+std::size_t iter_scale() {
+  const char* env = std::getenv("PRIVEDIT_RESILIENCE_ITERS");
+  if (env == nullptr) return 1;
+  const long v = std::atol(env);
+  return v > 1 ? static_cast<std::size_t>(v) : 1;
+}
+
+/// Zero-latency loopback: these tests advance the SimClock explicitly so
+/// the outage windows, cool-downs and probation timers line up exactly;
+/// the default WAN model would smear ~200 ms over every round trip.
+LatencyModel instant() {
+  LatencyModel latency;
+  latency.base_us = 0;
+  latency.jitter_us = 0;
+  latency.bytes_per_ms_up = 0;
+  latency.bytes_per_ms_down = 0;
+  latency.server_us_per_kb = 0;
+  return latency;
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker state machine
+// ---------------------------------------------------------------------------
+
+struct FakeClock {
+  std::uint64_t now = 0;
+  std::function<std::uint64_t()> fn() {
+    return [this] { return now; };
+  }
+};
+
+TEST(Breaker, TripsAfterConsecutiveFailures) {
+  FakeClock clock;
+  BreakerConfig config;
+  config.consecutive_failures = 3;
+  CircuitBreaker breaker(config, clock.fn());
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  }
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();  // third in a row
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 1u);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_GT(breaker.counters().rejections, 0u);
+}
+
+TEST(Breaker, SuccessResetsTheConsecutiveCount) {
+  FakeClock clock;
+  BreakerConfig config;
+  config.consecutive_failures = 3;
+  config.min_window = 1000;  // keep the rate trigger out of the way
+  CircuitBreaker breaker(config, clock.fn());
+
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_success();  // breaks the streak every time
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.counters().trips, 0u);
+}
+
+TEST(Breaker, TripsOnWindowFailureRate) {
+  FakeClock clock;
+  BreakerConfig config;
+  config.consecutive_failures = 100;  // isolate the rate trigger
+  config.failure_rate = 0.5;
+  config.min_window = 8;
+  CircuitBreaker breaker(config, clock.fn());
+
+  // Alternate failure/success: the streak never exceeds one, but the
+  // window rate sits at 0.5 — at the eighth sample the rate trigger fires.
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(breaker.allow());
+    if (i % 2 == 0) {
+      breaker.record_failure();
+    } else {
+      breaker.record_success();
+    }
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed) << i;
+  }
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();  // 5 failures / 9 samples >= 0.5, window >= 8
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 1u);
+}
+
+TEST(Breaker, CooldownAdmitsExactlyOneProbe) {
+  FakeClock clock;
+  BreakerConfig config;
+  config.consecutive_failures = 1;
+  config.cooldown_us = 1'000'000;
+  CircuitBreaker breaker(config, clock.fn());
+
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  clock.now += 999'999;
+  EXPECT_FALSE(breaker.allow());  // cool-down not yet elapsed
+
+  clock.now += 1;
+  EXPECT_TRUE(breaker.allow());  // the single half-open probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.counters().probes, 1u);
+
+  // While the probe is outstanding nothing else gets through, no matter
+  // how much time passes.
+  clock.now += 10'000'000;
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.counters().probes, 1u);
+}
+
+TEST(Breaker, ProbeSuccessClosesWithACleanWindow) {
+  FakeClock clock;
+  BreakerConfig config;
+  config.consecutive_failures = 3;
+  CircuitBreaker breaker(config, clock.fn());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+  }
+  clock.now += config.cooldown_us;
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.counters().probe_successes, 1u);
+
+  // The window was reset: two fresh failures must not re-trip.
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(Breaker, ProbeFailureReTripsForAFullCooldown) {
+  FakeClock clock;
+  BreakerConfig config;
+  config.consecutive_failures = 1;
+  config.cooldown_us = 500'000;
+  CircuitBreaker breaker(config, clock.fn());
+
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();
+  clock.now += config.cooldown_us;
+  ASSERT_TRUE(breaker.allow());  // probe
+  breaker.record_failure();      // probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 2u);
+
+  clock.now += config.cooldown_us - 1;
+  EXPECT_FALSE(breaker.allow());  // a FULL cool-down restarts
+  clock.now += 1;
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+/// Scriptable channel: throws TransportError or returns a canned status.
+struct ScriptedChannel final : Channel {
+  int status = 200;
+  bool throw_transport = false;
+  std::size_t calls = 0;
+
+  HttpResponse round_trip(const HttpRequest&) override {
+    ++calls;
+    if (throw_transport) {
+      throw TransportError(FaultKind::kConnect, "scripted");
+    }
+    return HttpResponse::make(status, "scripted");
+  }
+};
+
+TEST(Breaker, ChannelCountsTransportErrorsButNotHttpErrors) {
+  FakeClock clock;
+  ScriptedChannel inner;
+  BreakerConfig config;
+  config.consecutive_failures = 3;
+  BreakerChannel channel(&inner, config, clock.fn());
+
+  // A 503 is backpressure from a LIVE server — it must not trip anything.
+  inner.status = 503;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(channel.round_trip(HttpRequest::post_form("/x", "")).status,
+              503);
+  }
+  EXPECT_EQ(channel.breaker().state(), CircuitBreaker::State::kClosed);
+
+  // Transport errors are real failures: three in a row trip the breaker,
+  // after which calls are refused locally without touching the wire.
+  inner.throw_transport = true;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(channel.round_trip(HttpRequest::post_form("/x", "")),
+                 TransportError);
+  }
+  EXPECT_EQ(channel.breaker().state(), CircuitBreaker::State::kOpen);
+  const std::size_t wire_calls = inner.calls;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_THROW(channel.round_trip(HttpRequest::post_form("/x", "")),
+                 TransportError);
+  }
+  EXPECT_EQ(inner.calls, wire_calls);  // short-circuited, not retried
+  EXPECT_EQ(channel.breaker().counters().rejections, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(Admission, TokenBucketDrainsAndRefills) {
+  TokenBucket bucket(/*rate_per_sec=*/2.0, /*burst=*/3.0, /*now_us=*/0);
+  EXPECT_FALSE(bucket.try_take(0).has_value());
+  EXPECT_FALSE(bucket.try_take(0).has_value());
+  EXPECT_FALSE(bucket.try_take(0).has_value());
+  const auto wait = bucket.try_take(0);
+  ASSERT_TRUE(wait.has_value());
+  EXPECT_GT(*wait, 0u);
+  // One token accrues in ~1/rate seconds (the hint rounds up).
+  EXPECT_LE(*wait, 500'001u);
+  // Half a second at 2 tokens/sec buys exactly one more request.
+  EXPECT_FALSE(bucket.try_take(500'000).has_value());
+  EXPECT_TRUE(bucket.try_take(500'000).has_value());
+}
+
+TEST(Admission, OverloadedResponseRoundsRetryAfterUp) {
+  const HttpResponse a = overloaded_response(1, "r");
+  EXPECT_EQ(a.status, 503);
+  EXPECT_EQ(a.headers.get("Retry-After"), "1");  // minimum one second
+  const HttpResponse b = overloaded_response(1'500'000, "r");
+  EXPECT_EQ(b.headers.get("Retry-After"), "2");  // ceil, not floor
+}
+
+TEST(Admission, RateLimitedClientGets503WithRetryAfter) {
+  SimClock clock;
+  cloud::GDocsServer server;
+  AdmissionConfig config;
+  config.rate_per_sec = 1.0;
+  config.burst = 2.0;
+  server.enable_admission(config, [&clock] { return clock.now_us(); });
+
+  HttpRequest save = HttpRequest::post_form("/Doc?docID=d", "cmd=create");
+  save.headers.set(kClientIdHeader, "alice");
+  EXPECT_TRUE(server.handle(save).ok());
+  EXPECT_TRUE(server.handle(save).ok());  // burst spent
+
+  const HttpResponse refused = server.handle(save);
+  EXPECT_EQ(refused.status, 503);
+  const auto retry_after = refused.headers.get("Retry-After");
+  ASSERT_TRUE(retry_after.has_value());
+  EXPECT_GE(std::stoi(*retry_after), 1);
+  EXPECT_GT(server.counters().admission_rejections, 0u);
+  EXPECT_GT(server.admission()->counters().rate_limited, 0u);
+
+  // The refusal is immediate backpressure, not a hang: the bucket refills
+  // on the clock and the same client is served again.
+  clock.advance_us(1'100'000);
+  EXPECT_TRUE(server.handle(save).ok());
+}
+
+TEST(Admission, ClientsHaveIndependentBuckets) {
+  SimClock clock;
+  cloud::GDocsServer server;
+  AdmissionConfig config;
+  config.rate_per_sec = 1.0;
+  config.burst = 1.0;
+  server.enable_admission(config, [&clock] { return clock.now_us(); });
+
+  HttpRequest alice = HttpRequest::post_form("/Doc?docID=d", "cmd=create");
+  alice.headers.set(kClientIdHeader, "alice");
+  HttpRequest bob = alice;
+  bob.headers.set(kClientIdHeader, "bob");
+
+  EXPECT_TRUE(server.handle(alice).ok());
+  EXPECT_EQ(server.handle(alice).status, 503);  // alice exhausted...
+  EXPECT_TRUE(server.handle(bob).ok());         // ...bob unaffected
+
+  // Unlabeled traffic shares one anonymous bucket.
+  HttpRequest anon = HttpRequest::post_form("/Doc?docID=d", "cmd=open");
+  EXPECT_EQ(server.handle(anon).status, 200);
+  EXPECT_EQ(server.handle(anon).status, 503);
+}
+
+TEST(Admission, BreakerProbesBypassTheBucket) {
+  SimClock clock;
+  cloud::GDocsServer server;
+  AdmissionConfig config;
+  config.rate_per_sec = 1.0;
+  config.burst = 1.0;
+  server.enable_admission(config, [&clock] { return clock.now_us(); });
+
+  HttpRequest save = HttpRequest::post_form("/Doc?docID=d", "cmd=create");
+  save.headers.set(kClientIdHeader, "alice");
+  EXPECT_TRUE(server.handle(save).ok());
+  EXPECT_EQ(server.handle(save).status, 503);
+
+  // The breaker's per-cool-down liveness probe must not be rate limited:
+  // refusing it would keep a recovered server looking dead forever.
+  HttpRequest probe = save;
+  probe.headers.set(kProbeHeader, "1");
+  EXPECT_TRUE(server.handle(probe).ok());
+}
+
+TEST(Admission, QueueDeadlineExpiresStaleRequests) {
+  FakeClock clock;
+  clock.now = 1'000'000;
+  AdmissionConfig config;
+  config.queue_deadline_us = 10'000;
+  AdmissionController controller(config, clock.fn());
+
+  const HttpRequest request = HttpRequest::post_form("/Doc?docID=d", "x=1");
+  // Picked up promptly: admitted.
+  EXPECT_FALSE(controller.admit(request, clock.now - 5'000).has_value());
+  // Sat in the queue past its deadline: answered 503 instead of doing
+  // work nobody is waiting for any more.
+  const auto refusal = controller.admit(request, clock.now - 20'000);
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_EQ(refusal->status, 503);
+  EXPECT_EQ(controller.counters().deadline_expired, 1u);
+}
+
+TEST(Admission, RealSocketHttpServerShedsWithRetryAfter) {
+  // The same contract over the worker-pool server and a real TCP socket:
+  // a drained bucket answers 503 + Retry-After before the handler runs.
+  HttpServerConfig config;
+  AdmissionConfig admission;
+  admission.rate_per_sec = 0.5;  // slow refill: no token accrues mid-test
+  admission.burst = 2;
+  config.admission = admission;
+  std::atomic<int> handled{0};
+  HttpServer server(
+      0,
+      [&handled](const HttpRequest&) {
+        ++handled;
+        return HttpResponse::make(200, "ok");
+      },
+      config);
+  TcpChannel channel(server.port(), /*timeout_ms=*/5000,
+                     RetryPolicy::none());
+  HttpRequest request = HttpRequest::post_form("/Doc?docID=d", "cmd=open");
+  request.headers.set(kClientIdHeader, "greedy");
+  EXPECT_EQ(channel.round_trip(request).status, 200);
+  EXPECT_EQ(channel.round_trip(request).status, 200);
+  const HttpResponse refused = channel.round_trip(request);
+  EXPECT_EQ(refused.status, 503);
+  const auto retry_after = refused.headers.get("Retry-After");
+  ASSERT_TRUE(retry_after.has_value());
+  EXPECT_GE(std::atoi(retry_after->c_str()), 1);
+  EXPECT_EQ(handled.load(), 2);  // the refusal never reached the handler
+  EXPECT_EQ(server.counters().rejected_admission, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Offline mediator: disconnected operation end to end
+// ---------------------------------------------------------------------------
+
+/// client -> mediator(offline) -> outage-scripted faults -> loopback ->
+/// strict-revision GDocsServer. No RetryChannel: the mediator must enter
+/// offline mode on the first transport failure, which also exercises the
+/// worst case for the breaker (every failure reaches it).
+struct OfflineStack {
+  explicit OfflineStack(std::uint64_t seed, OutageSchedule outages,
+                        std::size_t max_queued = 256) {
+    server.set_strict_revisions(true);
+    transport = std::make_unique<LoopbackTransport>(
+        [this](const HttpRequest& r) { return server.handle(r); }, &clock,
+        instant(), crypto::CtrDrbg::from_seed(seed));
+    faulty = std::make_unique<FaultyChannel>(
+        transport.get(), FaultSpec{}, std::make_unique<Xoshiro256>(seed + 1),
+        &clock);
+    faulty->set_outages(std::move(outages));
+    extension::MediatorConfig config;
+    config.password = "pw";
+    config.scheme.mode = enc::Mode::kRpc;
+    config.scheme.kdf_iterations = 5;
+    config.rng_factory = extension::seeded_rng_factory(seed + 2);
+    config.offline.enabled = true;
+    config.offline.max_queued_edits = max_queued;
+    config.offline.breaker.cooldown_us = kCooldownUs;
+    mediator = std::make_unique<extension::GDocsMediator>(
+        faulty.get(), std::move(config), &clock);
+  }
+
+  /// Advances the clock in cool-down steps until the document flushes.
+  bool drain(const std::string& doc_id) {
+    for (int i = 0; i < 50; ++i) {
+      if (mediator->try_flush(doc_id)) return true;
+      clock.advance_us(kCooldownUs);
+    }
+    return false;
+  }
+
+  static constexpr std::uint64_t kCooldownUs = 100'000;
+
+  cloud::GDocsServer server;
+  SimClock clock;
+  std::unique_ptr<LoopbackTransport> transport;
+  std::unique_ptr<FaultyChannel> faulty;
+  std::unique_ptr<extension::GDocsMediator> mediator;
+};
+
+TEST(OfflineMediator, BlackoutAbsorbsEditsAndFlushesAfterHeal) {
+  OutageSchedule schedule;
+  schedule.windows.push_back(
+      {/*start=*/50'000, /*end=*/450'000, OutageKind::kBlackout, 1.0});
+  OfflineStack stack(60, schedule);
+
+  client::GDocsClient alice(stack.mediator.get(), "doc");
+  alice.create();
+  alice.insert(0, "base ");
+  alice.save();
+  std::string expected = "base ";
+
+  // Into the blackout: every save keeps succeeding from the editor's point
+  // of view — the mediator absorbs them locally.
+  stack.clock.advance_us(60'000);
+  for (int i = 0; i < 8; ++i) {
+    const std::string word = "w" + std::to_string(i) + " ";
+    alice.insert(alice.text().size(), word);
+    expected += word;
+    alice.save();
+    stack.clock.advance_us(10'000);
+  }
+  EXPECT_EQ(alice.text(), expected);
+  EXPECT_TRUE(stack.mediator->offline_active("doc"));
+  const auto& mc = stack.mediator->counters();
+  EXPECT_EQ(mc.offline_entered, 1u);
+  EXPECT_GE(mc.offline_acks, 7u);  // all but the save that tripped offline
+  EXPECT_EQ(stack.mediator->managed_plaintext("doc"), expected);
+  // The server is provably stale: no offline edit reached it yet (the one
+  // pre-outage save was the session's initial full save).
+  EXPECT_EQ(stack.server.counters().delta_saves, 0u);
+
+  // Heal and drain: one composed flush releases every queued edit.
+  stack.clock.advance_us(400'000);
+  ASSERT_TRUE(stack.drain("doc"));
+  EXPECT_FALSE(stack.mediator->offline_active("doc"));
+  EXPECT_EQ(mc.offline_flushes, 1u);
+  EXPECT_GE(mc.offline_flush_edits, 7u);
+
+  // Zero loss, zero duplication: a fresh open sees exactly the edits, and
+  // the stored bytes are still ciphertext.
+  client::GDocsClient bob(stack.mediator.get(), "doc");
+  bob.open();
+  EXPECT_EQ(bob.text(), expected);
+  EXPECT_EQ(stack.server.raw_content("doc")->find(expected),
+            std::string::npos);
+
+  // The breaker really gated the reconnect attempts.
+  ASSERT_NE(stack.mediator->breaker(), nullptr);
+  EXPECT_GE(stack.mediator->breaker()->counters().trips, 1u);
+  EXPECT_GE(stack.mediator->breaker()->counters().probes, 1u);
+  EXPECT_GT(mc.breaker_short_circuits, 0u);
+}
+
+TEST(OfflineMediator, BreakerCapsWireTrafficDuringTheOutage) {
+  OutageSchedule schedule;
+  schedule.windows.push_back(
+      {/*start=*/50'000, /*end=*/850'000, OutageKind::kBlackout, 1.0});
+  OfflineStack stack(61, schedule);
+
+  client::GDocsClient alice(stack.mediator.get(), "doc");
+  alice.create();
+  alice.insert(0, "seed ");
+  alice.save();
+
+  stack.clock.advance_us(60'000);
+  // 60 editor saves spread across the 800 ms blackout. Without the
+  // breaker, every one of them would probe the dead wire.
+  for (int i = 0; i < 60; ++i) {
+    alice.insert(alice.text().size(), "x");
+    alice.save();
+    stack.clock.advance_us(12'000);
+  }
+
+  // Wire attempts during the outage: the consecutive-failure budget that
+  // trips the breaker, plus at most one probe per elapsed cool-down.
+  const auto& faults = stack.faulty->counters();
+  const std::size_t cooldowns = 800'000 / OfflineStack::kCooldownUs;
+  const std::size_t budget =
+      static_cast<std::size_t>(
+          extension::OfflineConfig{}.breaker.consecutive_failures) +
+      cooldowns + 1;
+  EXPECT_GT(faults.outage_faults, 0u);
+  EXPECT_LE(faults.outage_faults, budget);
+  EXPECT_GT(stack.mediator->counters().breaker_short_circuits, 0u);
+
+  stack.clock.advance_us(1'000'000);
+  ASSERT_TRUE(stack.drain("doc"));
+  client::GDocsClient bob(stack.mediator.get(), "doc");
+  bob.open();
+  EXPECT_EQ(bob.text(), alice.text());
+}
+
+TEST(OfflineMediator, OpensAreServedFromTheMirrorWhileOffline) {
+  OutageSchedule schedule;
+  schedule.windows.push_back(
+      {/*start=*/50'000, /*end=*/400'000, OutageKind::kBlackout, 1.0});
+  OfflineStack stack(62, schedule);
+
+  client::GDocsClient alice(stack.mediator.get(), "doc");
+  alice.create();
+  alice.insert(0, "offline doc");
+  alice.save();
+
+  stack.clock.advance_us(60'000);
+  alice.insert(alice.text().size(), "!");
+  alice.save();  // flips the document offline
+  ASSERT_TRUE(stack.mediator->offline_active("doc"));
+
+  // A second editor opening the document during the outage gets the local
+  // mirror — availability over freshness — instead of an error.
+  client::GDocsClient reader(stack.mediator.get(), "doc");
+  reader.open();
+  EXPECT_EQ(reader.text(), "offline doc!");
+  EXPECT_GE(stack.mediator->counters().offline_opens_local, 1u);
+
+  stack.clock.advance_us(500'000);
+  ASSERT_TRUE(stack.drain("doc"));
+}
+
+TEST(OfflineMediator, QueueCapIsExplicitBackpressureNotASilentDrop) {
+  OutageSchedule schedule;
+  schedule.windows.push_back(
+      {/*start=*/50'000, /*end=*/400'000, OutageKind::kBlackout, 1.0});
+  OfflineStack stack(63, schedule, /*max_queued=*/2);
+
+  client::GDocsClient alice(stack.mediator.get(), "doc");
+  alice.create();
+  alice.insert(0, "base ");
+  alice.save();
+
+  stack.clock.advance_us(60'000);
+  alice.insert(alice.text().size(), "one ");
+  alice.save();  // enters offline, queued = 1
+  alice.insert(alice.text().size(), "two ");
+  alice.save();  // queued = 2 (the cap)
+  ASSERT_EQ(stack.mediator->offline_queued("doc"), 2u);
+
+  // The third edit is refused loudly: the editor sees the failure and the
+  // mirror is untouched, so nothing is silently dropped on either side.
+  alice.insert(alice.text().size(), "three ");
+  EXPECT_THROW(alice.save(), ProtocolError);
+  EXPECT_GE(stack.mediator->counters().offline_backpressure, 1u);
+  EXPECT_EQ(stack.mediator->managed_plaintext("doc"), "base one two ");
+
+  // The raw 503 carries Retry-After, so a well-behaved client knows when
+  // to come back rather than hammering the queue.
+  const std::string mirror = *stack.mediator->managed_plaintext("doc");
+  const delta::Delta d({delta::Op::retain(mirror.size()),
+                        delta::Op::insert("zzz")});
+  FormData form;
+  form.add("session", "s1");
+  form.add("rev", "99");
+  form.add("delta", d.to_wire());
+  const HttpResponse refused = stack.mediator->round_trip(
+      HttpRequest::post_form("/Doc?docID=doc", form.encode()));
+  EXPECT_EQ(refused.status, 503);
+  EXPECT_TRUE(refused.headers.get("Retry-After").has_value());
+
+  // After the heal the queue drains, and the client's unacknowledged edit
+  // is re-sent by its own dirty-state tracking: nothing was lost.
+  stack.clock.advance_us(500'000);
+  ASSERT_TRUE(stack.drain("doc"));
+  alice.save();
+  EXPECT_EQ(alice.text(), "base one two three ");
+  client::GDocsClient bob(stack.mediator.get(), "doc");
+  bob.open();
+  EXPECT_EQ(bob.text(), "base one two three ");
+}
+
+TEST(OfflineMediator, LostAckIsDedupedNotDuplicated) {
+  // Asymmetric outage: the save IS delivered and applied, only the ack is
+  // lost. The flush's revision CAS collides (409), the mediator compares
+  // the server's content against its attempt snapshot, and must conclude
+  // the edits are already there — replaying them would duplicate.
+  OutageSchedule schedule;
+  schedule.windows.push_back(
+      {/*start=*/50'000, /*end=*/120'000, OutageKind::kAsymDown, 1.0});
+  OfflineStack stack(64, schedule);
+
+  client::GDocsClient alice(stack.mediator.get(), "doc");
+  alice.create();
+  alice.insert(0, "payload");
+  alice.save();
+
+  stack.clock.advance_us(60'000);
+  alice.insert(alice.text().size(), "-dup");
+  alice.save();  // delivered, ack lost, document flips offline
+  ASSERT_TRUE(stack.mediator->offline_active("doc"));
+
+  stack.clock.advance_us(200'000);
+  ASSERT_TRUE(stack.drain("doc"));
+  EXPECT_GE(stack.mediator->counters().offline_dedupes, 1u);
+
+  client::GDocsClient bob(stack.mediator.get(), "doc");
+  bob.open();
+  EXPECT_EQ(bob.text(), "payload-dup");  // exactly once, not "-dup-dup"
+}
+
+TEST(OfflineMediator, ConcurrentServerEditsAreRebasedOnFlush) {
+  // While alice is offline, bob's mediator (a separate stack sharing the
+  // same server) advances the document. Alice's flush gets a 409 against a
+  // genuinely different state and must transform her queued edits on top.
+  OutageSchedule schedule;
+  schedule.windows.push_back(
+      {/*start=*/50'000, /*end=*/300'000, OutageKind::kBlackout, 1.0});
+  OfflineStack offline_stack(65, schedule);
+
+  client::GDocsClient alice(offline_stack.mediator.get(), "doc");
+  alice.create();
+  alice.insert(0, "shared base. ");
+  alice.save();
+
+  // Bob opens the same document via his own mediator before the outage.
+  auto bob_transport = std::make_unique<LoopbackTransport>(
+      [&offline_stack](const HttpRequest& r) {
+        return offline_stack.server.handle(r);
+      },
+      &offline_stack.clock, instant(), crypto::CtrDrbg::from_seed(77));
+  extension::MediatorConfig bob_config;
+  bob_config.password = "pw";
+  bob_config.scheme.mode = enc::Mode::kRpc;
+  bob_config.scheme.kdf_iterations = 5;
+  bob_config.rng_factory = extension::seeded_rng_factory(78);
+  bob_config.collaborative = true;  // bob rebases through 409s himself
+  extension::GDocsMediator bob_mediator(bob_transport.get(),
+                                        std::move(bob_config),
+                                        &offline_stack.clock);
+  client::GDocsClient bob(&bob_mediator, "doc");
+  bob.open();
+  ASSERT_EQ(bob.text(), "shared base. ");
+
+  // Alice goes dark and keeps editing; bob appends meanwhile.
+  offline_stack.clock.advance_us(60'000);
+  alice.insert(alice.text().size(), "alice was here. ");
+  alice.save();
+  ASSERT_TRUE(offline_stack.mediator->offline_active("doc"));
+  bob.insert(bob.text().size(), "bob was here. ");
+  bob.save();
+
+  offline_stack.clock.advance_us(400'000);
+  ASSERT_TRUE(offline_stack.drain("doc"));
+  EXPECT_GE(offline_stack.mediator->counters().offline_rebases, 1u);
+
+  // Both contributions survive, each exactly once.
+  client::GDocsClient reader(offline_stack.mediator.get(), "doc");
+  reader.open();
+  EXPECT_NE(reader.text().find("alice was here. "), std::string::npos);
+  EXPECT_NE(reader.text().find("bob was here. "), std::string::npos);
+  EXPECT_NE(reader.text().find("shared base. "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Replica health scoring
+// ---------------------------------------------------------------------------
+
+TEST(HealthScore, ErrorRateDominatesAndLatencyIsQuantized) {
+  extension::ReplicaHealth fast;
+  fast.ewma_latency_us = 3'000;
+  extension::ReplicaHealth jittery;
+  jittery.ewma_latency_us = 9'000;
+  // Sub-10ms jitter between healthy replicas must not reshuffle them.
+  EXPECT_EQ(fast.score(), jittery.score());
+
+  extension::ReplicaHealth slow;
+  slow.ewma_latency_us = 55'000;  // a browned-out replica
+  EXPECT_GT(slow.score(), fast.score());
+
+  extension::ReplicaHealth failing;
+  failing.ewma_error = 0.3;
+  // Any error rate outweighs any realistic latency difference.
+  EXPECT_GT(failing.score(), slow.score());
+}
+
+TEST(HealthFailover, DeadReplicaIsQuarantinedAndProbationRestoresIt) {
+  SimClock clock;
+  cloud::GDocsServer server_a;
+  cloud::GDocsServer server_b;
+  LoopbackTransport transport_a(
+      [&server_a](const HttpRequest& r) { return server_a.handle(r); }, &clock,
+      instant(), crypto::CtrDrbg::from_seed(90));
+  LoopbackTransport transport_b(
+      [&server_b](const HttpRequest& r) { return server_b.handle(r); }, &clock,
+      instant(), crypto::CtrDrbg::from_seed(91));
+
+  // Replica 0 is dark early on; replica 1 goes dark later — after 0 has
+  // healed — which forces the read path to grant 0 its probation attempt.
+  FaultyChannel faulty_a(&transport_a, FaultSpec{},
+                         std::make_unique<Xoshiro256>(92), &clock);
+  OutageSchedule outage_a;
+  outage_a.windows.push_back({0, 300'000, OutageKind::kBlackout, 1.0});
+  faulty_a.set_outages(outage_a);
+  FaultyChannel faulty_b(&transport_b, FaultSpec{},
+                         std::make_unique<Xoshiro256>(93), &clock);
+  OutageSchedule outage_b;
+  outage_b.windows.push_back({900'000, 2'000'000, OutageKind::kBlackout, 1.0});
+  faulty_b.set_outages(outage_b);
+
+  extension::ReplicationConfig config;
+  config.write_quorum = 1;  // availability mode: any replica may ack
+  extension::ReplicatedChannel replicated({&faulty_a, &faulty_b}, {}, config,
+                                          &clock);
+
+  client::GDocsClient writer(&replicated, "doc");
+  writer.create();
+  for (int i = 0; i < 6; ++i) {
+    writer.insert(writer.text().size(), "w");
+    writer.save();
+  }
+
+  // The failed writes taught the scores: replica 0 is quarantined and
+  // reads reorder to hit the live replica first.
+  EXPECT_TRUE(replicated.health(0).quarantined);
+  EXPECT_GE(replicated.counters().quarantines, 1u);
+  EXPECT_GT(replicated.health(0).ewma_error, 0.5);
+  ASSERT_FALSE(replicated.read_order().empty());
+  EXPECT_EQ(replicated.read_order().front(), 1u);
+
+  client::GDocsClient reader(&replicated, "doc");
+  reader.open();
+  EXPECT_EQ(reader.text(), writer.text());
+  EXPECT_GE(replicated.counters().health_reorders, 1u);
+
+  // Replica 0 heals; anti-entropy catches its data up (quarantine is a
+  // health verdict, not a data verdict — repair traffic bypasses it).
+  clock.advance_us(400'000);  // outage_a over, outage_b not yet begun
+  EXPECT_GT(replicated.repair_all(), 0u);
+  EXPECT_TRUE(replicated.health(0).quarantined);  // repairs don't parole
+
+  // Its probation expires; then replica 1 goes dark. The next read fails
+  // over onto 0's probationary attempt, which succeeds and lifts the
+  // quarantine.
+  clock.advance_us(600'000);  // past probation, inside outage_b
+  client::GDocsClient late_reader(&replicated, "doc");
+  late_reader.open();
+  EXPECT_EQ(late_reader.text(), writer.text());
+  EXPECT_GE(replicated.counters().probations, 1u);
+  EXPECT_FALSE(replicated.health(0).quarantined);
+
+  // Replica 0 is back in the rotation, though its error EWMA still ranks
+  // it behind the (briefly flaky but long-healthy) replica 1.
+  const std::vector<std::size_t> order = replicated.read_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+
+  // The health observations also fed the latency histograms.
+  EXPECT_GT(replicated.health(1).latency.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-stack simulation under scripted flapping outages
+// ---------------------------------------------------------------------------
+
+void print_resilience_coverage(const char* tag, const sim::SimReport& rep) {
+  const auto& c = rep.cov;
+  std::cout << "[resilience] " << tag << " ops=" << c.ops_executed
+            << " off_in=" << c.offline_entered << " acks=" << c.offline_acks
+            << " flush=" << c.offline_flushes << " rebase=" << c.offline_rebases
+            << " dedupe=" << c.offline_dedupes
+            << " backpr=" << c.offline_backpressure
+            << " trips=" << c.breaker_trips << " outage=" << c.outage_faults
+            << "\n";
+}
+
+/// ~30% of each 400 ms block is under some outage: a hard blackout, a 70%
+/// brownout, and an asymmetric ack-loss window. The pattern repeats per
+/// soak iteration so the outage fraction is scale-invariant.
+sim::SimConfig outage_config(enc::Mode mode, std::size_t block,
+                             std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.mode = mode;
+  cfg.block_chars = block;
+  cfg.seed = seed;
+  cfg.ops = 400 * iter_scale();
+  cfg.initial_chars = 96;
+  cfg.offline = true;
+  cfg.strict = true;
+  cfg.op_interval_us = 1'000;
+  for (std::size_t k = 0; k < iter_scale(); ++k) {
+    const std::uint64_t base = k * 400'000;
+    cfg.outages.windows.push_back(
+        {base + 50'000, base + 120'000, OutageKind::kBlackout, 1.0});
+    cfg.outages.windows.push_back(
+        {base + 170'000, base + 210'000, OutageKind::kBrownout, 0.7});
+    cfg.outages.windows.push_back(
+        {base + 260'000, base + 280'000, OutageKind::kAsymDown, 1.0});
+  }
+  return cfg;
+}
+
+void run_outage(enc::Mode mode, std::size_t block, std::uint64_t seed,
+                const char* tag) {
+  const sim::SimConfig cfg = outage_config(mode, block, seed);
+  const sim::SimReport rep = sim::run_sim(cfg);
+  EXPECT_TRUE(rep.ok) << rep.failure_id << " at op " << rep.failed_at_op
+                      << ": " << rep.message << "\nrepro: " << rep.repro;
+  print_resilience_coverage(tag, rep);
+  // The run must actually have exercised disconnected operation — a clean
+  // pass with zero offline activity would prove nothing.
+  EXPECT_GT(rep.cov.outage_faults, 0u) << tag;
+  EXPECT_GT(rep.cov.offline_entered, 0u) << tag;
+  EXPECT_GT(rep.cov.offline_acks, 0u) << tag;
+  EXPECT_GT(rep.cov.offline_flushes, 0u) << tag;
+}
+
+TEST(SimOutage, RecbBlock1) { run_outage(enc::Mode::kRecb, 1, 5101, "recb/b1"); }
+TEST(SimOutage, RecbBlock4) { run_outage(enc::Mode::kRecb, 4, 5104, "recb/b4"); }
+TEST(SimOutage, RecbBlock8) { run_outage(enc::Mode::kRecb, 8, 5108, "recb/b8"); }
+TEST(SimOutage, RpcBlock1) { run_outage(enc::Mode::kRpc, 1, 5201, "rpc/b1"); }
+TEST(SimOutage, RpcBlock4) { run_outage(enc::Mode::kRpc, 4, 5204, "rpc/b4"); }
+TEST(SimOutage, RpcBlock8) { run_outage(enc::Mode::kRpc, 8, 5208, "rpc/b8"); }
+
+TEST(SimOutage, JournaledOfflineRunConverges) {
+  // The composed offline update must keep the write-ahead journal
+  // coherent (exactly one pending entry) so a crash mid-outage would
+  // recover through the normal WAL replay.
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("privedit-resilience-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  sim::SimConfig cfg = outage_config(enc::Mode::kRpc, 4, 5304);
+  cfg.journal = true;
+  cfg.work_dir = dir.string();
+  const sim::SimReport rep = sim::run_sim(cfg);
+  EXPECT_TRUE(rep.ok) << rep.failure_id << " at op " << rep.failed_at_op
+                      << ": " << rep.message << "\nrepro: " << rep.repro;
+  print_resilience_coverage("rpc/b4+journal", rep);
+  EXPECT_GT(rep.cov.offline_acks, 0u);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(SimOutage, ConfigWireRoundTripsOutageFields) {
+  sim::SimConfig cfg = outage_config(enc::Mode::kRpc, 8, 42);
+  const sim::SimConfig back = sim::SimConfig::parse(cfg.to_wire());
+  EXPECT_EQ(back.offline, cfg.offline);
+  EXPECT_EQ(back.strict, cfg.strict);
+  EXPECT_EQ(back.op_interval_us, cfg.op_interval_us);
+  ASSERT_EQ(back.outages.windows.size(), cfg.outages.windows.size());
+  for (std::size_t i = 0; i < cfg.outages.windows.size(); ++i) {
+    EXPECT_EQ(back.outages.windows[i].start_us, cfg.outages.windows[i].start_us);
+    EXPECT_EQ(back.outages.windows[i].end_us, cfg.outages.windows[i].end_us);
+    EXPECT_EQ(back.outages.windows[i].kind, cfg.outages.windows[i].kind);
+    EXPECT_NEAR(back.outages.windows[i].intensity,
+                cfg.outages.windows[i].intensity, 0.001);
+  }
+}
+
+}  // namespace
+}  // namespace privedit::net

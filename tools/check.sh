@@ -8,11 +8,16 @@
 # and corrupt bytes through the decoders.
 #
 # Usage:
-#   tools/check.sh [thread|address|asan-ubsan|sim] [extra ctest args...]
+#   tools/check.sh [thread|address|asan-ubsan|sim|resilience] [extra ctest args...]
 #
 # The sim mode runs only the simulation-harness tests (ctest label "sim")
 # in a plain build, scaled up via PRIVEDIT_SIM_ITERS (default 10x the
 # tier-1 budget — override in the environment for longer soaks).
+#
+# The resilience mode soaks the disconnected-operation suite (ctest label
+# "resilience": breaker, admission control, offline queue, outage-schedule
+# sim runs) with PRIVEDIT_RESILIENCE_ITERS scaling the outage phases
+# (default 10x), in a plain build for wall-clock throughput.
 #
 # Uses a separate build tree (build-<sanitizer>/) so the regular build/
 # stays untouched.
@@ -32,10 +37,20 @@ if [ "${SANITIZER}" = "sim" ]; then
   exec ctest --output-on-failure -j"$(nproc)" -L sim "$@"
 fi
 
+if [ "${SANITIZER}" = "resilience" ]; then
+  BUILD_DIR="${REPO_ROOT}/build-sim"
+  cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}" -j"$(nproc)" --target resilience_test
+  export PRIVEDIT_RESILIENCE_ITERS="${PRIVEDIT_RESILIENCE_ITERS:-10}"
+  echo "resilience soak at PRIVEDIT_RESILIENCE_ITERS=${PRIVEDIT_RESILIENCE_ITERS}"
+  cd "${BUILD_DIR}"
+  exec ctest --output-on-failure -j"$(nproc)" -L resilience "$@"
+fi
+
 case "${SANITIZER}" in
   thread|address) CMAKE_SANITIZE="${SANITIZER}" ;;
   asan-ubsan)     CMAKE_SANITIZE="address+undefined" ;;
-  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim] [ctest args...]" >&2
+  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience] [ctest args...]" >&2
      exit 2 ;;
 esac
 
