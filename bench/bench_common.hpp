@@ -8,6 +8,8 @@
 // — but the shapes (who wins, by what factor, where crossovers fall) are
 // the reproduction target.
 
+#include <benchmark/benchmark.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -20,6 +22,16 @@
 #include "privedit/enc/scheme.hpp"
 
 namespace privedit::bench {
+
+/// DCE-proof sink for a buffer the benchmark writes but never reads:
+/// DoNotOptimize pins the pointer as observed, ClobberMemory forces every
+/// pending store to it to be materialised. Use after each in-loop write —
+/// a result that is neither sunk nor fed back into the next iteration can
+/// be deleted wholesale at -O2, and the "benchmark" times an empty loop.
+inline void sink_buffer(const void* data) {
+  benchmark::DoNotOptimize(data);
+  benchmark::ClobberMemory();
+}
 
 struct Stats {
   double mean = 0.0;

@@ -42,6 +42,7 @@ MicroResult run_micro(enc::Mode mode, int cases, std::uint64_t seed) {
     std::string doc;
     const double t_enc =
         time_seconds([&] { doc = scheme->initialize(pair.before); });
+    sink_buffer(doc.data());  // doc is otherwise dead after the timing
     const double t_inc = time_seconds([&] { scheme->transform_delta(d); });
     const std::string cdoc = scheme->ciphertext_doc();
 

@@ -1,0 +1,180 @@
+#include "privedit/crypto/aes_engine.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::crypto {
+namespace {
+
+#if PRIVEDIT_HAVE_AESNI
+// FIPS-197 Appendix C.1 vector, run through the hardware backend once at
+// dispatch time. A failure (broken microcode, miscompiled intrinsics)
+// must demote to software, not abort: the schemes still work, just slower.
+bool aesni_passes_kat() {
+  static const std::uint8_t kKey[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05,
+                                        0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b,
+                                        0x0c, 0x0d, 0x0e, 0x0f};
+  static const std::uint8_t kPlain[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
+                                          0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
+                                          0xcc, 0xdd, 0xee, 0xff};
+  static const std::uint8_t kCipher[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                           0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                           0x70, 0xb4, 0xc5, 0x5a};
+  try {
+    Aes128Ni aes(ByteView(kKey, 16));
+    std::uint8_t out[16];
+    aes.encrypt_block(ByteView(kPlain, 16), out);
+    if (std::memcmp(out, kCipher, 16) != 0) return false;
+    aes.decrypt_block(ByteView(kCipher, 16), out);
+    return std::memcmp(out, kPlain, 16) == 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool aesni_usable() {
+  // CPUID probe and KAT are immutable per process; cache them. The env
+  // override is intentionally NOT cached (tests flip it at runtime).
+  static const bool usable = aesni_cpu_supported() && aesni_passes_kat();
+  return usable;
+}
+#endif
+
+bool aesni_env_disabled() {
+  const char* v = std::getenv("PRIVEDIT_DISABLE_AESNI");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+std::string_view aes_backend_name(AesBackend backend) {
+  switch (backend) {
+    case AesBackend::kReference:
+      return "aes128-reference";
+    case AesBackend::kFast:
+      return "aes128-ttable";
+    case AesBackend::kAesNi:
+      return "aes128-aesni";
+  }
+  return "unknown";
+}
+
+AesBackend Aes128Engine::dispatch_backend() {
+#if PRIVEDIT_HAVE_AESNI
+  if (!aesni_env_disabled() && aesni_usable()) return AesBackend::kAesNi;
+#endif
+  return AesBackend::kFast;
+}
+
+Aes128Engine::Aes128Engine(ByteView key)
+    : Aes128Engine(key, dispatch_backend()) {}
+
+Aes128Engine::Aes128Engine(ByteView key, AesBackend forced)
+    : backend_(forced) {
+  switch (backend_) {
+    case AesBackend::kReference:
+      ref_.emplace(key);
+      return;
+    case AesBackend::kFast:
+      fast_.emplace(key);
+      return;
+    case AesBackend::kAesNi:
+#if PRIVEDIT_HAVE_AESNI
+      if (aesni_usable()) {
+        ni_.emplace(key);
+        return;
+      }
+#endif
+      throw CryptoError("Aes128Engine: AES-NI backend unavailable");
+  }
+  throw CryptoError("Aes128Engine: unknown backend");
+}
+
+void Aes128Engine::encrypt_block(ByteView in, MutByteView out) const {
+  switch (backend_) {
+    case AesBackend::kReference:
+      ref_->encrypt_block(in, out);
+      return;
+    case AesBackend::kFast:
+      fast_->encrypt_block(in, out);
+      return;
+    case AesBackend::kAesNi:
+#if PRIVEDIT_HAVE_AESNI
+      ni_->encrypt_block(in, out);
+#endif
+      return;
+  }
+}
+
+void Aes128Engine::decrypt_block(ByteView in, MutByteView out) const {
+  switch (backend_) {
+    case AesBackend::kReference:
+      ref_->decrypt_block(in, out);
+      return;
+    case AesBackend::kFast:
+      fast_->decrypt_block(in, out);
+      return;
+    case AesBackend::kAesNi:
+#if PRIVEDIT_HAVE_AESNI
+      ni_->decrypt_block(in, out);
+#endif
+      return;
+  }
+}
+
+Bytes Aes128Engine::encrypt_block(ByteView in) const {
+  Bytes out(kBlockSize);
+  encrypt_block(in, out);
+  return out;
+}
+
+Bytes Aes128Engine::decrypt_block_copy(ByteView in) const {
+  Bytes out(kBlockSize);
+  decrypt_block(in, out);
+  return out;
+}
+
+void Aes128Engine::encrypt_blocks(ByteView in, MutByteView out,
+                                  std::size_t n) const {
+  if (in.size() != kBlockSize * n || out.size() != kBlockSize * n) {
+    throw CryptoError("Aes128Engine::encrypt_blocks: buffers must be 16*n");
+  }
+#if PRIVEDIT_HAVE_AESNI
+  if (backend_ == AesBackend::kAesNi) {
+    ni_->encrypt_blocks(in, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    encrypt_block(in.subspan(16 * i, 16), out.subspan(16 * i, 16));
+  }
+}
+
+void Aes128Engine::decrypt_blocks(ByteView in, MutByteView out,
+                                  std::size_t n) const {
+  if (in.size() != kBlockSize * n || out.size() != kBlockSize * n) {
+    throw CryptoError("Aes128Engine::decrypt_blocks: buffers must be 16*n");
+  }
+#if PRIVEDIT_HAVE_AESNI
+  if (backend_ == AesBackend::kAesNi) {
+    ni_->decrypt_blocks(in, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    decrypt_block(in.subspan(16 * i, 16), out.subspan(16 * i, 16));
+  }
+}
+
+void ctr128_increment(MutByteView counter) {
+  if (counter.size() != 16) {
+    throw CryptoError("ctr128_increment: counter must be 16 bytes");
+  }
+  for (int i = 15; i >= 0; --i) {
+    if (++counter[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+}  // namespace privedit::crypto

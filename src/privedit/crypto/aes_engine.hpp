@@ -1,0 +1,82 @@
+#pragma once
+// Aes128Engine — the single AES-128 dispatch facade every cipher consumer
+// goes through (enc/ schemes, the wide-block Feistel rounds, the CTR-DRBG,
+// the AES-CMAC incremental-MAC PRF). Nothing outside crypto/ names a
+// concrete cipher class anymore; backends are selected once per process:
+//
+//   kAesNi — hardware AES (crypto/aes_ni.hpp), used when the binary was
+//            built with AES-NI support, the CPU reports the extension,
+//            PRIVEDIT_DISABLE_AESNI is not set in the environment, and the
+//            backend passes a FIPS-197 known-answer self-check at dispatch
+//            time. A KAT failure forces software fallback, never an abort.
+//   kFast  — T-table software AES (crypto/aes_fast.hpp), the fallback.
+//   kReference — byte-wise FIPS-197 code (crypto/aes.hpp); never chosen by
+//            dispatch, but can be forced for differential tests/benches.
+//
+// The batch entry points (encrypt_blocks/decrypt_blocks) amortise one key
+// schedule over a run of adjacent blocks and let the AES-NI backend keep
+// 8 blocks in flight; software backends loop block-at-a-time.
+
+#include <optional>
+#include <string_view>
+
+#include "privedit/crypto/aes.hpp"
+#include "privedit/crypto/aes_fast.hpp"
+#include "privedit/crypto/aes_ni.hpp"
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::crypto {
+
+enum class AesBackend : std::uint8_t { kReference, kFast, kAesNi };
+
+std::string_view aes_backend_name(AesBackend backend);
+
+class Aes128Engine {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  /// Expands `key` on the dispatched backend. Throws CryptoError on wrong
+  /// key size.
+  explicit Aes128Engine(ByteView key);
+
+  /// Test/bench hook: force a specific backend. Forcing kAesNi on a host
+  /// without usable AES-NI throws CryptoError.
+  Aes128Engine(ByteView key, AesBackend forced);
+
+  /// The process-wide dispatch decision (recomputed per call so tests can
+  /// flip PRIVEDIT_DISABLE_AESNI; the CPUID + KAT probe result is cached).
+  static AesBackend dispatch_backend();
+
+  /// Backend this instance was keyed on.
+  AesBackend backend() const { return backend_; }
+
+  /// Single-block interface; in == out aliasing is allowed on every
+  /// backend (pinned by tests/crypto_test.cpp).
+  void encrypt_block(ByteView in, MutByteView out) const;
+  void decrypt_block(ByteView in, MutByteView out) const;
+  Bytes encrypt_block(ByteView in) const;
+  Bytes decrypt_block_copy(ByteView in) const;
+
+  /// Batch interface over `n` adjacent 16-byte blocks
+  /// (in.size() == out.size() == 16*n; exact aliasing allowed).
+  void encrypt_blocks(ByteView in, MutByteView out, std::size_t n) const;
+  void decrypt_blocks(ByteView in, MutByteView out, std::size_t n) const;
+
+ private:
+  AesBackend backend_;
+  std::optional<Aes128> ref_;
+  std::optional<Aes128Fast> fast_;
+#if PRIVEDIT_HAVE_AESNI
+  std::optional<Aes128Ni> ni_;
+#endif
+};
+
+/// Increments a 16-byte big-endian block counter in place with full carry
+/// propagation (the CTR-DRBG counter). Factored out so the 2^32 block-index
+/// boundary can be pinned by a synthetic regression test — the bug family
+/// where a 32-bit temporary silently wraps at block 2^32 (cf. the PR 3
+/// delta count overflow).
+void ctr128_increment(MutByteView counter);
+
+}  // namespace privedit::crypto

@@ -1,0 +1,220 @@
+#include "privedit/crypto/aes_ni.hpp"
+
+#include "privedit/util/error.hpp"
+
+#if defined(__i386__) || defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+namespace privedit::crypto {
+
+bool aesni_cpu_supported() {
+#if PRIVEDIT_HAVE_AESNI
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  // AES-NI is CPUID.1:ECX bit 25; the pipelined loads also want SSSE3
+  // (bit 9), present on every AES-NI part but checked anyway.
+  return (ecx & (1u << 25)) != 0 && (ecx & (1u << 9)) != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace privedit::crypto
+
+#if PRIVEDIT_HAVE_AESNI
+
+#include <cstring>
+#include <wmmintrin.h>  // AESENC/AESDEC/AESIMC/AESKEYGENASSIST
+
+namespace privedit::crypto {
+namespace {
+
+// Key-expansion step: AESKEYGENASSIST gives SubWord(RotWord(w3)) ^ Rcon in
+// lane 3; fold it into the sliding XOR of the previous round key.
+template <int Rcon>
+inline __m128i expand_step(__m128i key) {
+  __m128i t = _mm_aeskeygenassist_si128(key, Rcon);
+  t = _mm_shuffle_epi32(t, _MM_SHUFFLE(3, 3, 3, 3));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  return _mm_xor_si128(key, t);
+}
+
+inline __m128i load_rk(const std::uint8_t* p) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+}  // namespace
+
+Aes128Ni::Aes128Ni(ByteView key) {
+  if (key.size() != kKeySize) {
+    throw CryptoError("Aes128Ni: key must be 16 bytes");
+  }
+  __m128i rk[kRounds + 1];
+  rk[0] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key.data()));
+  rk[1] = expand_step<0x01>(rk[0]);
+  rk[2] = expand_step<0x02>(rk[1]);
+  rk[3] = expand_step<0x04>(rk[2]);
+  rk[4] = expand_step<0x08>(rk[3]);
+  rk[5] = expand_step<0x10>(rk[4]);
+  rk[6] = expand_step<0x20>(rk[5]);
+  rk[7] = expand_step<0x40>(rk[6]);
+  rk[8] = expand_step<0x80>(rk[7]);
+  rk[9] = expand_step<0x1b>(rk[8]);
+  rk[10] = expand_step<0x36>(rk[9]);
+  for (int i = 0; i <= kRounds; ++i) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(ek_.data() + 16 * i), rk[i]);
+  }
+  // Equivalent-inverse decryption keys: reversed order, AESIMC on the
+  // inner rounds (AESDEC folds InvMixColumns into the round key domain).
+  _mm_store_si128(reinterpret_cast<__m128i*>(dk_.data()), rk[kRounds]);
+  for (int i = 1; i < kRounds; ++i) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(dk_.data() + 16 * i),
+                    _mm_aesimc_si128(rk[kRounds - i]));
+  }
+  _mm_store_si128(reinterpret_cast<__m128i*>(dk_.data() + 16 * kRounds),
+                  rk[0]);
+}
+
+Aes128Ni::~Aes128Ni() {
+  secure_wipe(ek_);
+  secure_wipe(dk_);
+}
+
+void Aes128Ni::encrypt_block(ByteView in, MutByteView out) const {
+  if (in.size() != kBlockSize || out.size() != kBlockSize) {
+    throw CryptoError("Aes128Ni::encrypt_block: block must be 16 bytes");
+  }
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in.data()));
+  s = _mm_xor_si128(s, load_rk(ek_.data()));
+  for (int r = 1; r < kRounds; ++r) {
+    s = _mm_aesenc_si128(s, load_rk(ek_.data() + 16 * r));
+  }
+  s = _mm_aesenclast_si128(s, load_rk(ek_.data() + 16 * kRounds));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.data()), s);
+}
+
+void Aes128Ni::decrypt_block(ByteView in, MutByteView out) const {
+  if (in.size() != kBlockSize || out.size() != kBlockSize) {
+    throw CryptoError("Aes128Ni::decrypt_block: block must be 16 bytes");
+  }
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in.data()));
+  s = _mm_xor_si128(s, load_rk(dk_.data()));
+  for (int r = 1; r < kRounds; ++r) {
+    s = _mm_aesdec_si128(s, load_rk(dk_.data() + 16 * r));
+  }
+  s = _mm_aesdeclast_si128(s, load_rk(dk_.data() + 16 * kRounds));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.data()), s);
+}
+
+void Aes128Ni::encrypt_blocks(ByteView in, MutByteView out,
+                              std::size_t n) const {
+  if (in.size() != 16 * n || out.size() != 16 * n) {
+    throw CryptoError("Aes128Ni::encrypt_blocks: buffers must be 16*n bytes");
+  }
+  const std::uint8_t* src = in.data();
+  std::uint8_t* dst = out.data();
+  std::size_t i = 0;
+  // 8-wide groups: AESENC has multi-cycle latency but single-cycle
+  // throughput, so interleaving 8 independent states keeps the unit busy.
+  for (; i + 8 <= n; i += 8, src += 128, dst += 128) {
+    const __m128i* s = reinterpret_cast<const __m128i*>(src);
+    __m128i rk = load_rk(ek_.data());
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(s + 0), rk);
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(s + 1), rk);
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(s + 2), rk);
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(s + 3), rk);
+    __m128i b4 = _mm_xor_si128(_mm_loadu_si128(s + 4), rk);
+    __m128i b5 = _mm_xor_si128(_mm_loadu_si128(s + 5), rk);
+    __m128i b6 = _mm_xor_si128(_mm_loadu_si128(s + 6), rk);
+    __m128i b7 = _mm_xor_si128(_mm_loadu_si128(s + 7), rk);
+    for (int r = 1; r < kRounds; ++r) {
+      rk = load_rk(ek_.data() + 16 * r);
+      b0 = _mm_aesenc_si128(b0, rk);
+      b1 = _mm_aesenc_si128(b1, rk);
+      b2 = _mm_aesenc_si128(b2, rk);
+      b3 = _mm_aesenc_si128(b3, rk);
+      b4 = _mm_aesenc_si128(b4, rk);
+      b5 = _mm_aesenc_si128(b5, rk);
+      b6 = _mm_aesenc_si128(b6, rk);
+      b7 = _mm_aesenc_si128(b7, rk);
+    }
+    rk = load_rk(ek_.data() + 16 * kRounds);
+    __m128i* d = reinterpret_cast<__m128i*>(dst);
+    _mm_storeu_si128(d + 0, _mm_aesenclast_si128(b0, rk));
+    _mm_storeu_si128(d + 1, _mm_aesenclast_si128(b1, rk));
+    _mm_storeu_si128(d + 2, _mm_aesenclast_si128(b2, rk));
+    _mm_storeu_si128(d + 3, _mm_aesenclast_si128(b3, rk));
+    _mm_storeu_si128(d + 4, _mm_aesenclast_si128(b4, rk));
+    _mm_storeu_si128(d + 5, _mm_aesenclast_si128(b5, rk));
+    _mm_storeu_si128(d + 6, _mm_aesenclast_si128(b6, rk));
+    _mm_storeu_si128(d + 7, _mm_aesenclast_si128(b7, rk));
+  }
+  for (; i < n; ++i, src += 16, dst += 16) {
+    encrypt_block(ByteView(src, 16), MutByteView(dst, 16));
+  }
+}
+
+void Aes128Ni::decrypt_blocks(ByteView in, MutByteView out,
+                              std::size_t n) const {
+  if (in.size() != 16 * n || out.size() != 16 * n) {
+    throw CryptoError("Aes128Ni::decrypt_blocks: buffers must be 16*n bytes");
+  }
+  const std::uint8_t* src = in.data();
+  std::uint8_t* dst = out.data();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8, src += 128, dst += 128) {
+    const __m128i* s = reinterpret_cast<const __m128i*>(src);
+    __m128i rk = load_rk(dk_.data());
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(s + 0), rk);
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(s + 1), rk);
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(s + 2), rk);
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(s + 3), rk);
+    __m128i b4 = _mm_xor_si128(_mm_loadu_si128(s + 4), rk);
+    __m128i b5 = _mm_xor_si128(_mm_loadu_si128(s + 5), rk);
+    __m128i b6 = _mm_xor_si128(_mm_loadu_si128(s + 6), rk);
+    __m128i b7 = _mm_xor_si128(_mm_loadu_si128(s + 7), rk);
+    for (int r = 1; r < kRounds; ++r) {
+      rk = load_rk(dk_.data() + 16 * r);
+      b0 = _mm_aesdec_si128(b0, rk);
+      b1 = _mm_aesdec_si128(b1, rk);
+      b2 = _mm_aesdec_si128(b2, rk);
+      b3 = _mm_aesdec_si128(b3, rk);
+      b4 = _mm_aesdec_si128(b4, rk);
+      b5 = _mm_aesdec_si128(b5, rk);
+      b6 = _mm_aesdec_si128(b6, rk);
+      b7 = _mm_aesdec_si128(b7, rk);
+    }
+    rk = load_rk(dk_.data() + 16 * kRounds);
+    __m128i* d = reinterpret_cast<__m128i*>(dst);
+    _mm_storeu_si128(d + 0, _mm_aesdeclast_si128(b0, rk));
+    _mm_storeu_si128(d + 1, _mm_aesdeclast_si128(b1, rk));
+    _mm_storeu_si128(d + 2, _mm_aesdeclast_si128(b2, rk));
+    _mm_storeu_si128(d + 3, _mm_aesdeclast_si128(b3, rk));
+    _mm_storeu_si128(d + 4, _mm_aesdeclast_si128(b4, rk));
+    _mm_storeu_si128(d + 5, _mm_aesdeclast_si128(b5, rk));
+    _mm_storeu_si128(d + 6, _mm_aesdeclast_si128(b6, rk));
+    _mm_storeu_si128(d + 7, _mm_aesdeclast_si128(b7, rk));
+  }
+  for (; i < n; ++i, src += 16, dst += 16) {
+    decrypt_block(ByteView(src, 16), MutByteView(dst, 16));
+  }
+}
+
+Bytes Aes128Ni::encrypt_block(ByteView in) const {
+  Bytes out(kBlockSize);
+  encrypt_block(in, out);
+  return out;
+}
+
+Bytes Aes128Ni::decrypt_block_copy(ByteView in) const {
+  Bytes out(kBlockSize);
+  decrypt_block(in, out);
+  return out;
+}
+
+}  // namespace privedit::crypto
+
+#endif  // PRIVEDIT_HAVE_AESNI

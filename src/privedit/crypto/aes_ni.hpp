@@ -1,0 +1,70 @@
+#pragma once
+// Aes128Ni — AES-128 on the x86 AES-NI instruction set
+// (AESENC/AESDEC/AESKEYGENASSIST via compiler intrinsics).
+//
+// This is the hardware backend behind crypto/aes_engine.hpp: one
+// round-per-instruction, with a batch path that keeps 4–8 independent
+// blocks in flight so the ~4-cycle AESENC latency is hidden by the
+// 1-per-cycle throughput of the unit. A typed-insert splice re-encrypts a
+// run of adjacent blocks, which is exactly the shape the batch path wants.
+//
+// Availability is three-layered:
+//   - compile time: PRIVEDIT_HAVE_AESNI is defined by CMake only when the
+//     compiler accepts -maes/-mssse3 (x86 targets); on other architectures
+//     this header declares nothing but the probe function.
+//   - run time: aesni_cpu_supported() executes CPUID; the engine never
+//     constructs an Aes128Ni on hardware without the extension.
+//   - self-check: the engine runs a FIPS-197 KAT through this class once
+//     at dispatch time and falls back to software if it fails.
+//
+// Only aes_ni.cpp is compiled with -maes; this header stays intrinsic-free
+// so every other translation unit builds with the project-wide flags.
+
+#include <array>
+#include <cstdint>
+
+#include "privedit/util/bytes.hpp"
+
+namespace privedit::crypto {
+
+/// True when the running CPU reports AES-NI (CPUID.1:ECX.AES[bit 25]).
+/// Always false when the toolchain cannot emit the instructions.
+bool aesni_cpu_supported();
+
+#if PRIVEDIT_HAVE_AESNI
+
+class Aes128Ni {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  /// Expands the key with AESKEYGENASSIST. Throws CryptoError on wrong key
+  /// size. Precondition: aesni_cpu_supported() — constructing on a CPU
+  /// without the extension is undefined (SIGILL).
+  explicit Aes128Ni(ByteView key);
+  ~Aes128Ni();
+
+  void encrypt_block(ByteView in, MutByteView out) const;
+  void decrypt_block(ByteView in, MutByteView out) const;
+
+  Bytes encrypt_block(ByteView in) const;
+  Bytes decrypt_block_copy(ByteView in) const;
+
+  /// Batch interface: `n` adjacent 16-byte blocks, `in.size() == out.size()
+  /// == 16 * n`. Blocks are independent (ECB-shaped); 8 are pipelined per
+  /// dispatch group. `in` and `out` may alias exactly.
+  void encrypt_blocks(ByteView in, MutByteView out, std::size_t n) const;
+  void decrypt_blocks(ByteView in, MutByteView out, std::size_t n) const;
+
+ private:
+  // 11 encryption + 11 decryption round keys, 16 bytes each, stored as raw
+  // bytes so the header needs no vector types; the .cpp loads them into
+  // XMM registers. 16-byte alignment allows aligned loads.
+  alignas(16) std::array<std::uint8_t, 16 * (kRounds + 1)> ek_{};
+  alignas(16) std::array<std::uint8_t, 16 * (kRounds + 1)> dk_{};
+};
+
+#endif  // PRIVEDIT_HAVE_AESNI
+
+}  // namespace privedit::crypto

@@ -6,12 +6,19 @@
 #include "privedit/util/error.hpp"
 
 namespace privedit::crypto {
+namespace {
+
+// Keystream is generated in bounded stack-resident runs: enough blocks to
+// saturate the AES-NI pipeline, small enough to stay allocation-free.
+constexpr std::size_t kRunBlocks = 64;
+
+}  // namespace
 
 CtrDrbg::CtrDrbg(ByteView seed_material) {
   if (seed_material.size() != kSeedLen) {
     throw CryptoError("CtrDrbg: seed material must be 32 bytes");
   }
-  cipher_ = std::make_unique<Aes128>(ByteView(key_.data(), key_.size()));
+  cipher_.emplace(ByteView(key_.data(), key_.size()));
   update(seed_material);
   reseed_counter_ = 1;
 }
@@ -31,19 +38,44 @@ std::unique_ptr<CtrDrbg> CtrDrbg::from_seed(std::uint64_t seed) {
   return std::make_unique<CtrDrbg>(material);
 }
 
-void CtrDrbg::increment_counter() {
-  for (int i = 15; i >= 0; --i) {
-    if (++v_[static_cast<std::size_t>(i)] != 0) break;
+void CtrDrbg::generate(MutByteView out) {
+  // Stage successive counter values, then encrypt the whole run in one
+  // batch call. Matches the legacy increment-then-encrypt-per-block
+  // stream exactly.
+  alignas(16) std::uint8_t counters[16 * kRunBlocks];
+  std::size_t touched = 0;  // wipe only the prefix a run actually staged
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    const std::size_t remaining = out.size() - produced;
+    const std::size_t blocks =
+        std::min(kRunBlocks, (remaining + 15) / 16);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      ctr128_increment(v_);
+      std::memcpy(counters + 16 * b, v_.data(), 16);
+    }
+    touched = std::max(touched, 16 * blocks);
+    const std::size_t full = std::min(remaining / 16, blocks);
+    if (full > 0) {
+      // Full blocks encrypt straight into the caller's buffer.
+      cipher_->encrypt_blocks(ByteView(counters, 16 * full),
+                              out.subspan(produced, 16 * full), full);
+      produced += 16 * full;
+    }
+    if (full < blocks) {
+      // Final partial block: encrypt in place, copy the prefix.
+      cipher_->encrypt_blocks(ByteView(counters + 16 * full, 16),
+                              MutByteView(counters + 16 * full, 16), 1);
+      const std::size_t take = out.size() - produced;
+      std::memcpy(out.data() + produced, counters + 16 * full, take);
+      produced += take;
+    }
   }
+  secure_wipe(MutByteView(counters, touched));
 }
 
 void CtrDrbg::update(ByteView provided) {
   std::array<std::uint8_t, kSeedLen> temp{};
-  for (std::size_t off = 0; off < kSeedLen; off += 16) {
-    increment_counter();
-    cipher_->encrypt_block(ByteView(v_.data(), 16),
-                           MutByteView(temp.data() + off, 16));
-  }
+  generate(temp);
   if (!provided.empty()) {
     if (provided.size() != kSeedLen) {
       throw CryptoError("CtrDrbg::update: provided data must be 32 bytes");
@@ -52,7 +84,7 @@ void CtrDrbg::update(ByteView provided) {
   }
   std::memcpy(key_.data(), temp.data(), 16);
   std::memcpy(v_.data(), temp.data() + 16, 16);
-  cipher_ = std::make_unique<Aes128>(ByteView(key_.data(), key_.size()));
+  cipher_.emplace(ByteView(key_.data(), key_.size()));
   secure_wipe(temp);
 }
 
@@ -62,18 +94,9 @@ void CtrDrbg::reseed(ByteView seed_material) {
 }
 
 void CtrDrbg::fill(MutByteView out) {
-  std::size_t produced = 0;
-  std::uint8_t block[16];
-  while (produced < out.size()) {
-    increment_counter();
-    cipher_->encrypt_block(ByteView(v_.data(), 16), block);
-    const std::size_t take = std::min<std::size_t>(16, out.size() - produced);
-    std::memcpy(out.data() + produced, block, take);
-    produced += take;
-  }
+  generate(out);
   update({});
   ++reseed_counter_;
-  secure_wipe(block);
 }
 
 }  // namespace privedit::crypto

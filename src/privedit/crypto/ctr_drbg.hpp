@@ -3,12 +3,20 @@
 // NIST SP 800-90A CTR_DRBG without derivation function). This is the
 // cryptographic nonce source for the encryption schemes: nonces r_i must be
 // unpredictable to the server (§VI-A), so a non-crypto PRNG is not enough.
+//
+// The block cipher is the dispatched Aes128Engine, and the keystream is
+// produced through the batch interface: fill() stages a run of successive
+// counter values and encrypts them in one call, so a region re-encryption
+// that needs n nonces costs one pipelined AES pass instead of n dependent
+// single-block calls. The output stream is byte-identical to the original
+// block-at-a-time implementation (pinned by tests/crypto_test.cpp) — only
+// the schedule of AES invocations changed.
 
 #include <array>
 #include <cstdint>
 #include <memory>
 
-#include "privedit/crypto/aes.hpp"
+#include "privedit/crypto/aes_engine.hpp"
 #include "privedit/util/random.hpp"
 
 namespace privedit::crypto {
@@ -33,11 +41,14 @@ class CtrDrbg final : public RandomSource {
 
  private:
   void update(ByteView provided);  // SP 800-90A CTR_DRBG_Update
-  void increment_counter();
+
+  /// Writes ceil(out.size()/16) encrypted successive counter blocks into
+  /// `out` through the engine batch path, advancing v_.
+  void generate(MutByteView out);
 
   std::array<std::uint8_t, 16> key_{};
   std::array<std::uint8_t, 16> v_{};
-  std::unique_ptr<Aes128> cipher_;
+  std::optional<Aes128Engine> cipher_;
   std::uint64_t reseed_counter_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "privedit/crypto/inc_mac.hpp"
 
+#include <cstring>
+
 #include "privedit/crypto/hmac.hpp"
 #include "privedit/util/error.hpp"
 
@@ -12,22 +14,80 @@ Bytes index_prefix(std::size_t index) {
   return out;
 }
 
+// GF(2^128) doubling for CMAC subkey derivation (SP 800-38B §6.1).
+void cmac_double(std::uint8_t out[16], const std::uint8_t in[16]) {
+  const bool msb = (in[0] & 0x80) != 0;
+  for (int i = 0; i < 15; ++i) {
+    out[i] = static_cast<std::uint8_t>((in[i] << 1) | (in[i + 1] >> 7));
+  }
+  out[15] = static_cast<std::uint8_t>(in[15] << 1);
+  if (msb) out[15] ^= 0x87;
+}
+
 }  // namespace
 
 // ----------------------------------------------------------------- XorIncMac
 
-XorIncMac::XorIncMac(ByteView key) : key_(key.begin(), key.end()) {
+XorIncMac::XorIncMac(ByteView key, PrfKind prf)
+    : key_(key.begin(), key.end()), prf_(prf) {
   if (key.empty()) {
     throw CryptoError("XorIncMac: empty key");
   }
+  if (prf_ == PrfKind::kAesCmac) {
+    if (key.size() != Aes128Engine::kKeySize) {
+      throw CryptoError("XorIncMac: AES-CMAC needs a 16-byte key");
+    }
+    aes_.emplace(key);
+    std::uint8_t l[16] = {};
+    aes_->encrypt_block(ByteView(l, 16), MutByteView(l, 16));
+    cmac_double(k1_.data(), l);
+    cmac_double(k2_.data(), k1_.data());
+    secure_wipe(MutByteView(l, 16));
+  }
+}
+
+Bytes XorIncMac::cmac(ByteView prefix, ByteView message) const {
+  // CBC-MAC over prefix ‖ message with the final block masked by K1/K2.
+  std::uint8_t x[16] = {};
+  std::uint8_t block[16];
+  const std::size_t total = prefix.size() + message.size();
+  auto byte_at = [&](std::size_t i) {
+    return i < prefix.size() ? prefix[i] : message[i - prefix.size()];
+  };
+  std::size_t pos = 0;
+  // All blocks before the last one.
+  while (total - pos > 16) {
+    for (int i = 0; i < 16; ++i) {
+      x[i] = static_cast<std::uint8_t>(x[i] ^ byte_at(pos + static_cast<std::size_t>(i)));
+    }
+    aes_->encrypt_block(ByteView(x, 16), MutByteView(x, 16));
+    pos += 16;
+  }
+  const std::size_t last = total - pos;
+  if (last == 16) {
+    for (std::size_t i = 0; i < 16; ++i) block[i] = byte_at(pos + i);
+    for (int i = 0; i < 16; ++i) block[i] ^= k1_[static_cast<std::size_t>(i)];
+  } else {
+    std::memset(block, 0, 16);
+    for (std::size_t i = 0; i < last; ++i) block[i] = byte_at(pos + i);
+    block[last] = 0x80;
+    for (int i = 0; i < 16; ++i) block[i] ^= k2_[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < 16; ++i) x[i] ^= block[i];
+  aes_->encrypt_block(ByteView(x, 16), MutByteView(x, 16));
+  return Bytes(x, x + 16);
 }
 
 Bytes XorIncMac::term(std::size_t index, ByteView block) const {
-  return hmac_sha256(key_, concat(index_prefix(index), block));
+  const Bytes prefix = index_prefix(index);
+  if (prf_ == PrfKind::kAesCmac) {
+    return cmac(prefix, block);
+  }
+  return hmac_sha256(key_, concat(prefix, block));
 }
 
 Bytes XorIncMac::tag(const std::vector<Bytes>& blocks) const {
-  Bytes acc(kTagSize, 0);
+  Bytes acc(tag_size(), 0);
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     xor_into(acc, term(i, blocks[i]));
   }
@@ -37,7 +97,7 @@ Bytes XorIncMac::tag(const std::vector<Bytes>& blocks) const {
 Bytes XorIncMac::update_replace(ByteView current_tag, std::size_t index,
                                 ByteView old_block,
                                 ByteView new_block) const {
-  if (current_tag.size() != kTagSize) {
+  if (current_tag.size() != tag_size()) {
     throw CryptoError("XorIncMac: bad tag size");
   }
   Bytes updated(current_tag.begin(), current_tag.end());

@@ -26,17 +26,31 @@
 //              fail.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "privedit/crypto/aes_engine.hpp"
 #include "privedit/util/bytes.hpp"
 
 namespace privedit::crypto {
 
+/// PRF family backing XorIncMac's per-position terms.
+enum class PrfKind : std::uint8_t {
+  kHmacSha256,  // 32-byte terms, any key length (the default)
+  kAesCmac,     // 16-byte terms via the dispatched Aes128Engine (SP 800-38B)
+};
+
 class XorIncMac {
  public:
   static constexpr std::size_t kTagSize = 32;
+  static constexpr std::size_t kCmacTagSize = 16;
 
-  explicit XorIncMac(ByteView key);
+  explicit XorIncMac(ByteView key, PrfKind prf = PrfKind::kHmacSha256);
+
+  /// Term/tag width of the configured PRF.
+  std::size_t tag_size() const {
+    return prf_ == PrfKind::kHmacSha256 ? kTagSize : kCmacTagSize;
+  }
 
   /// Full MAC over a block sequence.
   Bytes tag(const std::vector<Bytes>& blocks) const;
@@ -53,7 +67,14 @@ class XorIncMac {
   Bytes term(std::size_t index, ByteView block) const;
 
  private:
+  Bytes cmac(ByteView prefix, ByteView message) const;
+
   Bytes key_;
+  PrfKind prf_;
+  // AES-CMAC state (SP 800-38B): dispatched cipher + derived subkeys.
+  std::optional<Aes128Engine> aes_;
+  std::array<std::uint8_t, 16> k1_{};
+  std::array<std::uint8_t, 16> k2_{};
 };
 
 class TreeIncMac {

@@ -5,18 +5,25 @@
 #include "privedit/util/error.hpp"
 
 namespace privedit::crypto {
+namespace {
+
+// Feistel halves for a batch run live in three rotating stack buffers;
+// bound the run so the frame stays small (3 x 1 KiB at 64 blocks).
+constexpr std::size_t kRunBlocks = 64;
+
+}  // namespace
 
 WideBlock::WideBlock(ByteView key) {
   if (key.size() != kKeySize) {
     throw CryptoError("WideBlock: key must be 16 bytes");
   }
   // Subkey i = AES_key(0^15 || i+1): independent PRF keys per round.
-  Aes128 master(key);
+  Aes128Engine master(key);
   for (int i = 0; i < kRounds; ++i) {
     std::uint8_t in[16] = {};
     in[15] = static_cast<std::uint8_t>(i + 1);
-    Bytes sub = master.encrypt_block(in);
-    round_[static_cast<std::size_t>(i)] = std::make_unique<Aes128>(sub);
+    Bytes sub = master.encrypt_block(ByteView(in, 16));
+    round_[static_cast<std::size_t>(i)] = std::make_unique<Aes128Engine>(sub);
     secure_wipe(sub);
   }
 }
@@ -55,6 +62,87 @@ void WideBlock::decrypt_block(ByteView in, MutByteView out) const {
   }
   std::memcpy(out.data(), left, 16);
   std::memcpy(out.data() + 16, right, 16);
+}
+
+void WideBlock::encrypt_blocks(ByteView in, MutByteView out,
+                               std::size_t n) const {
+  if (in.size() != kBlockSize * n || out.size() != kBlockSize * n) {
+    throw CryptoError("WideBlock::encrypt_blocks: buffers must be 32*n");
+  }
+  std::uint8_t buf_a[16 * kRunBlocks], buf_b[16 * kRunBlocks],
+      buf_c[16 * kRunBlocks];
+  std::size_t touched = 0;  // wipe only the prefix a run actually used
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t run = std::min(kRunBlocks, n - done);
+    touched = std::max(touched, 16 * run);
+    const std::uint8_t* src = in.data() + 32 * done;
+    std::uint8_t* left = buf_a;
+    std::uint8_t* right = buf_b;
+    std::uint8_t* f = buf_c;
+    for (std::size_t i = 0; i < run; ++i) {
+      std::memcpy(left + 16 * i, src + 32 * i, 16);
+      std::memcpy(right + 16 * i, src + 32 * i + 16, 16);
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      // All n right halves through one pipelined AES pass.
+      round_[static_cast<std::size_t>(r)]->encrypt_blocks(
+          ByteView(right, 16 * run), MutByteView(f, 16 * run), run);
+      for (std::size_t i = 0; i < 16 * run; ++i) f[i] ^= left[i];
+      std::uint8_t* spare = left;  // (L, R) -> (R, L ^ F_r(R))
+      left = right;
+      right = f;
+      f = spare;
+    }
+    std::uint8_t* dst = out.data() + 32 * done;
+    for (std::size_t i = 0; i < run; ++i) {
+      std::memcpy(dst + 32 * i, left + 16 * i, 16);
+      std::memcpy(dst + 32 * i + 16, right + 16 * i, 16);
+    }
+    done += run;
+  }
+  secure_wipe(MutByteView(buf_a, touched));
+  secure_wipe(MutByteView(buf_b, touched));
+  secure_wipe(MutByteView(buf_c, touched));
+}
+
+void WideBlock::decrypt_blocks(ByteView in, MutByteView out,
+                               std::size_t n) const {
+  if (in.size() != kBlockSize * n || out.size() != kBlockSize * n) {
+    throw CryptoError("WideBlock::decrypt_blocks: buffers must be 32*n");
+  }
+  std::uint8_t buf_a[16 * kRunBlocks], buf_b[16 * kRunBlocks],
+      buf_c[16 * kRunBlocks];
+  std::size_t touched = 0;
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t run = std::min(kRunBlocks, n - done);
+    touched = std::max(touched, 16 * run);
+    const std::uint8_t* src = in.data() + 32 * done;
+    std::uint8_t* left = buf_a;
+    std::uint8_t* right = buf_b;
+    std::uint8_t* f = buf_c;
+    for (std::size_t i = 0; i < run; ++i) {
+      std::memcpy(left + 16 * i, src + 32 * i, 16);
+      std::memcpy(right + 16 * i, src + 32 * i + 16, 16);
+    }
+    for (int r = kRounds - 1; r >= 0; --r) {
+      round_[static_cast<std::size_t>(r)]->encrypt_blocks(
+          ByteView(left, 16 * run), MutByteView(f, 16 * run), run);
+      for (std::size_t i = 0; i < 16 * run; ++i) f[i] ^= right[i];
+      std::uint8_t* spare = right;  // (L', R') -> (R' ^ F_r(L'), L')
+      right = left;
+      left = f;
+      f = spare;
+    }
+    std::uint8_t* dst = out.data() + 32 * done;
+    for (std::size_t i = 0; i < run; ++i) {
+      std::memcpy(dst + 32 * i, left + 16 * i, 16);
+      std::memcpy(dst + 32 * i + 16, right + 16 * i, 16);
+    }
+    done += run;
+  }
+  secure_wipe(MutByteView(buf_a, touched));
+  secure_wipe(MutByteView(buf_b, touched));
+  secure_wipe(MutByteView(buf_c, touched));
 }
 
 Bytes WideBlock::encrypt_block(ByteView in) const {

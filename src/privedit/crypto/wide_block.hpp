@@ -6,13 +6,18 @@
 // (nonce_i, d_i, nonce_{i+1}) with 64-bit nonces — up to 24+ bytes, wider
 // than an AES block. Luby–Rackoff with ≥4 rounds of independent PRF keys is
 // the textbook way to build a strong PRP of twice the width (the classical
-// result of Luby and Rackoff, 1988). Each round function is AES-128 under an
-// independently derived subkey, XORed into the opposite half.
+// result of Luby and Rackoff, 1988). Each round function is AES-128 through
+// the dispatched Aes128Engine, XORed into the opposite half.
+//
+// The batch interface pipelines n independent 32-byte blocks: per Feistel
+// round, all n right halves go through one engine batch call, so RPC's
+// region re-encryption costs 4 pipelined AES passes instead of 4n
+// dependent single-block calls.
 
 #include <array>
 #include <memory>
 
-#include "privedit/crypto/aes.hpp"
+#include "privedit/crypto/aes_engine.hpp"
 
 namespace privedit::crypto {
 
@@ -34,8 +39,13 @@ class WideBlock {
   Bytes encrypt_block(ByteView in) const;
   Bytes decrypt_block_copy(ByteView in) const;
 
+  /// Batch interface: `n` independent 32-byte blocks,
+  /// in.size() == out.size() == 32*n; exact aliasing allowed.
+  void encrypt_blocks(ByteView in, MutByteView out, std::size_t n) const;
+  void decrypt_blocks(ByteView in, MutByteView out, std::size_t n) const;
+
  private:
-  std::array<std::unique_ptr<Aes128>, kRounds> round_;
+  std::array<std::unique_ptr<Aes128Engine>, kRounds> round_;
 };
 
 }  // namespace privedit::crypto

@@ -14,7 +14,14 @@
 // A pointer's count covers the half-open span (node, forward-target], i.e.
 // it includes the destination. Pointers to the end of the list carry the
 // count of all remaining nodes so the update arithmetic stays uniform.
+//
+// Erased nodes are parked on per-level freelists (chained through
+// forward[0]) and reused by insert, so steady-state editing — where every
+// region edit erases a few nodes and inserts a few back — runs without
+// touching the allocator. A node carries four heap blocks (itself plus
+// three level-sized vectors); reuse keeps all four.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -60,10 +67,14 @@ class IndexedSkipList {
       : levels_(std::move(other.levels_)),
         head_(other.head_),
         size_(other.size_),
-        total_weight_(other.total_weight_) {
+        total_weight_(other.total_weight_),
+        free_(other.free_),
+        free_count_(other.free_count_) {
     other.head_ = nullptr;
     other.size_ = 0;
     other.total_weight_ = 0;
+    other.free_.fill(nullptr);
+    other.free_count_.fill(0);
   }
 
   std::size_t size() const { return size_; }
@@ -139,7 +150,7 @@ class IndexedSkipList {
     }
     // x == predecessor: last node with rank <= index.
     const int level = levels_.next_level();
-    Node* node = new Node(std::move(value), weight, level);
+    Node* node = acquire(std::move(value), weight, level);
     for (int i = 0; i < LevelGenerator::kMaxLevel; ++i) {
       if (i < level) {
         node->forward[i] = update[i]->forward[i];
@@ -188,7 +199,7 @@ class IndexedSkipList {
       }
     }
     T value = std::move(target->value);
-    delete target;
+    release(target);
     --size_;
     total_weight_ -= w;
     return value;
@@ -233,10 +244,29 @@ class IndexedSkipList {
   }
 
   void clear() {
-    clear_all();
-    head_ = new Node(T{}, 0, LevelGenerator::kMaxLevel);
+    if (head_ == nullptr) {  // moved-from
+      head_ = new Node(T{}, 0, LevelGenerator::kMaxLevel);
+    }
+    Node* x = head_->forward[0];
+    while (x != nullptr) {
+      Node* next = x->forward[0];
+      release(x);
+      x = next;
+    }
+    for (int i = 0; i < LevelGenerator::kMaxLevel; ++i) {
+      head_->forward[i] = nullptr;
+      head_->ewidth[i] = 0;
+      head_->wwidth[i] = 0;
+    }
     size_ = 0;
     total_weight_ = 0;
+  }
+
+  /// Nodes currently parked on the freelists (test hook).
+  std::size_t free_node_count() const {
+    std::size_t n = 0;
+    for (const std::size_t c : free_count_) n += c;
+    return n;
   }
 
   /// Structural invariant check (test hook): verifies that every skip count
@@ -324,12 +354,55 @@ class IndexedSkipList {
       x = next;
     }
     head_ = nullptr;
+    for (int i = 0; i < LevelGenerator::kMaxLevel; ++i) {
+      Node* f = free_[i];
+      while (f != nullptr) {
+        Node* next = f->forward[0];
+        delete f;
+        f = next;
+      }
+      free_[i] = nullptr;
+      free_count_[i] = 0;
+    }
+  }
+
+  // Freelists are capped so a one-off giant document can't pin its node
+  // memory forever; the cap is far above any steady-state edit's churn.
+  static constexpr std::size_t kFreeListCap = 1024;
+
+  Node* acquire(T&& value, std::size_t weight, int level) {
+    Node*& list = free_[static_cast<std::size_t>(level) - 1];
+    if (list != nullptr) {
+      Node* n = list;
+      list = n->forward[0];
+      --free_count_[static_cast<std::size_t>(level) - 1];
+      // insert() assigns forward/ewidth/wwidth for every slot below
+      // `level`, so only the payload needs refreshing here.
+      n->value = std::move(value);
+      n->weight = weight;
+      return n;
+    }
+    return new Node(std::move(value), weight, level);
+  }
+
+  void release(Node* n) {
+    const std::size_t lvl = static_cast<std::size_t>(n->level) - 1;
+    if (free_count_[lvl] >= kFreeListCap) {
+      delete n;
+      return;
+    }
+    n->value = T{};  // drop payload buffers while parked
+    n->forward[0] = free_[lvl];
+    free_[lvl] = n;
+    ++free_count_[lvl];
   }
 
   LevelGenerator levels_;
   Node* head_;
   std::size_t size_ = 0;
   std::size_t total_weight_ = 0;
+  std::array<Node*, LevelGenerator::kMaxLevel> free_{};
+  std::array<std::size_t, LevelGenerator::kMaxLevel> free_count_{};
 };
 
 }  // namespace privedit::ds

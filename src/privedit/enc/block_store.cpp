@@ -13,9 +13,10 @@ BlockStore::BlockStore(std::size_t block_chars, BlockPolicy policy,
   }
 }
 
-std::vector<std::string> BlockStore::chunk(std::string_view text) const {
-  std::vector<std::string> chunks;
-  if (text.empty()) return chunks;
+void BlockStore::chunk(std::string_view text,
+                       std::vector<std::string>& out) const {
+  out.clear();
+  if (text.empty()) return;
   if (policy_.split == BlockPolicy::Split::kEven) {
     const std::size_t k = (text.size() + block_chars_ - 1) / block_chars_;
     const std::size_t base = text.size() / k;
@@ -24,24 +25,25 @@ std::vector<std::string> BlockStore::chunk(std::string_view text) const {
     for (std::size_t i = 0; i < k; ++i) {
       const std::size_t len = base + (extra > 0 ? 1 : 0);
       if (extra > 0) --extra;
-      chunks.emplace_back(text.substr(pos, len));
+      out.emplace_back(text.substr(pos, len));
       pos += len;
     }
   } else {  // kGreedy
     for (std::size_t pos = 0; pos < text.size(); pos += block_chars_) {
-      chunks.emplace_back(text.substr(pos, block_chars_));
+      out.emplace_back(text.substr(pos, block_chars_));
     }
   }
-  return chunks;
 }
 
 void BlockStore::reset(std::string_view plaintext) {
   list_.clear();
+  chunk(plaintext, chunk_scratch_);
   std::size_t elem = 0;
-  for (std::string& piece : chunk(plaintext)) {
+  for (std::string& piece : chunk_scratch_) {
     const std::size_t weight = piece.size();
     list_.insert(elem++, Block{std::move(piece), {}, 0}, weight);
   }
+  chunk_scratch_.clear();
 }
 
 RegionChange BlockStore::replace_range(std::size_t pos, std::size_t del_count,
@@ -98,7 +100,9 @@ RegionChange BlockStore::replace_range(std::size_t pos, std::size_t del_count,
     }
   }
 
-  std::string region = prefix;
+  std::string& region = region_scratch_;
+  region.clear();
+  region += prefix;
   region += text;
   region += suffix;
 
@@ -111,7 +115,7 @@ RegionChange BlockStore::replace_range(std::size_t pos, std::size_t del_count,
     ++last_plus_one;
   }
 
-  std::vector<std::string> chunks = chunk(region);
+  chunk(region, chunk_scratch_);
 
   // Swap out the affected blocks.
   const std::size_t old_count = last_plus_one - first;
@@ -121,11 +125,12 @@ RegionChange BlockStore::replace_range(std::size_t pos, std::size_t del_count,
     removed.push_back(list_.erase(first));
   }
   std::size_t elem = first;
-  const std::size_t new_count = chunks.size();
-  for (std::string& piece : chunks) {
+  const std::size_t new_count = chunk_scratch_.size();
+  for (std::string& piece : chunk_scratch_) {
     const std::size_t weight = piece.size();
     list_.insert(elem++, Block{std::move(piece), {}, 0}, weight);
   }
+  chunk_scratch_.clear();
 
   return RegionChange{first, old_count, new_count, std::move(removed)};
 }

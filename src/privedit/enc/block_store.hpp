@@ -76,11 +76,19 @@ class BlockStore {
   const BlockPolicy& policy() const { return policy_; }
 
  private:
-  std::vector<std::string> chunk(std::string_view text) const;
+  /// Re-chunks `text` under the policy into `out` (cleared first). Chunks
+  /// are at most 8 chars, so the strings stay in SSO storage; the vector
+  /// itself is the caller's reusable scratch.
+  void chunk(std::string_view text, std::vector<std::string>& out) const;
 
   std::size_t block_chars_;
   BlockPolicy policy_;
   ds::IndexedSkipList<Block> list_;
+
+  // Reused across edits so the steady-state replace_range path performs no
+  // vector/string heap traffic (the skip list recycles nodes underneath).
+  std::vector<std::string> chunk_scratch_;
+  std::string region_scratch_;
 };
 
 }  // namespace privedit::enc

@@ -10,7 +10,7 @@
 
 #include <memory>
 
-#include "privedit/crypto/aes.hpp"
+#include "privedit/crypto/aes_engine.hpp"
 #include "privedit/enc/scheme.hpp"
 
 namespace privedit::enc {
@@ -37,7 +37,7 @@ class CoCloScheme final : public IncrementalScheme {
   std::string encode_body();
 
   ContainerHeader header_;
-  crypto::Aes128 aes_;
+  crypto::Aes128Engine aes_;
   std::unique_ptr<RandomSource> rng_;
   std::string plaintext_;
   std::string body_;  // current encoded unit sequence (after the header)

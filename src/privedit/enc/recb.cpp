@@ -9,6 +9,10 @@ namespace {
 
 constexpr std::size_t kUnitRaw = 1 + 16;
 
+// Batch re-encryption runs are chunked so the nonce and AES staging
+// buffers stay on the stack (24 bytes + 2 KiB at 64 blocks).
+constexpr std::size_t kRunBlocks = 64;
+
 void check_chars(std::string_view chars, std::size_t max_chars) {
   if (chars.empty() || chars.size() > max_chars || chars.size() > 8) {
     throw Error(ErrorCode::kInvalidArgument,
@@ -18,7 +22,7 @@ void check_chars(std::string_view chars, std::size_t max_chars) {
 
 }  // namespace
 
-Bytes recb_encrypt_unit(const crypto::Aes128& aes, ByteView r0,
+Bytes recb_encrypt_unit(const crypto::Aes128Engine& aes, ByteView r0,
                         std::string_view chars, RandomSource& rng) {
   check_chars(chars, 8);
   std::uint8_t ri[8];
@@ -41,7 +45,7 @@ Bytes recb_encrypt_unit(const crypto::Aes128& aes, ByteView r0,
   return unit;
 }
 
-std::string recb_decrypt_unit(const crypto::Aes128& aes, ByteView r0,
+std::string recb_decrypt_unit(const crypto::Aes128Engine& aes, ByteView r0,
                               ByteView unit, std::size_t max_chars) {
   if (unit.size() != kUnitRaw) {
     throw ParseError("rECB: unit has wrong size");
@@ -70,7 +74,7 @@ std::string recb_decrypt_unit(const crypto::Aes128& aes, ByteView r0,
   return std::string(reinterpret_cast<const char*>(payload), count);
 }
 
-Bytes recb_header_unit(const crypto::Aes128& aes, ByteView r0) {
+Bytes recb_header_unit(const crypto::Aes128Engine& aes, ByteView r0) {
   if (r0.size() != kNonceSize) {
     throw Error(ErrorCode::kInvalidArgument, "rECB: r0 must be 8 bytes");
   }
@@ -82,7 +86,7 @@ Bytes recb_header_unit(const crypto::Aes128& aes, ByteView r0) {
   return unit;
 }
 
-Bytes recb_open_header_unit(const crypto::Aes128& aes, ByteView unit) {
+Bytes recb_open_header_unit(const crypto::Aes128Engine& aes, ByteView unit) {
   if (unit.size() != kUnitRaw || unit[0] != 0) {
     throw ParseError("rECB: malformed header unit");
   }
@@ -115,9 +119,7 @@ std::string RecbScheme::initialize(std::string_view plaintext) {
 
   ContainerWriter writer(header_);
   writer.add_unit(header_unit_);
-  for (std::size_t e = 0; e < store_.block_count(); ++e) {
-    Bytes unit = recb_encrypt_unit(aes_, r0_, store_.block(e).plain, *rng_);
-    store_.set_unit(e, unit, 0);
+  for (const Bytes& unit : encrypt_range(0, store_.block_count())) {
     writer.add_unit(unit);
   }
   stats_ = SchemeStats{};
@@ -149,15 +151,55 @@ void RecbScheme::load(std::string_view ciphertext_doc) {
   stats_ = SchemeStats{};
 }
 
-void RecbScheme::reencrypt_region(const RegionChange& change, SpliceLog& log) {
-  std::vector<Bytes> new_units;
-  new_units.reserve(change.new_count);
-  for (std::size_t e = change.first_elem;
-       e < change.first_elem + change.new_count; ++e) {
-    Bytes unit = recb_encrypt_unit(aes_, r0_, store_.block(e).plain, *rng_);
-    store_.set_unit(e, unit, 0);
-    new_units.push_back(std::move(unit));
+std::vector<Bytes> RecbScheme::encrypt_range(std::size_t first_elem,
+                                             std::size_t count) {
+  std::vector<Bytes> units;
+  units.reserve(count);
+  std::uint8_t nonces[8 * kRunBlocks];
+  std::uint8_t xin[16 * kRunBlocks];
+  std::uint8_t xout[16 * kRunBlocks];
+  for (std::size_t done = 0; done < count;) {
+    const std::size_t run = std::min(kRunBlocks, count - done);
+    // One rng fill and one pipelined AES pass cover the whole run.
+    rng_->fill(MutByteView(nonces, 8 * run));
+    for (std::size_t b = 0; b < run; ++b) {
+      const std::string& chars =
+          store_.block(first_elem + done + b).plain;
+      check_chars(chars, 8);
+      const std::uint8_t* ri = nonces + 8 * b;
+      std::uint8_t* x = xin + 16 * b;
+      std::memset(x, 0, 16);
+      for (int i = 0; i < 8; ++i) {
+        x[i] = static_cast<std::uint8_t>(r0_[static_cast<std::size_t>(i)] ^
+                                         ri[i]);
+      }
+      for (std::size_t i = 0; i < chars.size(); ++i) {
+        x[8 + i] = static_cast<std::uint8_t>(chars[i]);
+      }
+      for (int i = 0; i < 8; ++i) {
+        x[8 + i] = static_cast<std::uint8_t>(x[8 + i] ^ ri[i]);
+      }
+    }
+    aes_.encrypt_blocks(ByteView(xin, 16 * run), MutByteView(xout, 16 * run),
+                        run);
+    for (std::size_t b = 0; b < run; ++b) {
+      Bytes unit(kUnitRaw);
+      unit[0] = static_cast<std::uint8_t>(
+          store_.block(first_elem + done + b).plain.size());
+      std::memcpy(unit.data() + 1, xout + 16 * b, 16);
+      store_.set_unit(first_elem + done + b, unit, 0);
+      units.push_back(std::move(unit));
+    }
+    done += run;
   }
+  secure_wipe(MutByteView(nonces, sizeof(nonces)));
+  secure_wipe(MutByteView(xin, sizeof(xin)));
+  return units;
+}
+
+void RecbScheme::reencrypt_region(const RegionChange& change, SpliceLog& log) {
+  std::vector<Bytes> new_units =
+      encrypt_range(change.first_elem, change.new_count);
   stats_.blocks_reencrypted += change.new_count;
   // Data block e lives at unit index e + 1 (unit 0 is the header unit).
   log.replace(change.first_elem + 1,

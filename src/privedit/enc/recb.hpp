@@ -12,8 +12,9 @@
 // regardless (it applies the cdelta), so the counter leaks nothing new.
 
 #include <memory>
+#include <vector>
 
-#include "privedit/crypto/aes.hpp"
+#include "privedit/crypto/aes_engine.hpp"
 #include "privedit/enc/block_store.hpp"
 #include "privedit/enc/scheme.hpp"
 #include "privedit/enc/splice_log.hpp"
@@ -21,19 +22,19 @@
 namespace privedit::enc {
 
 /// Encrypts one rECB data unit: count byte + AES(r0⊕ri || ri⊕payload).
-Bytes recb_encrypt_unit(const crypto::Aes128& aes, ByteView r0,
+Bytes recb_encrypt_unit(const crypto::Aes128Engine& aes, ByteView r0,
                         std::string_view chars, RandomSource& rng);
 
 /// Decrypts one rECB data unit; throws ParseError on malformed padding.
-std::string recb_decrypt_unit(const crypto::Aes128& aes, ByteView r0,
+std::string recb_decrypt_unit(const crypto::Aes128Engine& aes, ByteView r0,
                               ByteView unit, std::size_t max_chars);
 
 /// Builds the header unit F(r0 || 0^8) with a zero count byte.
-Bytes recb_header_unit(const crypto::Aes128& aes, ByteView r0);
+Bytes recb_header_unit(const crypto::Aes128Engine& aes, ByteView r0);
 
 /// Recovers r0 from the header unit; throws CryptoError if the padding
 /// check fails (wrong password or corrupted document).
-Bytes recb_open_header_unit(const crypto::Aes128& aes, ByteView unit);
+Bytes recb_open_header_unit(const crypto::Aes128Engine& aes, ByteView unit);
 
 class RecbScheme final : public IncrementalScheme {
  public:
@@ -51,8 +52,13 @@ class RecbScheme final : public IncrementalScheme {
  private:
   void reencrypt_region(const RegionChange& change, SpliceLog& log);
 
+  /// Re-encrypts store blocks [first_elem, first_elem + count) through the
+  /// engine batch path — one rng fill and one pipelined AES pass per run —
+  /// installs the fresh units in the store, and returns them in order.
+  std::vector<Bytes> encrypt_range(std::size_t first_elem, std::size_t count);
+
   ContainerHeader header_;
-  crypto::Aes128 aes_;
+  crypto::Aes128Engine aes_;
   std::unique_ptr<RandomSource> rng_;
   BlockStore store_;
   Bytes r0_;

@@ -15,6 +15,9 @@ constexpr std::uint8_t kFlagFinal = 0x02;
 // α — the paper's arbitrary start marker.
 constexpr std::uint8_t kAlpha[8] = {'R', 'P', 'C', 'S', 'T', 'A', 'R', 'T'};
 
+// Batch tuple runs stay on the stack: 2 x 2 KiB raw/enc + 384 B pads.
+constexpr std::size_t kRunBlocks = 64;
+
 }  // namespace
 
 RpcScheme::RpcScheme(ContainerHeader header, const crypto::DocumentKeys& keys,
@@ -31,29 +34,25 @@ RpcScheme::RpcScheme(ContainerHeader header, const crypto::DocumentKeys& keys,
   }
 }
 
-Bytes RpcScheme::padded_payload(std::string_view chars) {
-  Bytes payload(8, 0);
+void RpcScheme::write_payload(std::string_view chars, std::uint8_t out[8]) {
   if (chars.size() > 8) {
     throw Error(ErrorCode::kInvalidArgument, "RPC: payload too long");
   }
-  std::memcpy(payload.data(), chars.data(), chars.size());
-  return payload;
+  std::memset(out, 0, 8);
+  std::memcpy(out, chars.data(), chars.size());
 }
 
 Bytes RpcScheme::seal(const Tuple& t) const {
-  if (t.payload.size() != 8 || t.pad.size() != 6) {
-    throw Error(ErrorCode::kInvalidArgument, "RPC: malformed tuple");
-  }
-  Bytes raw(kUnitRaw);
-  store_u64be(MutByteView(raw.data(), 8), t.nonce);
+  std::uint8_t raw[kUnitRaw];
+  store_u64be(MutByteView(raw, 8), t.nonce);
   raw[8] = t.flag;
   raw[9] = static_cast<std::uint8_t>(t.count);
-  std::memcpy(raw.data() + 10, t.payload.data(), 8);
-  std::memcpy(raw.data() + 18, t.pad.data(), 6);
-  store_u64be(MutByteView(raw.data() + 24, 8), t.next);
+  std::memcpy(raw + 10, t.payload.data(), 8);
+  std::memcpy(raw + 18, t.pad.data(), 6);
+  store_u64be(MutByteView(raw + 24, 8), t.next);
   Bytes unit(kUnitRaw);
-  wide_.encrypt_block(raw, unit);
-  secure_wipe(raw);
+  wide_.encrypt_block(ByteView(raw, kUnitRaw), unit);
+  secure_wipe(MutByteView(raw, kUnitRaw));
   return unit;
 }
 
@@ -61,15 +60,16 @@ RpcScheme::Tuple RpcScheme::open(ByteView unit) const {
   if (unit.size() != kUnitRaw) {
     throw ParseError("RPC: unit has wrong size");
   }
-  Bytes raw = wide_.decrypt_block_copy(unit);
+  std::uint8_t raw[kUnitRaw];
+  wide_.decrypt_block(unit, raw);
   Tuple t;
-  t.nonce = load_u64be(raw);
+  t.nonce = load_u64be(ByteView(raw, 8));
   t.flag = raw[8];
   t.count = raw[9];
-  t.payload.assign(raw.begin() + 10, raw.begin() + 18);
-  t.pad.assign(raw.begin() + 18, raw.begin() + 24);
-  t.next = load_u64be(ByteView(raw.data() + 24, 8));
-  secure_wipe(raw);
+  std::memcpy(t.payload.data(), raw + 10, 8);
+  std::memcpy(t.pad.data(), raw + 18, 6);
+  t.next = load_u64be(ByteView(raw + 24, 8));
+  secure_wipe(MutByteView(raw, kUnitRaw));
   return t;
 }
 
@@ -88,8 +88,8 @@ Bytes RpcScheme::encrypt_data_block(std::string_view chars,
   t.nonce = nonce;
   t.flag = kFlagData;
   t.count = chars.size();
-  t.payload = padded_payload(chars);
-  t.pad = rng_->bytes(6);
+  write_payload(chars, t.payload.data());
+  rng_->fill(t.pad);
   t.next = next;
   return seal(t);
 }
@@ -99,8 +99,8 @@ Bytes RpcScheme::encrypt_start_unit(std::uint64_t first_nonce) {
   t.nonce = r0_;
   t.flag = kFlagStart;
   t.count = 0;
-  t.payload.assign(kAlpha, kAlpha + 8);
-  t.pad = rng_->bytes(6);
+  std::memcpy(t.payload.data(), kAlpha, 8);
+  rng_->fill(t.pad);
   t.next = first_nonce;
   return seal(t);
 }
@@ -110,8 +110,7 @@ Bytes RpcScheme::encrypt_final_unit() {
   t.nonce = r0_ ^ xor_nonces_;  // ⊕_{i=0..n} r_i
   t.flag = kFlagFinal;
   t.count = 0;
-  t.payload = xor_payloads_;
-  t.pad.assign(6, 0);
+  std::memcpy(t.payload.data(), xor_payloads_.data(), 8);
   if (length_amendment_) {
     // u48be document length — the Wang et al. amendment.
     std::uint64_t len = store_.char_count();
@@ -120,10 +119,53 @@ Bytes RpcScheme::encrypt_final_unit() {
       len >>= 8;
     }
   } else {
-    t.pad = rng_->bytes(6);
+    rng_->fill(t.pad);
   }
   t.next = xor_nonces_;  // ⊕_{i=1..n} r_i
   return seal(t);
+}
+
+std::vector<Bytes> RpcScheme::encrypt_data_range(
+    std::size_t first_elem, const std::vector<std::uint64_t>& nonces,
+    std::uint64_t tail_next) {
+  const std::size_t count = nonces.size();
+  std::vector<Bytes> units;
+  units.reserve(count);
+  std::uint8_t raw[kUnitRaw * kRunBlocks];
+  std::uint8_t enc[kUnitRaw * kRunBlocks];
+  std::uint8_t pads[6 * kRunBlocks];
+  for (std::size_t done = 0; done < count;) {
+    const std::size_t run = std::min(kRunBlocks, count - done);
+    rng_->fill(MutByteView(pads, 6 * run));
+    for (std::size_t i = 0; i < run; ++i) {
+      const std::size_t idx = done + i;
+      const std::string& chars = store_.block(first_elem + idx).plain;
+      const std::uint64_t next =
+          (idx + 1 < count) ? nonces[idx + 1] : tail_next;
+      std::uint8_t* r = raw + kUnitRaw * i;
+      store_u64be(MutByteView(r, 8), nonces[idx]);
+      r[8] = kFlagData;
+      r[9] = static_cast<std::uint8_t>(chars.size());
+      write_payload(chars, r + 10);
+      std::memcpy(r + 18, pads + 6 * i, 6);
+      store_u64be(MutByteView(r + 24, 8), next);
+      xor_nonces_ ^= nonces[idx];
+      xor_into(xor_payloads_, ByteView(r + 10, 8));
+    }
+    // One pipelined wide-block pass covers the whole run.
+    wide_.encrypt_blocks(ByteView(raw, kUnitRaw * run),
+                         MutByteView(enc, kUnitRaw * run), run);
+    for (std::size_t i = 0; i < run; ++i) {
+      const std::size_t idx = done + i;
+      Bytes unit(enc + kUnitRaw * i, enc + kUnitRaw * (i + 1));
+      store_.set_unit(first_elem + idx, unit, nonces[idx]);
+      units.push_back(std::move(unit));
+    }
+    done += run;
+  }
+  secure_wipe(MutByteView(raw, sizeof(raw)));
+  secure_wipe(MutByteView(pads, sizeof(pads)));
+  return units;
 }
 
 std::string RpcScheme::initialize(std::string_view plaintext) {
@@ -140,13 +182,7 @@ std::string RpcScheme::initialize(std::string_view plaintext) {
   start_unit_ =
       encrypt_start_unit(store_.block_count() > 0 ? nonces[0] : r0_);
   writer.add_unit(start_unit_);
-  for (std::size_t e = 0; e < store_.block_count(); ++e) {
-    const std::uint64_t next =
-        (e + 1 < nonces.size()) ? nonces[e + 1] : r0_;
-    Bytes unit = encrypt_data_block(store_.block(e).plain, nonces[e], next);
-    store_.set_unit(e, unit, nonces[e]);
-    xor_nonces_ ^= nonces[e];
-    xor_into(xor_payloads_, padded_payload(store_.block(e).plain));
+  for (const Bytes& unit : encrypt_data_range(0, nonces, r0_)) {
     writer.add_unit(unit);
   }
   writer.add_unit(encrypt_final_unit());
@@ -250,29 +286,23 @@ void RpcScheme::rewrite_predecessor(std::size_t elem, SpliceLog& log) {
 
 void RpcScheme::apply_region(const RegionChange& change, SpliceLog& log) {
   // Update the XOR aggregates for the removed blocks.
+  std::uint8_t old_payload[8];
   for (const Block& old : change.removed) {
     xor_nonces_ ^= old.nonce;
-    xor_into(xor_payloads_, padded_payload(old.plain));
+    write_payload(old.plain, old_payload);
+    xor_into(xor_payloads_, ByteView(old_payload, 8));
   }
 
   // Fresh nonces for the re-chunked blocks, then encrypt them. The block
   // after the region keeps its nonce, so no rewrite is needed on the right.
   std::vector<std::uint64_t> nonces(change.new_count);
   for (auto& n : nonces) n = fresh_nonce();
-  std::vector<Bytes> new_units;
-  new_units.reserve(change.new_count);
-  for (std::size_t i = 0; i < change.new_count; ++i) {
-    const std::size_t elem = change.first_elem + i;
-    const std::uint64_t next = (i + 1 < change.new_count)
-                                   ? nonces[i + 1]
-                                   : nonce_after(elem);
-    Bytes unit =
-        encrypt_data_block(store_.block(elem).plain, nonces[i], next);
-    store_.set_unit(elem, unit, nonces[i]);
-    xor_nonces_ ^= nonces[i];
-    xor_into(xor_payloads_, padded_payload(store_.block(elem).plain));
-    new_units.push_back(std::move(unit));
-  }
+  const std::uint64_t tail_next =
+      change.new_count > 0
+          ? nonce_after(change.first_elem + change.new_count - 1)
+          : r0_;
+  std::vector<Bytes> new_units =
+      encrypt_data_range(change.first_elem, nonces, tail_next);
   stats_.blocks_reencrypted += change.new_count;
 
   log.replace(change.first_elem + 1,

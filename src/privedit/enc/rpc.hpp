@@ -21,7 +21,9 @@
 //   [24:32)  r_{i+1}        successor nonce (last data block: r0;
 //                           FINAL: XR = ⊕ data nonces)
 
+#include <array>
 #include <memory>
+#include <vector>
 
 #include "privedit/crypto/wide_block.hpp"
 #include "privedit/enc/block_store.hpp"
@@ -48,26 +50,38 @@ class RpcScheme final : public IncrementalScheme {
   SchemeStats stats() const override;
 
  private:
+  // Fixed-width stack tuple: seal/open run without heap traffic, which
+  // matters because every region edit seals old_count + new_count + 2 of
+  // these.
   struct Tuple {
     std::uint64_t nonce = 0;
     std::uint8_t flag = 0;
     std::size_t count = 0;
-    Bytes payload;  // 8 bytes
-    Bytes pad;      // 6 bytes
+    std::array<std::uint8_t, 8> payload{};
+    std::array<std::uint8_t, 6> pad{};
     std::uint64_t next = 0;
   };
 
   Bytes seal(const Tuple& t) const;
   Tuple open(ByteView unit) const;
 
-  /// Payload bytes (zero-padded to 8) of a block's plaintext.
-  static Bytes padded_payload(std::string_view chars);
+  /// Writes the zero-padded 8-byte payload of a block's plaintext.
+  static void write_payload(std::string_view chars, std::uint8_t out[8]);
 
   std::uint64_t fresh_nonce();
   std::uint64_t nonce_after(std::size_t elem) const;
 
   Bytes encrypt_data_block(std::string_view chars, std::uint64_t nonce,
                            std::uint64_t next);
+
+  /// Batch-encrypts data tuples for store blocks
+  /// [first_elem, first_elem + nonces.size()): one rng fill for the pads and
+  /// one wide-block batch pass per run. Block i chains to nonces[i+1], the
+  /// last one to `tail_next`. Installs units in the store, folds nonces and
+  /// payloads into the XOR aggregates, and returns the units in order.
+  std::vector<Bytes> encrypt_data_range(
+      std::size_t first_elem, const std::vector<std::uint64_t>& nonces,
+      std::uint64_t tail_next);
   Bytes encrypt_start_unit(std::uint64_t first_nonce);
   Bytes encrypt_final_unit();
 

@@ -1,0 +1,340 @@
+// Tests for the Aes128Engine dispatch facade and every backend behind it:
+// FIPS-197 known answers per backend, randomized cross-backend differential
+// agreement (batch == single-block), in == out aliasing guarantees, the
+// PRIVEDIT_DISABLE_AESNI escape hatch, the 2^32 block-counter carry
+// boundary, the batched CTR-DRBG keystream pinned byte-identical to the
+// legacy block-at-a-time algorithm, and the batch wide-block Feistel.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+#include "privedit/crypto/aes.hpp"
+#include "privedit/crypto/aes_engine.hpp"
+#include "privedit/crypto/aes_ni.hpp"
+#include "privedit/crypto/ctr_drbg.hpp"
+#include "privedit/crypto/sha256.hpp"
+#include "privedit/crypto/wide_block.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/hex.hpp"
+
+namespace privedit::crypto {
+namespace {
+
+// Backends that can actually run on this host/build. kAesNi only appears
+// when the binary was compiled with AES-NI support AND the CPU reports it;
+// the forced-backend constructor throws otherwise, which is itself pinned
+// below.
+std::vector<AesBackend> usable_backends() {
+  std::vector<AesBackend> out{AesBackend::kReference, AesBackend::kFast};
+#if PRIVEDIT_HAVE_AESNI
+  if (aesni_cpu_supported()) out.push_back(AesBackend::kAesNi);
+#endif
+  return out;
+}
+
+TEST(Aes128Engine, Fips197KnownAnswersOnEveryBackend) {
+  const Bytes key = hex_decode("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  const Bytes ct = hex_decode("69c4e0d86a7b0430d8cdb78070b4c55a");
+  for (AesBackend backend : usable_backends()) {
+    Aes128Engine aes(key, backend);
+    SCOPED_TRACE(std::string(aes_backend_name(backend)));
+    EXPECT_EQ(aes.encrypt_block(pt), ct);
+    EXPECT_EQ(aes.decrypt_block_copy(ct), pt);
+  }
+}
+
+TEST(Aes128Engine, Fips197AppendixBOnEveryBackend) {
+  const Bytes key = hex_decode("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes pt = hex_decode("3243f6a8885a308d313198a2e0370734");
+  const Bytes ct = hex_decode("3925841d02dc09fbdc118597196a0b32");
+  for (AesBackend backend : usable_backends()) {
+    Aes128Engine aes(key, backend);
+    SCOPED_TRACE(std::string(aes_backend_name(backend)));
+    EXPECT_EQ(aes.encrypt_block(pt), ct);
+    EXPECT_EQ(aes.decrypt_block_copy(ct), pt);
+  }
+}
+
+TEST(Aes128Engine, DispatchedInstancePassesKnownAnswer) {
+  // Whatever dispatch picked must still be a correct AES.
+  const Bytes key = hex_decode("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128Engine aes(key);
+  EXPECT_EQ(aes.encrypt_block(hex_decode("6bc1bee22e409f96e93d7e117393172a")),
+            hex_decode("3ad77bb40d7a3660a89ecaf32466ef97"));
+}
+
+// 10k random (key, plaintext) pairs: every usable backend must agree with
+// the byte-wise FIPS-197 reference, and the batch interface must produce
+// exactly what repeated single-block calls produce. This is the regression
+// net for the AES-NI key schedule, the equivalent-inverse decrypt keys, and
+// the 8-wide pipelined loops.
+TEST(Aes128Engine, RandomizedDifferentialAllBackendsAgree) {
+  std::mt19937_64 rng(0xae5'0001);
+  const auto backends = usable_backends();
+  Bytes key(16), block(16);
+  for (int iter = 0; iter < 10'000; ++iter) {
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng());
+    const Aes128 ref(key);
+    const Bytes want_ct = ref.encrypt_block(block);
+    for (AesBackend backend : backends) {
+      Aes128Engine aes(key, backend);
+      ASSERT_EQ(aes.encrypt_block(block), want_ct)
+          << aes_backend_name(backend) << " iter " << iter;
+      ASSERT_EQ(aes.decrypt_block_copy(want_ct), block)
+          << aes_backend_name(backend) << " iter " << iter;
+    }
+  }
+}
+
+TEST(Aes128Engine, BatchMatchesSingleBlockOnEveryBackend) {
+  std::mt19937_64 rng(0xae5'0002);
+  for (AesBackend backend : usable_backends()) {
+    SCOPED_TRACE(std::string(aes_backend_name(backend)));
+    Bytes key(16);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+    Aes128Engine aes(key, backend);
+    // Sizes straddling the AES-NI 8-wide groups and odd tails.
+    for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                          std::size_t{8}, std::size_t{9}, std::size_t{17},
+                          std::size_t{64}, std::size_t{100}}) {
+      Bytes in(16 * n);
+      for (auto& b : in) b = static_cast<std::uint8_t>(rng());
+      Bytes batch_out(16 * n), single_out(16 * n);
+      aes.encrypt_blocks(in, batch_out, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        aes.encrypt_block(ByteView(in).subspan(16 * i, 16),
+                          MutByteView(single_out).subspan(16 * i, 16));
+      }
+      ASSERT_EQ(batch_out, single_out) << "encrypt n=" << n;
+      Bytes batch_dec(16 * n);
+      aes.decrypt_blocks(batch_out, batch_dec, n);
+      ASSERT_EQ(batch_dec, in) << "decrypt n=" << n;
+    }
+  }
+}
+
+// Every backend must accept in == out for both directions, single and
+// batch: the scheme hot paths encrypt scratch buffers in place.
+TEST(Aes128Engine, InPlaceAliasingOnEveryBackend) {
+  std::mt19937_64 rng(0xae5'0003);
+  for (AesBackend backend : usable_backends()) {
+    SCOPED_TRACE(std::string(aes_backend_name(backend)));
+    Bytes key(16);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+    Aes128Engine aes(key, backend);
+
+    Bytes block(16);
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng());
+    const Bytes orig = block;
+    aes.encrypt_block(block, block);
+    EXPECT_EQ(block, aes.encrypt_block(orig));
+    aes.decrypt_block(block, block);
+    EXPECT_EQ(block, orig);
+
+    constexpr std::size_t kBlocks = 21;  // spans 8-wide groups plus a tail
+    Bytes run(16 * kBlocks);
+    for (auto& b : run) b = static_cast<std::uint8_t>(rng());
+    const Bytes run_orig = run;
+    Bytes expected(run.size());
+    aes.encrypt_blocks(run_orig, expected, kBlocks);
+    aes.encrypt_blocks(run, run, kBlocks);
+    EXPECT_EQ(run, expected);
+    aes.decrypt_blocks(run, run, kBlocks);
+    EXPECT_EQ(run, run_orig);
+  }
+}
+
+TEST(Aes128Engine, RejectsBadKeyAndBatchSizes) {
+  EXPECT_THROW(Aes128Engine(Bytes(15, 0)), CryptoError);
+  Aes128Engine aes(Bytes(16, 0x11));
+  Bytes in(32), out(32);
+  EXPECT_THROW(aes.encrypt_blocks(in, out, 3), CryptoError);
+  EXPECT_THROW(aes.encrypt_blocks(ByteView(in).subspan(0, 16), out, 2),
+               CryptoError);
+}
+
+#if !PRIVEDIT_HAVE_AESNI
+TEST(Aes128Engine, ForcingAesNiThrowsWhenUnavailable) {
+  EXPECT_THROW(Aes128Engine(Bytes(16, 0x11), AesBackend::kAesNi),
+               CryptoError);
+}
+#endif
+
+// The kill switch: with PRIVEDIT_DISABLE_AESNI set, dispatch must choose
+// the software backend even on AES-NI hardware. Read per call, so flipping
+// it inside one process works (tools/check.sh no-aesni relies on this).
+TEST(Aes128Engine, DisableEnvForcesSoftwareDispatch) {
+  const char* saved = std::getenv("PRIVEDIT_DISABLE_AESNI");
+  const std::string saved_value = saved ? saved : "";
+
+  ASSERT_EQ(::setenv("PRIVEDIT_DISABLE_AESNI", "1", 1), 0);
+  EXPECT_EQ(Aes128Engine::dispatch_backend(), AesBackend::kFast);
+  Aes128Engine forced_soft(Bytes(16, 0x11));
+  EXPECT_EQ(forced_soft.backend(), AesBackend::kFast);
+
+  ::unsetenv("PRIVEDIT_DISABLE_AESNI");
+  const AesBackend normal = Aes128Engine::dispatch_backend();
+#if PRIVEDIT_HAVE_AESNI
+  if (aesni_cpu_supported()) {
+    EXPECT_EQ(normal, AesBackend::kAesNi);
+  } else {
+    EXPECT_EQ(normal, AesBackend::kFast);
+  }
+#else
+  EXPECT_EQ(normal, AesBackend::kFast);
+#endif
+
+  if (saved) ::setenv("PRIVEDIT_DISABLE_AESNI", saved_value.c_str(), 1);
+}
+
+// ------------------------------------------------------- counter boundaries
+
+// Synthetic regression for the 32-bit-wrap bug family: a counter whose low
+// 32 bits are saturated must carry into byte 11, not wrap to zero. This is
+// the block-index neighbourhood of 2^32 — with 16-byte blocks that is a
+// 64 GiB keystream position, unreachable in a test except synthetically.
+TEST(Ctr128Increment, CarriesAcrossThe32BitBoundary) {
+  Bytes c(16, 0x00);
+  c[12] = c[13] = c[14] = c[15] = 0xff;  // low word = 2^32 - 1
+  ctr128_increment(c);
+  Bytes want(16, 0x00);
+  want[11] = 0x01;  // == 2^32
+  EXPECT_EQ(c, want);
+
+  ctr128_increment(c);  // 2^32 + 1
+  want[15] = 0x01;
+  EXPECT_EQ(c, want);
+}
+
+TEST(Ctr128Increment, FullWrapRollsToZero) {
+  Bytes c(16, 0xff);
+  ctr128_increment(c);
+  EXPECT_EQ(c, Bytes(16, 0x00));
+}
+
+TEST(Ctr128Increment, PlainIncrementTouchesOnlyLowByte) {
+  Bytes c(16, 0x00);
+  c[15] = 0x41;
+  ctr128_increment(c);
+  Bytes want(16, 0x00);
+  want[15] = 0x42;
+  EXPECT_EQ(c, want);
+}
+
+// ------------------------------------------------- CTR-DRBG keystream pin
+
+// Block-at-a-time model of the DRBG exactly as it was before the batched
+// engine path: zero key/V, update(seed), then fill = generate + update({}).
+// The production stream must be byte-identical — batching only changed the
+// schedule of AES invocations, never the bytes.
+class ModelDrbg {
+ public:
+  explicit ModelDrbg(ByteView seed) {
+    update(seed);
+  }
+
+  void fill(MutByteView out) {
+    generate(out);
+    update({});
+  }
+
+ private:
+  void generate(MutByteView out) {
+    Aes128 aes(ByteView(key_.data(), key_.size()));
+    std::size_t produced = 0;
+    while (produced < out.size()) {
+      increment();
+      const Bytes block = aes.encrypt_block(ByteView(v_.data(), v_.size()));
+      const std::size_t take = std::min<std::size_t>(16, out.size() - produced);
+      std::memcpy(out.data() + produced, block.data(), take);
+      produced += take;
+    }
+  }
+
+  void update(ByteView provided) {
+    Bytes temp(32, 0x00);
+    generate(temp);
+    for (std::size_t i = 0; i < provided.size(); ++i) temp[i] ^= provided[i];
+    std::memcpy(key_.data(), temp.data(), 16);
+    std::memcpy(v_.data(), temp.data() + 16, 16);
+  }
+
+  void increment() {
+    for (int i = 15; i >= 0; --i) {
+      if (++v_[static_cast<std::size_t>(i)] != 0) break;
+    }
+  }
+
+  std::array<std::uint8_t, 16> key_{};
+  std::array<std::uint8_t, 16> v_{};
+};
+
+TEST(CtrDrbg, BatchedKeystreamMatchesLegacyBlockAtATime) {
+  std::uint8_t raw[8];
+  store_u64be(raw, 42);
+  const Bytes seed = Sha256::hash(raw);
+
+  auto drbg = CtrDrbg::from_seed(42);
+  ModelDrbg model(seed);
+
+  // Mixed request sizes: partial blocks, run-boundary (64 blocks = 1024 B)
+  // crossings, and single bytes between them.
+  for (std::size_t len : {std::size_t{1}, std::size_t{15}, std::size_t{16},
+                          std::size_t{17}, std::size_t{100}, std::size_t{1024},
+                          std::size_t{1025}, std::size_t{4096},
+                          std::size_t{3}}) {
+    Bytes got(len), want(len);
+    drbg->fill(got);
+    model.fill(want);
+    ASSERT_EQ(got, want) << "fill(" << len << ")";
+  }
+}
+
+// --------------------------------------------------- wide-block batch path
+
+TEST(WideBlock, BatchMatchesSingleBlock) {
+  std::mt19937_64 rng(0xae5'0004);
+  Bytes key(16);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+  WideBlock wide(key);
+  // Straddle the 64-block Feistel run buffer.
+  for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{64},
+                        std::size_t{65}, std::size_t{130}}) {
+    Bytes in(32 * n);
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng());
+    Bytes batch_out(32 * n), single_out(32 * n);
+    wide.encrypt_blocks(in, batch_out, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wide.encrypt_block(ByteView(in).subspan(32 * i, 32),
+                         MutByteView(single_out).subspan(32 * i, 32));
+    }
+    ASSERT_EQ(batch_out, single_out) << "encrypt n=" << n;
+    Bytes batch_dec(32 * n);
+    wide.decrypt_blocks(batch_out, batch_dec, n);
+    ASSERT_EQ(batch_dec, in) << "decrypt n=" << n;
+  }
+}
+
+TEST(WideBlock, BatchInPlaceAliasing) {
+  WideBlock wide(Bytes(16, 0x77));
+  constexpr std::size_t kBlocks = 9;
+  Bytes run(32 * kBlocks);
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    run[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const Bytes orig = run;
+  Bytes expected(run.size());
+  wide.encrypt_blocks(orig, expected, kBlocks);
+  wide.encrypt_blocks(run, run, kBlocks);
+  EXPECT_EQ(run, expected);
+  wide.decrypt_blocks(run, run, kBlocks);
+  EXPECT_EQ(run, orig);
+}
+
+}  // namespace
+}  // namespace privedit::crypto

@@ -442,7 +442,7 @@ TEST(BlockStore, RandomEditsMatchStringModel) {
 
 TEST(RecbUnits, EncryptDecryptRoundTrip) {
   const auto keys = test_keys();
-  crypto::Aes128 aes(keys.content_key);
+  crypto::Aes128Engine aes(keys.content_key);
   auto r = rng(1);
   const Bytes r0 = r->bytes(8);
   for (const char* text : {"a", "ab", "abcdefgh", "\x01\x02\x03"}) {
@@ -454,7 +454,7 @@ TEST(RecbUnits, EncryptDecryptRoundTrip) {
 TEST(RecbUnits, Randomized) {
   // Same plaintext block encrypts to different ciphertexts (fresh nonce).
   const auto keys = test_keys();
-  crypto::Aes128 aes(keys.content_key);
+  crypto::Aes128Engine aes(keys.content_key);
   auto r = rng(2);
   const Bytes r0 = r->bytes(8);
   const Bytes u1 = recb_encrypt_unit(aes, r0, "same", *r);
@@ -467,8 +467,8 @@ TEST(RecbUnits, Randomized) {
 TEST(RecbUnits, HeaderUnitDetectsWrongKey) {
   const auto keys = test_keys("right");
   const auto wrong = test_keys("wrong");
-  crypto::Aes128 aes(keys.content_key);
-  crypto::Aes128 bad(wrong.content_key);
+  crypto::Aes128Engine aes(keys.content_key);
+  crypto::Aes128Engine bad(wrong.content_key);
   auto r = rng(3);
   const Bytes r0 = r->bytes(8);
   const Bytes header = recb_header_unit(aes, r0);
@@ -478,7 +478,7 @@ TEST(RecbUnits, HeaderUnitDetectsWrongKey) {
 
 TEST(RecbUnits, RejectsOversizedBlocks) {
   const auto keys = test_keys();
-  crypto::Aes128 aes(keys.content_key);
+  crypto::Aes128Engine aes(keys.content_key);
   auto r = rng(4);
   const Bytes r0 = r->bytes(8);
   EXPECT_THROW(recb_encrypt_unit(aes, r0, "123456789", *r), Error);

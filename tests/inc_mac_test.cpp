@@ -6,6 +6,7 @@
 
 #include "privedit/crypto/inc_mac.hpp"
 #include "privedit/util/error.hpp"
+#include "privedit/util/hex.hpp"
 #include "privedit/util/random.hpp"
 
 namespace privedit::crypto {
@@ -143,6 +144,78 @@ TEST(TreeIncMac, EmptyAndSingle) {
 TEST(IncMacs, RejectEmptyKeys) {
   EXPECT_THROW(XorIncMac(Bytes{}), CryptoError);
   EXPECT_THROW(TreeIncMac(Bytes{}, {}), CryptoError);
+}
+
+// ------------------------------------------------------- AES-CMAC PRF kind
+
+TEST(XorIncMacCmac, RequiresSixteenByteKey) {
+  EXPECT_THROW(XorIncMac(to_bytes("short"), PrfKind::kAesCmac), CryptoError);
+  EXPECT_THROW(XorIncMac(Bytes(32, 0x01), PrfKind::kAesCmac), CryptoError);
+  XorIncMac ok(Bytes(16, 0x01), PrfKind::kAesCmac);
+  EXPECT_EQ(ok.tag_size(), XorIncMac::kCmacTagSize);
+}
+
+// RFC 4493 known answers, reached through term(): the per-position term is
+// CMAC(k, u64be(index) ‖ block), so picking index = the first 8 message
+// bytes and block = the rest makes term() compute the RFC's exact CMAC.
+TEST(XorIncMacCmac, Rfc4493KnownAnswersViaTerm) {
+  const Bytes key = hex_decode("2b7e151628aed2a6abf7158809cf4f3c");
+  XorIncMac mac(key, PrfKind::kAesCmac);
+
+  // Example 2: 16-byte message (full final block, K1 mask).
+  // M = 6bc1bee22e409f96 e93d7e117393172a
+  EXPECT_EQ(mac.term(0x6bc1bee22e409f96ull,
+                     hex_decode("e93d7e117393172a")),
+            hex_decode("070a16b46b4d4144f79bdd9dd04a287c"));
+
+  // Example 3: 40-byte message (padded final block path exercised by the
+  // 32-byte tail after the 8-byte index prefix).
+  EXPECT_EQ(mac.term(0x6bc1bee22e409f96ull,
+                     hex_decode("e93d7e117393172aae2d8a571e03ac9c"
+                                "9eb76fac45af8e5130c81c46a35ce411")),
+            hex_decode("dfa66747de9ae63030ca32611497c827"));
+}
+
+TEST(XorIncMacCmac, TagAndIncrementalReplace) {
+  XorIncMac mac(Bytes(16, 0x42), PrfKind::kAesCmac);
+  auto blocks = blocks_of({"one", "two", "three", "four"});
+  Bytes tag = mac.tag(blocks);
+  EXPECT_EQ(tag.size(), XorIncMac::kCmacTagSize);
+  EXPECT_TRUE(mac.verify(blocks, tag));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const Bytes old_block = blocks[i];
+    blocks[i] = to_bytes("swap" + std::to_string(i));
+    tag = mac.update_replace(tag, i, old_block, blocks[i]);
+    ASSERT_EQ(tag, mac.tag(blocks)) << "after replace " << i;
+  }
+  // A 32-byte HMAC-sized tag must be rejected by the 16-byte CMAC MAC.
+  EXPECT_THROW(mac.update_replace(Bytes(32, 0), 0, to_bytes("a"),
+                                  to_bytes("b")),
+               CryptoError);
+}
+
+TEST(XorIncMacCmac, DistinctFromHmacAndKeyed) {
+  const Bytes key(16, 0x42);
+  XorIncMac cmac_mac(key, PrfKind::kAesCmac);
+  XorIncMac hmac_mac(key);  // default HMAC-SHA256
+  const auto blocks = blocks_of({"alpha", "beta"});
+  EXPECT_NE(cmac_mac.tag(blocks).size(), hmac_mac.tag(blocks).size());
+  XorIncMac other(Bytes(16, 0x43), PrfKind::kAesCmac);
+  EXPECT_NE(cmac_mac.tag(blocks), other.tag(blocks));
+}
+
+// Synthetic 2^32 regression: the index is bound into the term through
+// u64be, so indices 2^32 apart must never collide — a 32-bit truncation of
+// the index would make term(2^32 + 1) == term(1) and open a swap forgery
+// between those positions.
+TEST(XorIncMac, IndexBindingSurvivesThe32BitBoundary) {
+  const Bytes block = to_bytes("block");
+  XorIncMac hmac_mac(to_bytes("k"));
+  EXPECT_NE(hmac_mac.term((1ull << 32) + 1, block), hmac_mac.term(1, block));
+  EXPECT_NE(hmac_mac.term(1ull << 32, block), hmac_mac.term(0, block));
+  XorIncMac cmac_mac(Bytes(16, 0x42), PrfKind::kAesCmac);
+  EXPECT_NE(cmac_mac.term((1ull << 32) + 1, block), cmac_mac.term(1, block));
+  EXPECT_NE(cmac_mac.term(1ull << 32, block), cmac_mac.term(0, block));
 }
 
 }  // namespace

@@ -32,6 +32,70 @@ TEST(LevelGenerator, RangeAndDistribution) {
   EXPECT_LT(counts[2], 28000);
 }
 
+// Erased nodes park on per-level freelists and are reused by later inserts,
+// so a steady edit stream stops allocating once the pools warm up. Pinned
+// alongside the differential test below, which hammers reuse for
+// correctness under 10k random splices.
+TEST(IndexedSkipList, FreelistRecyclesErasedNodes) {
+  IndexedSkipList<int> list;
+  EXPECT_EQ(list.free_node_count(), 0u);
+  for (int i = 0; i < 100; ++i) list.insert(static_cast<std::size_t>(i), i, 1);
+  while (!list.empty()) list.erase(0);
+  const std::size_t pooled = list.free_node_count();
+  EXPECT_EQ(pooled, 100u);
+
+  // Re-inserting draws from the pool instead of allocating. New nodes get
+  // fresh random levels, so only same-level buckets drain — but with 100
+  // inserts the level-1 bucket is hit essentially always.
+  for (int i = 0; i < 100; ++i) list.insert(static_cast<std::size_t>(i), i, 1);
+  EXPECT_LT(list.free_node_count(), pooled);
+  EXPECT_EQ(list.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(list.get(static_cast<std::size_t>(i)), i);
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(IndexedSkipList, ClearFeedsTheFreelist) {
+  IndexedSkipList<std::string> list;
+  for (int i = 0; i < 50; ++i) {
+    list.insert(static_cast<std::size_t>(i), std::to_string(i), 2);
+  }
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.total_weight(), 0u);
+  EXPECT_EQ(list.free_node_count(), 50u);
+  // The recycled list must behave like a fresh one.
+  list.insert(0, "x", 1);
+  EXPECT_EQ(list.get(0), "x");
+  EXPECT_TRUE(list.validate());
+}
+
+TEST(IndexedSkipList, FreelistSurvivesMixedChurn) {
+  IndexedSkipList<int> list;
+  Xoshiro256 rng(7);
+  std::vector<int> model;
+  for (int step = 0; step < 5000; ++step) {
+    if (model.empty() || rng.below(2) == 0) {
+      const std::size_t pos = rng.below(model.size() + 1);
+      const int v = static_cast<int>(step);
+      list.insert(pos, static_cast<int>(step), 1);
+      model.insert(model.begin() + static_cast<std::ptrdiff_t>(pos), v);
+    } else {
+      const std::size_t pos = rng.below(model.size());
+      list.erase(pos);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    if (step % 512 == 0) {
+      ASSERT_TRUE(list.validate()) << "step " << step;
+      ASSERT_EQ(list.size(), model.size());
+    }
+  }
+  ASSERT_EQ(list.size(), model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(list.get(i), model[i]) << "index " << i;
+  }
+  EXPECT_TRUE(list.validate());
+}
+
 TEST(IndexedSkipList, EmptyList) {
   IndexedSkipList<int> list;
   EXPECT_EQ(list.size(), 0u);

@@ -8,7 +8,7 @@
 # and corrupt bytes through the decoders.
 #
 # Usage:
-#   tools/check.sh [thread|address|asan-ubsan|sim|resilience] [extra ctest args...]
+#   tools/check.sh [thread|address|asan-ubsan|sim|resilience|no-aesni] [extra ctest args...]
 #
 # The sim mode runs only the simulation-harness tests (ctest label "sim")
 # in a plain build, scaled up via PRIVEDIT_SIM_ITERS (default 10x the
@@ -47,10 +47,24 @@ if [ "${SANITIZER}" = "resilience" ]; then
   exec ctest --output-on-failure -j"$(nproc)" -L resilience "$@"
 fi
 
+if [ "${SANITIZER}" = "no-aesni" ]; then
+  # Run the full suite with hardware AES dispatch disabled, so the software
+  # fallback path (the one a non-AES-NI host would take) stays covered even
+  # on CI machines that have the extension. The env var is read per engine
+  # construction — no rebuild needed, the regular plain tree is reused.
+  BUILD_DIR="${REPO_ROOT}/build"
+  cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}" -j"$(nproc)"
+  export PRIVEDIT_DISABLE_AESNI=1
+  echo "running full suite with PRIVEDIT_DISABLE_AESNI=1 (software AES only)"
+  cd "${BUILD_DIR}"
+  exec ctest --output-on-failure -j"$(nproc)" "$@"
+fi
+
 case "${SANITIZER}" in
   thread|address) CMAKE_SANITIZE="${SANITIZER}" ;;
   asan-ubsan)     CMAKE_SANITIZE="address+undefined" ;;
-  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience] [ctest args...]" >&2
+  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience|no-aesni] [ctest args...]" >&2
      exit 2 ;;
 esac
 
