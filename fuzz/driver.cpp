@@ -1,4 +1,4 @@
-// Shared driver for the four fuzz targets. Exactly one
+// Shared driver for the fuzz targets. Exactly one
 // PRIVEDIT_FUZZ_TARGET_<name> macro is defined per binary (fuzz/CMakeLists).
 //
 // File-replay mode (default): each argv is replayed through the entry
@@ -30,6 +30,8 @@ void dispatch(std::string_view data) {
   privedit::sim::fuzz_journal(data, "/tmp/privedit-fuzz-journal");
 #elif defined(PRIVEDIT_FUZZ_TARGET_http)
   privedit::sim::fuzz_http(data);
+#elif defined(PRIVEDIT_FUZZ_TARGET_store)
+  privedit::sim::fuzz_store_record(data, "/tmp/privedit-fuzz-store");
 #else
 #error "no PRIVEDIT_FUZZ_TARGET_* defined"
 #endif

@@ -1,0 +1,171 @@
+#include "privedit/cloud/faulty_store.hpp"
+
+#include <cerrno>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::cloud {
+namespace {
+
+/// Flips one content byte (or the revision when there is none). The XOR
+/// mask is never zero, so the record always really changes.
+void rot_record(Store::Record& record, std::uint64_t salt) {
+  if (record.content.empty()) {
+    record.rev ^= 1 + salt % 7;
+    return;
+  }
+  const std::size_t at = salt % record.content.size();
+  record.content[at] = static_cast<char>(
+      static_cast<unsigned char>(record.content[at]) ^
+      (1u << (1 + salt % 7)));
+}
+
+}  // namespace
+
+std::string_view store_fault_name(StoreFault fault) {
+  switch (fault) {
+    case StoreFault::kNone:
+      return "none";
+    case StoreFault::kBitRot:
+      return "bit-rot";
+    case StoreFault::kTornWrite:
+      return "torn-write";
+    case StoreFault::kIoError:
+      return "io-error";
+    case StoreFault::kEnospc:
+      return "enospc";
+    case StoreFault::kRollback:
+      return "rollback";
+    case StoreFault::kLostEntry:
+      return "lost-entry";
+    case StoreFault::kReadRot:
+      return "read-rot";
+  }
+  return "unknown";
+}
+
+FaultyStore::FaultyStore(Store* inner, StoreFaultSpec spec,
+                         std::unique_ptr<RandomSource> rng)
+    : inner_(inner), spec_(spec), rng_(std::move(rng)) {
+  if (inner_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "FaultyStore: null inner store");
+  }
+  if (rng_ == nullptr) {
+    throw Error(ErrorCode::kInvalidArgument, "FaultyStore: null rng");
+  }
+}
+
+StoreFault FaultyStore::roll_put_fault() {
+  if (forced_ != StoreFault::kNone && forced_ != StoreFault::kReadRot) {
+    const StoreFault f = forced_;
+    forced_ = StoreFault::kNone;
+    return f;
+  }
+  if (rng_->chance(spec_.bit_rot)) return StoreFault::kBitRot;
+  if (rng_->chance(spec_.torn_write)) return StoreFault::kTornWrite;
+  if (rng_->chance(spec_.io_error)) return StoreFault::kIoError;
+  if (rng_->chance(spec_.enospc)) return StoreFault::kEnospc;
+  if (rng_->chance(spec_.rollback)) return StoreFault::kRollback;
+  if (rng_->chance(spec_.lost_entry)) return StoreFault::kLostEntry;
+  return StoreFault::kNone;
+}
+
+void FaultyStore::put(const std::string& doc_id, const Record& record) {
+  switch (roll_put_fault()) {
+    case StoreFault::kIoError:
+      ++counters_.io_errors;
+      throw StorageError("FaultyStore: injected write fault on " + doc_id,
+                         EIO);
+    case StoreFault::kEnospc:
+      ++counters_.enospcs;
+      throw StorageError("FaultyStore: injected disk-full fault on " + doc_id,
+                         ENOSPC);
+    case StoreFault::kRollback:
+      // Acknowledged, never written: whatever record was there before —
+      // possibly nothing — is what the next reader sees. The silent twin
+      // of the §II rollback adversary, one layer down.
+      ++counters_.rollbacks;
+      return;
+    case StoreFault::kBitRot: {
+      ++counters_.bit_rots;
+      Record rotted = record;
+      rot_record(rotted, rng_->next_u64());
+      last_written_ = {doc_id, rotted};
+      ++counters_.puts;
+      inner_->put(doc_id, rotted);
+      return;
+    }
+    case StoreFault::kTornWrite: {
+      ++counters_.torn_writes;
+      Record torn = record;
+      torn.content.resize(rng_->below(torn.content.size() + 1));
+      last_written_ = {doc_id, torn};
+      ++counters_.puts;
+      inner_->put(doc_id, torn);
+      return;
+    }
+    case StoreFault::kLostEntry:
+      ++counters_.lost_entries;
+      ++counters_.puts;
+      inner_->put(doc_id, record);
+      inner_->remove(doc_id);
+      return;
+    case StoreFault::kNone:
+    case StoreFault::kReadRot:
+      break;
+  }
+  last_written_ = {doc_id, record};
+  ++counters_.puts;
+  inner_->put(doc_id, record);
+}
+
+std::optional<FaultyStore::Record> FaultyStore::get(
+    const std::string& doc_id) const {
+  ++counters_.gets;
+  auto record = inner_->get(doc_id);
+  bool rot = forced_ == StoreFault::kReadRot;
+  if (rot) {
+    forced_ = StoreFault::kNone;
+  } else {
+    rot = rng_->chance(spec_.read_rot);
+  }
+  if (rot && record) {
+    ++counters_.read_rots;
+    rot_record(*record, rng_->next_u64());
+  }
+  return record;
+}
+
+std::vector<std::string> FaultyStore::list_doc_ids() const {
+  return inner_->list_doc_ids();
+}
+
+std::map<std::string, FaultyStore::Record> FaultyStore::load_all(
+    std::vector<std::string>* corrupt) const {
+  return inner_->load_all(corrupt);
+}
+
+void FaultyStore::remove(const std::string& doc_id) { inner_->remove(doc_id); }
+
+void FaultyStore::set_quarantined(const std::string& doc_id, bool on) {
+  inner_->set_quarantined(doc_id, on);
+}
+
+std::set<std::string> FaultyStore::quarantined() const {
+  return inner_->quarantined();
+}
+
+void FaultyStore::corrupt_at_rest(const std::string& doc_id,
+                                  std::uint64_t salt) {
+  std::optional<Record> record;
+  try {
+    record = inner_->get(doc_id);
+  } catch (const Error&) {
+    return;  // already unreadable — nothing further to rot
+  }
+  if (!record) return;
+  rot_record(*record, salt);
+  inner_->put(doc_id, *record);
+}
+
+}  // namespace privedit::cloud

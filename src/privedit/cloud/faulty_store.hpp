@@ -1,0 +1,113 @@
+#pragma once
+// Fault injection for the storage path — the disk twin of net/fault.hpp.
+//
+// FaultyStore wraps any Store and makes a configured fraction of
+// operations fail the way real disks fail: a stored byte rots silently, a
+// write lands short (torn), the kernel reports EIO or ENOSPC, an
+// acknowledged write silently never lands (the store rolls back to the
+// stale revision), or the directory entry is lost after the write. Faults
+// are sampled from a seeded RandomSource, so a failing sequence replays
+// bit-for-bit; force_next() pins the next operation's fault for targeted
+// tests and the crash-seam matrix.
+//
+// The mutation happens *above* the inner store's atomicity: a bit-rotted
+// or torn put is still written atomically, exactly like firmware that
+// acknowledges a write whose bytes were already wrong. Crash seams inside
+// FileStore::put therefore compose with these faults — arm a seam, force
+// a fault, and the recovered store holds either the old record or the
+// faulted attempt, never a third state.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "privedit/cloud/file_store.hpp"
+#include "privedit/util/random.hpp"
+
+namespace privedit::cloud {
+
+enum class StoreFault : std::uint8_t {
+  kNone = 0,
+  kBitRot,     // put: one stored byte flipped silently
+  kTornWrite,  // put: only a prefix of the content lands
+  kIoError,    // put: fails with StorageError(EIO); nothing written
+  kEnospc,     // put: fails with StorageError(ENOSPC); nothing written
+  kRollback,   // put: acknowledged but never lands (stale rev survives)
+  kLostEntry,  // put: lands, then the directory entry vanishes
+  kReadRot,    // get: one returned byte flipped (at-rest bytes intact)
+};
+
+/// Human-readable fault name ("bit-rot", "torn-write", ...).
+std::string_view store_fault_name(StoreFault fault);
+
+/// Per-operation fault probabilities, each independently sampled; the
+/// first that fires wins, in declaration order.
+struct StoreFaultSpec {
+  double bit_rot = 0.0;
+  double torn_write = 0.0;
+  double io_error = 0.0;
+  double enospc = 0.0;
+  double rollback = 0.0;
+  double lost_entry = 0.0;
+  double read_rot = 0.0;
+};
+
+class FaultyStore final : public Store {
+ public:
+  FaultyStore(Store* inner, StoreFaultSpec spec,
+              std::unique_ptr<RandomSource> rng);
+
+  void put(const std::string& doc_id, const Record& record) override;
+  std::optional<Record> get(const std::string& doc_id) const override;
+  std::vector<std::string> list_doc_ids() const override;
+  std::map<std::string, Record> load_all(
+      std::vector<std::string>* corrupt = nullptr) const override;
+  void remove(const std::string& doc_id) override;
+  void set_quarantined(const std::string& doc_id, bool on) override;
+  std::set<std::string> quarantined() const override;
+
+  /// Pins the fault for the next put (or get, for kReadRot), overriding
+  /// the probabilistic spec once.
+  void force_next(StoreFault fault) { forced_ = fault; }
+
+  /// The record the most recent put actually handed to the inner store
+  /// (post-mutation) — the "attempted" state crash-matrix tests compare
+  /// recovery against. Unset for puts that failed before writing.
+  const std::optional<std::pair<std::string, Record>>& last_written() const {
+    return last_written_;
+  }
+
+  /// Flips one byte of the record already at rest under `doc_id` (content
+  /// byte salt % size, or the revision when content is empty) — bit rot
+  /// that happens between writes, which no put-time fault can model.
+  /// No-op if the document is absent or its record is already unreadable.
+  void corrupt_at_rest(const std::string& doc_id, std::uint64_t salt);
+
+  struct Counters {
+    std::size_t puts = 0;        // puts forwarded (faulted or not)
+    std::size_t gets = 0;
+    std::size_t bit_rots = 0;
+    std::size_t torn_writes = 0;
+    std::size_t io_errors = 0;
+    std::size_t enospcs = 0;
+    std::size_t rollbacks = 0;
+    std::size_t lost_entries = 0;
+    std::size_t read_rots = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  Store* inner() const { return inner_; }
+
+ private:
+  StoreFault roll_put_fault();
+
+  Store* inner_;
+  StoreFaultSpec spec_;
+  mutable std::unique_ptr<RandomSource> rng_;
+  mutable StoreFault forced_ = StoreFault::kNone;
+  std::optional<std::pair<std::string, Record>> last_written_;
+  mutable Counters counters_;
+};
+
+}  // namespace privedit::cloud

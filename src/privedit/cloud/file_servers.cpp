@@ -21,6 +21,13 @@ net::HttpResponse BespinServer::handle(const net::HttpRequest& request) {
 
   if (request.method == "PUT") {
     files_[file] = request.body;
+    if (store_ != nullptr) {
+      try {
+        store_->put(file, Store::Record{request.body, 0});
+      } catch (const StorageError&) {
+        // Bespin acks from memory; the scrub/fsck pass catches the gap.
+      }
+    }
     return net::HttpResponse::make(200, "");
   }
   if (request.method == "GET") {
@@ -32,9 +39,19 @@ net::HttpResponse BespinServer::handle(const net::HttpRequest& request) {
   }
   if (request.method == "DELETE") {
     files_.erase(file);
+    if (store_ != nullptr) store_->remove(file);
     return net::HttpResponse::make(204, "");
   }
   return net::HttpResponse::make(400, "unsupported method");
+}
+
+void BespinServer::enable_persistence(const std::string& directory) {
+  store_ = std::make_unique<FileStore>(directory);
+  std::vector<std::string> corrupt;
+  for (auto& [file, record] : store_->load_all(&corrupt)) {
+    files_[file] = std::move(record.content);
+  }
+  load_corrupt_ = corrupt.size();
 }
 
 std::optional<std::string> BespinServer::raw_file(

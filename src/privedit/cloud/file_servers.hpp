@@ -8,9 +8,12 @@
 // XML; user text lives inside <textRun> elements.
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "privedit/cloud/file_store.hpp"
 #include "privedit/net/http.hpp"
 
 namespace privedit::cloud {
@@ -23,8 +26,18 @@ class BespinServer {
   void set_raw_file(const std::string& path, std::string content);
   std::size_t file_count() const { return files_.size(); }
 
+  /// Durable storage, same tolerant-load contract as GDocsServer: files
+  /// whose record is unreadable are skipped (and counted), not fatal.
+  /// Bespin has no revisions, so records are stored at rev 0.
+  void enable_persistence(const std::string& directory);
+
+  /// Files skipped at load because their stored record was corrupt.
+  std::size_t load_corrupt() const { return load_corrupt_; }
+
  private:
   std::map<std::string, std::string> files_;
+  std::unique_ptr<Store> store_;
+  std::size_t load_corrupt_ = 0;
 };
 
 class BuzzwordServer {

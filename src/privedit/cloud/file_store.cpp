@@ -24,16 +24,15 @@ FileStore::FileStore(std::string directory) : directory_(std::move(directory)) {
   }
   // A crash between temp-write and rename leaves a stale *.tmp behind;
   // it was never acknowledged, so recovery is simply discarding it.
-  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".tmp") {
-      std::error_code ignore;
-      fs::remove(entry.path(), ignore);
-    }
-  }
+  tmp_swept_ = sweep_stale_tmp(directory_, "file_store");
 }
 
 std::string FileStore::path_for(const std::string& doc_id) const {
   return directory_ + "/" + hex_encode(as_bytes(doc_id)) + ".doc";
+}
+
+std::string FileStore::quarantine_path_for(const std::string& doc_id) const {
+  return directory_ + "/" + hex_encode(as_bytes(doc_id)) + ".quar";
 }
 
 void FileStore::put(const std::string& doc_id, const Record& record) {
@@ -68,17 +67,18 @@ std::optional<FileStore::Record> FileStore::get(
   return record;
 }
 
-std::map<std::string, FileStore::Record> FileStore::load_all() const {
-  std::map<std::string, Record> out;
+std::vector<std::string> FileStore::list_doc_ids() const {
+  std::vector<std::string> out;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(directory_, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
     if (name.size() < 4 || name.substr(name.size() - 4) != ".doc") continue;
-    const std::string doc_id =
-        to_string(hex_decode(name.substr(0, name.size() - 4)));
-    if (auto record = get(doc_id)) {
-      out.emplace(doc_id, std::move(*record));
+    try {
+      out.push_back(to_string(hex_decode(name.substr(0, name.size() - 4))));
+    } catch (const Error&) {
+      // A .doc file whose name is not hex was never written by us; it is
+      // invisible to get()/put() too, so skip it rather than die listing.
     }
   }
   if (ec) {
@@ -88,9 +88,54 @@ std::map<std::string, FileStore::Record> FileStore::load_all() const {
   return out;
 }
 
+std::map<std::string, FileStore::Record> FileStore::load_all(
+    std::vector<std::string>* corrupt) const {
+  std::map<std::string, Record> out;
+  for (const std::string& doc_id : list_doc_ids()) {
+    try {
+      if (auto record = get(doc_id)) {
+        out.emplace(doc_id, std::move(*record));
+      }
+    } catch (const ParseError&) {
+      // One rotten record must not take the provider down at start; the
+      // caller quarantines the id and the fsck/repair path heals it.
+      if (corrupt != nullptr) corrupt->push_back(doc_id);
+    }
+  }
+  return out;
+}
+
 void FileStore::remove(const std::string& doc_id) {
   std::error_code ec;
   fs::remove(path_for(doc_id), ec);
+}
+
+void FileStore::set_quarantined(const std::string& doc_id, bool on) {
+  if (on) {
+    // The marker only has to survive a polite restart, not power loss —
+    // a lost marker re-arises from the next scrub/fsck pass anyway.
+    std::ofstream marker(quarantine_path_for(doc_id),
+                         std::ios::binary | std::ios::trunc);
+    marker << "quarantined\n";
+  } else {
+    std::error_code ec;
+    fs::remove(quarantine_path_for(doc_id), ec);
+  }
+}
+
+std::set<std::string> FileStore::quarantined() const {
+  std::set<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".quar") continue;
+    try {
+      out.insert(to_string(hex_decode(name.substr(0, name.size() - 5))));
+    } catch (const Error&) {
+    }
+  }
+  return out;
 }
 
 }  // namespace privedit::cloud

@@ -7,46 +7,98 @@
 // access at the provider (the subpoena case of §II) is just another
 // malicious-storage attacker that RPC integrity catches.
 //
+// Store is the seam the integrity subsystem hangs off: FileStore is the
+// real on-disk backend, FaultyStore (faulty_store.hpp) decorates any Store
+// with seeded disk faults, and store_check.hpp walks a Store for the
+// fsck/scrub passes.
+//
 // Layout: one file per document under the store directory, named by the
 // hex of the document id (ids are arbitrary strings). Each file holds the
 // revision on the first line followed by the raw content. Writes go
 // through a temp file + rename so a crash never leaves a torn document.
+// A "<hex>.quar" sidecar marks a document quarantined by fsck/scrub; the
+// marker survives restarts and is cleared by a successful repair.
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace privedit::cloud {
 
-class FileStore {
+/// The provider's document storage: doc id -> (content, revision).
+/// Implementations must make put() atomic per document (a reader never
+/// observes a half-written record) and raise StorageError on I/O faults.
+class Store {
  public:
-  /// Creates the directory if needed. Throws Error on failure.
-  explicit FileStore(std::string directory);
-
   struct Record {
     std::string content;
     std::uint64_t rev = 0;
+
+    bool operator==(const Record&) const = default;
   };
 
-  /// Atomically persists a document.
-  void put(const std::string& doc_id, const Record& record);
+  virtual ~Store() = default;
+
+  /// Atomically persists a document. Throws StorageError on I/O failure.
+  virtual void put(const std::string& doc_id, const Record& record) = 0;
 
   /// Loads one document, if present. Throws ParseError on a corrupt file.
-  std::optional<Record> get(const std::string& doc_id) const;
+  virtual std::optional<Record> get(const std::string& doc_id) const = 0;
 
-  /// Loads every persisted document (used at server start).
-  std::map<std::string, Record> load_all() const;
+  /// Every persisted document id, including ones whose record is corrupt
+  /// (get() would throw) — the walk surface for scrub and fsck.
+  virtual std::vector<std::string> list_doc_ids() const = 0;
 
-  /// Removes a document's file (no-op if absent).
-  void remove(const std::string& doc_id);
+  /// Loads every readable document (used at server start). Ids whose
+  /// record is corrupt are skipped and appended to `corrupt` when given
+  /// (a nullptr keeps the legacy throw-free skip) — one flipped rev line
+  /// must not take the whole provider down.
+  virtual std::map<std::string, Record> load_all(
+      std::vector<std::string>* corrupt = nullptr) const = 0;
+
+  /// Removes a document (no-op if absent).
+  virtual void remove(const std::string& doc_id) = 0;
+
+  /// Marks/unmarks a document as quarantined (durable where the backend
+  /// can make it so). Quarantine is store-level metadata, not content:
+  /// the record itself stays untouched as repair evidence.
+  virtual void set_quarantined(const std::string& doc_id, bool on) = 0;
+
+  /// Ids carrying a quarantine marker.
+  virtual std::set<std::string> quarantined() const = 0;
+};
+
+class FileStore final : public Store {
+ public:
+  /// Creates the directory if needed, sweeping stale *.tmp files left by
+  /// a crash between temp-write and rename. Throws Error on failure.
+  explicit FileStore(std::string directory);
+
+  void put(const std::string& doc_id, const Record& record) override;
+  std::optional<Record> get(const std::string& doc_id) const override;
+  std::vector<std::string> list_doc_ids() const override;
+  std::map<std::string, Record> load_all(
+      std::vector<std::string>* corrupt = nullptr) const override;
+  void remove(const std::string& doc_id) override;
+  void set_quarantined(const std::string& doc_id, bool on) override;
+  std::set<std::string> quarantined() const override;
 
   const std::string& directory() const { return directory_; }
 
- private:
+  /// Stale *.tmp files discarded by this instance's opening sweep.
+  std::size_t tmp_swept() const { return tmp_swept_; }
+
+  /// The on-disk path of a document's record file (diagnostics, tests).
   std::string path_for(const std::string& doc_id) const;
 
+ private:
+  std::string quarantine_path_for(const std::string& doc_id) const;
+
   std::string directory_;
+  std::size_t tmp_swept_ = 0;
 };
 
 }  // namespace privedit::cloud

@@ -1,9 +1,11 @@
 #include "privedit/cloud/gdocs_server.hpp"
 
+#include <iterator>
 #include <sstream>
 
 #include "privedit/crypto/sha256.hpp"
 #include "privedit/delta/delta.hpp"
+#include "privedit/enc/container.hpp"
 #include "privedit/net/breaker.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/hex.hpp"
@@ -76,12 +78,37 @@ void GDocsServer::enable_admission(net::AdmissionConfig config,
 }
 
 void GDocsServer::enable_persistence(const std::string& directory) {
-  store_ = std::make_unique<FileStore>(directory);
-  for (auto& [doc_id, record] : store_->load_all()) {
+  enable_persistence(std::make_unique<FileStore>(directory));
+}
+
+void GDocsServer::enable_persistence(std::unique_ptr<Store> store) {
+  store_ = std::move(store);
+  std::vector<std::string> corrupt;
+  for (auto& [doc_id, record] : store_->load_all(&corrupt)) {
     Document& doc = docs_[doc_id];
     doc.content = std::move(record.content);
     doc.rev = record.rev;
   }
+  // An unreadable record must not take the provider down, but it must not
+  // silently vanish either: quarantine the id (the file stays on disk as
+  // repair evidence) and let the replica-repair path heal it via cmd=sync.
+  for (const std::string& doc_id : corrupt) {
+    ++counters_.load_quarantined;
+    quarantine(doc_id);
+  }
+  for (const std::string& doc_id : store_->quarantined()) {
+    quarantined_.insert(doc_id);
+  }
+}
+
+void GDocsServer::quarantine(const std::string& doc_id) {
+  quarantined_.insert(doc_id);
+  if (store_ != nullptr) store_->set_quarantined(doc_id, true);
+}
+
+void GDocsServer::unquarantine(const std::string& doc_id) {
+  quarantined_.erase(doc_id);
+  if (store_ != nullptr) store_->set_quarantined(doc_id, false);
 }
 
 void GDocsServer::persist(const std::string& doc_id, const Document& doc) {
@@ -108,6 +135,14 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
       return *refusal;
     }
   }
+  if (scrub_enabled_ && scrub_.interval_requests > 0 &&
+      ++requests_since_scrub_ >= scrub_.interval_requests) {
+    // Piggybacked background scrubbing: the handler is externally
+    // serialised, so stealing a bounded slice of every Nth request is the
+    // single-threaded stand-in for a scrubber thread.
+    requests_since_scrub_ = 0;
+    scrub_step();
+  }
   if (request.method != "POST" || request.path() != "/Doc") {
     ++counters_.bad_requests;
     return net::HttpResponse::make(404, "unknown endpoint");
@@ -121,6 +156,10 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
   const auto cmd = form.get("cmd");
 
   if (cmd == "create") {
+    if (is_quarantined(*doc_id)) {
+      ++counters_.quarantine_write_rejections;
+      return net::HttpResponse::make(503, "document quarantined");
+    }
     ++counters_.creates;
     Document& doc = docs_[*doc_id];
     doc.content.clear();
@@ -140,10 +179,26 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     // replica never saw it. Trusting the pushed bytes is fine — the server
     // is untrusted anyway, and integrity is enforced client-side by the
     // crypto (a bogus sync just fails the open validator later).
+    const std::string pushed = form.get("content").value_or("");
+    if (is_quarantined(*doc_id)) {
+      // The one exit from quarantine: a repair push whose payload passes
+      // container validation. Anything else keeps the 503 wall up, so a
+      // damaged replica cannot "repair" its peers with more damage.
+      const bool valid =
+          enc::looks_like_container(pushed) &&
+          check_record(*doc_id, Store::Record{pushed, 0}, CheckConfig{},
+                       nullptr);
+      if (!valid) {
+        ++counters_.quarantine_write_rejections;
+        return net::HttpResponse::make(503, "document quarantined");
+      }
+      ++counters_.quarantine_repairs;
+      unquarantine(*doc_id);
+    }
     ++counters_.syncs;
     Document& doc = docs_[*doc_id];
     record_history(doc);
-    doc.content = form.get("content").value_or("");
+    doc.content = pushed;
     std::uint64_t rev = doc.rev + 1;
     if (const auto rev_field = form.get("rev")) {
       try {
@@ -169,8 +224,15 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     reply.add("content", doc.content);
     reply.add("rev", std::to_string(doc.rev));
     reply.add("session", std::to_string(doc.next_session++));
-    return net::HttpResponse::make(200, reply.encode(),
-                                   "application/x-www-form-urlencoded");
+    net::HttpResponse resp = net::HttpResponse::make(
+        200, reply.encode(), "application/x-www-form-urlencoded");
+    if (is_quarantined(*doc_id)) {
+      // Reads still succeed — client crypto decides whether the bytes are
+      // usable — but the damage flag rides along so validators can treat
+      // this replica as suspect rather than authoritative.
+      resp.headers.set("X-Privedit-Quarantine", "1");
+    }
+    return resp;
   }
 
   if (cmd == "spellcheck") {
@@ -199,7 +261,19 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
 
   if (cmd == "export") {
     ++counters_.exports;
-    return net::HttpResponse::make(200, doc.content, "text/plain");
+    net::HttpResponse resp =
+        net::HttpResponse::make(200, doc.content, "text/plain");
+    if (is_quarantined(*doc_id)) {
+      resp.headers.set("X-Privedit-Quarantine", "1");
+    }
+    return resp;
+  }
+
+  if (is_quarantined(*doc_id) &&
+      (form.contains("docContents") || form.contains("delta"))) {
+    // No edits on top of rot: writes wait for the repair path.
+    ++counters_.quarantine_write_rejections;
+    return net::HttpResponse::make(503, "document quarantined");
   }
 
   if (const auto contents = form.get("docContents")) {
@@ -283,6 +357,83 @@ const std::vector<std::string>& GDocsServer::history(
   static const std::vector<std::string> kEmpty;
   const auto it = docs_.find(doc_id);
   return it == docs_.end() ? kEmpty : it->second.history;
+}
+
+void GDocsServer::scrub_one(const std::string& doc_id, Document& doc) {
+  ++scrub_counters_.docs_scrubbed;
+  bool dirty = false;
+
+  if (store_ != nullptr) {
+    // While the server runs, its memory is authoritative: any divergence
+    // on disk is rot (or a lost/rolled-back write) and is repaired by
+    // simply re-persisting — the cheapest repair in the whole subsystem,
+    // and the reason scrubbing *online* is worth the request-time slice.
+    bool repair = false;
+    try {
+      const auto record = store_->get(doc_id);
+      if (!record) {
+        ++scrub_counters_.store_mismatches;  // lost directory entry
+        repair = true;
+      } else if (record->content != doc.content || record->rev != doc.rev) {
+        ++scrub_counters_.store_mismatches;
+        repair = true;
+      }
+    } catch (const Error&) {
+      ++scrub_counters_.unreadable_records;
+      repair = true;
+    }
+    if (repair) {
+      dirty = true;
+      try {
+        store_->put(doc_id, Store::Record{doc.content, doc.rev});
+        ++scrub_counters_.repaired_from_memory;
+      } catch (const StorageError&) {
+        // Disk said no (EIO/ENOSPC); the next cycle retries.
+      }
+    }
+  }
+
+  if (scrub_.verify_container && enc::looks_like_container(doc.content)) {
+    CheckConfig config;
+    config.max_units = scrub_.max_units;
+    if (!check_record(doc_id, Store::Record{doc.content, doc.rev}, config,
+                      nullptr)) {
+      // The authoritative copy itself is damaged and this server has no
+      // better one — stop serving writes and wait for replica repair.
+      dirty = true;
+      ++scrub_counters_.container_corrupt;
+      if (!is_quarantined(doc_id)) {
+        ++scrub_counters_.quarantined;
+        quarantine(doc_id);
+      }
+    }
+  }
+
+  if (!dirty) ++scrub_counters_.clean;
+}
+
+bool GDocsServer::scrub_step() {
+  if (!scrub_enabled_ || docs_.empty()) return false;
+  bool wrapped = false;
+  const std::size_t budget =
+      scrub_.docs_per_cycle == 0 ? 1 : scrub_.docs_per_cycle;
+  for (std::size_t i = 0; i < budget; ++i) {
+    auto it = scrub_cursor_.empty() ? docs_.begin()
+                                    : docs_.upper_bound(scrub_cursor_);
+    if (it == docs_.end()) {
+      it = docs_.begin();
+    }
+    scrub_one(it->first, it->second);
+    scrub_cursor_ = it->first;
+    if (std::next(it) == docs_.end()) {
+      // Completed a full pass; the next step starts a fresh cycle.
+      ++scrub_counters_.cycles;
+      scrub_cursor_.clear();
+      wrapped = true;
+      break;
+    }
+  }
+  return wrapped;
 }
 
 }  // namespace privedit::cloud

@@ -37,6 +37,7 @@
 #include <functional>
 
 #include "privedit/cloud/file_store.hpp"
+#include "privedit/cloud/store_check.hpp"
 #include "privedit/net/admission.hpp"
 #include "privedit/net/http.hpp"
 
@@ -64,7 +65,72 @@ class GDocsServer {
   /// Durable storage: loads any documents already in `directory` and
   /// persists every mutation there (atomic temp+rename writes). A new
   /// server instance on the same directory models a provider restart.
+  /// Documents whose stored record is unreadable are quarantined instead
+  /// of aborting the load (see quarantine()).
   void enable_persistence(const std::string& directory);
+
+  /// Same, over an arbitrary Store (a FaultyStore in fault tests).
+  void enable_persistence(std::unique_ptr<Store> store);
+
+  /// The backing store; nullptr until enable_persistence.
+  Store* store() const { return store_.get(); }
+
+  // ----- quarantine (storage integrity) -----
+  //
+  // A quarantined document is one the integrity subsystem found damaged
+  // with no healthy copy in hand: reads are still served (flagged with an
+  // X-Privedit-Quarantine: 1 header; client-side crypto rejects garbage,
+  // so damaged ciphertext is never mistaken for the document), but
+  // ordinary writes get 503 so edits cannot build on rot. The only way
+  // out is a cmd=sync push whose content passes container validation —
+  // the replica-repair path — which atomically lifts the quarantine.
+
+  void quarantine(const std::string& doc_id);
+  void unquarantine(const std::string& doc_id);
+  bool is_quarantined(const std::string& doc_id) const {
+    return quarantined_.contains(doc_id);
+  }
+  const std::set<std::string>& quarantined() const { return quarantined_; }
+
+  // ----- online scrubber -----
+
+  struct ScrubConfig {
+    /// Documents examined per scrub_step() call.
+    std::size_t docs_per_cycle = 4;
+    /// When non-zero, handle() runs one scrub_step() every N requests —
+    /// piggybacked background scrubbing without a thread.
+    std::size_t interval_requests = 0;
+    /// Also walk the container framing of each document (bounded by
+    /// max_units so huge documents don't stall a request).
+    bool verify_container = true;
+    std::size_t max_units = 64;
+  };
+
+  struct ScrubCounters {
+    std::size_t cycles = 0;          // complete passes over the corpus
+    std::size_t docs_scrubbed = 0;
+    std::size_t clean = 0;
+    std::size_t unreadable_records = 0;  // store get() threw
+    std::size_t store_mismatches = 0;    // disk record != in-memory doc
+    std::size_t container_corrupt = 0;   // framing walk failed (in memory)
+    std::size_t repaired_from_memory = 0;
+    std::size_t quarantined = 0;
+  };
+
+  void enable_scrub(ScrubConfig config) {
+    scrub_ = config;
+    scrub_enabled_ = true;
+  }
+
+  /// Examines the next batch of documents: re-reads each from the store
+  /// (while the server runs, its memory is authoritative — a divergent or
+  /// unreadable disk record is rot, repaired by re-persisting), and
+  /// optionally walks the container framing (corrupt memory has no clean
+  /// copy anywhere, so it is quarantined). Returns true when this step
+  /// completed a full pass over the corpus.
+  bool scrub_step();
+
+  const ScrubCounters& scrub_counters() const { return scrub_counters_; }
 
   /// Caps the per-document version history at `n` entries (0 = unlimited,
   /// the default). Real providers prune history too; the simulation
@@ -104,6 +170,9 @@ class GDocsServer {
     std::size_t bad_requests = 0;
     std::size_t syncs = 0;  // anti-entropy pushes accepted (cmd=sync)
     std::size_t admission_rejections = 0;  // 503s from the token bucket
+    std::size_t load_quarantined = 0;  // unreadable records found at boot
+    std::size_t quarantine_write_rejections = 0;  // 503s on damaged docs
+    std::size_t quarantine_repairs = 0;  // validated syncs lifting quarantine
   };
   const Counters& counters() const { return counters_; }
 
@@ -119,14 +188,21 @@ class GDocsServer {
   std::string content_hash(const std::string& content) const;
   void persist(const std::string& doc_id, const Document& doc);
   void record_history(Document& doc);
+  void scrub_one(const std::string& doc_id, Document& doc);
 
-  std::unique_ptr<FileStore> store_;
+  std::unique_ptr<Store> store_;
   std::unique_ptr<net::AdmissionController> admission_;
   std::function<std::uint64_t()> admission_now_;
   bool strict_revisions_ = false;
   std::size_t history_limit_ = 0;  // 0 = keep everything
   std::map<std::string, Document> docs_;
   std::set<std::string> dictionary_;
+  std::set<std::string> quarantined_;
+  bool scrub_enabled_ = false;
+  ScrubConfig scrub_;
+  ScrubCounters scrub_counters_;
+  std::string scrub_cursor_;  // last doc id examined; empty = start over
+  std::size_t requests_since_scrub_ = 0;
   Counters counters_;
 };
 

@@ -1,0 +1,164 @@
+#include "privedit/cloud/store_check.hpp"
+
+#include <algorithm>
+
+#include "privedit/crypto/sha256.hpp"
+#include "privedit/enc/container.hpp"
+#include "privedit/util/bytes.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/hex.hpp"
+
+namespace privedit::cloud {
+
+std::string_view finding_kind_name(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kUnreadableRecord:
+      return "unreadable-record";
+    case FindingKind::kContainerCorrupt:
+      return "container-corrupt";
+    case FindingKind::kDecryptFailed:
+      return "decrypt-failed";
+    case FindingKind::kRollback:
+      return "rollback";
+    case FindingKind::kFork:
+      return "fork";
+    case FindingKind::kMissing:
+      return "missing";
+  }
+  return "unknown";
+}
+
+std::size_t CheckReport::count(FindingKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [kind](const Finding& f) { return f.kind == kind; }));
+}
+
+std::set<std::string> CheckReport::dirty_docs() const {
+  std::set<std::string> out;
+  for (const Finding& f : findings) out.insert(f.doc_id);
+  return out;
+}
+
+std::string store_content_hash16(std::string_view content) {
+  return hex_encode(crypto::Sha256::hash(as_bytes(content))).substr(0, 16);
+}
+
+namespace {
+
+void add_finding(std::vector<Finding>* out, const std::string& doc_id,
+                 FindingKind kind, std::string detail) {
+  if (out != nullptr) {
+    out->push_back({doc_id, kind, Disposition::kRepairable, std::move(detail)});
+  }
+}
+
+/// Decodes every unit (or the first `max_units`) so a flipped byte
+/// anywhere in the framing — not just the header — is caught.
+bool container_walk_ok(const std::string& content, std::size_t max_units,
+                       std::string* detail) {
+  try {
+    enc::ContainerReader reader(content);
+    std::size_t units = reader.unit_count();
+    if (max_units != 0) units = std::min(units, max_units);
+    for (std::size_t u = 0; u < units; ++u) {
+      (void)reader.unit(u);
+    }
+    return true;
+  } catch (const Error& e) {
+    *detail = e.what();
+    return false;
+  }
+}
+
+}  // namespace
+
+bool check_record(const std::string& doc_id, const Store::Record& record,
+                  const CheckConfig& config, std::vector<Finding>* out) {
+  bool clean = true;
+  if (enc::looks_like_container(record.content)) {
+    std::string detail;
+    if (!container_walk_ok(record.content, config.max_units, &detail)) {
+      add_finding(out, doc_id, FindingKind::kContainerCorrupt, detail);
+      clean = false;
+    } else if (config.deep_validate && !config.deep_validate(record.content)) {
+      add_finding(out, doc_id, FindingKind::kDecryptFailed,
+                  "container parses but fails full validation");
+      clean = false;
+    }
+  }
+  // Anchor checks are independent of content structure: a rolled-back
+  // store can hold a perfectly well-formed *old* container, which only
+  // the journal's last-acked (rev, checksum) pair can expose (§II's
+  // rollback adversary applied to storage).
+  const auto anchor = config.anchors.find(doc_id);
+  if (anchor != config.anchors.end()) {
+    if (record.rev < anchor->second.rev) {
+      add_finding(out, doc_id, FindingKind::kRollback,
+                  "stored rev " + std::to_string(record.rev) +
+                      " behind acked rev " +
+                      std::to_string(anchor->second.rev));
+      clean = false;
+    } else if (record.rev == anchor->second.rev &&
+               !anchor->second.checksum.empty() &&
+               store_content_hash16(record.content) !=
+                   anchor->second.checksum) {
+      add_finding(out, doc_id, FindingKind::kFork,
+                  "stored content diverges from acked checksum at rev " +
+                      std::to_string(record.rev));
+      clean = false;
+    }
+    // rev > anchor.rev is fine: the provider legitimately moves ahead of
+    // the last write *this* client saw acknowledged.
+  }
+  return clean;
+}
+
+CheckReport check_store(const Store& store, const CheckConfig& config) {
+  CheckReport report;
+  report.quarantined = store.quarantined();
+
+  std::set<std::string> ids;
+  for (std::string& id : store.list_doc_ids()) ids.insert(std::move(id));
+  for (const auto& [id, anchor] : config.anchors) {
+    if (!ids.contains(id)) {
+      report.findings.push_back({id, FindingKind::kMissing,
+                                 Disposition::kRepairable,
+                                 "anchored at rev " +
+                                     std::to_string(anchor.rev) +
+                                     " but absent from store"});
+    }
+  }
+
+  for (const std::string& doc_id : ids) {
+    ++report.docs_checked;
+    std::optional<Store::Record> record;
+    try {
+      record = store.get(doc_id);
+    } catch (const Error& e) {
+      report.findings.push_back({doc_id, FindingKind::kUnreadableRecord,
+                                 Disposition::kRepairable, e.what()});
+      continue;
+    }
+    if (!record) {
+      // Listed but gone by the time we read it — treat like missing.
+      report.findings.push_back({doc_id, FindingKind::kUnreadableRecord,
+                                 Disposition::kRepairable,
+                                 "listed but unreadable"});
+      continue;
+    }
+    if (check_record(doc_id, *record, config, &report.findings)) {
+      ++report.clean;
+    }
+  }
+  return report;
+}
+
+CheckReport check_directory(const std::string& directory,
+                            const CheckConfig& config, std::size_t* swept) {
+  FileStore store(directory);
+  if (swept != nullptr) *swept = store.tmp_swept();
+  return check_store(store, config);
+}
+
+}  // namespace privedit::cloud

@@ -1,0 +1,87 @@
+#pragma once
+// privedit-fsck — offline check & repair over a set of replica stores.
+//
+// Orchestrates the storage-integrity layers end to end:
+//
+//   1. Evidence: journal anchors (extension/journal.hpp) give the
+//      last-acknowledged (rev, checksum) per document — the client-side
+//      truth stored state must not contradict.
+//   2. Detection: cloud/store_check.hpp walks every replica's store and
+//      classifies findings (unreadable record, corrupt container, failed
+//      decrypt, rollback, fork, missing).
+//   3. Repair: damaged copies are healed from a healthy replica through
+//      the SAME cmd=sync anti-entropy push ReplicatedChannel uses online
+//      (extension/replication.*) — fsck boots a GDocsServer per store
+//      directory and drives the repair through its HTTP handler, so the
+//      repair path exercised offline is byte-for-byte the production one.
+//   4. Quarantine: a document damaged on EVERY replica has no healthy
+//      bytes anywhere; it is quarantined on each server (durable .quar
+//      marker) so it is never served as plaintext garbage and writes are
+//      refused until a valid copy arrives.
+//
+// When a password is supplied, repair is additionally verified through a
+// ReplicatedChannel with the gdocs_open_validator — the identical
+// validator the live extension uses — and repair_all() is given a chance
+// to finish any budgeted laggards.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "privedit/cloud/store_check.hpp"
+
+namespace privedit::extension {
+
+struct FsckOptions {
+  /// Document password. Non-empty enables full decrypt validation of every
+  /// container and validator-verified repair; empty = structural + anchor
+  /// checks only.
+  std::string password;
+
+  /// Directory of per-document journals (<hex(doc_id)>.wal). Empty = no
+  /// anchors, so rollback/fork cannot be detected.
+  std::string journal_dir;
+
+  /// Attempt replica-driven repair (false = report only).
+  bool repair = true;
+};
+
+struct FsckStoreReport {
+  std::string directory;
+  cloud::CheckReport before;  // findings as found
+  cloud::CheckReport after;   // findings after repair (== before if !repair)
+  std::size_t orphan_tmps_swept = 0;
+};
+
+struct FsckResult {
+  std::vector<FsckStoreReport> stores;
+  std::size_t docs = 0;              // distinct documents seen anywhere
+  std::size_t dirty_docs = 0;        // documents with >=1 finding anywhere
+  std::size_t repaired_docs = 0;     // dirty before, clean everywhere after
+  std::size_t syncs_pushed = 0;      // cmd=sync repairs accepted by servers
+  std::vector<std::string> unrecoverable;  // quarantined on every replica
+
+  /// No findings anywhere before repair.
+  bool clean_before() const;
+
+  /// Every post-repair finding belongs to a quarantined (unrecoverable)
+  /// document — i.e. everything repairable was repaired.
+  bool healthy_after() const;
+};
+
+/// Scans `journal_dir` for per-document journals and returns their
+/// last-acked anchors keyed by document id. Journals with no acked state
+/// are skipped. Opening a journal truncates a torn tail (the documented
+/// recovery), so the scan is not strictly read-only.
+std::map<std::string, cloud::Anchor> load_journal_anchors(
+    const std::string& journal_dir);
+
+/// Checks (and, by default, repairs) the replica stores in `store_dirs`.
+FsckResult run_fsck(const std::vector<std::string>& store_dirs,
+                    const FsckOptions& options = {});
+
+/// Renders a human-readable summary (the fsck tool's output).
+std::string format_fsck_result(const FsckResult& result);
+
+}  // namespace privedit::extension

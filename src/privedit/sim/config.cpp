@@ -68,6 +68,7 @@ std::string SimConfig::to_wire() const {
   out += ",rollback=" + std::to_string(permille(weights.rollback / 100.0));
   out += ",fork=" + std::to_string(permille(weights.fork / 100.0));
   out += ",crash=" + std::to_string(permille(weights.crash / 100.0));
+  out += ",storerot=" + std::to_string(permille(weights.store_rot / 100.0));
   out += ",mutation=" + std::to_string(static_cast<int>(mutation));
   out += ",offline=" + std::to_string(offline ? 1 : 0);
   out += ",strict=" + std::to_string(strict ? 1 : 0);
@@ -136,6 +137,9 @@ SimConfig SimConfig::parse(std::string_view wire) {
       config.weights.fork = parse_u64(value, "fork permille") / 10.0;
     } else if (key == "crash") {
       config.weights.crash = parse_u64(value, "crash permille") / 10.0;
+    } else if (key == "storerot") {
+      config.weights.store_rot =
+          parse_u64(value, "store-rot permille") / 10.0;
     } else if (key == "mutation") {
       config.mutation = static_cast<Mutation>(parse_u64(value, "mutation"));
     } else if (key == "offline") {

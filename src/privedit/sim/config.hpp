@@ -30,10 +30,11 @@ struct GenWeights {
   double undo = 4;
   double reopen = 1;
 
-  double tamper = 0;    // bit flips + unit swap/drop/replay at the provider
-  double rollback = 0;  // serve an older acknowledged state at open
-  double fork = 0;      // different bytes at the acknowledged revision
-  double crash = 0;     // arm a durability crash seam, then edit
+  double tamper = 0;     // bit flips + unit swap/drop/replay at the provider
+  double rollback = 0;   // serve an older acknowledged state at open
+  double fork = 0;       // different bytes at the acknowledged revision
+  double crash = 0;      // arm a durability crash seam, then edit
+  double store_rot = 0;  // rot the on-disk record, restart the provider, fsck
 
   double empty_bias = 0.06;     // chance an edit degenerates to a no-op
   double boundary_bias = 0.35;  // snap position to a block boundary
@@ -121,6 +122,9 @@ struct SimReport {
     std::size_t forks_detected = 0;
     std::size_t crashes_fired = 0;
     std::size_t crashes_recovered = 0;
+    std::size_t store_rots_injected = 0;
+    std::size_t store_rots_detected = 0;   // fsck findings after the rot
+    std::size_t store_rots_repaired = 0;   // store checks clean after repair
     std::size_t transport_errors = 0;
     std::size_t deep_verifies = 0;
 

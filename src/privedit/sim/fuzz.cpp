@@ -1,10 +1,15 @@
 #include "privedit/sim/fuzz.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "privedit/cloud/file_store.hpp"
+#include "privedit/cloud/store_check.hpp"
 #include "privedit/delta/delta.hpp"
 #include "privedit/enc/container.hpp"
 #include "privedit/extension/journal.hpp"
@@ -135,6 +140,61 @@ void fuzz_journal(std::string_view data, const std::string& scratch_dir) {
           "journal: compact changed the pending set");
   }
   fs::remove(path);
+}
+
+void fuzz_store_record(std::string_view data,
+                       const std::string& scratch_dir) {
+  namespace fs = std::filesystem;
+  // Distinct store directory per input so parallel shards never collide.
+  const std::string dir =
+      (fs::path(scratch_dir) /
+       ("store-" + std::to_string(crc32(as_bytes(data))) + "-" +
+        std::to_string(data.size())))
+          .string();
+  fs::create_directories(dir);
+  const std::string doc_id = "fuzzdoc";
+  {
+    // Plant the raw bytes as the document's record file, plus a stale
+    // temp beside it — the crash-leftover a store open must sweep.
+    cloud::FileStore layout(dir);
+    std::ofstream record(layout.path_for(doc_id),
+                         std::ios::binary | std::ios::trunc);
+    record.write(data.data(), static_cast<std::streamsize>(data.size()));
+    std::ofstream stale(layout.path_for(doc_id) + ".tmp",
+                        std::ios::binary | std::ios::trunc);
+    stale << "stale";
+  }
+  cloud::FileStore store(dir);
+  check(store.tmp_swept() >= 1, "store: opening sweep missed a stale tmp");
+
+  std::optional<cloud::Store::Record> record;
+  try {
+    record = store.get(doc_id);
+  } catch (const ParseError&) {
+    // Corrupt record rejected loudly — correct. It must still be listed
+    // (scrub/fsck walk it) and load_all must skip-and-report, not die.
+  }
+  const auto ids = store.list_doc_ids();
+  check(std::find(ids.begin(), ids.end(), doc_id) != ids.end(),
+        "store: planted record missing from list_doc_ids");
+  std::vector<std::string> corrupt;
+  const auto all = store.load_all(&corrupt);
+  check(all.count(doc_id) + corrupt.size() == 1,
+        "store: load_all neither loaded nor reported the record");
+
+  // Classification must never crash, whatever the bytes.
+  const cloud::CheckReport report = cloud::check_store(store);
+  if (record) {
+    // A readable record must survive a put/get round trip bit-for-bit.
+    store.put(doc_id, *record);
+    const auto again = store.get(doc_id);
+    check(again && *again == *record,
+          "store: put/get round trip changed a readable record");
+  } else {
+    check(report.count(cloud::FindingKind::kUnreadableRecord) == 1,
+          "store: unreadable record not reported by check_store");
+  }
+  fs::remove_all(dir);
 }
 
 void fuzz_http(std::string_view data) {

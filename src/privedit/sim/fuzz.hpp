@@ -42,4 +42,11 @@ void fuzz_journal(std::string_view data, const std::string& scratch_dir);
 /// HTTP request and response framing: parse / serialise round trips.
 void fuzz_http(std::string_view data);
 
+/// Store record file bytes: written as a document file (plus a sibling
+/// stale *.tmp), then opened through FileStore — the sweep must discard
+/// the temp, get() must return or reject loudly, check_store must
+/// classify without crashing, and a readable record must survive a
+/// put/get round trip. Writes scratch files under `scratch_dir`.
+void fuzz_store_record(std::string_view data, const std::string& scratch_dir);
+
 }  // namespace privedit::sim

@@ -48,7 +48,7 @@ Script generate_script(const SimConfig& config) {
     double weight;
     SimOpKind kind;
   };
-  const std::array<Entry, 13> table = {{
+  const std::array<Entry, 14> table = {{
       {w.insert, SimOpKind::kInsert},
       {w.erase, SimOpKind::kErase},
       {w.replace, SimOpKind::kReplace},
@@ -62,6 +62,7 @@ Script generate_script(const SimConfig& config) {
       {w.rollback, SimOpKind::kRollback},
       {w.fork, SimOpKind::kFork},
       {w.crash, SimOpKind::kCrash},
+      {w.store_rot, SimOpKind::kStoreRot},
   }};
   double total = 0;
   for (const Entry& e : table) total += e.weight;
@@ -120,6 +121,7 @@ Script generate_script(const SimConfig& config) {
         op.arg2 = static_cast<std::uint32_t>(rng.next_u64());
         break;
       case SimOpKind::kCrash:
+      case SimOpKind::kStoreRot:
         op.arg = static_cast<std::uint32_t>(rng.next_u64());
         break;
     }

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 
 #include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/cloud/store_check.hpp"
 #include "privedit/delta/delta.hpp"
 #include "privedit/enc/container.hpp"
+#include "privedit/extension/fsck.hpp"
 #include "privedit/extension/mediator.hpp"
 #include "privedit/extension/session.hpp"
 #include "privedit/net/fault.hpp"
@@ -19,6 +23,7 @@
 #include "privedit/sim/gen.hpp"
 #include "privedit/util/crashpoint.hpp"
 #include "privedit/util/error.hpp"
+#include "privedit/util/hex.hpp"
 #include "privedit/util/random.hpp"
 #include "privedit/util/urlencode.hpp"
 
@@ -110,6 +115,7 @@ class Runner {
     }
     if (rep_.ok && cfg_.offline) drain_offline();
     if (rep_.ok && cfg_.deep_verify_every > 0) deep_verify();
+    if (rep_.ok && cfg_.persist) store_quiesce_check();
     collect_resilience_cov();
     rep_.final_doc_chars = model_.size();
     rep_.final_rev = rev_;
@@ -299,6 +305,9 @@ class Runner {
         return;
       case SimOpKind::kCrash:
         exec_crash(op);
+        return;
+      case SimOpKind::kStoreRot:
+        exec_store_rot(op);
         return;
     }
   }
@@ -866,6 +875,134 @@ class Runner {
     undo_.clear();
     ++rep_.cov.crashes_recovered;
     check_model();
+  }
+
+  // ----- storage integrity -----
+
+  std::string store_dir() const {
+    namespace fs = std::filesystem;
+    return (fs::path(cfg_.work_dir) / "store").string();
+  }
+
+  /// fsck configuration matching this run: journal anchors when the
+  /// journal is on, plus full decrypt validation (cheap here — the sim's
+  /// KDF iteration count is deliberately tiny).
+  cloud::CheckConfig store_check_config() const {
+    cloud::CheckConfig cc;
+    if (cfg_.journal) {
+      namespace fs = std::filesystem;
+      cc.anchors = extension::load_journal_anchors(
+          (fs::path(cfg_.work_dir) / "journal").string());
+    }
+    cc.deep_validate = [this](const std::string& content) {
+      try {
+        extension::DocumentSession::open(
+            cfg_.password, content,
+            extension::seeded_rng_factory(cfg_.seed ^ 0xf5c8ULL));
+        return true;
+      } catch (const Error&) {
+        return false;
+      }
+    };
+    return cc;
+  }
+
+  cloud::CheckReport run_store_check() const {
+    cloud::FileStore store(store_dir());
+    return cloud::check_store(store, store_check_config());
+  }
+
+  /// Storage adversary: rot the document's on-disk record (rev line or a
+  /// content byte), restart the provider on the damaged store, and require
+  /// that fsck detects the rot where detection is possible — then repair
+  /// through the cmd=sync push and require a clean re-check plus model
+  /// equivalence.
+  void exec_store_rot(const SimOp& op) {
+    if (!cfg_.persist || offline_now()) return;
+    const auto raw = server_->raw_content(kDocId);
+    if (!raw || raw->empty()) return;
+    const std::string good = *raw;
+
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::path(store_dir()) /
+         (hex_encode(as_bytes(std::string(kDocId))) + ".doc"))
+            .string();
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (!in.good()) return;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      bytes = buf.str();
+    }
+    if (bytes.empty()) return;
+    const bool rot_rev_line = op.arg % 4 == 0;
+    if (rot_rev_line) {
+      bytes[0] = 'x';  // the rev line no longer parses: unreadable record
+    } else {
+      const std::size_t nl = bytes.find('\n');
+      if (nl == std::string::npos || nl + 1 >= bytes.size()) return;
+      const std::size_t at = nl + 1 + op.arg % (bytes.size() - nl - 1);
+      bytes[at] = flip_char(bytes[at], op.arg >> 8);
+    }
+    {
+      // Deliberately non-atomic: this is the adversary, not the SUT.
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+    ++rep_.cov.store_rots_injected;
+
+    // Provider restart on the damaged store (tolerant load: an unreadable
+    // record quarantines the doc instead of killing the boot).
+    ++epoch_;
+    build_world();
+
+    const cloud::CheckReport report = run_store_check();
+    // Detection is REQUIRED when the damage is structural (rev line), when
+    // the journal anchor can expose a byte change (checksum mismatch at
+    // the acked revision), or when RPC's cryptographic integrity must
+    // reject the container. Outside those, a flipped ciphertext byte in a
+    // confidentiality-only mode can legitimately decode to garbage.
+    const bool must_detect =
+        rot_rev_line || cfg_.journal || cfg_.mode == enc::Mode::kRpc;
+    if (!report.store_clean()) {
+      ++rep_.cov.store_rots_detected;
+    } else if (must_detect) {
+      fail("store-rot-undetected",
+           std::string("fsck reported a rotted store clean (") +
+               (rot_rev_line ? "rev line" : "content byte") + ", " +
+               op.to_wire() + ")");
+      return;
+    }
+
+    // Repair = the replica anti-entropy push (cmd=sync with the good
+    // bytes), which also lifts a boot quarantine after validation.
+    heal(good);
+    if (!rep_.ok) return;
+    const cloud::CheckReport post = run_store_check();
+    if (!post.store_clean()) {
+      fail("store-rot-unrepaired",
+           "fsck still dirty after repair: " +
+               std::string(cloud::finding_kind_name(
+                   post.findings.front().kind)) +
+               " — " + post.findings.front().detail);
+      return;
+    }
+    ++rep_.cov.store_rots_repaired;
+  }
+
+  /// End-of-run invariant for persist runs: after quiesce the store must
+  /// check completely clean — structure, decrypt, and journal anchors.
+  void store_quiesce_check() {
+    const cloud::CheckReport report = run_store_check();
+    if (!report.store_clean()) {
+      fail("store-quiesce",
+           "store dirty at quiesce: " +
+               std::string(
+                   cloud::finding_kind_name(report.findings.front().kind)) +
+               " — " + report.findings.front().detail);
+    }
   }
 
   // ----- failure bookkeeping -----

@@ -124,6 +124,8 @@ std::string SimOp::to_wire() const {
       return "kf";
     case SimOpKind::kCrash:
       return "c:" + std::to_string(arg);
+    case SimOpKind::kStoreRot:
+      return "sc:" + std::to_string(arg);
   }
   throw Error(ErrorCode::kInvalidArgument, "sim: bad op kind");
 }
@@ -196,6 +198,10 @@ SimOp SimOp::parse(std::string_view wire) {
   } else if (tag == "c") {
     want(2);
     op.kind = SimOpKind::kCrash;
+    op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "sc") {
+    want(2);
+    op.kind = SimOpKind::kStoreRot;
     op.arg = parse_u32(fields[1], "arg");
   } else {
     throw ParseError("sim op: unknown tag '" + std::string(tag) + "'");

@@ -34,6 +34,7 @@ enum class SimOpKind : std::uint8_t {
   kRollback,    // kb                    serve an older acknowledged state
   kFork,        // kf                    different bytes at the acked revision
   kCrash,       // c:ARG                 arm a crash seam, then edit
+  kStoreRot,    // sc:ARG                rot the on-disk record, restart, fsck
 };
 
 /// Insert-payload character classes. The mix is chosen to hit the update

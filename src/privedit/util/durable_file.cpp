@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "privedit/util/crashpoint.hpp"
 #include "privedit/util/error.hpp"
@@ -15,7 +16,7 @@ namespace privedit {
 namespace {
 
 [[noreturn]] void raise(const std::string& what) {
-  throw Error(ErrorCode::kState, what + ": " + std::strerror(errno));
+  throw StorageError(what, errno);
 }
 
 void write_all(int fd, const char* data, std::size_t len,
@@ -72,6 +73,31 @@ void durable_replace_file(const std::string& path, std::string_view bytes,
   }
   CrashPoints::reach(crash_prefix + ".before_dirsync");
   fsync_parent_dir(path);
+}
+
+std::size_t sweep_stale_tmp(const std::string& directory,
+                            const std::string& crash_prefix) {
+  namespace fs = std::filesystem;
+  std::size_t swept = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".tmp") {
+      continue;
+    }
+    // One seam per removal: a crash here leaves this temp (and any later
+    // ones) on disk, which the next open's sweep discards again — the
+    // sweep is idempotent, so mid-sweep power loss is harmless.
+    CrashPoints::reach(crash_prefix + ".sweep");
+    if (::unlink(entry.path().c_str()) != 0 && errno != ENOENT) {
+      raise("sweep " + entry.path().string());
+    }
+    ++swept;
+  }
+  if (ec) {
+    errno = ec.value();
+    raise("list " + directory);
+  }
+  return swept;
 }
 
 }  // namespace privedit

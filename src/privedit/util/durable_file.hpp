@@ -15,15 +15,26 @@
 
 namespace privedit {
 
-/// Atomically and durably replaces `path` with `bytes`. Throws Error
-/// (kState) on I/O failure and CrashError when an armed crash point fires
-/// — in which case the on-disk state is exactly what a power loss at that
-/// step would leave.
+/// Atomically and durably replaces `path` with `bytes`. Throws
+/// StorageError (carrying the errno, so callers can tell ENOSPC from EIO)
+/// on I/O failure and CrashError when an armed crash point fires — in
+/// which case the on-disk state is exactly what a power loss at that step
+/// would leave.
 void durable_replace_file(const std::string& path, std::string_view bytes,
                           const std::string& crash_prefix);
 
 /// fsync() the directory containing `path`, making a completed rename in
-/// it durable. Throws Error (kState) on failure.
+/// it durable. Throws StorageError on failure.
 void fsync_parent_dir(const std::string& path);
+
+/// Removes every stale "*.tmp" left in `directory` by a crash between
+/// temp-write and rename (such a temp was never acknowledged, so recovery
+/// is simply discarding it). Returns the number of files swept. The sweep
+/// itself is a durable-path step: "<crash_prefix>.sweep" fires before each
+/// removal, and a crash mid-sweep must leave the directory loadable — the
+/// remaining temps are re-swept on the next open. Directory listing/unlink
+/// failures raise StorageError.
+std::size_t sweep_stale_tmp(const std::string& directory,
+                            const std::string& crash_prefix);
 
 }  // namespace privedit

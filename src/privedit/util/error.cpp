@@ -1,5 +1,8 @@
 #include "privedit/util/error.hpp"
 
+#include <cerrno>
+#include <cstring>
+
 namespace privedit {
 
 std::string_view error_code_name(ErrorCode code) {
@@ -18,10 +21,31 @@ std::string_view error_code_name(ErrorCode code) {
       return "protocol";
     case ErrorCode::kState:
       return "state";
+    case ErrorCode::kStorage:
+      return "storage";
     case ErrorCode::kUnsupported:
       return "unsupported";
   }
   return "unknown";
+}
+
+StorageError::StorageError(const std::string& what, int sys_errno)
+    : Error(ErrorCode::kStorage,
+            what + ": " + std::strerror(sys_errno) + " (errno " +
+                std::to_string(sys_errno) + ")"),
+      errno_(sys_errno) {}
+
+bool StorageError::transient() const noexcept {
+  switch (errno_) {
+    case ENOSPC:
+    case EDQUOT:
+    case EINTR:
+    case EAGAIN:
+    case EBUSY:
+      return true;
+    default:
+      return false;  // EIO, EROFS, EBADF, ENOTDIR, ... — not retryable
+  }
 }
 
 }  // namespace privedit

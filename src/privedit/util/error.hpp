@@ -19,6 +19,7 @@ enum class ErrorCode {
   kRollback,          // server presented an older/forked document state
   kProtocol,          // cloud-service protocol violation
   kState,             // object used in an invalid state
+  kStorage,           // disk I/O failed (carries errno; see StorageError)
   kUnsupported,       // feature intentionally not available (e.g. blocked)
 };
 
@@ -58,6 +59,25 @@ class RollbackError : public IntegrityError {
  public:
   explicit RollbackError(const std::string& what)
       : IntegrityError(ErrorCode::kRollback, what) {}
+};
+
+/// Thrown when a storage path (write/fsync/rename/open) fails at the OS
+/// level. Carries the errno so scrub/repair machinery can distinguish
+/// transient faults (ENOSPC clears when space is freed) from media faults
+/// (EIO means the bytes may be gone — repair from a replica, don't retry).
+class StorageError : public Error {
+ public:
+  StorageError(const std::string& what, int sys_errno);
+
+  int sys_errno() const noexcept { return errno_; }
+
+  /// True when retrying the same operation later can plausibly succeed
+  /// without repairing from elsewhere (ENOSPC, EDQUOT, EINTR, EAGAIN).
+  /// EIO and friends are media faults: the store itself needs repair.
+  bool transient() const noexcept;
+
+ private:
+  int errno_;
 };
 
 class ParseError : public Error {

@@ -125,16 +125,57 @@ TEST_F(FileStoreTest, RevisionLineAloneIsCorruptWithoutItsNewline) {
   EXPECT_TRUE(record->content.empty());
 }
 
-TEST_F(FileStoreTest, ConstructorDiscardsStaleTempFiles) {
+TEST_F(FileStoreTest, ConstructorDiscardsStaleTempFilesAndCountsThem) {
   {
     FileStore store(dir_);
     store.put("d", {"durable", 1});
+    EXPECT_EQ(store.tmp_swept(), 0u);
   }
-  // A crash between temp-write and rename leaves a .tmp behind.
+  // A crash between temp-write and rename leaves .tmp files behind.
   std::ofstream(dir_ + "/deadbeef.doc.tmp", std::ios::binary) << "torn half";
+  std::ofstream(dir_ + "/cafe.doc.tmp", std::ios::binary) << "torn other";
   FileStore reopened(dir_);
+  EXPECT_EQ(reopened.tmp_swept(), 2u);
   EXPECT_FALSE(fs::exists(dir_ + "/deadbeef.doc.tmp"));
+  EXPECT_FALSE(fs::exists(dir_ + "/cafe.doc.tmp"));
   EXPECT_EQ(reopened.get("d")->content, "durable");
+}
+
+TEST_F(FileStoreTest, ListIncludesCorruptDocsAndLoadAllReportsThem) {
+  FileStore store(dir_);
+  store.put("good", {"fine", 1});
+  store.put("bad", {"fine for now", 1});
+  std::ofstream(store.path_for("bad"), std::ios::trunc | std::ios::binary)
+      << "no rev line";
+  // The corrupt doc stays visible to the walk surface (scrub/fsck need to
+  // find it), and tolerant loading reports instead of throwing.
+  const auto ids = store.list_doc_ids();
+  EXPECT_EQ(ids.size(), 2u);
+  std::vector<std::string> corrupt;
+  const auto all = store.load_all(&corrupt);
+  EXPECT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all.contains("good"));
+  EXPECT_EQ(corrupt, std::vector<std::string>{"bad"});
+  // The legacy nullptr form skips silently rather than dying.
+  EXPECT_EQ(store.load_all().size(), 1u);
+}
+
+TEST_F(FileStoreTest, QuarantineMarkersAreDurableAndInvisibleToDocWalk) {
+  {
+    FileStore store(dir_);
+    store.put("d", {"content", 1});
+    store.set_quarantined("d", true);
+    EXPECT_EQ(store.quarantined(), std::set<std::string>{"d"});
+  }
+  FileStore reopened(dir_);
+  EXPECT_EQ(reopened.quarantined(), std::set<std::string>{"d"});
+  // The marker is metadata: the record itself is untouched and the marker
+  // file never shows up as a document.
+  EXPECT_EQ(reopened.list_doc_ids(), std::vector<std::string>{"d"});
+  EXPECT_EQ(reopened.get("d")->content, "content");
+  reopened.set_quarantined("d", false);
+  EXPECT_TRUE(reopened.quarantined().empty());
+  reopened.set_quarantined("never-stored", false);  // no-op, no throw
 }
 
 TEST_F(FileStoreTest, ServerSurvivesRestart) {

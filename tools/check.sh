@@ -8,7 +8,7 @@
 # and corrupt bytes through the decoders.
 #
 # Usage:
-#   tools/check.sh [thread|address|asan-ubsan|sim|resilience|no-aesni] [extra ctest args...]
+#   tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|no-aesni] [extra ctest args...]
 #
 # The sim mode runs only the simulation-harness tests (ctest label "sim")
 # in a plain build, scaled up via PRIVEDIT_SIM_ITERS (default 10x the
@@ -18,6 +18,11 @@
 # "resilience": breaker, admission control, offline queue, outage-schedule
 # sim runs) with PRIVEDIT_RESILIENCE_ITERS scaling the outage phases
 # (default 10x), in a plain build for wall-clock throughput.
+#
+# The fsck mode soaks the storage-integrity suite (ctest label "storage":
+# fault-injected stores, scrub cycles, fsck repair, crashpoint x disk-fault
+# matrix) with PRIVEDIT_FSCK_ITERS scaling the randomized corruption
+# rounds (default 10x), in a plain build.
 #
 # Uses a separate build tree (build-<sanitizer>/) so the regular build/
 # stays untouched.
@@ -47,6 +52,19 @@ if [ "${SANITIZER}" = "resilience" ]; then
   exec ctest --output-on-failure -j"$(nproc)" -L resilience "$@"
 fi
 
+if [ "${SANITIZER}" = "fsck" ]; then
+  BUILD_DIR="${REPO_ROOT}/build-sim"
+  cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}" -j"$(nproc)" --target store_integrity_test sim_test
+  export PRIVEDIT_FSCK_ITERS="${PRIVEDIT_FSCK_ITERS:-10}"
+  echo "storage-integrity soak at PRIVEDIT_FSCK_ITERS=${PRIVEDIT_FSCK_ITERS}"
+  cd "${BUILD_DIR}"
+  # The storage label plus the sim harness's store-rot adversary tests
+  # (label "sim", so a second invocation — ctest -L/-R intersect).
+  ctest --output-on-failure -j"$(nproc)" -L storage "$@"
+  exec ctest --output-on-failure -j"$(nproc)" -R "SimStorage|FuzzCorpus.Store" "$@"
+fi
+
 if [ "${SANITIZER}" = "no-aesni" ]; then
   # Run the full suite with hardware AES dispatch disabled, so the software
   # fallback path (the one a non-AES-NI host would take) stays covered even
@@ -64,7 +82,7 @@ fi
 case "${SANITIZER}" in
   thread|address) CMAKE_SANITIZE="${SANITIZER}" ;;
   asan-ubsan)     CMAKE_SANITIZE="address+undefined" ;;
-  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience|no-aesni] [ctest args...]" >&2
+  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|no-aesni] [ctest args...]" >&2
      exit 2 ;;
 esac
 

@@ -123,6 +123,20 @@ int main(int argc, char** argv) {
   put(journal, "empty.wal", "");
   fs::remove_all(root / ".scratch");
 
+  // --- store: "<rev>\n<container>" record files + rotted variants ---
+  const fs::path store = root / "store";
+  put(store, "valid.rec", "3\n" + rpc);
+  put(store, "rolled-back-rev.rec", "1\n" + rpc);
+  std::string rot = "3\n" + rpc;
+  rot[rot.size() / 2] = rot[rot.size() / 2] == 'A' ? 'B' : 'A';
+  put(store, "bit-flipped-container.rec", rot);
+  put(store, "truncated-doc.rec", ("3\n" + rpc).substr(0, rpc.size() / 2));
+  put(store, "rev-not-digits.rec", "x3\n" + recb);
+  put(store, "rev-overflow.rec", "99999999999999999999\n" + recb);
+  put(store, "no-newline.rec", "42");
+  put(store, "plaintext-body.rec", "7\nnot a container at all");
+  put(store, "empty.rec", "");
+
   // --- http: valid requests/responses + malformed framing ---
   const fs::path http = root / "http";
   put(http, "post-form.txt",

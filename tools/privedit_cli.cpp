@@ -13,6 +13,8 @@
 //   privedit_cli rotate   --password PW --new-password PW2 < cipher
 //   privedit_cli serve    --port P           (simulated Google Docs service)
 //   privedit_cli proxy    --port P --upstream-port U --password PW
+//   privedit_cli fsck     --stores DIR[,DIR...] [--journal DIR]
+//                         [--password PW] [--repair 0|1]
 //
 // The delta argument accepts "\t" as the op separator so shells stay sane.
 
@@ -23,10 +25,12 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "privedit/cloud/gdocs_server.hpp"
 #include "privedit/delta/delta.hpp"
 #include "privedit/enc/container.hpp"
+#include "privedit/extension/fsck.hpp"
 #include "privedit/extension/proxy.hpp"
 #include "privedit/extension/session.hpp"
 #include "privedit/net/http_server.hpp"
@@ -181,6 +185,31 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_dirs(const std::string& list) {
+  std::vector<std::string> dirs;
+  std::istringstream in(list);
+  std::string dir;
+  while (std::getline(in, dir, ',')) {
+    if (!dir.empty()) dirs.push_back(dir);
+  }
+  if (dirs.empty()) {
+    throw Error(ErrorCode::kInvalidArgument, "--stores needs >= 1 directory");
+  }
+  return dirs;
+}
+
+int cmd_fsck(const Args& args) {
+  extension::FsckOptions options;
+  options.password = args.get("password", "");
+  options.journal_dir = args.get("journal", "");
+  options.repair = args.get("repair", "1") != "0";
+  const extension::FsckResult result =
+      extension::run_fsck(split_dirs(args.require("stores")), options);
+  std::fputs(extension::format_fsck_result(result).c_str(), stdout);
+  if (result.clean_before()) return 0;
+  return result.healthy_after() ? 0 : 1;
+}
+
 int cmd_proxy(const Args& args) {
   extension::MediatorConfig config;
   config.password = args.require("password");
@@ -208,7 +237,9 @@ void usage() {
       "  inspect                                      stdin -> stderr\n"
       "  rotate   --password PW --new-password PW2    stdin -> stdout\n"
       "  serve    [--port P]\n"
-      "  proxy    --upstream-port U --password PW [--port P]\n");
+      "  proxy    --upstream-port U --password PW [--port P]\n"
+      "  fsck     --stores DIR[,DIR...] [--journal DIR] [--password PW]\n"
+      "           [--repair 0|1]        exit 0 = clean or fully repaired\n");
 }
 
 }  // namespace
@@ -223,6 +254,7 @@ int main(int argc, char** argv) {
     if (args.command == "rotate") return cmd_rotate(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "proxy") return cmd_proxy(args);
+    if (args.command == "fsck") return cmd_fsck(args);
     usage();
     return 2;
   } catch (const Error& e) {
