@@ -1,0 +1,288 @@
+// Sharded front-door stress: saturation curves for the consistent-hash
+// router across ring sizes, with and without per-shard admission control.
+//
+// Matrix: shards in {1, 4, 8} x admission {off, on}, over a 10k-document
+// corpus (1k under --quick) with hundreds of distinct client identities
+// driven from several worker threads. Two throughput numbers per cell:
+//
+//   wall_ops_per_s      — raw end-to-end rate through ShardRouter::handle
+//                         (ring lookup + tenant ledger + shard lock + the
+//                         GDocsServer protocol work), measured on the wall
+//                         clock. On a multi-core box this is where the
+//                         per-shard lock domains show up; on one core it
+//                         is a router-overhead check across ring sizes.
+//   accepted_per_s      — admission-limited saturation capacity, on the
+//                         deterministic simulated clock: offered load far
+//                         above any budget, capacity = accepted / offered
+//                         window. Budgets are per (shard, client) bucket,
+//                         so capacity scales with the ring — the 4-shard
+//                         ring must sustain >= 2x the 1-shard ring (the
+//                         PR's acceptance line; enforced at full scale).
+//
+// Every cell double-checks correctness after the storm: exactly one owner
+// per sampled doc, no document lost, and only 200/503 statuses ever seen.
+// FAILs (non-zero exit) on any violation, so the --quick run doubles as a
+// CI smoke gate. Results land in BENCH_pr8.json (override with --out).
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "privedit/cloud/shard_router.hpp"
+#include "privedit/net/admission.hpp"
+#include "privedit/net/retry.hpp"
+#include "privedit/util/random.hpp"
+#include "privedit/util/urlencode.hpp"
+
+#include "bench_common.hpp"
+
+namespace privedit {
+namespace {
+
+struct CellResult {
+  std::size_t shards = 0;
+  bool admission = false;
+  std::size_t offered = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  double wall_s = 0;
+  double sim_s = 0;  // simulated offered-load window (admission rows)
+  bool ok = true;
+};
+
+std::string doc_name(std::size_t i) { return "doc" + std::to_string(i); }
+std::string client_name(std::size_t i) { return "c" + std::to_string(i); }
+
+std::vector<std::string> ids_for(std::size_t n) {
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < n; ++i) ids.push_back("s" + std::to_string(i));
+  return ids;
+}
+
+/// Seeds the corpus through the router. Setup traffic rides the probe
+/// bypass so the admission buckets start the measured phase untouched.
+void populate(cloud::ShardRouter& router, std::size_t docs,
+              std::size_t clients, const std::string& body) {
+  for (std::size_t i = 0; i < docs; ++i) {
+    const std::string target = "/Doc?docID=" + percent_encode(doc_name(i));
+    FormData create;
+    create.add("cmd", "create");
+    net::HttpRequest req = net::HttpRequest::post_form(target, create.encode());
+    req.headers.set(net::kClientIdHeader, client_name(i % clients));
+    req.headers.set(net::kProbeHeader, "1");
+    router.handle(req);
+    FormData save;
+    save.add("session", "1");
+    save.add("rev", "0");
+    save.add("docContents", body);
+    net::HttpRequest put = net::HttpRequest::post_form(target, save.encode());
+    put.headers.set(net::kClientIdHeader, client_name(i % clients));
+    put.headers.set(net::kProbeHeader, "1");
+    router.handle(put);
+  }
+}
+
+CellResult run_cell(std::size_t shards, bool admission, std::size_t docs,
+                    std::size_t clients, std::size_t requests,
+                    std::size_t threads, std::uint64_t spacing_us) {
+  CellResult cell;
+  cell.shards = shards;
+  cell.admission = admission;
+  cell.offered = requests;
+
+  // The measured phase runs on a simulated clock: each request advances
+  // time by a fixed spacing, so the offered rate (and thus the admission
+  // verdicts) are independent of the machine the bench runs on.
+  std::atomic<std::uint64_t> sim_now{0};
+  cloud::ShardRouterConfig cfg;
+  if (admission) {
+    cfg.admission = net::AdmissionConfig{.rate_per_sec = 20.0,
+                                         .burst = 30.0,
+                                         .queue_deadline_us = 0,
+                                         .max_clients = clients + 8};
+    cfg.admission_now = [&sim_now] { return sim_now.load(); };
+  }
+  cloud::ShardRouter router(ids_for(shards), cfg);
+
+  const std::string body(256, 'b');
+  populate(router, docs, clients, body);
+  if (router.document_count() != docs) {
+    std::fprintf(stderr, "FAIL: populate lost documents (%zu of %zu)\n",
+                 router.document_count(), docs);
+    cell.ok = false;
+    return cell;
+  }
+
+  std::atomic<std::size_t> accepted{0}, rejected{0}, unexpected{0};
+  auto worker = [&](std::size_t tid, std::size_t begin, std::size_t end) {
+    Xoshiro256 rng(0xbe5700 + tid);
+    FormData save;
+    save.add("session", "1");
+    save.add("rev", "0");
+    save.add("docContents", body);
+    const std::string save_body = save.encode();
+    FormData open;
+    open.add("cmd", "open");
+    const std::string open_body = open.encode();
+    for (std::size_t r = begin; r < end; ++r) {
+      sim_now.fetch_add(spacing_us);
+      const std::string& form =
+          rng.below(2) == 0 ? save_body : open_body;
+      net::HttpRequest req = net::HttpRequest::post_form(
+          "/Doc?docID=" + percent_encode(doc_name(rng.below(docs))), form);
+      req.headers.set(net::kClientIdHeader, client_name(r % clients));
+      const net::HttpResponse resp = router.handle(req);
+      if (resp.ok()) {
+        ++accepted;
+      } else if (resp.status == 503) {
+        ++rejected;
+      } else {
+        ++unexpected;
+      }
+    }
+  };
+
+  cell.wall_s = bench::time_seconds([&] {
+    std::vector<std::thread> pool;
+    const std::size_t chunk = requests / threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = t + 1 == threads ? requests : begin + chunk;
+      pool.emplace_back(worker, t, begin, end);
+    }
+    for (std::thread& th : pool) th.join();
+  });
+  cell.sim_s =
+      static_cast<double>(requests) * static_cast<double>(spacing_us) / 1e6;
+  cell.accepted = accepted.load();
+  cell.rejected = rejected.load();
+
+  // Post-storm invariants: nothing lost, nothing duplicated, no status
+  // outside the {200, 503} contract.
+  if (unexpected.load() != 0) {
+    std::fprintf(stderr, "FAIL: %zu responses outside the 200/503 contract\n",
+                 unexpected.load());
+    cell.ok = false;
+  }
+  if (router.document_count() != docs) {
+    std::fprintf(stderr, "FAIL: %zu of %zu documents survived the storm\n",
+                 router.document_count(), docs);
+    cell.ok = false;
+  }
+  for (std::size_t i = 0; i < docs; i += docs / 16 + 1) {
+    if (router.holders(doc_name(i)).size() != 1) {
+      std::fprintf(stderr, "FAIL: %s not owned by exactly one shard\n",
+                   doc_name(i).c_str());
+      cell.ok = false;
+    }
+  }
+  if (!admission && cell.accepted != cell.offered) {
+    std::fprintf(stderr,
+                 "FAIL: %zu of %zu requests rejected with admission off\n",
+                 cell.offered - cell.accepted, cell.offered);
+    cell.ok = false;
+  }
+  return cell;
+}
+
+std::string cell_json(const CellResult& c) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"bench\":\"shard_stress\",\"shards\":%zu,\"admission\":%s,"
+      "\"offered\":%zu,\"accepted\":%zu,\"rejected\":%zu,"
+      "\"wall_ops_per_s\":%.0f,\"accepted_per_s\":%.0f,\"ok\":%s}",
+      c.shards, c.admission ? "true" : "false", c.offered, c.accepted,
+      c.rejected, static_cast<double>(c.offered) / c.wall_s,
+      static_cast<double>(c.accepted) /
+          (c.admission ? c.sim_s : c.wall_s),
+      c.ok ? "true" : "false");
+  return buf;
+}
+
+int run(bool quick, const std::string& out_path) {
+  const std::size_t docs = quick ? 1'000 : 10'000;
+  const std::size_t clients = quick ? 128 : 256;
+  const std::size_t requests = quick ? 30'000 : 240'000;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t threads = hw < 4 ? 4 : (hw > 16 ? 16 : hw);
+  // Offered rate ~60k req/s: far above the 1-shard admission capacity
+  // (256 clients x 20/s = 5.1k/s) and above the 8-shard one, so every
+  // admission row is measured at saturation.
+  const std::uint64_t spacing_us = 16;
+
+  std::printf("# shard_stress: docs=%zu clients=%zu requests=%zu threads=%zu"
+              " offered=%.0f req/s (simulated)\n",
+              docs, clients, requests, threads, 1e6 / spacing_us);
+
+  std::vector<CellResult> cells;
+  bool failed = false;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{8}}) {
+    for (const bool admission : {false, true}) {
+      cells.push_back(run_cell(shards, admission, docs, clients, requests,
+                               threads, spacing_us));
+      std::printf("%s\n", cell_json(cells.back()).c_str());
+      failed = failed || !cells.back().ok;
+    }
+  }
+
+  // The acceptance line: 4 shards sustain >= 2x the 1-shard saturation
+  // capacity (it lands near 4x — each client's budget is per shard).
+  double cap1 = 0, cap4 = 0, cap8 = 0;
+  for (const CellResult& c : cells) {
+    if (!c.admission) continue;
+    const double cap = static_cast<double>(c.accepted) / c.sim_s;
+    if (c.shards == 1) cap1 = cap;
+    if (c.shards == 4) cap4 = cap;
+    if (c.shards == 8) cap8 = cap;
+  }
+  const double scaling = cap1 > 0 ? cap4 / cap1 : 0;
+  std::printf("# summary: saturation capacity 1/4/8 shards = "
+              "%.0f / %.0f / %.0f accepted/s (4-vs-1 scaling %.2fx)\n",
+              cap1, cap4, cap8, scaling);
+  if (scaling < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: 4-shard saturation %.2fx the 1-shard ring "
+                 "(acceptance floor is 2x)\n",
+                 scaling);
+    failed = true;
+  }
+
+  std::string report = "[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    report += (i ? ",\n " : "") + cell_json(cells[i]);
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                ",\n {\"bench\":\"shard_stress_summary\",\"docs\":%zu,"
+                "\"clients\":%zu,\"cap_1\":%.0f,\"cap_4\":%.0f,"
+                "\"cap_8\":%.0f,\"scaling_4_vs_1\":%.2f}]\n",
+                docs, clients, cap1, cap4, cap8, scaling);
+  report += buf;
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace privedit
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_pr8.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+  return privedit::run(quick, out);
+}

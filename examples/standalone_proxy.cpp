@@ -1,10 +1,11 @@
 // Standalone proxy over real TCP sockets — §III interception option 1.
 //
-// Boots a simulated Google Documents service on one loopback port, the
-// mediating proxy on another, and drives an editor client through the
-// proxy with genuine HTTP over TCP. The service's stored bytes prove it
-// never saw plaintext; a direct (proxy-less) client shows the exposure the
-// proxy prevents.
+// Boots a sharded simulated Google Documents service (three shards behind
+// a consistent-hash router) on one loopback port, the mediating proxy on
+// another, and drives an editor client through the proxy with genuine
+// HTTP over TCP. The shards' stored bytes prove the provider never saw
+// plaintext; a direct (proxy-less) client shows the exposure the proxy
+// prevents.
 //
 // Build & run:  ./build/examples/standalone_proxy
 
@@ -12,19 +13,21 @@
 
 #include "privedit/util/error.hpp"
 #include "privedit/client/gdocs_client.hpp"
-#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/cloud/shard_router.hpp"
 #include "privedit/extension/proxy.hpp"
 #include "privedit/net/http_server.hpp"
 
 using namespace privedit;
 
 int main() {
-  // The "cloud": a real HTTP server wrapping the simulated service.
-  cloud::GDocsServer gdocs;
+  // The "cloud": a real HTTP server wrapping a three-shard ring. The
+  // router is thread-safe (one lock domain per shard), so the listener
+  // dispatches straight into it.
+  cloud::ShardRouter gdocs({"shard-0", "shard-1", "shard-2"}, {});
   net::HttpServer service(
-      0, net::serialize_handler(
-             [&gdocs](const net::HttpRequest& r) { return gdocs.handle(r); }));
-  std::printf("service listening on 127.0.0.1:%u\n", service.port());
+      0, [&gdocs](const net::HttpRequest& r) { return gdocs.handle(r); });
+  std::printf("service listening on 127.0.0.1:%u (%zu shards)\n",
+              service.port(), gdocs.shard_count());
 
   // The privacy proxy, pointed at the service.
   extension::MediatorConfig config;
@@ -43,8 +46,10 @@ int main() {
   alice.save();
 
   std::printf("alice's document: \"%s\"\n", alice.text().c_str());
+  std::printf("document lives on shard: %s\n",
+              gdocs.shard_for("meeting-notes").c_str());
   const std::string stored = *gdocs.raw_content("meeting-notes");
-  std::printf("service stores:   \"%.60s...\"\n", stored.c_str());
+  std::printf("shard stores:     \"%.60s...\"\n", stored.c_str());
   std::printf("plaintext leaked: %s\n\n",
               stored.find("Initech") == std::string::npos ? "no" : "YES");
 
@@ -60,14 +65,17 @@ int main() {
   careless.create();
   careless.insert(0, "this goes to the provider in the clear");
   careless.save();
-  std::printf("careless direct save stored: \"%s\"\n\n",
-              gdocs.raw_content("exposed-notes")->c_str());
+  std::printf("careless direct save stored: \"%s\" (on %s)\n\n",
+              gdocs.raw_content("exposed-notes")->c_str(),
+              gdocs.shard_for("exposed-notes").c_str());
 
   std::printf("proxy counters: %zu encrypted saves, %zu transformed deltas, "
               "%zu blocked requests\n",
               proxy.counters().full_saves_encrypted,
               proxy.counters().deltas_transformed,
               proxy.counters().requests_blocked);
+  std::printf("router counters: %zu requests routed across %zu shards\n",
+              gdocs.counters().routed, gdocs.shard_count());
 
   proxy.stop();
   service.stop();

@@ -1,0 +1,76 @@
+#include "privedit/cloud/doc_table.hpp"
+
+#include <utility>
+
+namespace privedit::cloud {
+
+std::vector<std::string> DocTable::attach_store(std::unique_ptr<Store> store) {
+  store_ = std::move(store);
+  std::vector<std::string> corrupt;
+  for (auto& [doc_id, record] : store_->load_all(&corrupt)) {
+    Document& doc = docs_[doc_id];
+    doc.content = std::move(record.content);
+    doc.rev = record.rev;
+  }
+  for (const std::string& doc_id : store_->quarantined()) {
+    quarantined_.insert(doc_id);
+  }
+  return corrupt;
+}
+
+DocTable::Document* DocTable::find(const std::string& doc_id) {
+  const auto it = docs_.find(doc_id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+const DocTable::Document* DocTable::find(const std::string& doc_id) const {
+  const auto it = docs_.find(doc_id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+DocTable::Document& DocTable::obtain(const std::string& doc_id) {
+  return docs_[doc_id];
+}
+
+bool DocTable::erase(const std::string& doc_id) {
+  const bool existed = docs_.erase(doc_id) > 0;
+  if (quarantined_.erase(doc_id) > 0 && store_ != nullptr) {
+    store_->set_quarantined(doc_id, false);
+  }
+  if (store_ != nullptr) store_->remove(doc_id);
+  return existed;
+}
+
+std::vector<std::string> DocTable::ids() const {
+  std::vector<std::string> out;
+  out.reserve(docs_.size());
+  for (const auto& [doc_id, doc] : docs_) out.push_back(doc_id);
+  return out;
+}
+
+void DocTable::persist(const std::string& doc_id, const Document& doc) {
+  if (store_ != nullptr) {
+    store_->put(doc_id, Store::Record{doc.content, doc.rev});
+  }
+}
+
+void DocTable::record_history(Document& doc) {
+  doc.history.push_back(doc.content);
+  if (history_limit_ > 0 && doc.history.size() > history_limit_) {
+    doc.history.erase(doc.history.begin(),
+                      doc.history.end() -
+                          static_cast<std::ptrdiff_t>(history_limit_));
+  }
+}
+
+void DocTable::quarantine(const std::string& doc_id) {
+  quarantined_.insert(doc_id);
+  if (store_ != nullptr) store_->set_quarantined(doc_id, true);
+}
+
+void DocTable::unquarantine(const std::string& doc_id) {
+  quarantined_.erase(doc_id);
+  if (store_ != nullptr) store_->set_quarantined(doc_id, false);
+}
+
+}  // namespace privedit::cloud

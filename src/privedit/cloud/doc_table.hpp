@@ -1,0 +1,90 @@
+#pragma once
+// DocTable — the storage half of the simulated provider, split out of
+// GDocsServer so protocol handling and document storage are separate
+// layers (the refactor ROADMAP item 1 needs).
+//
+// A DocTable owns the in-memory document map, the optional durable Store
+// behind it, the per-document version history (with the provider's
+// history cap) and the quarantine set. GDocsServer is reduced to protocol
+// handling over a DocTable; the shard router reaches the same table for
+// migration (export a doc range, drop migrated records) without going
+// through the HTTP verbs; fsck/scrub walk the Store as before.
+//
+// DocTable is NOT internally synchronised — callers serialize access
+// (GDocsServer handlers run under serialize_handler or a per-shard lock).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "privedit/cloud/file_store.hpp"
+
+namespace privedit::cloud {
+
+class DocTable {
+ public:
+  struct Document {
+    std::string content;
+    std::uint64_t rev = 0;
+    std::vector<std::string> history;
+    std::uint64_t next_session = 1;
+  };
+
+  /// Caps the per-document version history (0 = unlimited).
+  void set_history_limit(std::size_t n) { history_limit_ = n; }
+  std::size_t history_limit() const { return history_limit_; }
+
+  /// Attaches a durable Store, loading every readable record and every
+  /// quarantine marker. Returns the ids whose stored record was
+  /// unreadable — the caller decides what to do (GDocsServer quarantines
+  /// them instead of aborting the boot).
+  std::vector<std::string> attach_store(std::unique_ptr<Store> store);
+
+  /// The backing store; nullptr until attach_store.
+  Store* store() const { return store_.get(); }
+
+  Document* find(const std::string& doc_id);
+  const Document* find(const std::string& doc_id) const;
+
+  /// The document, created empty if absent.
+  Document& obtain(const std::string& doc_id);
+
+  /// Drops the document, its stored record and any quarantine marker.
+  /// Returns false if the document did not exist.
+  bool erase(const std::string& doc_id);
+
+  std::size_t size() const { return docs_.size(); }
+  std::vector<std::string> ids() const;
+
+  /// The underlying ordered map — the scrub cursor walks it in order.
+  std::map<std::string, Document>& docs() { return docs_; }
+  const std::map<std::string, Document>& docs() const { return docs_; }
+
+  /// Persists one document to the attached store (no-op without one).
+  /// Propagates StorageError from the backend.
+  void persist(const std::string& doc_id, const Document& doc);
+
+  /// Pushes the current content onto the document's history, pruned to
+  /// the history limit.
+  void record_history(Document& doc);
+
+  // ----- quarantine (storage integrity) -----
+
+  void quarantine(const std::string& doc_id);
+  void unquarantine(const std::string& doc_id);
+  bool is_quarantined(const std::string& doc_id) const {
+    return quarantined_.contains(doc_id);
+  }
+  const std::set<std::string>& quarantined() const { return quarantined_; }
+
+ private:
+  std::unique_ptr<Store> store_;
+  std::map<std::string, Document> docs_;
+  std::set<std::string> quarantined_;
+  std::size_t history_limit_ = 0;  // 0 = keep everything
+};
+
+}  // namespace privedit::cloud

@@ -82,47 +82,12 @@ void GDocsServer::enable_persistence(const std::string& directory) {
 }
 
 void GDocsServer::enable_persistence(std::unique_ptr<Store> store) {
-  store_ = std::move(store);
-  std::vector<std::string> corrupt;
-  for (auto& [doc_id, record] : store_->load_all(&corrupt)) {
-    Document& doc = docs_[doc_id];
-    doc.content = std::move(record.content);
-    doc.rev = record.rev;
-  }
   // An unreadable record must not take the provider down, but it must not
   // silently vanish either: quarantine the id (the file stays on disk as
   // repair evidence) and let the replica-repair path heal it via cmd=sync.
-  for (const std::string& doc_id : corrupt) {
+  for (const std::string& doc_id : table_.attach_store(std::move(store))) {
     ++counters_.load_quarantined;
     quarantine(doc_id);
-  }
-  for (const std::string& doc_id : store_->quarantined()) {
-    quarantined_.insert(doc_id);
-  }
-}
-
-void GDocsServer::quarantine(const std::string& doc_id) {
-  quarantined_.insert(doc_id);
-  if (store_ != nullptr) store_->set_quarantined(doc_id, true);
-}
-
-void GDocsServer::unquarantine(const std::string& doc_id) {
-  quarantined_.erase(doc_id);
-  if (store_ != nullptr) store_->set_quarantined(doc_id, false);
-}
-
-void GDocsServer::persist(const std::string& doc_id, const Document& doc) {
-  if (store_ != nullptr) {
-    store_->put(doc_id, FileStore::Record{doc.content, doc.rev});
-  }
-}
-
-void GDocsServer::record_history(Document& doc) {
-  doc.history.push_back(doc.content);
-  if (history_limit_ > 0 && doc.history.size() > history_limit_) {
-    doc.history.erase(doc.history.begin(),
-                      doc.history.end() -
-                          static_cast<std::ptrdiff_t>(history_limit_));
   }
 }
 
@@ -161,11 +126,11 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
       return net::HttpResponse::make(503, "document quarantined");
     }
     ++counters_.creates;
-    Document& doc = docs_[*doc_id];
+    Document& doc = table_.obtain(*doc_id);
     doc.content.clear();
     doc.rev = 0;
     doc.history.clear();
-    persist(*doc_id, doc);
+    table_.persist(*doc_id, doc);
     FormData reply;
     reply.add("session", std::to_string(doc.next_session++));
     reply.add("rev", "0");
@@ -196,8 +161,8 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
       unquarantine(*doc_id);
     }
     ++counters_.syncs;
-    Document& doc = docs_[*doc_id];
-    record_history(doc);
+    Document& doc = table_.obtain(*doc_id);
+    table_.record_history(doc);
     doc.content = pushed;
     std::uint64_t rev = doc.rev + 1;
     if (const auto rev_field = form.get("rev")) {
@@ -207,16 +172,28 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
       }
     }
     doc.rev = rev;
-    persist(*doc_id, doc);
+    table_.persist(*doc_id, doc);
     return ack(doc, /*include_content=*/false);
   }
 
-  auto it = docs_.find(*doc_id);
-  if (it == docs_.end()) {
+  if (cmd == "delete") {
+    // Quota reclaim / migration cleanup. Deleting a quarantined document
+    // is allowed — dropping rot is strictly safer than keeping it — and
+    // clears the durable quarantine marker along with the record.
+    if (!table_.erase(*doc_id)) {
+      ++counters_.bad_requests;
+      return net::HttpResponse::make(404, "no such document");
+    }
+    ++counters_.deletes;
+    return net::HttpResponse::make(200, "deleted");
+  }
+
+  Document* found = table_.find(*doc_id);
+  if (found == nullptr) {
     ++counters_.bad_requests;
     return net::HttpResponse::make(404, "no such document");
   }
-  Document& doc = it->second;
+  Document& doc = *found;
 
   if (cmd == "open") {
     ++counters_.opens;
@@ -282,10 +259,10 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
       stale = *base_rev != std::to_string(doc.rev);
     }
     ++counters_.full_saves;
-    record_history(doc);
+    table_.record_history(doc);
     doc.content = *contents;
     ++doc.rev;
-    persist(*doc_id, doc);
+    table_.persist(*doc_id, doc);
     return ack(doc, stale);
   }
 
@@ -311,7 +288,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     }
     try {
       const delta::Delta d = delta::Delta::parse(*delta_wire);
-      record_history(doc);
+      table_.record_history(doc);
       doc.content = d.apply(doc.content);
     } catch (const Error&) {
       ++counters_.bad_requests;
@@ -319,7 +296,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     }
     ++doc.rev;
     ++counters_.delta_saves;
-    persist(*doc_id, doc);
+    table_.persist(*doc_id, doc);
     net::HttpResponse resp = ack(doc, conflict);
     if (conflict) {
       FormData body = FormData::parse(resp.body);
@@ -335,42 +312,42 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
 
 std::optional<std::string> GDocsServer::raw_content(
     const std::string& doc_id) const {
-  const auto it = docs_.find(doc_id);
-  if (it == docs_.end()) return std::nullopt;
-  return it->second.content;
+  const Document* doc = table_.find(doc_id);
+  if (doc == nullptr) return std::nullopt;
+  return doc->content;
 }
 
 void GDocsServer::set_raw_content(const std::string& doc_id,
                                   std::string content) {
-  auto it = docs_.find(doc_id);
-  if (it == docs_.end()) {
+  Document* doc = table_.find(doc_id);
+  if (doc == nullptr) {
     throw Error(ErrorCode::kInvalidArgument, "GDocsServer: no such document");
   }
-  record_history(it->second);
-  it->second.content = std::move(content);
-  ++it->second.rev;
-  persist(doc_id, it->second);
+  table_.record_history(*doc);
+  doc->content = std::move(content);
+  ++doc->rev;
+  table_.persist(doc_id, *doc);
 }
 
 const std::vector<std::string>& GDocsServer::history(
     const std::string& doc_id) const {
   static const std::vector<std::string> kEmpty;
-  const auto it = docs_.find(doc_id);
-  return it == docs_.end() ? kEmpty : it->second.history;
+  const Document* doc = table_.find(doc_id);
+  return doc == nullptr ? kEmpty : doc->history;
 }
 
 void GDocsServer::scrub_one(const std::string& doc_id, Document& doc) {
   ++scrub_counters_.docs_scrubbed;
   bool dirty = false;
 
-  if (store_ != nullptr) {
+  if (Store* store = table_.store(); store != nullptr) {
     // While the server runs, its memory is authoritative: any divergence
     // on disk is rot (or a lost/rolled-back write) and is repaired by
     // simply re-persisting — the cheapest repair in the whole subsystem,
     // and the reason scrubbing *online* is worth the request-time slice.
     bool repair = false;
     try {
-      const auto record = store_->get(doc_id);
+      const auto record = store->get(doc_id);
       if (!record) {
         ++scrub_counters_.store_mismatches;  // lost directory entry
         repair = true;
@@ -385,7 +362,7 @@ void GDocsServer::scrub_one(const std::string& doc_id, Document& doc) {
     if (repair) {
       dirty = true;
       try {
-        store_->put(doc_id, Store::Record{doc.content, doc.rev});
+        store->put(doc_id, Store::Record{doc.content, doc.rev});
         ++scrub_counters_.repaired_from_memory;
       } catch (const StorageError&) {
         // Disk said no (EIO/ENOSPC); the next cycle retries.
@@ -413,19 +390,20 @@ void GDocsServer::scrub_one(const std::string& doc_id, Document& doc) {
 }
 
 bool GDocsServer::scrub_step() {
-  if (!scrub_enabled_ || docs_.empty()) return false;
+  auto& docs = table_.docs();
+  if (!scrub_enabled_ || docs.empty()) return false;
   bool wrapped = false;
   const std::size_t budget =
       scrub_.docs_per_cycle == 0 ? 1 : scrub_.docs_per_cycle;
   for (std::size_t i = 0; i < budget; ++i) {
-    auto it = scrub_cursor_.empty() ? docs_.begin()
-                                    : docs_.upper_bound(scrub_cursor_);
-    if (it == docs_.end()) {
-      it = docs_.begin();
+    auto it = scrub_cursor_.empty() ? docs.begin()
+                                    : docs.upper_bound(scrub_cursor_);
+    if (it == docs.end()) {
+      it = docs.begin();
     }
     scrub_one(it->first, it->second);
     scrub_cursor_ = it->first;
-    if (std::next(it) == docs_.end()) {
+    if (std::next(it) == docs.end()) {
       // Completed a full pass; the next step starts a fresh cycle.
       ++scrub_counters_.cycles;
       scrub_cursor_.clear();

@@ -16,6 +16,8 @@
 //     cmd=sync&rev=…&content=…             → replica anti-entropy push:
 //                                            adopt content+rev wholesale
 //                                            (creates the doc if absent)
+//     cmd=delete                           → drops the document and its
+//                                            stored record (quota reclaim)
 //
 // Content-update responses are Acks carrying contentFromServer and
 // contentFromServerHash — "the current content to the best of the server's
@@ -25,6 +27,11 @@
 //
 // The malicious-provider surface (raw_content / set_raw_content / history)
 // models an adversary with full control of stored data (§II).
+//
+// Storage-vs-protocol split: GDocsServer is the protocol layer only; all
+// document state (map, durable Store, history, quarantine) lives in a
+// DocTable (doc_table.hpp). The shard router migrates documents through
+// the same table without going through the HTTP verbs.
 
 #include <cstdint>
 #include <map>
@@ -36,6 +43,7 @@
 
 #include <functional>
 
+#include "privedit/cloud/doc_table.hpp"
 #include "privedit/cloud/file_store.hpp"
 #include "privedit/cloud/store_check.hpp"
 #include "privedit/net/admission.hpp"
@@ -73,7 +81,11 @@ class GDocsServer {
   void enable_persistence(std::unique_ptr<Store> store);
 
   /// The backing store; nullptr until enable_persistence.
-  Store* store() const { return store_.get(); }
+  Store* store() const { return table_.store(); }
+
+  /// The storage layer itself — migration and recovery go through here.
+  DocTable& table() { return table_; }
+  const DocTable& table() const { return table_; }
 
   // ----- quarantine (storage integrity) -----
   //
@@ -85,12 +97,14 @@ class GDocsServer {
   // out is a cmd=sync push whose content passes container validation —
   // the replica-repair path — which atomically lifts the quarantine.
 
-  void quarantine(const std::string& doc_id);
-  void unquarantine(const std::string& doc_id);
+  void quarantine(const std::string& doc_id) { table_.quarantine(doc_id); }
+  void unquarantine(const std::string& doc_id) { table_.unquarantine(doc_id); }
   bool is_quarantined(const std::string& doc_id) const {
-    return quarantined_.contains(doc_id);
+    return table_.is_quarantined(doc_id);
   }
-  const std::set<std::string>& quarantined() const { return quarantined_; }
+  const std::set<std::string>& quarantined() const {
+    return table_.quarantined();
+  }
 
   // ----- online scrubber -----
 
@@ -135,7 +149,7 @@ class GDocsServer {
   /// Caps the per-document version history at `n` entries (0 = unlimited,
   /// the default). Real providers prune history too; the simulation
   /// harness needs the cap so 100k-op runs don't retain every version.
-  void set_history_limit(std::size_t n) { history_limit_ = n; }
+  void set_history_limit(std::size_t n) { table_.set_history_limit(n); }
 
   /// Optimistic concurrency control: when enabled, a delta save whose base
   /// revision is stale is REJECTED with 409 (carrying the current content
@@ -144,6 +158,7 @@ class GDocsServer {
   /// deltas meaningfully — and what the collaborative mediator retries
   /// against.
   void set_strict_revisions(bool on) { strict_revisions_ = on; }
+  bool strict_revisions() const { return strict_revisions_; }
 
   /// Overload protection: per-client token-bucket admission (keyed on the
   /// X-Privedit-Client header). Refused requests get 503 + Retry-After —
@@ -157,7 +172,7 @@ class GDocsServer {
   /// The admission controller; nullptr until enable_admission.
   const net::AdmissionController* admission() const { return admission_.get(); }
 
-  std::size_t document_count() const { return docs_.size(); }
+  std::size_t document_count() const { return table_.size(); }
 
   struct Counters {
     std::size_t creates = 0;
@@ -168,7 +183,8 @@ class GDocsServer {
     std::size_t exports = 0;
     std::size_t conflicts = 0;
     std::size_t bad_requests = 0;
-    std::size_t syncs = 0;  // anti-entropy pushes accepted (cmd=sync)
+    std::size_t syncs = 0;     // anti-entropy pushes accepted (cmd=sync)
+    std::size_t deletes = 0;   // documents dropped via cmd=delete
     std::size_t admission_rejections = 0;  // 503s from the token bucket
     std::size_t load_quarantined = 0;  // unreadable records found at boot
     std::size_t quarantine_write_rejections = 0;  // 503s on damaged docs
@@ -177,27 +193,17 @@ class GDocsServer {
   const Counters& counters() const { return counters_; }
 
  private:
-  struct Document {
-    std::string content;
-    std::uint64_t rev = 0;
-    std::vector<std::string> history;
-    std::uint64_t next_session = 1;
-  };
+  using Document = DocTable::Document;
 
   net::HttpResponse ack(const Document& doc, bool include_content) const;
   std::string content_hash(const std::string& content) const;
-  void persist(const std::string& doc_id, const Document& doc);
-  void record_history(Document& doc);
   void scrub_one(const std::string& doc_id, Document& doc);
 
-  std::unique_ptr<Store> store_;
+  DocTable table_;
   std::unique_ptr<net::AdmissionController> admission_;
   std::function<std::uint64_t()> admission_now_;
   bool strict_revisions_ = false;
-  std::size_t history_limit_ = 0;  // 0 = keep everything
-  std::map<std::string, Document> docs_;
   std::set<std::string> dictionary_;
-  std::set<std::string> quarantined_;
   bool scrub_enabled_ = false;
   ScrubConfig scrub_;
   ScrubCounters scrub_counters_;

@@ -1,0 +1,196 @@
+#pragma once
+// ShardRouter — the sharded front door over N GDocsServer shards.
+//
+// The paper's model (§III) has "the" untrusted server; scaling it to the
+// ROADMAP's "heavy traffic from millions of users" means many servers
+// behind one routing layer. The router consistent-hashes the docID onto a
+// ring of shards, each an independent GDocsServer with its own lock
+// domain, admission budget and scrubber cursor — so requests for
+// documents on different shards run concurrently, which is where the
+// aggregate throughput comes from (a single GDocsServer is externally
+// serialised).
+//
+// The privacy argument is unchanged by sharding: the router sees exactly
+// what each shard sees — docIDs, ciphertext containers, tenant labels —
+// never plaintext. Routing metadata adds nothing an untrusted provider
+// did not already have.
+//
+// Ring layout: each shard contributes `vnodes` points at
+// sha256(shard_id + "#" + k), a key routes to the first point at or after
+// sha256(docID) (wrapping). Adding or removing one shard therefore remaps
+// only the keys adjacent to its points — ≈ docs/N — and never moves a key
+// between two surviving shards (the ring-stability property test).
+//
+// Multi-tenancy: requests carry X-Privedit-Client; the TenantAccounts
+// registry attributes each document to its creating tenant and enforces
+// doc-count/byte quotas with 507 + Retry-After (see tenant.hpp).
+//
+// Shard lifecycle — drain + rebalance:
+//   1. plan: diff current ring vs target ring → the set of moving docs;
+//   2. handoff: moving docs accept no writes (503 + Retry-After; reads
+//      keep hitting the old owner — the ring is not swapped yet);
+//   3. copy: each moving doc is pushed to its new owner via the PR 2
+//      cmd=sync anti-entropy verb (content + revision adopted wholesale);
+//   4. cutover: the ring swaps and the new membership is persisted
+//      (atomic record write in the meta store);
+//   5. cleanup: source copies are deleted; handoff lifts.
+// CrashPoints seams (router.migrate.*) bracket every step; a router
+// rebuilt on the same data_dir reconciles whatever the crash left —
+// stray copies adopted by their ring owner (higher revision wins; writes
+// were blocked, so revisions cannot diverge), duplicates dropped —
+// restoring exactly-one-owner for every document.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/cloud/tenant.hpp"
+#include "privedit/net/admission.hpp"
+#include "privedit/net/http.hpp"
+
+namespace privedit::cloud {
+
+/// Consistent-hash ring with virtual nodes. Not thread-safe (the router
+/// guards it); value-copyable so migrations can build the target ring
+/// beside the live one.
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes = 64);
+
+  void add(const std::string& shard_id);
+  void remove(const std::string& shard_id);
+  bool contains(const std::string& shard_id) const;
+
+  /// The shard owning `key`. Throws Error(kState) on an empty ring.
+  const std::string& owner(const std::string& key) const;
+
+  std::vector<std::string> members() const;
+  std::size_t size() const { return members_.size(); }
+  std::size_t vnodes() const { return vnodes_; }
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::string> ring_;  // point → shard id
+  std::set<std::string> members_;
+};
+
+struct ShardRouterConfig {
+  std::size_t vnodes = 64;
+  /// Root directory for durable state; empty = fully in-memory. Layout:
+  /// <data_dir>/shard-<id>/ per-shard FileStore, <data_dir>/meta/ ring
+  /// membership, <data_dir>/tenants/ quota accounting.
+  std::string data_dir;
+  /// Per-shard admission budget (each shard gets its OWN controller —
+  /// a tenant hammering one shard cannot starve the others).
+  std::optional<net::AdmissionConfig> admission;
+  std::function<std::uint64_t()> admission_now;  // clock; {} = steady clock
+  std::optional<GDocsServer::ScrubConfig> scrub;  // per-shard scrubber
+  bool strict_revisions = false;
+  std::size_t history_limit = 0;
+  std::uint64_t handoff_retry_after_s = 1;
+};
+
+class ShardRouter {
+ public:
+  ShardRouter(std::vector<std::string> shard_ids, ShardRouterConfig config);
+
+  /// The net::Handler entry point: routes by docID, enforces tenant
+  /// quotas, rejects writes to docs mid-handoff, serialises per shard.
+  /// Thread-safe.
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  TenantAccounts& tenants() { return tenants_; }
+
+  std::vector<std::string> members() const;
+  std::size_t shard_count() const;
+  std::string shard_for(const std::string& doc_id) const;
+
+  /// Direct access to one shard's server (tests, sim). The caller must
+  /// not race live traffic — hold no expectations of synchronisation.
+  GDocsServer& shard_server(const std::string& shard_id);
+
+  /// Every shard currently holding a copy of the document (the sim's
+  /// exactly-one-owner check). Down shards report no holdings.
+  std::vector<std::string> holders(const std::string& doc_id) const;
+
+  /// Routed convenience read (examples): content of the doc at its owner.
+  std::optional<std::string> raw_content(const std::string& doc_id);
+
+  /// Total documents across live shards.
+  std::size_t document_count() const;
+
+  // ----- lifecycle -----
+
+  /// Joins a new shard and rebalances: docs whose ring owner becomes the
+  /// new shard migrate in (drain protocol above).
+  void add_shard(const std::string& shard_id);
+
+  /// Drains a shard — every doc it owns migrates to the surviving ring —
+  /// then removes it from the ring and drops its server.
+  void remove_shard(const std::string& shard_id);
+
+  /// Simulated shard process death: in-memory state is discarded and the
+  /// shard answers 503 until restart_shard. Durable state stays on disk.
+  void crash_shard(const std::string& shard_id);
+
+  /// Rebuilds the crashed shard from its durable store.
+  void restart_shard(const std::string& shard_id);
+
+  struct Counters {
+    std::size_t routed = 0;           // requests handed to a shard
+    std::size_t bad_requests = 0;     // malformed before routing
+    std::size_t quota_rejections = 0;  // 507s (tenant quotas)
+    std::size_t handoff_rejections = 0;  // 503s: doc mid-migration
+    std::size_t down_rejections = 0;     // 503s: shard crashed
+    std::size_t migrations = 0;       // completed add/remove rebalances
+    std::size_t docs_migrated = 0;    // docs moved via cmd=sync
+    std::size_t strays_adopted = 0;   // recovery: stray copy became owner's
+    std::size_t strays_dropped = 0;   // recovery: duplicate copy removed
+  };
+  Counters counters() const;
+
+ private:
+  struct Shard {
+    std::string id;
+    std::mutex mu;  // the shard's lock domain (guards server + down)
+    std::unique_ptr<GDocsServer> server;
+    bool down = false;
+  };
+
+  struct Move {
+    std::string doc_id;
+    std::string from;
+    std::string to;
+  };
+
+  std::unique_ptr<GDocsServer> make_server(const std::string& shard_id);
+  std::string shard_dir(const std::string& shard_id) const;
+  void persist_membership();
+  void recover();
+  void rebalance_to(const HashRing& next);
+  void push_doc(Shard& dst, const std::string& doc_id,
+                const std::string& content, std::uint64_t rev);
+
+  ShardRouterConfig config_;
+  TenantAccounts tenants_;
+  std::unique_ptr<Store> meta_store_;
+  std::uint64_t membership_generation_ = 0;
+
+  mutable std::mutex ring_mu_;  // guards ring_, shards_ map, handoff_
+  HashRing ring_;
+  std::map<std::string, std::unique_ptr<Shard>> shards_;
+  std::set<std::string> handoff_;  // doc ids whose writes are 503'd
+
+  std::mutex migrate_mu_;  // one rebalance at a time
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+};
+
+}  // namespace privedit::cloud

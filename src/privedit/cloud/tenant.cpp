@@ -1,0 +1,181 @@
+#include "privedit/cloud/tenant.hpp"
+
+#include <utility>
+
+#include "privedit/util/urlencode.hpp"
+
+namespace privedit::cloud {
+
+void TenantAccounts::set_default_quota(TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_quota_ = quota;
+}
+
+void TenantAccounts::set_quota(const std::string& tenant, TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quotas_[tenant] = quota;
+}
+
+TenantQuota TenantAccounts::quota_locked(const std::string& tenant) const {
+  const auto it = quotas_.find(tenant);
+  return it == quotas_.end() ? default_quota_ : it->second;
+}
+
+TenantQuota TenantAccounts::quota(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quota_locked(tenant);
+}
+
+TenantUsage TenantAccounts::usage(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = usage_.find(tenant);
+  return it == usage_.end() ? TenantUsage{} : it->second;
+}
+
+void TenantAccounts::enable_persistence(const std::string& directory) {
+  enable_persistence(std::make_unique<FileStore>(directory));
+}
+
+void TenantAccounts::enable_persistence(std::unique_ptr<Store> store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::move(store);
+  // Rebuild aggregates from the per-document records; unreadable records
+  // are dropped rather than fatal (the documents just stop being billed).
+  std::vector<std::string> corrupt;
+  for (auto& [doc_id, record] : store_->load_all(&corrupt)) {
+    const FormData form = FormData::parse(record.content);
+    const auto tenant = form.get("tenant");
+    if (!tenant) continue;
+    std::size_t bytes = 0;
+    if (const auto bytes_field = form.get("bytes")) {
+      try {
+        bytes = static_cast<std::size_t>(std::stoull(*bytes_field));
+      } catch (...) {
+        continue;
+      }
+    }
+    charges_[doc_id] = Charge{*tenant, bytes};
+    TenantUsage& u = usage_[*tenant];
+    ++u.docs;
+    u.bytes += bytes;
+  }
+}
+
+std::optional<std::string> TenantAccounts::owner_tenant(
+    const std::string& doc_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = charges_.find(doc_id);
+  if (it == charges_.end()) return std::nullopt;
+  return it->second.tenant;
+}
+
+std::optional<net::HttpResponse> TenantAccounts::check_new_doc(
+    const std::string& tenant, const std::string& doc_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TenantQuota q = quota_locked(tenant);
+  if (q.max_docs == 0) return std::nullopt;
+  const auto existing = charges_.find(doc_id);
+  if (existing != charges_.end() && existing->second.tenant == tenant) {
+    // Re-creating a document the tenant already pays for: no new slot.
+    return std::nullopt;
+  }
+  const auto it = usage_.find(tenant);
+  const std::size_t docs = it == usage_.end() ? 0 : it->second.docs;
+  if (docs + 1 > q.max_docs) {
+    ++counters_.doc_rejections;
+    return quota_exceeded_response("document quota exceeded");
+  }
+  return std::nullopt;
+}
+
+std::optional<net::HttpResponse> TenantAccounts::check_projected_bytes(
+    const std::string& tenant, const std::string& doc_id,
+    std::size_t new_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TenantQuota q = quota_locked(tenant);
+  if (q.max_bytes == 0) return std::nullopt;
+  const auto it = usage_.find(tenant);
+  std::size_t projected = it == usage_.end() ? 0 : it->second.bytes;
+  const auto existing = charges_.find(doc_id);
+  if (existing != charges_.end() && existing->second.tenant == tenant) {
+    projected -= std::min(projected, existing->second.bytes);
+  }
+  projected += new_bytes;
+  if (projected > q.max_bytes) {
+    ++counters_.byte_rejections;
+    return quota_exceeded_response("byte quota exceeded");
+  }
+  return std::nullopt;
+}
+
+bool TenantAccounts::over_bytes(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TenantQuota q = quota_locked(tenant);
+  if (q.max_bytes == 0) return false;
+  const auto it = usage_.find(tenant);
+  return it != usage_.end() && it->second.bytes > q.max_bytes;
+}
+
+void TenantAccounts::persist_charge(const std::string& doc_id,
+                                    const Charge& charge) {
+  if (store_ == nullptr) return;
+  FormData form;
+  form.add("tenant", charge.tenant);
+  form.add("bytes", std::to_string(charge.bytes));
+  store_->put(doc_id, Store::Record{form.encode(), 0});
+}
+
+void TenantAccounts::charge(const std::string& tenant,
+                            const std::string& doc_id, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.charges;
+  auto it = charges_.find(doc_id);
+  if (it != charges_.end()) {
+    // The creating tenant keeps paying; only the billed size moves.
+    TenantUsage& u = usage_[it->second.tenant];
+    u.bytes -= std::min(u.bytes, it->second.bytes);
+    u.bytes += bytes;
+    it->second.bytes = bytes;
+    persist_charge(doc_id, it->second);
+    return;
+  }
+  charges_[doc_id] = Charge{tenant, bytes};
+  TenantUsage& u = usage_[tenant];
+  ++u.docs;
+  u.bytes += bytes;
+  persist_charge(doc_id, charges_[doc_id]);
+}
+
+void TenantAccounts::release(const std::string& doc_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = charges_.find(doc_id);
+  if (it == charges_.end()) return;
+  ++counters_.releases;
+  TenantUsage& u = usage_[it->second.tenant];
+  if (u.docs > 0) --u.docs;
+  u.bytes -= std::min(u.bytes, it->second.bytes);
+  charges_.erase(it);
+  if (store_ != nullptr) store_->remove(doc_id);
+}
+
+std::size_t TenantAccounts::account_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return usage_.size();
+}
+
+TenantAccounts::Counters TenantAccounts::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+net::HttpResponse quota_exceeded_response(const std::string& reason) {
+  net::HttpResponse resp;
+  resp.status = 507;
+  resp.reason = "Insufficient Storage";
+  resp.headers.set("Retry-After", "30");
+  resp.headers.set("Content-Type", "text/plain");
+  resp.body = reason + "\n";
+  return resp;
+}
+
+}  // namespace privedit::cloud

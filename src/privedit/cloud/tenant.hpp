@@ -1,0 +1,132 @@
+#pragma once
+// Per-tenant accounting and quota enforcement for the sharded front door.
+//
+// A tenant is whatever the X-Privedit-Client header says it is — the same
+// identity admission control meters. The router attributes each document
+// to the tenant that created it and charges that tenant for the stored
+// bytes; quotas cap document count and total bytes per tenant, with
+// 507 Insufficient Storage + Retry-After on refusal (a *different* status
+// from the 503 overload family on purpose: overload clears by waiting,
+// quota clears by deleting, and clients must be able to tell them apart).
+//
+// The accounting itself is modelled on a backup provider's account layer:
+// a registry of accounts with soft usage tracking, persisted so that a
+// provider restart does not forget who owns what. Persistence reuses the
+// Store interface — one record per document whose payload is the
+// urlencoded pair `tenant=<id>&bytes=<n>`; aggregates are rebuilt from
+// the per-document records at load, so the on-disk format has no
+// cross-record invariants to corrupt.
+//
+// Byte-quota semantics (documented contract, tested in shard_test):
+//   * create      → doc-count check (an empty doc costs 0 bytes);
+//   * full save / sync → projected-size check: rejected if the tenant's
+//     usage with THIS doc at its new size would exceed max_bytes;
+//   * delta save  → applied first (the router cannot cheaply predict the
+//     post-delta size), then trued up; a delta is refused up front only
+//     when the tenant is already over its byte quota.
+//
+// TenantAccounts is thread-safe; router shards call it concurrently.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "privedit/cloud/file_store.hpp"
+#include "privedit/net/http.hpp"
+
+namespace privedit::cloud {
+
+/// Tenant id charged when a request carries no X-Privedit-Client header.
+inline constexpr const char* kAnonTenant = "anon";
+
+struct TenantQuota {
+  std::size_t max_docs = 0;   // 0 = unlimited
+  std::size_t max_bytes = 0;  // 0 = unlimited
+};
+
+struct TenantUsage {
+  std::size_t docs = 0;
+  std::size_t bytes = 0;
+};
+
+class TenantAccounts {
+ public:
+  /// Quota applied to tenants without an explicit set_quota entry.
+  void set_default_quota(TenantQuota quota);
+
+  void set_quota(const std::string& tenant, TenantQuota quota);
+  TenantQuota quota(const std::string& tenant) const;
+  TenantUsage usage(const std::string& tenant) const;
+
+  /// Durable accounting: loads existing per-document ownership records
+  /// and rebuilds the per-tenant aggregates, then persists every charge
+  /// and release. Unreadable records are dropped (the documents they
+  /// described keep working — they are just no longer billed).
+  void enable_persistence(const std::string& directory);
+  void enable_persistence(std::unique_ptr<Store> store);
+
+  /// The tenant charged for a document; nullopt if never charged.
+  std::optional<std::string> owner_tenant(const std::string& doc_id) const;
+
+  /// Doc-count admission for a create of `doc_id` by `tenant`. Re-creating
+  /// a document the tenant already owns is not a new document. Returns the
+  /// 507 refusal, or nullopt to admit.
+  std::optional<net::HttpResponse> check_new_doc(const std::string& tenant,
+                                                 const std::string& doc_id);
+
+  /// Byte admission for writing `doc_id` at `new_bytes` total size.
+  /// Projects the tenant's usage with this document at its new size.
+  std::optional<net::HttpResponse> check_projected_bytes(
+      const std::string& tenant, const std::string& doc_id,
+      std::size_t new_bytes);
+
+  /// True when the tenant's current byte usage already exceeds its quota
+  /// (the delta-path up-front refusal).
+  bool over_bytes(const std::string& tenant) const;
+
+  /// Records (or updates) the ownership + byte charge for a document.
+  /// The owner of an existing document never changes here — the creating
+  /// tenant keeps paying for it (collaborators write to the owner's doc).
+  void charge(const std::string& tenant, const std::string& doc_id,
+              std::size_t bytes);
+
+  /// Drops the charge for a deleted document. No-op if never charged.
+  void release(const std::string& doc_id);
+
+  std::size_t account_count() const;
+
+  struct Counters {
+    std::size_t doc_rejections = 0;   // 507: doc-count quota
+    std::size_t byte_rejections = 0;  // 507: byte quota
+    std::size_t charges = 0;
+    std::size_t releases = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Charge {
+    std::string tenant;
+    std::size_t bytes = 0;
+  };
+
+  TenantQuota quota_locked(const std::string& tenant) const;
+  void persist_charge(const std::string& doc_id, const Charge& charge);
+
+  mutable std::mutex mu_;
+  TenantQuota default_quota_;
+  std::map<std::string, TenantQuota> quotas_;
+  std::map<std::string, TenantUsage> usage_;
+  std::map<std::string, Charge> charges_;  // doc id → owner + billed bytes
+  std::unique_ptr<Store> store_;
+  Counters counters_;
+};
+
+/// Builds the 507 quota response: Retry-After (quota pressure rarely clears
+/// instantly; a polite client backs off before retrying) + a plain-text
+/// reason naming the exhausted dimension.
+net::HttpResponse quota_exceeded_response(const std::string& reason);
+
+}  // namespace privedit::cloud

@@ -6,6 +6,7 @@
 #include "privedit/enc/container.hpp"
 #include "privedit/crypto/sha256.hpp"
 #include "privedit/delta/delta.hpp"
+#include "privedit/net/admission.hpp"
 #include "privedit/net/retry.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/hex.hpp"
@@ -84,6 +85,14 @@ GDocsMediator::GDocsMediator(net::Channel* upstream, MediatorConfig config,
 
 net::HttpResponse GDocsMediator::send_upstream(
     const net::HttpRequest& request) {
+  if (!config_.client_id.empty() &&
+      !request.headers.contains(net::kClientIdHeader)) {
+    // Stamp the tenant identity once; recursing with the header present
+    // falls straight through to the transport path below.
+    net::HttpRequest labeled = request;
+    labeled.headers.set(net::kClientIdHeader, config_.client_id);
+    return send_upstream(labeled);
+  }
   if (breaker_ == nullptr) return upstream_->round_trip(request);
   if (!breaker_->allow()) {
     ++counters_.breaker_short_circuits;

@@ -61,6 +61,13 @@ struct MediatorConfig {
   /// (RollbackError otherwise). Empty = journaling off.
   std::string journal_dir;
 
+  /// Client identity stamped on every upstream request as the
+  /// X-Privedit-Client header — the key server-side admission buckets and
+  /// the shard router's tenant accounting both meter. The label is pure
+  /// routing metadata (it identifies an account, not the plaintext);
+  /// empty = unlabeled (the server's shared "anon" bucket/tenant).
+  std::string client_id;
+
   /// Disconnected operation (extension/offline.hpp): when enabled, a save
   /// whose transport fails flips the document offline — edits keep flowing
   /// into the local mirror, are composed into one pending update, and are

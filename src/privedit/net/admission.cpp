@@ -57,14 +57,25 @@ std::optional<HttpResponse> AdmissionController::admit(
     return std::nullopt;
   }
   std::string client{request.headers.get(kClientIdHeader).value_or("anon")};
-  auto it = buckets_.find(client);
+  return admit_locked(std::move(client), now);
+}
+
+std::optional<HttpResponse> AdmissionController::admit_key(
+    const std::string& key, std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admit_locked(key, now_us);
+}
+
+std::optional<HttpResponse> AdmissionController::admit_locked(
+    std::string key, std::uint64_t now) {
+  auto it = buckets_.find(key);
   if (it == buckets_.end()) {
     if (buckets_.size() >= config_.max_clients) {
       ++counters_.rate_limited;
       return overloaded_response(1'000'000, "client table full");
     }
     it = buckets_
-             .emplace(std::move(client),
+             .emplace(std::move(key),
                       TokenBucket(config_.rate_per_sec, config_.burst, now))
              .first;
   }

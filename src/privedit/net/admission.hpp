@@ -77,6 +77,12 @@ class AdmissionController {
   std::optional<HttpResponse> admit(const HttpRequest& request,
                                     std::uint64_t arrival_us);
 
+  /// Same bucket machinery keyed on an explicit string — the shard router
+  /// uses this to meter per-tenant budgets without a fabricated request.
+  /// No probe bypass and no queue deadline: just the token bucket.
+  std::optional<HttpResponse> admit_key(const std::string& key,
+                                        std::uint64_t now_us);
+
   struct Counters {
     std::size_t admitted = 0;
     std::size_t rate_limited = 0;    // 503: bucket empty
@@ -87,6 +93,9 @@ class AdmissionController {
   const AdmissionConfig& config() const { return config_; }
 
  private:
+  std::optional<HttpResponse> admit_locked(std::string key,
+                                           std::uint64_t now);
+
   AdmissionConfig config_;
   std::function<std::uint64_t()> now_us_;
   mutable std::mutex mu_;

@@ -69,6 +69,10 @@ std::string SimConfig::to_wire() const {
   out += ",fork=" + std::to_string(permille(weights.fork / 100.0));
   out += ",crash=" + std::to_string(permille(weights.crash / 100.0));
   out += ",storerot=" + std::to_string(permille(weights.store_rot / 100.0));
+  out += ",sh=" + std::to_string(shards);
+  out += ",fixdocs=" + std::to_string(fixture_docs);
+  out += ",shcrash=" + std::to_string(permille(weights.shard_crash / 100.0));
+  out += ",shreb=" + std::to_string(permille(weights.shard_rebalance / 100.0));
   out += ",mutation=" + std::to_string(static_cast<int>(mutation));
   out += ",offline=" + std::to_string(offline ? 1 : 0);
   out += ",strict=" + std::to_string(strict ? 1 : 0);
@@ -140,6 +144,16 @@ SimConfig SimConfig::parse(std::string_view wire) {
     } else if (key == "storerot") {
       config.weights.store_rot =
           parse_u64(value, "store-rot permille") / 10.0;
+    } else if (key == "sh") {
+      config.shards = parse_u64(value, "shard count");
+    } else if (key == "fixdocs") {
+      config.fixture_docs = parse_u64(value, "fixture docs");
+    } else if (key == "shcrash") {
+      config.weights.shard_crash =
+          parse_u64(value, "shard-crash permille") / 10.0;
+    } else if (key == "shreb") {
+      config.weights.shard_rebalance =
+          parse_u64(value, "shard-rebalance permille") / 10.0;
     } else if (key == "mutation") {
       config.mutation = static_cast<Mutation>(parse_u64(value, "mutation"));
     } else if (key == "offline") {

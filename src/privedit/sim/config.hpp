@@ -35,6 +35,8 @@ struct GenWeights {
   double fork = 0;       // different bytes at the acknowledged revision
   double crash = 0;      // arm a durability crash seam, then edit
   double store_rot = 0;  // rot the on-disk record, restart the provider, fsck
+  double shard_crash = 0;      // kill + restart one shard (sharded runs)
+  double shard_rebalance = 0;  // drain a shard out / join it back in
 
   double empty_bias = 0.06;     // chance an edit degenerates to a no-op
   double boundary_bias = 0.35;  // snap position to a block boundary
@@ -67,6 +69,14 @@ struct SimConfig {
 
   bool journal = false;  // client write-ahead journal (needs work_dir)
   bool persist = false;  // provider FileStore persistence (needs work_dir)
+
+  /// Sharded topology: when > 1, the mediator talks to a ShardRouter over
+  /// N GDocsServer shards instead of one server, plus `fixture_docs`
+  /// unmediated plaintext documents spread across the ring so shard
+  /// crash/rebalance ops have a populated corpus to move. Requires
+  /// persist=1 (shard crashes rebuild from the per-shard FileStore).
+  std::size_t shards = 0;
+  std::size_t fixture_docs = 12;
   net::FaultSpec faults;
   bool retry = false;    // RetryChannel between mediator and fault layer
 
@@ -125,6 +135,10 @@ struct SimReport {
     std::size_t store_rots_injected = 0;
     std::size_t store_rots_detected = 0;   // fsck findings after the rot
     std::size_t store_rots_repaired = 0;   // store checks clean after repair
+    std::size_t shard_crashes = 0;         // shard kill+restart cycles
+    std::size_t shard_rebalances = 0;      // drain-out / join-back cycles
+    std::size_t docs_migrated = 0;         // docs moved by those rebalances
+    std::size_t handoff_rejections = 0;    // writes 503'd mid-migration
     std::size_t transport_errors = 0;
     std::size_t deep_verifies = 0;
 

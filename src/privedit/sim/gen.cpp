@@ -48,7 +48,7 @@ Script generate_script(const SimConfig& config) {
     double weight;
     SimOpKind kind;
   };
-  const std::array<Entry, 14> table = {{
+  const std::array<Entry, 16> table = {{
       {w.insert, SimOpKind::kInsert},
       {w.erase, SimOpKind::kErase},
       {w.replace, SimOpKind::kReplace},
@@ -63,6 +63,8 @@ Script generate_script(const SimConfig& config) {
       {w.fork, SimOpKind::kFork},
       {w.crash, SimOpKind::kCrash},
       {w.store_rot, SimOpKind::kStoreRot},
+      {w.shard_crash, SimOpKind::kShardCrash},
+      {w.shard_rebalance, SimOpKind::kShardRebalance},
   }};
   double total = 0;
   for (const Entry& e : table) total += e.weight;
@@ -122,6 +124,8 @@ Script generate_script(const SimConfig& config) {
         break;
       case SimOpKind::kCrash:
       case SimOpKind::kStoreRot:
+      case SimOpKind::kShardCrash:
+      case SimOpKind::kShardRebalance:
         op.arg = static_cast<std::uint32_t>(rng.next_u64());
         break;
     }

@@ -4,12 +4,15 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/cloud/shard_router.hpp"
 #include "privedit/cloud/store_check.hpp"
 #include "privedit/delta/delta.hpp"
 #include "privedit/enc/container.hpp"
@@ -115,7 +118,8 @@ class Runner {
     }
     if (rep_.ok && cfg_.offline) drain_offline();
     if (rep_.ok && cfg_.deep_verify_every > 0) deep_verify();
-    if (rep_.ok && cfg_.persist) store_quiesce_check();
+    if (rep_.ok && cfg_.persist && !sharded()) store_quiesce_check();
+    if (rep_.ok && sharded()) shard_equiv_check("quiesce");
     collect_resilience_cov();
     rep_.final_doc_chars = model_.size();
     rep_.final_rev = rev_;
@@ -131,7 +135,14 @@ class Runner {
  private:
   // ----- world construction -----
 
+  bool sharded() const { return cfg_.shards > 1; }
+
   void prepare_dirs() {
+    if (sharded() && !cfg_.persist) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "sim: shards>1 needs persist=1 (shard crashes rebuild "
+                  "from the per-shard store)");
+    }
     if (!cfg_.journal && !cfg_.persist) return;
     if (cfg_.work_dir.empty()) {
       throw Error(ErrorCode::kInvalidArgument,
@@ -139,7 +150,10 @@ class Runner {
     }
     namespace fs = std::filesystem;
     if (cfg_.journal) fs::create_directories(fs::path(cfg_.work_dir) / "journal");
-    if (cfg_.persist) fs::create_directories(fs::path(cfg_.work_dir) / "store");
+    if (cfg_.persist && !sharded()) {
+      fs::create_directories(fs::path(cfg_.work_dir) / "store");
+    }
+    if (sharded()) fs::create_directories(fs::path(cfg_.work_dir) / "shards");
   }
 
   bool faults_armed() const {
@@ -157,12 +171,36 @@ class Runner {
     faulty_.reset();
     loop_.reset();
     server_.reset();
+    router_.reset();
 
-    server_ = std::make_unique<cloud::GDocsServer>();
-    server_->set_history_limit(cfg_.history_limit);
-    server_->set_strict_revisions(cfg_.strict);
-    if (cfg_.persist) {
-      server_->enable_persistence((fs::path(cfg_.work_dir) / "store").string());
+    net::Handler handler;
+    if (sharded()) {
+      // N independent shards behind a consistent-hash router. The router
+      // ctor doubles as crash recovery: on an epoch rebuild it reloads the
+      // persisted membership and reconciles stray/duplicate documents.
+      std::vector<std::string> ids;
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        ids.push_back("s" + std::to_string(s));
+      }
+      cloud::ShardRouterConfig rc;
+      rc.data_dir = (fs::path(cfg_.work_dir) / "shards").string();
+      rc.strict_revisions = cfg_.strict;
+      rc.history_limit = cfg_.history_limit;
+      router_ = std::make_unique<cloud::ShardRouter>(std::move(ids), rc);
+      handler = [rt = router_.get()](const net::HttpRequest& r) {
+        return rt->handle(r);
+      };
+    } else {
+      server_ = std::make_unique<cloud::GDocsServer>();
+      server_->set_history_limit(cfg_.history_limit);
+      server_->set_strict_revisions(cfg_.strict);
+      if (cfg_.persist) {
+        server_->enable_persistence(
+            (fs::path(cfg_.work_dir) / "store").string());
+      }
+      handler = [srv = server_.get()](const net::HttpRequest& r) {
+        return srv->handle(r);
+      };
     }
 
     net::LatencyModel latency;
@@ -172,10 +210,7 @@ class Runner {
     latency.bytes_per_ms_down = 0;
     latency.server_us_per_kb = 0;
     loop_ = std::make_unique<net::LoopbackTransport>(
-        [srv = server_.get()](const net::HttpRequest& r) {
-          return srv->handle(r);
-        },
-        &clock_, latency,
+        std::move(handler), &clock_, latency,
         std::make_unique<Xoshiro256>(cfg_.seed ^ 0x100bacc0ULL));
 
     net::Channel* upstream = loop_.get();
@@ -267,6 +302,119 @@ class Runner {
       if (text.size() > cfg_.initial_chars) text.resize(cfg_.initial_chars);
       exec_full_save(std::move(text));
     }
+    if (sharded() && rep_.ok) setup_fixtures();
+  }
+
+  // ----- sharded topology -----
+
+  /// The GDocsServer currently authoritative for the mediated document —
+  /// the single server in classic runs, the owning shard in sharded runs.
+  /// Adversary levers (push_sync, set_raw_content) go through here so they
+  /// hit stored state directly, exactly like the classic topology.
+  cloud::GDocsServer& authority() {
+    if (router_ != nullptr) {
+      return router_->shard_server(router_->shard_for(kDocId));
+    }
+    return *server_;
+  }
+
+  std::optional<std::string> raw_doc() {
+    return router_ != nullptr ? router_->raw_content(kDocId)
+                              : server_->raw_content(kDocId);
+  }
+
+  /// Unmediated plaintext ballast spread across the ring: shard crash and
+  /// rebalance ops need a populated corpus to move, and the equivalence
+  /// check needs reference bytes to compare against. Fixtures are created
+  /// once (they survive epoch rebuilds through the per-shard stores).
+  void setup_fixtures() {
+    for (std::size_t i = 0; i < cfg_.fixture_docs; ++i) {
+      const std::string doc_id = "fix" + std::to_string(i);
+      const std::string text =
+          op_text(TextClass::kWords,
+                  static_cast<std::uint32_t>(cfg_.seed * 131 + i), 24);
+      FormData create;
+      create.add("cmd", "create");
+      net::HttpResponse resp = router_->handle(net::HttpRequest::post_form(
+          "/Doc?docID=" + percent_encode(doc_id), create.encode()));
+      if (!resp.ok()) {
+        fail("setup", "fixture create: HTTP " + std::to_string(resp.status));
+        return;
+      }
+      FormData save;
+      save.add("session", "1");
+      save.add("rev", "0");
+      save.add("docContents", text);
+      resp = router_->handle(net::HttpRequest::post_form(
+          "/Doc?docID=" + percent_encode(doc_id), save.encode()));
+      if (!resp.ok()) {
+        fail("setup", "fixture save: HTTP " + std::to_string(resp.status));
+        return;
+      }
+      fixtures_[doc_id] = text;
+    }
+  }
+
+  /// The sharded model-equivalence invariant: every document lives on
+  /// exactly one shard and its bytes are exactly the reference's. Checked
+  /// after every shard crash, after every rebalance leg, and at quiesce.
+  void shard_equiv_check(const char* when) {
+    if (!rep_.ok || router_ == nullptr) return;
+    for (const auto& [doc_id, expected] : fixtures_) {
+      const auto owners = router_->holders(doc_id);
+      if (owners.size() != 1) {
+        fail("shard-equiv",
+             std::string(when) + ": fixture " + doc_id + " held by " +
+                 std::to_string(owners.size()) + " shards (want exactly 1)");
+        return;
+      }
+      const auto content = router_->raw_content(doc_id);
+      if (!content || *content != expected) {
+        fail("shard-equiv",
+             std::string(when) + ": fixture " + doc_id +
+                 " diverged from its reference after migration");
+        return;
+      }
+    }
+    const auto owners = router_->holders(kDocId);
+    if (owners.size() != 1) {
+      fail("shard-equiv",
+           std::string(when) + ": mediated doc held by " +
+               std::to_string(owners.size()) + " shards (want exactly 1)");
+    }
+  }
+
+  void exec_shard_crash(const SimOp& op) {
+    if (router_ == nullptr) return;
+    const auto ids = router_->members();
+    const std::string id = ids[op.arg % ids.size()];
+    // Kill the shard process (volatile state gone), then restart it from
+    // its durable store. Every document it held must come back intact.
+    router_->crash_shard(id);
+    router_->restart_shard(id);
+    ++rep_.cov.shard_crashes;
+    shard_equiv_check("shard-crash");
+    if (rep_.ok) exec_reopen();  // the mediated doc must still open clean
+  }
+
+  void exec_shard_rebalance(const SimOp& op) {
+    if (router_ == nullptr) return;
+    const auto ids = router_->members();
+    if (ids.size() < 2) return;
+    const std::string id = ids[op.arg % ids.size()];
+    const std::size_t migrated_before = router_->counters().docs_migrated;
+    // Drain the shard out of the ring (all its docs migrate to survivors),
+    // then join it back (its ring ranges migrate home again). Both legs
+    // must preserve exactly-one-owner and byte-identical content.
+    router_->remove_shard(id);
+    shard_equiv_check("rebalance-out");
+    if (!rep_.ok) return;
+    router_->add_shard(id);
+    shard_equiv_check("rebalance-in");
+    if (!rep_.ok) return;
+    ++rep_.cov.shard_rebalances;
+    rep_.cov.docs_migrated +=
+        router_->counters().docs_migrated - migrated_before;
   }
 
   // ----- op dispatch -----
@@ -308,6 +456,12 @@ class Runner {
         return;
       case SimOpKind::kStoreRot:
         exec_store_rot(op);
+        return;
+      case SimOpKind::kShardCrash:
+        exec_shard_crash(op);
+        return;
+      case SimOpKind::kShardRebalance:
+        exec_shard_rebalance(op);
         return;
     }
   }
@@ -508,7 +662,7 @@ class Runner {
 
   void deep_verify() {
     if (!rep_.ok) return;
-    const auto raw = server_->raw_content(kDocId);
+    const auto raw = raw_doc();
     if (!raw) {
       fail("deep-equiv", "server lost the document");
       return;
@@ -603,6 +757,9 @@ class Runner {
     if (faulty_ != nullptr) {
       rep_.cov.outage_faults = faulty_->counters().outage_faults;
     }
+    if (router_ != nullptr) {
+      rep_.cov.handoff_rejections = router_->counters().handoff_rejections;
+    }
   }
 
   /// Fault aftermath: re-open until the channel cooperates and adopt
@@ -645,7 +802,7 @@ class Runner {
 
   void note_snapshot() {
     if (!cfg_.journal) return;
-    const auto raw = server_->raw_content(kDocId);
+    const auto raw = raw_doc();
     if (!raw) return;
     snapshots_.push_back({rev_, *raw});
     if (snapshots_.size() > 32) snapshots_.pop_front();
@@ -702,12 +859,12 @@ class Runner {
   }
 
   void exec_tamper(const SimOp& op) {
-    const auto raw = server_->raw_content(kDocId);
+    const auto raw = raw_doc();
     if (!raw || raw->empty()) return;
     const std::string good = *raw;
     const std::string bad = mutate_ciphertext(good, op);
     if (bad == good) return;
-    server_->set_raw_content(kDocId, bad);
+    authority().set_raw_content(kDocId, bad);
     ++rep_.cov.tampers_injected;
     bool detected = false;
     try {
@@ -731,7 +888,7 @@ class Runner {
   void exec_rollback(const SimOp& op) {
     (void)op;
     if (!cfg_.journal) return;
-    const auto raw = server_->raw_content(kDocId);
+    const auto raw = raw_doc();
     if (!raw) return;
     const std::string good = *raw;
     const Snapshot* older = nullptr;
@@ -750,7 +907,7 @@ class Runner {
 
   void exec_fork(const SimOp& op) {
     if (!cfg_.journal) return;
-    const auto raw = server_->raw_content(kDocId);
+    const auto raw = raw_doc();
     if (!raw || raw->empty()) return;
     const std::string good = *raw;
     std::string forked = good;
@@ -771,7 +928,7 @@ class Runner {
     f.add("cmd", "sync");
     f.add("rev", std::to_string(rev));
     f.add("content", content);
-    server_->handle(net::HttpRequest::post_form(kTarget, f.encode()));
+    authority().handle(net::HttpRequest::post_form(kTarget, f.encode()));
   }
 
   bool expect_rollback_detected(const char* what) {
@@ -818,7 +975,10 @@ class Runner {
   // ----- crash seams -----
 
   void exec_crash(const SimOp& op) {
-    if (!cfg_.journal || !cfg_.persist) return;  // needs durable both sides
+    // Needs durable state on both sides. Sharded runs exercise provider
+    // crashes through kShardCrash instead (store seams would fire inside a
+    // shard's FileStore, which the shard-crash op covers directly).
+    if (!cfg_.journal || !cfg_.persist || sharded()) return;
     std::vector<const char*> seams(std::begin(kJournalSeams),
                                    std::end(kJournalSeams));
     seams.insert(seams.end(), std::begin(kStoreSeams), std::end(kStoreSeams));
@@ -918,7 +1078,9 @@ class Runner {
   /// through the cmd=sync push and require a clean re-check plus model
   /// equivalence.
   void exec_store_rot(const SimOp& op) {
-    if (!cfg_.persist || offline_now()) return;
+    // Classic-topology op: it reaches straight into work_dir/store. Sharded
+    // runs get their storage adversary from crash/rebalance instead.
+    if (!cfg_.persist || offline_now() || sharded()) return;
     const auto raw = server_->raw_content(kDocId);
     if (!raw || raw->empty()) return;
     const std::string good = *raw;
@@ -1025,7 +1187,9 @@ class Runner {
   SimReport rep_;
 
   net::SimClock clock_;
-  std::unique_ptr<cloud::GDocsServer> server_;
+  std::unique_ptr<cloud::GDocsServer> server_;  // classic topology
+  std::unique_ptr<cloud::ShardRouter> router_;  // sharded topology
+  std::map<std::string, std::string> fixtures_;  // doc id -> reference bytes
   std::unique_ptr<net::LoopbackTransport> loop_;
   std::unique_ptr<net::FaultyChannel> faulty_;
   std::unique_ptr<net::RetryChannel> retry_;

@@ -126,6 +126,10 @@ std::string SimOp::to_wire() const {
       return "c:" + std::to_string(arg);
     case SimOpKind::kStoreRot:
       return "sc:" + std::to_string(arg);
+    case SimOpKind::kShardCrash:
+      return "sk:" + std::to_string(arg);
+    case SimOpKind::kShardRebalance:
+      return "sr:" + std::to_string(arg);
   }
   throw Error(ErrorCode::kInvalidArgument, "sim: bad op kind");
 }
@@ -202,6 +206,14 @@ SimOp SimOp::parse(std::string_view wire) {
   } else if (tag == "sc") {
     want(2);
     op.kind = SimOpKind::kStoreRot;
+    op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "sk") {
+    want(2);
+    op.kind = SimOpKind::kShardCrash;
+    op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "sr") {
+    want(2);
+    op.kind = SimOpKind::kShardRebalance;
     op.arg = parse_u32(fields[1], "arg");
   } else {
     throw ParseError("sim op: unknown tag '" + std::string(tag) + "'");

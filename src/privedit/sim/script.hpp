@@ -35,6 +35,8 @@ enum class SimOpKind : std::uint8_t {
   kFork,        // kf                    different bytes at the acked revision
   kCrash,       // c:ARG                 arm a crash seam, then edit
   kStoreRot,    // sc:ARG                rot the on-disk record, restart, fsck
+  kShardCrash,      // sk:ARG            kill shard ARG%N, then restart it
+  kShardRebalance,  // sr:ARG            drain shard ARG%N out, join it back
 };
 
 /// Insert-payload character classes. The mix is chosen to hit the update

@@ -269,6 +269,76 @@ TEST(SimStorage, RotMixedWithCrashesAndRollbacks) {
   }
 }
 
+// ------------------------------------------------------------- sharded --
+
+TEST(SimSharded, CrashAndRebalancePreserveEveryDocument) {
+  // N-shard topology behind the consistent-hash router: the mediated
+  // document plus a fixture corpus spread across the ring. The script
+  // interleaves edits with shard crashes (restart from the per-shard
+  // store) and rebalances (drain a shard out, join it back). After every
+  // shard event and at quiesce, every document must be owned by exactly
+  // one shard with byte-identical content — zero loss, zero duplication.
+  TempDir tmp("sharded");
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = 91;
+  cfg.ops = 220;
+  cfg.persist = true;
+  cfg.shards = 3;
+  cfg.fixture_docs = 12;
+  cfg.work_dir = tmp.path.string();
+  cfg.weights.shard_crash = 6;
+  cfg.weights.shard_rebalance = 5;
+  cfg.deep_verify_every = 50;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  expect_ok(rep);
+  print_coverage("sharded", rep);
+  EXPECT_GT(rep.cov.shard_crashes, 2u);
+  EXPECT_GT(rep.cov.shard_rebalances, 2u);
+  EXPECT_GT(rep.cov.docs_migrated, 0u)
+      << "rebalances ran but no document actually moved";
+}
+
+TEST(SimSharded, ShardedSeedSweep) {
+  // More seeds x varying ring sizes, with tampers and rollback injections
+  // riding along so the adversary phases run against the routed topology.
+  for (const std::uint64_t seed : {501u, 502u, 503u}) {
+    TempDir tmp("shardsweep-" + std::to_string(seed));
+    sim::SimConfig cfg;
+    cfg.mode = seed % 2 == 0 ? enc::Mode::kRecb : enc::Mode::kRpc;
+    cfg.block_chars = 4;
+    cfg.seed = seed;
+    cfg.ops = 120;
+    cfg.persist = true;
+    cfg.journal = true;
+    cfg.shards = 2 + seed % 3;
+    cfg.fixture_docs = 8;
+    cfg.work_dir = tmp.path.string();
+    cfg.weights.shard_crash = 4;
+    cfg.weights.shard_rebalance = 3;
+    // Tamper detection is only a *requirement* under RPC integrity; recb
+    // tampers against a journal hit a pre-existing replay interaction
+    // that is out of scope here, so tampers ride along on RPC seeds only.
+    cfg.weights.tamper = cfg.mode == enc::Mode::kRpc ? 4 : 0;
+    cfg.weights.rollback = 2;
+    cfg.deep_verify_every = 40;
+    const sim::SimReport rep = sim::run_sim(cfg);
+    expect_ok(rep);
+    EXPECT_GT(rep.cov.shard_crashes + rep.cov.shard_rebalances, 0u);
+  }
+}
+
+TEST(SimSharded, ShardsRequirePersistence) {
+  sim::SimConfig cfg;
+  cfg.shards = 3;
+  cfg.persist = false;
+  cfg.ops = 1;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.failure_id, "setup");
+}
+
 // -------------------------------------------------------------- faults --
 
 TEST(SimFaults, PreDeliveryFaultsUnderRetry) {

@@ -11,7 +11,8 @@
 //                         < cipher > new-cipher
 //   privedit_cli inspect  < cipher           (header metadata, no password)
 //   privedit_cli rotate   --password PW --new-password PW2 < cipher
-//   privedit_cli serve    --port P           (simulated Google Docs service)
+//   privedit_cli serve    --port P [--shards N] [--data-dir DIR]
+//                         (simulated Google Docs service, sharded front door)
 //   privedit_cli proxy    --port P --upstream-port U --password PW
 //   privedit_cli fsck     --stores DIR[,DIR...] [--journal DIR]
 //                         [--password PW] [--repair 0|1]
@@ -27,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "privedit/cloud/gdocs_server.hpp"
+#include "privedit/cloud/shard_router.hpp"
 #include "privedit/delta/delta.hpp"
 #include "privedit/enc/container.hpp"
 #include "privedit/extension/fsck.hpp"
@@ -172,13 +173,28 @@ int cmd_rotate(const Args& args) {
 }
 
 int cmd_serve(const Args& args) {
-  auto gdocs = std::make_shared<cloud::GDocsServer>();
+  const std::size_t shards = std::stoul(args.get("shards", "1"));
+  if (shards == 0) {
+    throw Error(ErrorCode::kInvalidArgument, "--shards needs >= 1");
+  }
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ids.push_back("s" + std::to_string(i));
+  }
+  cloud::ShardRouterConfig config;
+  config.data_dir = args.get("data-dir", "");
+  auto router = std::make_shared<cloud::ShardRouter>(ids, config);
+  // ShardRouter::handle is thread-safe (each shard is its own lock
+  // domain), so the listener can dispatch without serialize_handler.
   net::HttpServer server(
       static_cast<std::uint16_t>(std::stoul(args.get("port", "0"))),
-      net::serialize_handler(
-          [gdocs](const net::HttpRequest& r) { return gdocs->handle(r); }));
-  std::fprintf(stderr, "simulated Google Documents service on 127.0.0.1:%u\n",
-               server.port());
+      [router](const net::HttpRequest& r) { return router->handle(r); });
+  std::fprintf(stderr,
+               "simulated Google Documents service on 127.0.0.1:%u "
+               "(%zu shard%s%s%s)\n",
+               server.port(), shards, shards == 1 ? "" : "s",
+               config.data_dir.empty() ? "" : ", persisted under ",
+               config.data_dir.c_str());
   std::fprintf(stderr, "press enter to stop\n");
   std::getchar();
   server.stop();
@@ -236,7 +252,7 @@ void usage() {
       "  edit     --password PW --delta '=5\\t+hi'     stdin -> stdout\n"
       "  inspect                                      stdin -> stderr\n"
       "  rotate   --password PW --new-password PW2    stdin -> stdout\n"
-      "  serve    [--port P]\n"
+      "  serve    [--port P] [--shards N] [--data-dir DIR]\n"
       "  proxy    --upstream-port U --password PW [--port P]\n"
       "  fsck     --stores DIR[,DIR...] [--journal DIR] [--password PW]\n"
       "           [--repair 0|1]        exit 0 = clean or fully repaired\n");
