@@ -95,7 +95,7 @@ ShardRouter::ShardRouter(std::vector<std::string> shard_ids,
   }
   for (const std::string& id : shard_ids) {
     if (shards_.contains(id)) continue;
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_shared<Shard>();
     shard->id = id;
     shard->server = make_server(id);
     ring_.add(id);
@@ -182,6 +182,12 @@ void ShardRouter::recover() {
         push_doc(owner, doc_id, record.content, record.rev);
         ++counters_.strays_adopted;
       }
+      // Only drop the stray once the owner verifiably holds the doc at
+      // (at least) its revision: a refused push — quarantine wall, store
+      // fault — must leave the stray file in place, because it may be
+      // the only durable copy. The next recovery retries.
+      const auto* landed = owner.server->table().find(doc_id);
+      if (landed == nullptr || landed->rev < record.rev) continue;
       stray.set_quarantined(doc_id, false);
       stray.remove(doc_id);
       ++counters_.strays_dropped;
@@ -196,11 +202,17 @@ void ShardRouter::recover() {
       if (own == id) continue;
       Shard& owner = *shards_.at(own);
       const auto* dup = shard->server->table().find(doc_id);
+      const std::uint64_t dup_rev = dup->rev;
       const auto* held = owner.server->table().find(doc_id);
-      if (held == nullptr || held->rev < dup->rev) {
-        push_doc(owner, doc_id, dup->content, dup->rev);
+      if (held == nullptr || held->rev < dup_rev) {
+        push_doc(owner, doc_id, dup->content, dup_rev);
         ++counters_.strays_adopted;
       }
+      // Same landed check as pass 1: never erase the duplicate unless
+      // the ring owner holds the doc at its revision — a refused push
+      // degrades to a duplicate the next recovery reconciles.
+      const auto* landed = owner.server->table().find(doc_id);
+      if (landed == nullptr || landed->rev < dup_rev) continue;
       shard->server->table().erase(doc_id);
       ++counters_.strays_dropped;
     }
@@ -238,8 +250,18 @@ net::HttpResponse ShardRouter::handle(const net::HttpRequest& request) {
     refusal = tenants_.check_projected_bytes(bill, *doc_id, contents->size());
   } else if (cmd == "sync") {
     const std::string pushed = form.get("content").value_or("");
-    const std::string bill = tenants_.owner_tenant(*doc_id).value_or(tenant);
-    refusal = tenants_.check_projected_bytes(bill, *doc_id, pushed.size());
+    const auto owner = tenants_.owner_tenant(*doc_id);
+    if (!owner.has_value()) {
+      // sync creates the document when absent (the server adopts the
+      // push wholesale), so an unowned target is a new document and must
+      // pass the same doc-count admission as cmd=create — otherwise a
+      // tenant at max_docs mints unlimited docs through the sync verb.
+      refusal = tenants_.check_new_doc(tenant, *doc_id);
+    }
+    if (!refusal.has_value()) {
+      refusal = tenants_.check_projected_bytes(owner.value_or(tenant),
+                                               *doc_id, pushed.size());
+    }
   } else if (form.contains("delta")) {
     // The post-delta size is unknowable without applying the delta, so
     // deltas are admitted optimistically and trued up afterwards; only a
@@ -257,12 +279,22 @@ net::HttpResponse ShardRouter::handle(const net::HttpRequest& request) {
     return *refusal;
   }
 
-  Shard* shard = nullptr;
+  // Snapshot the owning shard as a shared_ptr: the reference keeps the
+  // Shard (and the mutex we are about to take) alive even if a drain
+  // erases it from shards_ before this request finishes.
+  std::shared_ptr<Shard> shard;
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
-    if (is_write && handoff_.contains(*doc_id)) {
-      // Mid-migration: the doc is between owners. Reads keep flowing to
-      // the old owner (the ring has not swapped), writes wait it out.
+    const std::string& owner_id = ring_.owner(*doc_id);
+    // Mid-migration fences: docs in the move plan are between owners,
+    // and docs whose ring owner CHANGES with the pending cutover may not
+    // even exist yet (a create landing on the old owner would be
+    // orphaned — it is in no move plan). Reads keep flowing to the old
+    // owner (the ring has not swapped), writes wait it out.
+    const bool fenced =
+        handoff_.contains(*doc_id) ||
+        (next_ring_ != nullptr && next_ring_->owner(*doc_id) != owner_id);
+    if (is_write && fenced) {
       {
         std::lock_guard<std::mutex> clock(counters_mu_);
         ++counters_.handoff_rejections;
@@ -270,7 +302,7 @@ net::HttpResponse ShardRouter::handle(const net::HttpRequest& request) {
       return net::overloaded_response(
           config_.handoff_retry_after_s * 1'000'000, "shard handoff");
     }
-    shard = shards_.at(ring_.owner(*doc_id)).get();
+    shard = shards_.at(owner_id);
   }
 
   net::HttpResponse resp;
@@ -348,10 +380,10 @@ std::vector<std::string> ShardRouter::holders(const std::string& doc_id) const {
 }
 
 std::optional<std::string> ShardRouter::raw_content(const std::string& doc_id) {
-  Shard* shard = nullptr;
+  std::shared_ptr<Shard> shard;
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
-    shard = shards_.at(ring_.owner(doc_id)).get();
+    shard = shards_.at(ring_.owner(doc_id));
   }
   std::lock_guard<std::mutex> lock(shard->mu);
   if (shard->server == nullptr) return std::nullopt;
@@ -369,9 +401,10 @@ std::size_t ShardRouter::document_count() const {
 }
 
 void ShardRouter::rebalance_to(const HashRing& next) {
-  // Plan: diff current placement against the target ring. Shard pointers
-  // stay valid without ring_mu_ because only remove_shard erases entries
-  // and migrations are serialised by migrate_mu_ (held by our caller).
+  // Plan: diff current placement against the target ring. Moves capture
+  // shard refs under ring_mu_, so the copy/cleanup phases below never
+  // touch the shards_ map (migrations are serialised by migrate_mu_,
+  // held by our caller, so membership cannot change mid-plan anyway).
   std::vector<Move> moves;
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
@@ -380,10 +413,14 @@ void ShardRouter::rebalance_to(const HashRing& next) {
       if (shard->server == nullptr) continue;
       for (const std::string& doc_id : shard->server->table().ids()) {
         const std::string& to = next.owner(doc_id);
-        if (to != id) moves.push_back(Move{doc_id, id, to});
+        if (to != id) moves.push_back(Move{doc_id, shard, shards_.at(to)});
       }
     }
     for (const Move& m : moves) handoff_.insert(m.doc_id);
+    // Also fence docs that are not in the plan but whose ring owner
+    // changes with the cutover: a create racing the migration would land
+    // on the old owner and be orphaned (no move carries it across).
+    next_ring_ = std::make_unique<HashRing>(next);
   }
   CrashPoints::reach("router.migrate.before_copy");
 
@@ -392,7 +429,7 @@ void ShardRouter::rebalance_to(const HashRing& next) {
     std::uint64_t rev = 0;
     bool have = false;
     {
-      Shard& src = *shards_.at(m.from);
+      Shard& src = *m.from;
       std::lock_guard<std::mutex> lock(src.mu);
       if (src.server != nullptr) {
         if (const auto* doc = src.server->table().find(m.doc_id)) {
@@ -403,7 +440,7 @@ void ShardRouter::rebalance_to(const HashRing& next) {
       }
     }
     if (have) {
-      Shard& dst = *shards_.at(m.to);
+      Shard& dst = *m.to;
       std::lock_guard<std::mutex> lock(dst.mu);
       push_doc(dst, m.doc_id, content, rev);
     }
@@ -429,13 +466,13 @@ void ShardRouter::rebalance_to(const HashRing& next) {
   for (const Move& m : moves) {
     bool landed = false;
     {
-      Shard& dst = *shards_.at(m.to);
+      Shard& dst = *m.to;
       std::lock_guard<std::mutex> lock(dst.mu);
       landed = dst.server != nullptr &&
                dst.server->table().find(m.doc_id) != nullptr;
     }
     if (landed) {
-      Shard& src = *shards_.at(m.from);
+      Shard& src = *m.from;
       std::lock_guard<std::mutex> lock(src.mu);
       if (src.server != nullptr) src.server->table().erase(m.doc_id);
     }
@@ -445,6 +482,7 @@ void ShardRouter::rebalance_to(const HashRing& next) {
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
     for (const Move& m : moves) handoff_.erase(m.doc_id);
+    next_ring_.reset();
   }
   {
     std::lock_guard<std::mutex> lock(counters_mu_);
@@ -465,7 +503,7 @@ void ShardRouter::add_shard(const std::string& shard_id) {
   }
   next.add(shard_id);
   {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_shared<Shard>();
     shard->id = shard_id;
     shard->server = make_server(shard_id);
     std::lock_guard<std::mutex> lock(ring_mu_);
@@ -481,7 +519,8 @@ void ShardRouter::remove_shard(const std::string& shard_id) {
   HashRing next(config_.vnodes);
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
-    if (!shards_.contains(shard_id)) {
+    const auto it = shards_.find(shard_id);
+    if (it == shards_.end()) {
       throw Error(ErrorCode::kInvalidArgument,
                   "ShardRouter: no such shard: " + shard_id);
     }
@@ -489,18 +528,40 @@ void ShardRouter::remove_shard(const std::string& shard_id) {
       throw Error(ErrorCode::kState,
                   "ShardRouter: cannot drain the last shard");
     }
+    {
+      // A crashed shard has nothing in memory to drain from — migrating
+      // "its docs" would move nothing, then dropping it from the ring
+      // would abandon every document its durable store still holds (and
+      // a later restart's stray adoption could resurrect stale copies
+      // over re-created docs). Require an explicit restart first.
+      std::lock_guard<std::mutex> slock(it->second->mu);
+      if (it->second->down || it->second->server == nullptr) {
+        throw Error(ErrorCode::kState,
+                    "ShardRouter: cannot drain crashed shard " + shard_id +
+                        "; restart_shard it first");
+      }
+    }
     next = ring_;
   }
   next.remove(shard_id);
   rebalance_to(next);
+  std::shared_ptr<Shard> removed;
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
+    removed = shards_.at(shard_id);
     shards_.erase(shard_id);
   }
+  // In-flight requests that snapshotted this shard before the erase still
+  // hold a reference: down it so they answer 503 instead of serving from
+  // a server that is no longer part of the service. The drain emptied its
+  // table (every doc moved), so nothing durable is dropped here.
+  std::lock_guard<std::mutex> lock(removed->mu);
+  removed->server.reset();
+  removed->down = true;
 }
 
 void ShardRouter::crash_shard(const std::string& shard_id) {
-  Shard* shard = nullptr;
+  std::shared_ptr<Shard> shard;
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
     const auto it = shards_.find(shard_id);
@@ -508,7 +569,7 @@ void ShardRouter::crash_shard(const std::string& shard_id) {
       throw Error(ErrorCode::kInvalidArgument,
                   "ShardRouter: no such shard: " + shard_id);
     }
-    shard = it->second.get();
+    shard = it->second;
   }
   std::lock_guard<std::mutex> lock(shard->mu);
   // Process death: the in-memory table vanishes; only what the shard's
@@ -518,7 +579,7 @@ void ShardRouter::crash_shard(const std::string& shard_id) {
 }
 
 void ShardRouter::restart_shard(const std::string& shard_id) {
-  Shard* shard = nullptr;
+  std::shared_ptr<Shard> shard;
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
     const auto it = shards_.find(shard_id);
@@ -526,7 +587,7 @@ void ShardRouter::restart_shard(const std::string& shard_id) {
       throw Error(ErrorCode::kInvalidArgument,
                   "ShardRouter: no such shard: " + shard_id);
     }
-    shard = it->second.get();
+    shard = it->second;
   }
   auto server = make_server(shard_id);
   std::lock_guard<std::mutex> lock(shard->mu);

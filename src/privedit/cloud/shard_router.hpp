@@ -28,7 +28,11 @@
 // Shard lifecycle — drain + rebalance:
 //   1. plan: diff current ring vs target ring → the set of moving docs;
 //   2. handoff: moving docs accept no writes (503 + Retry-After; reads
-//      keep hitting the old owner — the ring is not swapped yet);
+//      keep hitting the old owner — the ring is not swapped yet). The
+//      fence also covers docs that do not exist yet: any write whose
+//      owner DIFFERS between the current and target ring is 503'd, so a
+//      create racing the migration cannot land on the old owner and be
+//      orphaned by cutover (it was in no move plan);
 //   3. copy: each moving doc is pushed to its new owner via the PR 2
 //      cmd=sync anti-entropy verb (content + revision adopted wholesale);
 //   4. cutover: the ring swaps and the new membership is persisted
@@ -132,7 +136,10 @@ class ShardRouter {
   void add_shard(const std::string& shard_id);
 
   /// Drains a shard — every doc it owns migrates to the surviving ring —
-  /// then removes it from the ring and drops its server.
+  /// then removes it from the ring and drops its server. Refuses a
+  /// crashed shard with Error(kState): its in-memory table is gone, so a
+  /// drain would silently abandon every document its durable store still
+  /// holds — restart_shard it first, then drain.
   void remove_shard(const std::string& shard_id);
 
   /// Simulated shard process death: in-memory state is discarded and the
@@ -163,10 +170,13 @@ class ShardRouter {
     bool down = false;
   };
 
+  // A planned migration step. Holds the shard refs, not just ids: the
+  // plan outlives any ring_mu_ critical section, and refs stay valid no
+  // matter what the shards_ map does meanwhile.
   struct Move {
     std::string doc_id;
-    std::string from;
-    std::string to;
+    std::shared_ptr<Shard> from;
+    std::shared_ptr<Shard> to;
   };
 
   std::unique_ptr<GDocsServer> make_server(const std::string& shard_id);
@@ -182,10 +192,18 @@ class ShardRouter {
   std::unique_ptr<Store> meta_store_;
   std::uint64_t membership_generation_ = 0;
 
-  mutable std::mutex ring_mu_;  // guards ring_, shards_ map, handoff_
+  // Guards ring_, the shards_ map, handoff_ and next_ring_. Shards are
+  // shared_ptr so a request can snapshot its shard under ring_mu_, drop
+  // the lock, and keep the Shard (and its mutex) alive even if
+  // remove_shard erases the map entry before the request finishes.
+  mutable std::mutex ring_mu_;
   HashRing ring_;
-  std::map<std::string, std::unique_ptr<Shard>> shards_;
+  std::map<std::string, std::shared_ptr<Shard>> shards_;
   std::set<std::string> handoff_;  // doc ids whose writes are 503'd
+  // The migration's target ring, set for the whole drain window; writes
+  // whose owner differs between ring_ and next_ring_ are 503'd even when
+  // the doc id is in no move plan (it may not exist yet).
+  std::unique_ptr<HashRing> next_ring_;
 
   std::mutex migrate_mu_;  // one rebalance at a time
 

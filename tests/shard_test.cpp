@@ -16,11 +16,13 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "privedit/cloud/gdocs_server.hpp"
@@ -290,6 +292,36 @@ TEST(ShardRouterTest, CrashedShardAnswers503UntilRestart) {
             "survives the crash");
 }
 
+// Draining a crashed shard would migrate nothing (its in-memory table is
+// gone) and then abandon everything its durable store still holds — the
+// router must refuse and demand a restart first.
+TEST(ShardRouterTest, DrainingACrashedShardIsRefused) {
+  TempDir tmp("draindown");
+  ShardRouterConfig cfg;
+  cfg.data_dir = tmp.path.string();
+  ShardRouter router(shard_ids(3), cfg);
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 18; ++i) {
+    const std::string doc = "doc" + std::to_string(i);
+    ASSERT_TRUE(create_doc(router, doc).ok());
+    ASSERT_TRUE(save_doc(router, doc, "keep-" + doc).ok());
+    expected[doc] = "keep-" + doc;
+  }
+
+  router.crash_shard("s1");
+  EXPECT_THROW(router.remove_shard("s1"), Error);
+  EXPECT_EQ(router.shard_count(), 3u) << "refused drain must not alter ring";
+
+  // restart → drain is the sanctioned sequence; nothing may be lost.
+  router.restart_shard("s1");
+  router.remove_shard("s1");
+  EXPECT_EQ(router.shard_count(), 2u);
+  for (const auto& [doc, content] : expected) {
+    ASSERT_EQ(router.holders(doc).size(), 1u) << doc;
+    EXPECT_EQ(router.raw_content(doc).value_or(""), content);
+  }
+}
+
 TEST(ShardRouterTest, MembershipSurvivesRouterRestart) {
   TempDir tmp("membership");
   ShardRouterConfig cfg;
@@ -349,6 +381,45 @@ TEST(ShardRouterTest, WritesDuringHandoffAre503ReadsStillServed) {
             "v-" + moving);
 }
 
+// A create racing a migration, for a doc id whose ring owner CHANGES with
+// the pending cutover, must be fenced: it is in no move plan, so letting
+// it land on the old owner would orphan it the moment the ring swaps.
+// Creates whose owner is unaffected by the migration keep flowing.
+TEST(ShardRouterTest, CreatesInMovedRangesAre503DuringHandoff) {
+  TempDir tmp("createfence");
+  ShardRouterConfig cfg;
+  cfg.data_dir = tmp.path.string();
+  cfg.handoff_retry_after_s = 2;
+  ShardRouter router(shard_ids(3), cfg);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(create_doc(router, "doc" + std::to_string(i)).ok());
+  }
+
+  // Crash the drain before cutover: the handoff window stays open, with
+  // the ring still routing to s0 — the deterministic way to observe it.
+  CrashPoints::arm("router.migrate.before_cutover", 1);
+  EXPECT_THROW(router.remove_shard("s0"), CrashError);
+  CrashPoints::disarm();
+
+  // Fresh ids (never created): one that currently ring-maps to the
+  // draining shard (its owner changes with the target ring) and one that
+  // maps to a survivor (its owner is stable across the cutover).
+  std::string moving_id, stable_id;
+  for (int j = 0; j < 256 && (moving_id.empty() || stable_id.empty()); ++j) {
+    const std::string id = "fresh" + std::to_string(j);
+    (router.shard_for(id) == "s0" ? moving_id : stable_id) = id;
+  }
+  ASSERT_FALSE(moving_id.empty());
+  ASSERT_FALSE(stable_id.empty());
+
+  const net::HttpResponse fenced = create_doc(router, moving_id);
+  EXPECT_EQ(fenced.status, 503);
+  EXPECT_EQ(fenced.headers.get("Retry-After").value_or(""), "2");
+  EXPECT_GE(router.counters().handoff_rejections, 1u);
+  EXPECT_TRUE(create_doc(router, stable_id).ok())
+      << "creates outside the moved ranges must not be fenced";
+}
+
 // The crash matrix: power loss at every router.migrate.* seam, at every
 // occurrence, during a shard drain. A fresh router rebuilt on the same
 // data_dir must reconcile whatever the crash left: every document owned by
@@ -403,6 +474,43 @@ TEST(ShardRouterTest, EverySeamEveryOccurrenceRecoversWithoutLoss) {
     }
   }
   EXPECT_GE(crashes, 5u) << "the matrix should actually fire every seam";
+}
+
+// A refused adoption push must never delete the stray copy: when the ring
+// owner's doc sits behind the quarantine wall (and the stray payload fails
+// container validation), the stray file is the only good durable copy —
+// recovery keeps it and retries on the next boot instead of losing data.
+TEST(ShardRouterTest, RecoveryKeepsStrayCopyWhenAdoptionPushIsRefused) {
+  TempDir tmp("straykeep");
+  ShardRouterConfig cfg;
+  cfg.data_dir = tmp.path.string();
+  {
+    ShardRouter router(shard_ids(1), cfg);
+    ASSERT_TRUE(create_doc(router, "d").ok());
+    ASSERT_TRUE(save_doc(router, "d", "old-owner-copy").ok());
+  }
+  // Quarantine the owner's copy durably (scrub would do this on rot) and
+  // plant a stray shard directory holding the doc at a higher revision —
+  // the shape a crash between drain-copy and cutover leaves behind.
+  FileStore(tmp.path.string() + "/shard-s0").set_quarantined("d", true);
+  FileStore(tmp.path.string() + "/shard-zz")
+      .put("d", Store::Record{"newer-stray-copy", 99});
+
+  {
+    ShardRouter reborn(shard_ids(1), cfg);
+    // The push was refused by the quarantine wall; the stray must survive.
+    FileStore stray(tmp.path.string() + "/shard-zz");
+    ASSERT_TRUE(stray.get("d").has_value())
+        << "refused adoption deleted the only durable copy";
+    EXPECT_EQ(stray.get("d")->content, "newer-stray-copy");
+  }
+
+  // Once the wall lifts, the next recovery adopts and drops the stray.
+  FileStore(tmp.path.string() + "/shard-s0").set_quarantined("d", false);
+  ShardRouter healed(shard_ids(1), cfg);
+  EXPECT_EQ(healed.raw_content("d").value_or(""), "newer-stray-copy");
+  EXPECT_FALSE(FileStore(tmp.path.string() + "/shard-zz").get("d").has_value());
+  EXPECT_GE(healed.counters().strays_dropped, 1u);
 }
 
 // -------------------------------------------------------------- tenants --
@@ -513,6 +621,33 @@ TEST(TenantQuotaTest, QuotaChecksRideTheSyncVerb) {
   EXPECT_EQ(router.handle(doc_request("a1", f, "alice")).status, 507);
 }
 
+// cmd=sync creates the target document when absent (the server adopts the
+// push wholesale), so it must pass the same doc-count admission as
+// cmd=create — otherwise a tenant at max_docs mints documents for free.
+TEST(TenantQuotaTest, SyncCannotBypassDocCountQuota) {
+  ShardRouter router(shard_ids(2), {});
+  router.tenants().set_quota("alice", TenantQuota{.max_docs = 1});
+  ASSERT_TRUE(create_doc(router, "a1", "alice").ok());
+
+  FormData f;
+  f.add("cmd", "sync");
+  f.add("rev", "7");
+  f.add("content", "pushed");
+  const net::HttpResponse refused = router.handle(doc_request("a2", f, "alice"));
+  EXPECT_EQ(refused.status, 507);
+  EXPECT_TRUE(refused.headers.get("Retry-After").has_value());
+  EXPECT_EQ(router.tenants().usage("alice").docs, 1u)
+      << "the refused sync must not be charged";
+
+  // Syncing a document the tenant already owns is not a new document.
+  EXPECT_TRUE(router.handle(doc_request("a1", f, "alice")).ok());
+  // And a collaborator at their own doc-count ceiling can still sync an
+  // EXISTING doc owned by someone else (the owner keeps paying).
+  router.tenants().set_quota("bob", TenantQuota{.max_docs = 1});
+  ASSERT_TRUE(create_doc(router, "b1", "bob").ok());
+  EXPECT_TRUE(router.handle(doc_request("a1", f, "bob")).ok());
+}
+
 // ------------------------------------------------- per-shard admission --
 
 TEST(ShardRouterTest, AdmissionBudgetsArePerShard) {
@@ -538,6 +673,55 @@ TEST(ShardRouterTest, AdmissionBudgetsArePerShard) {
   EXPECT_EQ(last.status, 503) << "s0's bucket should be empty";
   EXPECT_TRUE(create_doc(router, on_s1, "alice").ok())
       << "s1 has its own untouched budget";
+}
+
+// ------------------------------------------------ lifecycle vs traffic --
+
+// Live traffic racing drain/join cycles: a request that routed to a shard
+// just before remove_shard erased it must keep a valid reference (the
+// shared-ownership contract), never touch freed state. Run under
+// TSan/ASan this is the use-after-free regression; under a plain build it
+// still checks that every doc survives the churn with exactly one owner.
+TEST(ShardRouterTest, ConcurrentTrafficSurvivesDrainAndJoinCycles) {
+  ShardRouter router(shard_ids(3), {});
+  constexpr int kDocs = 24;
+  for (int i = 0; i < kDocs; ++i) {
+    const std::string doc = "doc" + std::to_string(i);
+    ASSERT_TRUE(create_doc(router, doc).ok());
+    ASSERT_TRUE(save_doc(router, doc, "orig-" + doc).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&router, t, &stop] {
+      // Writers and readers hammer the full doc set; 503s (handoff, down
+      // shard) and 404s (read raced a cleanup) are expected under churn —
+      // the invariants are checked at quiesce.
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const std::string doc = "doc" + std::to_string(i % kDocs);
+        if (t % 2 == 0) {
+          save_doc(router, doc, "w-" + doc);
+        } else {
+          open_doc(router, doc);
+        }
+      }
+    });
+  }
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    router.remove_shard("s1");
+    router.add_shard("s1");
+  }
+  stop.store(true);
+  for (std::thread& th : clients) th.join();
+
+  for (int i = 0; i < kDocs; ++i) {
+    const std::string doc = "doc" + std::to_string(i);
+    ASSERT_EQ(router.holders(doc).size(), 1u) << doc << " after churn";
+    const std::string content = router.raw_content(doc).value_or("");
+    EXPECT_TRUE(content == "orig-" + doc || content == "w-" + doc)
+        << doc << " holds unexpected content: " << content;
+  }
 }
 
 // ----------------------------------------------- mediator transparency --
