@@ -32,6 +32,8 @@ void dispatch(std::string_view data) {
   privedit::sim::fuzz_http(data);
 #elif defined(PRIVEDIT_FUZZ_TARGET_store)
   privedit::sim::fuzz_store_record(data, "/tmp/privedit-fuzz-store");
+#elif defined(PRIVEDIT_FUZZ_TARGET_diff)
+  privedit::sim::fuzz_diff(data);
 #else
 #error "no PRIVEDIT_FUZZ_TARGET_* defined"
 #endif

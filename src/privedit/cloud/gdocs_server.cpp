@@ -4,9 +4,12 @@
 #include <sstream>
 
 #include "privedit/crypto/sha256.hpp"
+#include "privedit/delta/block_diff.hpp"
 #include "privedit/delta/delta.hpp"
+#include "privedit/enc/block_wire.hpp"
 #include "privedit/enc/container.hpp"
 #include "privedit/net/breaker.hpp"
+#include "privedit/util/crc32.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/hex.hpp"
 #include "privedit/util/urlencode.hpp"
@@ -65,8 +68,10 @@ net::HttpResponse GDocsServer::ack(const Document& doc,
   }
   form.add("contentFromServerHash", content_hash(doc.content));
   form.add("rev", std::to_string(doc.rev));
-  return net::HttpResponse::make(200, form.encode(),
-                                 "application/x-www-form-urlencoded");
+  net::HttpResponse resp = net::HttpResponse::make(
+      200, form.encode(), "application/x-www-form-urlencoded");
+  resp.headers.set("X-Privedit-BDelta", "1");
+  return resp;
 }
 
 void GDocsServer::enable_admission(net::AdmissionConfig config,
@@ -134,11 +139,84 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     FormData reply;
     reply.add("session", std::to_string(doc.next_session++));
     reply.add("rev", "0");
-    return net::HttpResponse::make(201, reply.encode(),
-                                   "application/x-www-form-urlencoded");
+    net::HttpResponse resp = net::HttpResponse::make(
+        201, reply.encode(), "application/x-www-form-urlencoded");
+    resp.headers.set("X-Privedit-BDelta", "1");
+    return resp;
   }
 
   if (cmd == "sync") {
+    if (form.get("digests") == "1") {
+      // Rev-anchored digest probe for differential repair: the pusher
+      // compares our block digests against the donor copy and sends only
+      // the blocks that differ. A quarantined document answers with the
+      // flag alone — its digests describe rot, and quarantine may only be
+      // lifted by a full validated container anyway.
+      ++counters_.sync_probes;
+      FormData reply;
+      Document* probed = table_.find(*doc_id);
+      if (probed == nullptr) {
+        reply.add("missing", "1");
+      } else if (is_quarantined(*doc_id)) {
+        reply.add("quarantined", "1");
+      } else {
+        const std::size_t bs = delta::repair_block_size(probed->content.size());
+        reply.add("rev", std::to_string(probed->rev));
+        reply.add("size", std::to_string(probed->content.size()));
+        reply.add("crc", std::to_string(crc32(as_bytes(probed->content))));
+        reply.add("bs", std::to_string(bs));
+        reply.add("digests", enc::block_digests_to_wire(
+                                 delta::block_digests(probed->content, bs)));
+      }
+      net::HttpResponse resp = net::HttpResponse::make(
+          200, reply.encode(), "application/x-www-form-urlencoded");
+      resp.headers.set("X-Privedit-BDelta", "1");
+      return resp;
+    }
+
+    if (const auto bwire = form.get("bdelta")) {
+      // Differential repair push: only the blocks our copy is missing.
+      // Quarantined documents refuse it outright — the only quarantine
+      // exit is a full container that passes validation, and a delta
+      // against rot would just produce differently-arranged rot.
+      if (is_quarantined(*doc_id)) {
+        ++counters_.quarantine_write_rejections;
+        return net::HttpResponse::make(503, "document quarantined");
+      }
+      Document* based = table_.find(*doc_id);
+      if (based == nullptr) {
+        ++counters_.bdelta_mismatches;
+        return net::HttpResponse::make(412, "no base for block delta");
+      }
+      std::string healed;
+      try {
+        healed = delta::apply_block_delta(enc::block_delta_from_wire(*bwire),
+                                          based->content);
+      } catch (const ParseError&) {
+        ++counters_.bad_requests;
+        return net::HttpResponse::make(400, "malformed block delta");
+      } catch (const Error&) {
+        // Our copy moved (or rotted) since the probe: 412 tells the pusher
+        // to fall back to a full-content sync.
+        ++counters_.bdelta_mismatches;
+        return net::HttpResponse::make(412, "block delta anchor mismatch");
+      }
+      ++counters_.syncs;
+      ++counters_.bdelta_syncs;
+      table_.record_history(*based);
+      based->content = std::move(healed);
+      std::uint64_t rev = based->rev + 1;
+      if (const auto rev_field = form.get("rev")) {
+        try {
+          rev = std::stoull(*rev_field);
+        } catch (...) {
+        }
+      }
+      based->rev = rev;
+      table_.persist(*doc_id, *based);
+      return ack(*based, /*include_content=*/false);
+    }
+
     // Anti-entropy push from a ReplicatedChannel repair pass: adopt the
     // full ciphertext + revision wholesale, creating the document if this
     // replica never saw it. Trusting the pushed bytes is fine — the server
@@ -203,6 +281,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     reply.add("session", std::to_string(doc.next_session++));
     net::HttpResponse resp = net::HttpResponse::make(
         200, reply.encode(), "application/x-www-form-urlencoded");
+    resp.headers.set("X-Privedit-BDelta", "1");
     if (is_quarantined(*doc_id)) {
       // Reads still succeed — client crypto decides whether the bytes are
       // usable — but the damage flag rides along so validators can treat
@@ -247,10 +326,46 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
   }
 
   if (is_quarantined(*doc_id) &&
-      (form.contains("docContents") || form.contains("delta"))) {
+      (form.contains("docContents") || form.contains("delta") ||
+       form.contains("bdelta"))) {
     // No edits on top of rot: writes wait for the repair path.
     ++counters_.quarantine_write_rejections;
     return net::HttpResponse::make(503, "document quarantined");
+  }
+
+  if (const auto bwire = form.get("bdelta")) {
+    // Full-state save expressed as a block delta against the server's
+    // current container (capability negotiated via X-Privedit-BDelta).
+    // Semantically identical to docContents — the decoded target replaces
+    // the document wholesale — it just doesn't repeat the bytes the server
+    // already holds.
+    bool stale = false;
+    if (const auto base_rev = form.get("rev")) {
+      stale = *base_rev != std::to_string(doc.rev);
+    }
+    std::string next;
+    try {
+      next = delta::apply_block_delta(enc::block_delta_from_wire(*bwire),
+                                      doc.content);
+    } catch (const ParseError&) {
+      ++counters_.bad_requests;
+      return net::HttpResponse::make(400, "malformed block delta");
+    } catch (const Error&) {
+      // The client's picture of our container is wrong — lost write,
+      // concurrent save, or tampering. 412 with the ack fields (current
+      // hash + rev) tells it to retry as a plain docContents full save.
+      ++counters_.bdelta_mismatches;
+      net::HttpResponse resp = ack(doc, /*include_content=*/false);
+      resp.status = 412;
+      resp.reason = "Precondition Failed";
+      return resp;
+    }
+    ++counters_.bdelta_saves;
+    table_.record_history(doc);
+    doc.content = std::move(next);
+    ++doc.rev;
+    table_.persist(*doc_id, doc);
+    return ack(doc, stale);
   }
 
   if (const auto contents = form.get("docContents")) {

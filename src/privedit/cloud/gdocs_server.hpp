@@ -16,6 +16,21 @@
 //     cmd=sync&rev=…&content=…             → replica anti-entropy push:
 //                                            adopt content+rev wholesale
 //                                            (creates the doc if absent)
+//     cmd=sync&digests=1                   → rev-anchored block-digest probe
+//                                            (rev/size/crc/bs/digests) for
+//                                            differential repair
+//     cmd=sync&rev=…&bdelta=<wire>         → repair push carrying only the
+//                                            blocks that differ (412 when
+//                                            the anchor no longer matches)
+//     session=…&rev=…&bdelta=<wire>        → full-state save as a block
+//                                            delta against the server's
+//                                            current container (412 + ack
+//                                            fields → client falls back to
+//                                            docContents)
+//
+// Every protocol response carries X-Privedit-BDelta: 1 — the capability
+// header clients check before sending any block-delta form (an older or
+// third-party server simply never advertises it).
 //     cmd=delete                           → drops the document and its
 //                                            stored record (quota reclaim)
 //
@@ -189,6 +204,10 @@ class GDocsServer {
     std::size_t load_quarantined = 0;  // unreadable records found at boot
     std::size_t quarantine_write_rejections = 0;  // 503s on damaged docs
     std::size_t quarantine_repairs = 0;  // validated syncs lifting quarantine
+    std::size_t bdelta_saves = 0;        // full-state saves sent as block deltas
+    std::size_t bdelta_mismatches = 0;   // 412s: block-delta anchor mismatch
+    std::size_t sync_probes = 0;         // cmd=sync&digests=1 digest reads
+    std::size_t bdelta_syncs = 0;        // repair pushes applied as block deltas
   };
   const Counters& counters() const { return counters_; }
 

@@ -1,7 +1,9 @@
 #include "privedit/cloud/tenant.hpp"
 
+#include <stdexcept>
 #include <utility>
 
+#include "privedit/util/error.hpp"
 #include "privedit/util/urlencode.hpp"
 
 namespace privedit::cloud {
@@ -39,26 +41,37 @@ void TenantAccounts::enable_persistence(const std::string& directory) {
 void TenantAccounts::enable_persistence(std::unique_ptr<Store> store) {
   std::lock_guard<std::mutex> lock(mu_);
   store_ = std::move(store);
-  // Rebuild aggregates from the per-document records; unreadable records
-  // are dropped rather than fatal (the documents just stop being billed).
+  // Rebuild aggregates from the per-document records. A rotted record —
+  // unreadable at the store layer, malformed form encoding, or a bytes
+  // field that is not a number — is skipped and counted rather than fatal:
+  // a single bad meta record must degrade billing for that document, not
+  // take the whole shard down at boot.
   std::vector<std::string> corrupt;
   for (auto& [doc_id, record] : store_->load_all(&corrupt)) {
-    const FormData form = FormData::parse(record.content);
-    const auto tenant = form.get("tenant");
-    if (!tenant) continue;
-    std::size_t bytes = 0;
-    if (const auto bytes_field = form.get("bytes")) {
-      try {
-        bytes = static_cast<std::size_t>(std::stoull(*bytes_field));
-      } catch (...) {
+    try {
+      const FormData form = FormData::parse(record.content);
+      const auto tenant = form.get("tenant");
+      if (!tenant) {
+        ++counters_.restore_skipped;
         continue;
       }
+      std::size_t bytes = 0;
+      if (const auto bytes_field = form.get("bytes")) {
+        bytes = static_cast<std::size_t>(std::stoull(*bytes_field));
+      }
+      charges_[doc_id] = Charge{*tenant, bytes};
+      TenantUsage& u = usage_[*tenant];
+      ++u.docs;
+      u.bytes += bytes;
+    } catch (const Error&) {
+      ++counters_.restore_skipped;  // percent-decode / form framing rot
+    } catch (const std::invalid_argument&) {
+      ++counters_.restore_skipped;  // bytes= is not a number
+    } catch (const std::out_of_range&) {
+      ++counters_.restore_skipped;  // bytes= overflows
     }
-    charges_[doc_id] = Charge{*tenant, bytes};
-    TenantUsage& u = usage_[*tenant];
-    ++u.docs;
-    u.bytes += bytes;
   }
+  counters_.restore_skipped += corrupt.size();
 }
 
 std::optional<std::string> TenantAccounts::owner_tenant(

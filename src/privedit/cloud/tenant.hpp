@@ -103,6 +103,7 @@ class TenantAccounts {
     std::size_t byte_rejections = 0;  // 507: byte quota
     std::size_t charges = 0;
     std::size_t releases = 0;
+    std::size_t restore_skipped = 0;  // rotted meta records dropped at boot
   };
   Counters counters() const;
 

@@ -61,7 +61,11 @@ Delta myers_diff(std::string_view before, std::string_view after,
     return replace_middle(t);
   }
 
-  // Myers greedy O(ND) with a trace of V arrays for backtracking.
+  // Myers greedy O(ND). The backtrack only ever consults diagonals
+  // |k| <= d of round d, so the trace keeps just that live window per
+  // round (d+1 ints, diagonal k at index (k+d)/2) — O(D²) memory instead
+  // of snapshotting the whole 2(n+m)+1 V array every round, which made a
+  // run near the max_cost boundary cost O((n+m)·D).
   const int max_d = static_cast<int>(n + m);
   const int offset = max_d;
   std::vector<int> v(static_cast<std::size_t>(2 * max_d + 1), 0);
@@ -69,7 +73,6 @@ Delta myers_diff(std::string_view before, std::string_view after,
   int found_d = -1;
 
   for (int d = 0; d <= max_d; ++d) {
-    trace.push_back(v);
     for (int k = -d; k <= d; k += 2) {
       int x;
       if (k == -d ||
@@ -92,6 +95,15 @@ Delta myers_diff(std::string_view before, std::string_view after,
       }
     }
     if (found_d >= 0) break;
+    // Round d completed: keep its window for the backtrack. The final
+    // (breaking) round is never consulted — backtracking at depth d reads
+    // round d-1 — so it needs no snapshot.
+    std::vector<int> window(static_cast<std::size_t>(d) + 1);
+    for (int k = -d; k <= d; k += 2) {
+      window[static_cast<std::size_t>((k + d) / 2)] =
+          v[static_cast<std::size_t>(offset + k)];
+    }
+    trace.push_back(std::move(window));
   }
   if (found_d < 0) {
     throw Error(ErrorCode::kState, "myers_diff: no path found");
@@ -107,17 +119,20 @@ Delta myers_diff(std::string_view before, std::string_view after,
   int x = static_cast<int>(n);
   int y = static_cast<int>(m);
   for (int d = found_d; d > 0; --d) {
-    const std::vector<int>& pv = trace[static_cast<std::size_t>(d)];
+    // Round d-1's live window; diagonal k' sits at index (k' + d-1)/2. The
+    // |k| == d short-circuits below keep every read inside the window.
+    const std::vector<int>& pv = trace[static_cast<std::size_t>(d - 1)];
+    const auto at = [&pv, d](int diag) {
+      return pv[static_cast<std::size_t>((diag + d - 1) / 2)];
+    };
     const int k = x - y;
     int prev_k;
-    if (k == -d ||
-        (k != d && pv[static_cast<std::size_t>(offset + k - 1)] <
-                       pv[static_cast<std::size_t>(offset + k + 1)])) {
+    if (k == -d || (k != d && at(k - 1) < at(k + 1))) {
       prev_k = k + 1;  // came from an insert
     } else {
       prev_k = k - 1;  // came from a delete
     }
-    const int prev_x = pv[static_cast<std::size_t>(offset + prev_k)];
+    const int prev_x = at(prev_k);
     const int prev_y = prev_x - prev_k;
     // Snake (diagonal run) after the edit.
     const int snake = (prev_k == k + 1) ? (x - prev_x) : (x - prev_x - 1);

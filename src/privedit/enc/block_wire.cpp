@@ -1,0 +1,196 @@
+#include "privedit/enc/block_wire.hpp"
+
+#include <charconv>
+
+#include "privedit/util/error.hpp"
+
+namespace privedit::enc {
+namespace {
+
+constexpr std::string_view kMagic = "PEBD1;";
+
+/// Declared sizes above this are rejected before anything is allocated —
+/// far above any real container, far below an OOM on hostile input.
+constexpr std::uint64_t kMaxDeclaredSize = 1ull << 31;
+constexpr std::size_t kMaxOps = 1u << 20;
+
+void append_hex8(std::string& out, std::uint32_t value) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out += kHex[(value >> shift) & 0xf];
+  }
+}
+
+/// Parses the decimal run at `pos`, advancing past it. Throws on an empty
+/// run or a value above `cap`.
+std::uint64_t take_number(std::string_view wire, std::size_t& pos,
+                          std::uint64_t cap, const char* what) {
+  std::uint64_t value = 0;
+  const char* begin = wire.data() + pos;
+  const char* end = wire.data() + wire.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ptr == begin || ec != std::errc() || value > cap) {
+    throw ParseError(std::string("block delta wire: bad ") + what);
+  }
+  pos += static_cast<std::size_t>(ptr - begin);
+  return value;
+}
+
+void take_literal(std::string_view wire, std::size_t& pos, char expect) {
+  if (pos >= wire.size() || wire[pos] != expect) {
+    throw ParseError(std::string("block delta wire: expected '") + expect +
+                     "'");
+  }
+  ++pos;
+}
+
+/// Parses a `key=` header field terminated by ';'.
+std::uint64_t take_field(std::string_view wire, std::size_t& pos,
+                         std::string_view key, bool hex,
+                         std::uint64_t cap) {
+  if (wire.substr(pos, key.size()) != key) {
+    throw ParseError("block delta wire: expected field " +
+                     std::string(key));
+  }
+  pos += key.size();
+  std::uint64_t value = 0;
+  if (hex) {
+    const std::size_t start = pos;
+    while (pos < wire.size() && pos - start < 8) {
+      const char c = wire[pos];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else {
+        break;
+      }
+      value = (value << 4) | digit;
+      ++pos;
+    }
+    if (pos - start != 8) {
+      throw ParseError("block delta wire: bad hex field " + std::string(key));
+    }
+  } else {
+    value = take_number(wire, pos, cap, std::string(key).c_str());
+  }
+  take_literal(wire, pos, ';');
+  return value;
+}
+
+}  // namespace
+
+bool looks_like_block_delta(std::string_view wire) {
+  return wire.substr(0, kMagic.size()) == kMagic;
+}
+
+std::string block_delta_to_wire(const delta::BlockDelta& delta) {
+  std::string out;
+  out.reserve(64 + delta.ops.size() * 16 +
+              static_cast<std::size_t>(delta.added_bytes()));
+  out += kMagic;
+  out += "s=" + std::to_string(delta.source_size) + ';';
+  out += "t=" + std::to_string(delta.target_size) + ';';
+  out += "sc=";
+  append_hex8(out, delta.source_crc);
+  out += ';';
+  out += "tc=";
+  append_hex8(out, delta.target_crc);
+  out += ';';
+  for (const delta::BlockOp& op : delta.ops) {
+    if (op.kind == delta::BlockOp::Kind::kCopy) {
+      out += 'C';
+      out += std::to_string(op.src_off);
+      out += ':';
+      out += std::to_string(op.len);
+    } else {
+      out += 'A';
+      out += std::to_string(op.literal.size());
+      out += ':';
+      out += op.literal;
+    }
+    out += ';';
+  }
+  return out;
+}
+
+delta::BlockDelta block_delta_from_wire(std::string_view wire) {
+  if (!looks_like_block_delta(wire)) {
+    throw ParseError("block delta wire: bad magic");
+  }
+  std::size_t pos = kMagic.size();
+  delta::BlockDelta d;
+  d.source_size = take_field(wire, pos, "s=", false, kMaxDeclaredSize);
+  d.target_size = take_field(wire, pos, "t=", false, kMaxDeclaredSize);
+  d.source_crc =
+      static_cast<std::uint32_t>(take_field(wire, pos, "sc=", true, 0));
+  d.target_crc =
+      static_cast<std::uint32_t>(take_field(wire, pos, "tc=", true, 0));
+  while (pos < wire.size()) {
+    const char tag = wire[pos++];
+    if (tag == 'C') {
+      const std::uint64_t off =
+          take_number(wire, pos, kMaxDeclaredSize, "copy offset");
+      take_literal(wire, pos, ':');
+      const std::uint64_t len =
+          take_number(wire, pos, kMaxDeclaredSize, "copy length");
+      d.ops.push_back(delta::BlockOp::copy(off, len));
+    } else if (tag == 'A') {
+      const std::uint64_t len =
+          take_number(wire, pos, d.target_size, "add length");
+      take_literal(wire, pos, ':');
+      if (wire.size() - pos < len) {
+        throw ParseError("block delta wire: truncated add literal");
+      }
+      d.ops.push_back(delta::BlockOp::add(
+          std::string(wire.substr(pos, static_cast<std::size_t>(len)))));
+      pos += static_cast<std::size_t>(len);
+    } else {
+      throw ParseError("block delta wire: unknown command tag");
+    }
+    take_literal(wire, pos, ';');
+    if (d.ops.size() > kMaxOps) {
+      throw ParseError("block delta wire: too many commands");
+    }
+  }
+  return d;
+}
+
+std::string block_digests_to_wire(
+    const std::vector<std::uint64_t>& digests) {
+  std::string out;
+  out.reserve(digests.size() * 16);
+  for (const std::uint64_t digest : digests) {
+    append_hex8(out, static_cast<std::uint32_t>(digest >> 32));
+    append_hex8(out, static_cast<std::uint32_t>(digest));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> block_digests_from_wire(std::string_view wire) {
+  if (wire.size() % 16 != 0) {
+    throw ParseError("block digest wire: not a whole number of digests");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(wire.size() / 16);
+  for (std::size_t pos = 0; pos < wire.size(); pos += 16) {
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      const char c = wire[pos + i];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else {
+        throw ParseError("block digest wire: bad hex digit");
+      }
+      value = (value << 4) | digit;
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace privedit::enc

@@ -56,23 +56,13 @@ cloud::CheckConfig make_check_config(const FsckOptions& options,
   return config;
 }
 
-/// Pushes (content, rev) to `channel` through the same cmd=sync form
-/// ReplicatedChannel::push_sync sends; returns true when accepted.
+/// Pushes (content, rev) to `channel` through the same delta-aware
+/// anti-entropy helper ReplicatedChannel::push_sync uses: block-delta when
+/// the replica holds a divergent copy, full content otherwise.
 bool push_repair(net::Channel& channel, const std::string& doc_id,
-                 const cloud::Store::Record& record) {
-  FormData form;
-  form.add("cmd", "sync");
-  form.add("session", "anti-entropy");
-  form.add("rev", std::to_string(record.rev));
-  form.add("content", record.content);
-  try {
-    return channel
-        .round_trip(net::HttpRequest::post_form(target_for(doc_id),
-                                                form.encode()))
-        .ok();
-  } catch (const Error&) {
-    return false;
-  }
+                 const cloud::Store::Record& record, SyncPushStats* stats) {
+  return push_sync_over(channel, target_for(doc_id), record.content,
+                        std::to_string(record.rev), stats);
 }
 
 }  // namespace
@@ -207,7 +197,7 @@ FsckResult run_fsck(const std::vector<std::string>& store_dirs,
       }
       if (!donor) continue;  // damaged everywhere — quarantine below
       for (const std::size_t i : dirty_replicas) {
-        if (push_repair(*channels[i], doc_id, *donor)) {
+        if (push_repair(*channels[i], doc_id, *donor, &result.sync_stats)) {
           ++result.syncs_pushed;
         }
       }
@@ -287,7 +277,13 @@ std::string format_fsck_result(const FsckResult& result) {
       << result.stores.size() << " store(s); " << result.dirty_docs
       << " dirty, " << result.repaired_docs << " repaired, "
       << result.unrecoverable.size() << " unrecoverable (quarantined), "
-      << result.syncs_pushed << " sync push(es)\n";
+      << result.syncs_pushed << " sync push(es)";
+  if (result.sync_stats.delta_pushes > 0) {
+    out << " (" << result.sync_stats.delta_pushes << " differential, "
+        << result.sync_stats.bytes_delta << " delta byte(s) vs "
+        << result.sync_stats.bytes_full << " full)";
+  }
+  out << '\n';
   for (const FsckStoreReport& store : result.stores) {
     out << "  store " << store.directory << ": " << store.before.docs_checked
         << " checked, " << store.before.findings.size() << " finding(s)";

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "privedit/cloud/store_check.hpp"
+#include "privedit/extension/replication.hpp"
 
 namespace privedit::extension {
 
@@ -60,6 +61,7 @@ struct FsckResult {
   std::size_t dirty_docs = 0;        // documents with >=1 finding anywhere
   std::size_t repaired_docs = 0;     // dirty before, clean everywhere after
   std::size_t syncs_pushed = 0;      // cmd=sync repairs accepted by servers
+  SyncPushStats sync_stats;          // delta-vs-full repair byte accounting
   std::vector<std::string> unrecoverable;  // quarantined on every replica
 
   /// No findings anywhere before repair.

@@ -3,8 +3,10 @@
 #include <filesystem>
 
 #include "privedit/cloud/xml.hpp"
+#include "privedit/enc/block_wire.hpp"
 #include "privedit/enc/container.hpp"
 #include "privedit/crypto/sha256.hpp"
+#include "privedit/delta/block_diff.hpp"
 #include "privedit/delta/delta.hpp"
 #include "privedit/net/admission.hpp"
 #include "privedit/net/retry.hpp"
@@ -93,7 +95,11 @@ net::HttpResponse GDocsMediator::send_upstream(
     labeled.headers.set(net::kClientIdHeader, config_.client_id);
     return send_upstream(labeled);
   }
-  if (breaker_ == nullptr) return upstream_->round_trip(request);
+  if (breaker_ == nullptr) {
+    net::HttpResponse resp = upstream_->round_trip(request);
+    if (resp.headers.get("X-Privedit-BDelta") == "1") upstream_bdelta_ = true;
+    return resp;
+  }
   if (!breaker_->allow()) {
     ++counters_.breaker_short_circuits;
     throw net::TransportError(net::FaultKind::kConnect,
@@ -102,6 +108,7 @@ net::HttpResponse GDocsMediator::send_upstream(
   try {
     net::HttpResponse resp = upstream_->round_trip(request);
     breaker_->record_success();
+    if (resp.headers.get("X-Privedit-BDelta") == "1") upstream_bdelta_ = true;
     return resp;
   } catch (const net::TransportError&) {
     breaker_->record_failure();
@@ -498,9 +505,12 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
       if (EditJournal* journal = journal_for(doc_id)) {
         // Converged with the server: adopt its (verified) state as the
         // new baseline. Entries the server refused to take stay pending
-        // for the next open, so the baseline must not clobber them.
+        // for the next open, so the baseline must not clobber them. The
+        // container rides along as the durable base compact() will
+        // delta-compress pending full saves against.
         if (journal->pending().empty()) {
-          journal->reset(parse_rev(reply.get("rev")), content_hash16(content));
+          journal->reset(parse_rev(reply.get("rev")), content_hash16(content),
+                         content);
         }
       }
       if (config_.offline.enabled) {
@@ -556,8 +566,35 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
     // try_flush may have swapped the session (dedupe/rebase adopt the
     // server's container) — re-resolve before touching the mirror.
     DocumentSession& live = sessions_.find(doc_id)->second;
-    const std::string ciphertext = live.encrypt_full(*contents);
-    form.set("docContents", ciphertext);
+    std::string ciphertext;
+    std::string bdelta_wire;
+    if (config_.block_delta_saves && upstream_bdelta_) {
+      // Differential full save. encrypt_full re-randomises every block, so
+      // two independent encryptions share nothing — the new container must
+      // be derived *incrementally* (transform of the plaintext diff) for
+      // the unedited blocks to stay byte-identical with what the server
+      // holds. Our ciphertext mirror tracks the server's copy exactly (the
+      // journal's checksum machinery depends on that already), so it is
+      // the delta's anchor; if the server has diverged anyway, it answers
+      // 412 and the fallback below resends the plain full save.
+      const std::string previous = live.scheme().ciphertext_doc();
+      try {
+        live.transform_delta(delta::myers_diff(live.plaintext(), *contents));
+        ciphertext = live.scheme().ciphertext_doc();
+        std::string wire = enc::block_delta_to_wire(
+            delta::block_diff(previous, ciphertext));
+        if (wire.size() < ciphertext.size()) bdelta_wire = std::move(wire);
+      } catch (const Error&) {
+        ciphertext.clear();  // derivation refused; re-encrypt from scratch
+      }
+    }
+    if (ciphertext.empty()) ciphertext = live.encrypt_full(*contents);
+    if (bdelta_wire.empty()) {
+      form.set("docContents", ciphertext);
+    } else {
+      form.remove("docContents");
+      form.set("bdelta", bdelta_wire);
+    }
     if (config_.offline.enabled) {
       // The mediator owns the wire revision: the editor's view may be a
       // virtual (offline) sequence running ahead of the server's.
@@ -593,6 +630,47 @@ net::HttpResponse GDocsMediator::round_trip(const net::HttpRequest& request) {
       return synth_offline_ack(++editor_rev_[doc_id]);
     }
     if (journal != nullptr) settle_journal(*journal, resp, base_rev, checksum);
+    if (!bdelta_wire.empty()) {
+      counters_.bdelta_bytes += bdelta_wire.size();
+      if (resp.status == 412) {
+        // The server's container is not what our mirror says (lost save,
+        // concurrent unmediated writer, provider tampering): the delta
+        // cannot anchor. Resend as the plain full save, which is always
+        // correct. settle_journal above already dropped the refused entry.
+        ++counters_.bdelta_fallbacks;
+        form.remove("bdelta");
+        form.set("docContents", ciphertext);
+        if (journal != nullptr) {
+          journal->append_pending({base_rev, /*full_save=*/true, checksum,
+                                   ciphertext});
+          ++counters_.journal_appends;
+        }
+        std::string full_body = form.encode();
+        apply_outgoing_mitigations(full_body);
+        try {
+          resp = send_upstream(
+              net::HttpRequest::post_form(request.target,
+                                          std::move(full_body)));
+        } catch (const net::TransportError&) {
+          if (oq == nullptr) throw;
+          oq->enter(server_rev_[doc_id], *contents, request.target);
+          oq->queue_full_save();
+          journal_offline_entry(doc_id, *oq);
+          ++counters_.offline_entered;
+          ++counters_.full_saves_encrypted;
+          ++counters_.offline_acks;
+          return synth_offline_ack(++editor_rev_[doc_id]);
+        }
+        if (journal != nullptr) {
+          settle_journal(*journal, resp, base_rev, checksum);
+        }
+        counters_.full_save_bytes += ciphertext.size();
+      } else if (resp.ok()) {
+        ++counters_.bdelta_saves;
+      }
+    } else {
+      counters_.full_save_bytes += ciphertext.size();
+    }
     ++counters_.full_saves_encrypted;
     if (config_.offline.enabled && resp.ok()) {
       const bool drifted = editor_rev_[doc_id] != server_rev_[doc_id];
@@ -760,6 +838,13 @@ std::optional<std::string> GDocsMediator::managed_plaintext(
   const auto it = sessions_.find(doc_id);
   if (it == sessions_.end()) return std::nullopt;
   return it->second.plaintext();
+}
+
+std::optional<std::string> GDocsMediator::managed_ciphertext(
+    const std::string& doc_id) const {
+  const auto it = sessions_.find(doc_id);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.scheme().ciphertext_doc();
 }
 
 std::optional<enc::SchemeStats> GDocsMediator::managed_stats(

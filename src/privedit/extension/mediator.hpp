@@ -43,6 +43,19 @@ struct MediatorConfig {
   std::size_t pad_bucket = 0;          // 0 = off; else bytes
   std::uint64_t random_delay_us = 0;   // 0 = off; else uniform [0, max]
 
+  /// Differential full saves (DESIGN.md §15): when the upstream advertises
+  /// X-Privedit-BDelta, a docContents save is rewritten as a block delta
+  /// against the container the server already holds. The new container is
+  /// derived *incrementally* (transform of the plaintext diff) rather than
+  /// re-encrypted from scratch, so unedited blocks stay byte-identical and
+  /// the delta stays small; a 412 from the server (its copy is not what we
+  /// thought) falls back to the plain full save. Off by default: the save
+  /// path then behaves exactly as before this option existed. Note the
+  /// trade-off the paper's §VI-B mitigations care about: a delta-sized
+  /// message leaks more about the edit than a constant-size full save —
+  /// combine with pad_bucket when that matters.
+  bool block_delta_saves = false;
+
   /// Collaborative editing through the untrusted server — the capability
   /// §VII-A reports as broken and defers to SPORC. Requires the server's
   /// strict-revision (OCC) mode: when a save is rejected as stale, the
@@ -96,6 +109,12 @@ class GDocsMediator final : public net::Channel {
     std::size_t passthrough_unmanaged = 0;
     std::size_t rebases = 0;  // collaborative conflict rebases performed
 
+    // Differential full saves (all zero unless block_delta_saves).
+    std::size_t bdelta_saves = 0;      // saves accepted as block deltas
+    std::size_t bdelta_fallbacks = 0;  // 412 → resent as plain full save
+    std::size_t bdelta_bytes = 0;      // block-delta wire bytes sent
+    std::size_t full_save_bytes = 0;   // full-container bytes sent
+
     // Write-ahead journal & recovery (all zero when journal_dir is empty).
     std::size_t journal_appends = 0;     // updates journalled before send
     std::size_t journal_replays = 0;     // unacked entries resent at open
@@ -119,6 +138,11 @@ class GDocsMediator final : public net::Channel {
 
   /// The extension's plaintext mirror for a managed document.
   std::optional<std::string> managed_plaintext(const std::string& doc_id) const;
+
+  /// The extension's ciphertext container for a managed document — the
+  /// bytes a converged server must hold verbatim (the sim's delta-wire
+  /// phase asserts exactly this after a quiesce).
+  std::optional<std::string> managed_ciphertext(const std::string& doc_id) const;
 
   /// Scheme statistics for a managed document (blow-up, block counts, ...).
   std::optional<enc::SchemeStats> managed_stats(const std::string& doc_id) const;
@@ -183,6 +207,7 @@ class GDocsMediator final : public net::Channel {
   std::map<std::string, OfflineQueue> offline_;
   std::map<std::string, std::uint64_t> server_rev_;  // truth from acks/opens
   std::map<std::string, std::uint64_t> editor_rev_;  // what the editor saw
+  bool upstream_bdelta_ = false;  // upstream sent X-Privedit-BDelta: 1
   Counters counters_;
 };
 

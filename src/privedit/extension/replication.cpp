@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "privedit/delta/block_diff.hpp"
+#include "privedit/enc/block_wire.hpp"
 #include "privedit/extension/session.hpp"
 #include "privedit/net/breaker.hpp"
 #include "privedit/util/error.hpp"
@@ -160,24 +163,100 @@ ReplicatedChannel::fetch_authoritative(const std::string& target,
   return std::nullopt;
 }
 
+namespace {
+
+net::HttpRequest sync_form(const std::string& target, const char* field,
+                           const std::string& payload,
+                           const std::string& rev) {
+  FormData form;
+  form.add("cmd", "sync");
+  form.add("session", "anti-entropy");
+  form.add("rev", rev);
+  form.add(field, payload);
+  return net::HttpRequest::post_form(target, form.encode());
+}
+
+}  // namespace
+
+bool push_sync_over(net::Channel& channel, const std::string& target,
+                    const std::string& content, const std::string& rev,
+                    SyncPushStats* stats) {
+  SyncPushStats scratch;
+  SyncPushStats& s = stats != nullptr ? *stats : scratch;
+
+  // Probe the replica's block digests. Anything short of a well-formed
+  // digest response — missing capability header, quarantined (its digests
+  // describe rot, and quarantine only lifts for a full validated
+  // container), document absent, malformed fields — selects the full push.
+  std::string delta_wire;
+  try {
+    FormData probe;
+    probe.add("cmd", "sync");
+    probe.add("digests", "1");
+    probe.add("session", "anti-entropy");
+    const net::HttpResponse resp = channel.round_trip(
+        net::HttpRequest::post_form(target, probe.encode()));
+    ++s.probes;
+    if (resp.ok() && resp.headers.get("X-Privedit-BDelta") == "1") {
+      const FormData reply = FormData::parse(resp.body);
+      const auto digests_field = reply.get("digests");
+      if (digests_field && !reply.contains("missing") &&
+          !reply.contains("quarantined")) {
+        const auto size = std::stoull(reply.get("size").value_or(""));
+        const auto bs = std::stoull(reply.get("bs").value_or(""));
+        const auto crc = std::stoull(reply.get("crc").value_or(""));
+        delta::BlockDelta bd = delta::block_diff_from_digests(
+            enc::block_digests_from_wire(*digests_field), size, content,
+            static_cast<std::size_t>(bs));
+        bd.source_crc = static_cast<std::uint32_t>(crc);
+        std::string wire = enc::block_delta_to_wire(bd);
+        // The delta only rides when it actually saves bytes; an unrelated
+        // container (nothing shared) encodes as one big Add and loses.
+        if (wire.size() < content.size()) delta_wire = std::move(wire);
+      }
+    }
+  } catch (const Error&) {
+  } catch (const std::exception&) {
+    // std::stoull rejecting a field — treat like any malformed probe reply.
+  }
+
+  if (!delta_wire.empty()) {
+    try {
+      const net::HttpResponse resp =
+          channel.round_trip(sync_form(target, "bdelta", delta_wire, rev));
+      if (resp.ok()) {
+        ++s.delta_pushes;
+        s.bytes_delta += delta_wire.size();
+        return true;
+      }
+    } catch (const Error&) {
+    }
+    // 412 (the replica's copy moved between probe and push) or a transport
+    // fault: the full-content push below is the always-correct fallback.
+    ++s.fallbacks;
+  }
+
+  try {
+    const net::HttpResponse resp =
+        channel.round_trip(sync_form(target, "content", content, rev));
+    if (resp.ok()) {
+      ++s.full_pushes;
+      s.bytes_full += content.size();
+      return true;
+    }
+  } catch (const Error&) {
+  }
+  return false;
+}
+
 bool ReplicatedChannel::push_sync(net::Channel* replica,
                                   const std::string& target,
                                   const std::string& content,
                                   const std::string& rev) {
   ++counters_.repairs_attempted;
-  FormData form;
-  form.add("cmd", "sync");
-  form.add("session", "anti-entropy");
-  form.add("rev", rev);
-  form.add("content", content);
-  try {
-    const net::HttpResponse resp =
-        replica->round_trip(net::HttpRequest::post_form(target, form.encode()));
-    if (resp.ok()) {
-      ++counters_.repairs_succeeded;
-      return true;
-    }
-  } catch (const Error&) {
+  if (push_sync_over(*replica, target, content, rev, &sync_stats_)) {
+    ++counters_.repairs_succeeded;
+    return true;
   }
   return false;
 }

@@ -95,6 +95,32 @@ struct ReplicaHealth {
   double score() const;
 };
 
+/// Byte accounting for anti-entropy pushes (repair-traffic measurement —
+/// the block-delta repair path exists to shrink bytes_full into
+/// bytes_delta; see DESIGN.md §15).
+struct SyncPushStats {
+  std::size_t probes = 0;        // digest probes sent
+  std::size_t delta_pushes = 0;  // repairs accepted as block deltas
+  std::size_t full_pushes = 0;   // repairs pushed as full content
+  std::size_t fallbacks = 0;     // delta attempted, refused (412) → full
+  std::size_t bytes_delta = 0;   // block-delta wire bytes pushed
+  std::size_t bytes_full = 0;    // full-content bytes pushed
+};
+
+/// Anti-entropy push of (content, rev) to one replica, differential when
+/// possible: probes the replica's rev-anchored block digests
+/// (cmd=sync&digests=1), sends only the blocks that differ when that is
+/// smaller, and falls back to the classic full-content cmd=sync when the
+/// replica lacks the capability, is quarantined (quarantine exit must be a
+/// full validated container), has no copy at all, or refuses the delta
+/// anchor (412 — its copy moved between probe and push). Both
+/// ReplicatedChannel repair and offline fsck push through this one helper,
+/// so the wire behaviour is identical online and offline. Returns true
+/// when the replica accepted the content by either route.
+bool push_sync_over(net::Channel& channel, const std::string& target,
+                    const std::string& content, const std::string& rev,
+                    SyncPushStats* stats = nullptr);
+
 class ReplicatedChannel final : public net::Channel {
  public:
   /// Returns true if a read response is acceptable (decrypts/verifies).
@@ -134,6 +160,9 @@ class ReplicatedChannel final : public net::Channel {
   /// Health state for replica `i` (index into the constructor vector).
   const ReplicaHealth& health(std::size_t i) const { return health_.at(i); }
 
+  /// Repair-traffic byte accounting across all push_sync calls.
+  const SyncPushStats& sync_stats() const { return sync_stats_; }
+
   /// Replica indices in the order reads will try them right now:
   /// non-quarantined by ascending score, then probation-expired
   /// quarantined, then still-quarantined (last resort).
@@ -168,6 +197,7 @@ class ReplicatedChannel final : public net::Channel {
   // target → (replica index → remaining repair budget)
   std::map<std::string, std::map<std::size_t, int>> lagging_;
   Counters counters_;
+  SyncPushStats sync_stats_;
 };
 
 /// Builds a read validator for encrypted Google-Documents responses: the

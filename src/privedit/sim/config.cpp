@@ -60,6 +60,7 @@ std::string SimConfig::to_wire() const {
   out += ",cap=" + std::to_string(max_doc_chars);
   out += ",journal=" + std::to_string(journal ? 1 : 0);
   out += ",persist=" + std::to_string(persist ? 1 : 0);
+  out += ",bd=" + std::to_string(bdelta ? 1 : 0);
   out += ",retry=" + std::to_string(retry ? 1 : 0);
   out += ",drop=" + std::to_string(permille(faults.drop));
   out += ",truncreq=" + std::to_string(permille(faults.truncate_request));
@@ -123,6 +124,8 @@ SimConfig SimConfig::parse(std::string_view wire) {
       config.journal = parse_u64(value, "journal flag") != 0;
     } else if (key == "persist") {
       config.persist = parse_u64(value, "persist flag") != 0;
+    } else if (key == "bd") {
+      config.bdelta = parse_u64(value, "bdelta flag") != 0;
     } else if (key == "retry") {
       config.retry = parse_u64(value, "retry flag") != 0;
     } else if (key == "drop") {

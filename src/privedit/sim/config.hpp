@@ -69,6 +69,7 @@ struct SimConfig {
 
   bool journal = false;  // client write-ahead journal (needs work_dir)
   bool persist = false;  // provider FileStore persistence (needs work_dir)
+  bool bdelta = false;   // differential full saves (block-delta wire form)
 
   /// Sharded topology: when > 1, the mediator talks to a ShardRouter over
   /// N GDocsServer shards instead of one server, plus `fixture_docs`
@@ -141,6 +142,12 @@ struct SimReport {
     std::size_t handoff_rejections = 0;    // writes 503'd mid-migration
     std::size_t transport_errors = 0;
     std::size_t deep_verifies = 0;
+
+    // Differential full saves (bdelta=1 runs; copied from the mediator).
+    std::size_t bdelta_saves = 0;      // saves accepted as block deltas
+    std::size_t bdelta_fallbacks = 0;  // 412 → plain full-save resends
+    std::size_t bdelta_bytes = 0;      // block-delta wire bytes sent
+    std::size_t full_save_bytes = 0;   // full-container bytes sent
 
     // Disconnected operation (offline=1 runs; copied from the mediator).
     std::size_t offline_entered = 0;     // documents flipped offline

@@ -42,6 +42,13 @@ void fuzz_journal(std::string_view data, const std::string& scratch_dir);
 /// HTTP request and response framing: parse / serialise round trips.
 void fuzz_http(std::string_view data);
 
+/// Block-delta wire language (enc/block_wire.hpp) and the copy-add codec
+/// behind it: attacker bytes must parse loudly-or-fixed-point (and apply
+/// within declared bounds must reject or honour the anchors); the bytes
+/// reinterpreted as a (source, target) pair must round trip through both
+/// encoders, the in-place applier, and the digest wire form.
+void fuzz_diff(std::string_view data);
+
 /// Store record file bytes: written as a document file (plus a sibling
 /// stale *.tmp), then opened through FileStore — the sweep must discard
 /// the temp, get() must return or reject loudly, check_store must

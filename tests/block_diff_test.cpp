@@ -1,0 +1,276 @@
+// Ciphertext-block differential compression (delta/block_diff.hpp) and its
+// wire form (enc/block_wire.hpp): round-trip properties over the copy-add
+// codec, the in-place applier, the digest-only encoder the repair path
+// uses, anchor/CRC rejection, and the wire grammar's bounds.
+//
+// Scale the randomized rounds with PRIVEDIT_DIFF_ITERS=n (tools/check.sh
+// diff soaks exactly this knob).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "privedit/delta/block_diff.hpp"
+#include "privedit/enc/block_wire.hpp"
+#include "privedit/util/crc32.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/random.hpp"
+
+namespace {
+
+using privedit::Error;
+using privedit::ErrorCode;
+using privedit::IntegrityError;
+using privedit::ParseError;
+using privedit::Xoshiro256;
+using privedit::as_bytes;
+using privedit::crc32;
+namespace delta = privedit::delta;
+namespace enc = privedit::enc;
+
+std::size_t iter_scale() {
+  const char* env = std::getenv("PRIVEDIT_DIFF_ITERS");
+  if (env == nullptr) return 1;
+  const long v = std::atol(env);
+  return v > 1 ? static_cast<std::size_t>(v) : 1;
+}
+
+/// Round trips source -> target through every codec combination: local
+/// encoder out-of-place + in-place, wire fixed point, digest-only encoder.
+void expect_round_trip(const std::string& source, const std::string& target,
+                       std::size_t block_size) {
+  const delta::BlockDelta local =
+      delta::block_diff(source, target, block_size);
+  EXPECT_EQ(local.source_size, source.size());
+  EXPECT_EQ(local.target_size, target.size());
+  ASSERT_EQ(delta::apply_block_delta(local, source), target)
+      << "local encoder, block_size=" << block_size;
+
+  std::string doc = source;
+  delta::apply_block_delta_inplace(local, doc);
+  EXPECT_EQ(doc, target) << "in-place apply, block_size=" << block_size;
+
+  const std::string wire = enc::block_delta_to_wire(local);
+  EXPECT_EQ(enc::block_delta_from_wire(wire), local);
+
+  delta::BlockDelta remote = delta::block_diff_from_digests(
+      delta::block_digests(source, block_size), source.size(), target,
+      block_size);
+  remote.source_crc = crc32(as_bytes(source));
+  EXPECT_EQ(delta::apply_block_delta(remote, source), target)
+      << "digest-only encoder, block_size=" << block_size;
+}
+
+std::string random_text(Xoshiro256& rng, std::size_t len) {
+  std::string out(len, '\0');
+  for (char& c : out) {
+    c = static_cast<char>(rng.below(256));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ edge cases --
+
+TEST(BlockDiff, EmptyAndDegenerateDocuments) {
+  expect_round_trip("", "", 16);
+  expect_round_trip("", "fresh content", 16);
+  expect_round_trip("old content", "", 16);
+  expect_round_trip("x", "y", 1);
+  expect_round_trip("x", "x", 1);
+}
+
+TEST(BlockDiff, IdenticalInputsShipNoLiterals) {
+  const std::string doc(4096, 'Q');
+  const delta::BlockDelta d = delta::block_diff(doc, doc, 64);
+  EXPECT_EQ(d.added_bytes(), 0u);
+  EXPECT_EQ(d.copied_bytes(), doc.size());
+  EXPECT_LT(enc::block_delta_to_wire(d).size(), doc.size() / 10);
+  EXPECT_EQ(delta::apply_block_delta(d, doc), doc);
+}
+
+TEST(BlockDiff, OneByteEditCompressesTenfold) {
+  // The PR's acceptance shape at codec level: a 1-char edit on a >=100 KB
+  // document must shrink bytes-on-wire by at least 10x vs the full body.
+  Xoshiro256 rng(11);
+  std::string source = random_text(rng, 120 * 1024);
+  std::string target = source;
+  target[60'000] = static_cast<char>(target[60'000] ^ 0x5a);
+  const delta::BlockDelta d = delta::block_diff(source, target);
+  const std::string wire = enc::block_delta_to_wire(d);
+  EXPECT_LE(wire.size() * 10, target.size())
+      << "1-byte edit wire is " << wire.size() << " of " << target.size();
+  EXPECT_EQ(delta::apply_block_delta(d, source), target);
+}
+
+TEST(BlockDiff, BinaryBytesSurviveEveryPath) {
+  std::string all_bytes;
+  for (int round = 0; round < 3; ++round) {
+    for (int b = 0; b < 256; ++b) {
+      all_bytes.push_back(static_cast<char>(b));
+    }
+  }
+  std::string shuffled = all_bytes;
+  for (std::size_t i = 0; i + 7 < shuffled.size(); i += 7) {
+    std::swap(shuffled[i], shuffled[i + 3]);
+  }
+  expect_round_trip(all_bytes, shuffled, 16);
+  expect_round_trip(shuffled, all_bytes, 5);  // block size not a divisor
+}
+
+TEST(BlockDiff, EditsAtBlockBoundaries) {
+  const std::size_t bs = 32;
+  std::string source;
+  for (std::size_t i = 0; i < 8 * bs; ++i) {
+    source.push_back(static_cast<char>('A' + i % 26));
+  }
+  // Insert exactly at a boundary, delete a whole aligned block, and a
+  // final short block: the matcher's alignment edge cases.
+  std::string inserted = source;
+  inserted.insert(4 * bs, std::string(bs, '#'));
+  expect_round_trip(source, inserted, bs);
+
+  std::string dropped = source;
+  dropped.erase(2 * bs, bs);
+  expect_round_trip(source, dropped, bs);
+
+  std::string short_tail = source + "tail";
+  expect_round_trip(source, short_tail, bs);
+  expect_round_trip(short_tail, source, bs);
+}
+
+TEST(BlockDiff, InPlaceHandlesOverlapAndCycles) {
+  // Swapped halves force copy commands whose ranges form a dependency
+  // cycle in the in-place applier (each half must be read before the
+  // other overwrites it).
+  std::string source;
+  for (std::size_t i = 0; i < 512; ++i) {
+    source.push_back(static_cast<char>('a' + i % 23));
+  }
+  const std::string target =
+      source.substr(256) + source.substr(0, 256);
+  expect_round_trip(source, target, 64);
+
+  // Shift-by-one: every copy overlaps its own destination.
+  expect_round_trip(source, "x" + source.substr(0, source.size() - 1), 64);
+  expect_round_trip(source, source.substr(1) + "x", 64);
+}
+
+// --------------------------------------------------------------- anchors --
+
+TEST(BlockDiff, StaleSourceIsRejectedByAnchor) {
+  const std::string source(300, 'a');
+  const std::string target(300, 'b');
+  const delta::BlockDelta d = delta::block_diff(source, target, 32);
+
+  std::string wrong_bytes = source;
+  wrong_bytes[5] = 'z';
+  try {
+    (void)delta::apply_block_delta(d, wrong_bytes);
+    FAIL() << "apply accepted a source that misses the CRC anchor";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+  EXPECT_THROW((void)delta::apply_block_delta(d, source.substr(1)), Error);
+}
+
+TEST(BlockDiff, TamperedDeltaMissesTargetCrc) {
+  const std::string source(300, 'a');
+  std::string target = source;
+  target[150] = 'b';
+  delta::BlockDelta d = delta::block_diff(source, target, 32);
+  d.target_crc ^= 1;  // the reconstruction can no longer match
+  EXPECT_THROW((void)delta::apply_block_delta(d, source), IntegrityError);
+}
+
+TEST(BlockDiff, DigestCollisionIsCaughtByTargetCrc) {
+  // Simulate the digest exchange going stale: digests describe one source,
+  // the delta is applied against another whose size matches. The per-block
+  // digests differ, so copies reconstruct wrong bytes — the whole-target
+  // CRC must catch it (after stamping source anchors to match, as the
+  // repair path does from the probe response).
+  Xoshiro256 rng(7);
+  const std::string advertised = random_text(rng, 1024);
+  std::string actual = advertised;
+  actual[512] = static_cast<char>(actual[512] ^ 0xff);
+  const std::string target = advertised;  // replica wants the advertised bytes
+
+  delta::BlockDelta d = delta::block_diff_from_digests(
+      delta::block_digests(advertised, 64), advertised.size(), target, 64);
+  d.source_crc = crc32(as_bytes(actual));  // anchor matches what it's fed
+  if (d.copied_bytes() > 0) {
+    EXPECT_THROW((void)delta::apply_block_delta(d, actual), IntegrityError);
+  }
+}
+
+// ------------------------------------------------------------------ wire --
+
+TEST(BlockWire, MalformedInputsRejectLoudly) {
+  EXPECT_THROW((void)enc::block_delta_from_wire(""), ParseError);
+  EXPECT_THROW((void)enc::block_delta_from_wire("PEBDX;"), ParseError);
+  EXPECT_THROW((void)enc::block_delta_from_wire("PEBD1;s=1;t=1;"), ParseError);
+  EXPECT_THROW((void)enc::block_delta_from_wire(
+                   "PEBD1;s=0;t=9;sc=00000000;tc=00000000;A9:abc"),
+               ParseError);  // truncated literal
+  EXPECT_THROW((void)enc::block_delta_from_wire(
+                   "PEBD1;s=0;t=0;sc=00000000;tc=00000000;Z1:x;"),
+               ParseError);  // unknown tag
+  EXPECT_THROW((void)enc::block_delta_from_wire(
+                   "PEBD1;s=99999999999999999;t=0;sc=00000000;tc=00000000;"),
+               ParseError);  // declared size above the allocation guard
+  EXPECT_THROW((void)enc::block_digests_from_wire("0123456789abcde"),
+               ParseError);  // not a whole digest
+  EXPECT_THROW((void)enc::block_digests_from_wire("0123456789ABCDEF"),
+               ParseError);  // hex is lowercase-only on this wire
+}
+
+TEST(BlockWire, DigestListRoundTrips) {
+  const std::string data = "digest exchange sample payload, three blocks";
+  const std::vector<std::uint64_t> digests = delta::block_digests(data, 16);
+  EXPECT_EQ(digests.size(), 3u);
+  EXPECT_EQ(enc::block_digests_from_wire(enc::block_digests_to_wire(digests)),
+            digests);
+}
+
+TEST(BlockDiff, RepairBlockSizeTargetsSmallProbes) {
+  EXPECT_EQ(delta::repair_block_size(0), delta::kDefaultBlockSize);
+  EXPECT_EQ(delta::repair_block_size(100), delta::kDefaultBlockSize);
+  EXPECT_EQ(delta::repair_block_size(1 << 30), std::size_t{4096});
+  // Until the 4096-byte cap kicks in, the digest list stays near the
+  // ~64-block budget (a ~1 KB probe response).
+  for (const std::size_t size : {10'000u, 100'000u, 260'000u}) {
+    const std::size_t bs = delta::repair_block_size(size);
+    EXPECT_GE(bs, delta::kDefaultBlockSize);
+    EXPECT_LE(bs, 4096u);
+    EXPECT_LE((size + bs - 1) / bs, 160u) << "size=" << size;
+  }
+}
+
+// ------------------------------------------------------------ randomized --
+
+TEST(BlockDiff, RandomizedRoundTrips) {
+  Xoshiro256 rng(20260808);
+  const std::size_t rounds = 60 * iter_scale();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t block_size = 1 + rng.below(96);
+    const std::size_t src_len = rng.below(3000);
+    std::string source = random_text(rng, src_len);
+
+    // Target: a handful of splices over the source, so real runs of
+    // shared blocks survive for the matcher to find.
+    std::string target = source;
+    const std::size_t edits = 1 + rng.below(6);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = target.empty() ? 0 : rng.below(target.size());
+      const std::size_t del =
+          target.empty() ? 0
+                         : rng.below(std::min<std::size_t>(
+                               target.size() - pos, 64) + 1);
+      target.replace(pos, del, random_text(rng, rng.below(64)));
+    }
+    expect_round_trip(source, target, block_size);
+  }
+}
+
+}  // namespace

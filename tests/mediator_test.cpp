@@ -195,5 +195,85 @@ TEST(MediatorBranches, RediffHandlesMultiRegionDeltas) {
   EXPECT_EQ(reader.text(), c.text());
 }
 
+// ------------------------------------------- differential full saves --
+
+static MediatorConfig bdelta_config() {
+  MediatorConfig c = Stack::base_config();
+  c.scheme.mode = enc::Mode::kRpc;
+  c.block_delta_saves = true;
+  return c;
+}
+
+// A real editor only POSTs docContents on the first save of a session
+// (later saves are deltas), so drive the autosave-after-small-edit shape
+// the sim uses: a raw full save through the mediator's round_trip.
+static net::HttpResponse post_full_save(GDocsMediator& mediator,
+                                        const std::string& doc_id,
+                                        const std::string& text,
+                                        std::uint64_t rev) {
+  FormData f;
+  f.add("session", "1");
+  f.add("rev", std::to_string(rev));
+  f.add("docContents", text);
+  return mediator.round_trip(
+      net::HttpRequest::post_form("/Doc?docID=" + doc_id, f.encode()));
+}
+
+TEST(MediatorBDelta, FullSaveAfterSmallEditRidesBlockDelta) {
+  Stack stack(bdelta_config());
+  client::GDocsClient c(stack.mediator.get(), "d");
+  c.create();
+  c.insert(0, std::string(4000, 'a'));
+  c.save();  // shares no blocks with the empty container: plain full save
+  EXPECT_EQ(stack.mediator->counters().bdelta_saves, 0u);
+
+  // The whole document POSTed again with one character changed: the
+  // mediator must rewrite it as a block delta against its mirror.
+  std::string text = c.text();
+  text[100] = 'x';
+  EXPECT_TRUE(post_full_save(*stack.mediator, "d", text, 1).ok());
+  const auto counters = stack.mediator->counters();
+  EXPECT_EQ(counters.bdelta_saves, 1u);
+  EXPECT_EQ(counters.bdelta_fallbacks, 0u);
+  EXPECT_GT(counters.bdelta_bytes, 0u);
+  // The delta wire is a small fraction of the container it replaced.
+  const auto mirror = stack.mediator->managed_ciphertext("d");
+  ASSERT_TRUE(mirror.has_value());
+  EXPECT_LT(counters.bdelta_bytes * 4, mirror->size());
+  // Server and mirror agree byte for byte, and a cold reader decrypts it.
+  EXPECT_EQ(stack.server.raw_content("d"), mirror);
+  GDocsMediator mediator2(stack.transport.get(), bdelta_config(),
+                          &stack.clock);
+  client::GDocsClient reader(&mediator2, "d");
+  reader.open();
+  EXPECT_EQ(reader.text(), text);
+}
+
+TEST(MediatorBDelta, DivergedServerGets412ThenFullSaveFallback) {
+  Stack stack(bdelta_config());
+  client::GDocsClient c(stack.mediator.get(), "d");
+  c.create();
+  c.insert(0, std::string(4000, 'b'));
+  c.save();
+
+  // Vandalise the server copy AFTER the mediator mirrored it: the next
+  // block delta anchors on a container the server no longer holds.
+  std::string bad = *stack.server.raw_content("d");
+  bad[bad.size() / 2] ^= 0x01;
+  stack.server.set_raw_content("d", bad);
+
+  std::string text = c.text();
+  text[100] = 'y';
+  EXPECT_TRUE(post_full_save(*stack.mediator, "d", text, 1).ok());
+  const auto counters = stack.mediator->counters();
+  EXPECT_EQ(counters.bdelta_fallbacks, 1u);
+  EXPECT_EQ(counters.bdelta_saves, 0u);
+  EXPECT_GE(stack.server.counters().bdelta_mismatches, 1u);
+  // The fallback full save is always correct: the rot is overwritten and
+  // both sides agree again.
+  EXPECT_EQ(stack.server.raw_content("d"),
+            stack.mediator->managed_ciphertext("d"));
+}
+
 }  // namespace
 }  // namespace privedit::extension

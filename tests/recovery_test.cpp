@@ -148,9 +148,9 @@ TEST_F(RecoveryTest, JournalCompactShrinksAckedHistory) {
                       std::string(200, 'x')});
     j.ack_front(static_cast<std::uint64_t>(i) + 1, "ck");
   }
-  const std::uint64_t before = j.bytes_on_disk();
+  const std::uint64_t before = j.bytes_on_disk().value();
   j.compact();
-  EXPECT_LT(j.bytes_on_disk(), before / 4);
+  EXPECT_LT(j.bytes_on_disk().value(), before / 4);
   // The compacted file still carries the baseline.
   EditJournal reopened(path);
   ASSERT_TRUE(reopened.last_acked().has_value());
@@ -163,7 +163,7 @@ TEST_F(RecoveryTest, JournalTornTailIsTruncatedOnReload) {
   {
     EditJournal j(path);
     j.append_pending({3, false, "ck3", "keep-me"});
-    intact_size = j.bytes_on_disk();
+    intact_size = j.bytes_on_disk().value();
   }
   {
     // Power loss mid-append: half a frame of the next record.
@@ -173,7 +173,7 @@ TEST_F(RecoveryTest, JournalTornTailIsTruncatedOnReload) {
   }
   EditJournal j(path);
   EXPECT_TRUE(j.recovered_torn_tail());
-  EXPECT_EQ(j.bytes_on_disk(), intact_size);
+  EXPECT_EQ(j.bytes_on_disk().value(), intact_size);
   ASSERT_EQ(j.pending().size(), 1u);
   EXPECT_EQ(j.pending().front().update, "keep-me");
   // The journal keeps working after truncation.
@@ -189,7 +189,7 @@ TEST_F(RecoveryTest, JournalCorruptMiddleRecordStopsReplayThere) {
   {
     EditJournal j(path);
     j.append_pending({0, false, "ck0", "first"});
-    first_size = j.bytes_on_disk();
+    first_size = j.bytes_on_disk().value();
     j.append_pending({1, false, "ck1", "second"});
   }
   {
@@ -203,7 +203,7 @@ TEST_F(RecoveryTest, JournalCorruptMiddleRecordStopsReplayThere) {
   EXPECT_TRUE(j.recovered_torn_tail());
   ASSERT_EQ(j.pending().size(), 1u);
   EXPECT_EQ(j.pending().front().update, "first");
-  EXPECT_EQ(j.bytes_on_disk(), first_size);
+  EXPECT_EQ(j.bytes_on_disk().value(), first_size);
 }
 
 TEST_F(RecoveryTest, CrashInsideJournalAppendKeepsDurablePrefix) {

@@ -180,5 +180,61 @@ TEST(RawDeltaBatching, ComposedBeforeSending) {
   EXPECT_EQ(server.raw_content("doc"), "YabXcdf");
 }
 
+// ----------------------------------------- differential anti-entropy --
+
+TEST(Replication, LaggingReplicaHealsOverBlockDelta) {
+  ReplicatedStack stack(3, "pw");
+  client::GDocsClient writer(stack.mediator.get(), "doc");
+  writer.create();
+  writer.insert(0, std::string(3000, 'r'));
+  writer.save();
+  const std::string old_copy = *stack.replicas[2]->server.raw_content("doc");
+  writer.insert(0, "tiny edit ");
+  writer.save();  // delta save: the container evolves incrementally
+  const std::string fresh = *stack.replicas[0]->server.raw_content("doc");
+  ASSERT_NE(fresh, old_copy);
+
+  // Replica 2 "missed" the second save; anti-entropy must send only the
+  // blocks it lacks, and the result must be byte-identical to the donor.
+  stack.replicas[2]->server.set_raw_content("doc", old_copy);
+  SyncPushStats stats;
+  EXPECT_TRUE(push_sync_over(*stack.replicas[2]->transport, "/Doc?docID=doc",
+                             fresh, "7", &stats));
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.delta_pushes, 1u);
+  EXPECT_EQ(stats.full_pushes, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_LT(stats.bytes_delta * 4, fresh.size());
+  EXPECT_EQ(stack.replicas[2]->server.raw_content("doc").value_or(""), fresh);
+  EXPECT_GE(stack.replicas[2]->server.counters().bdelta_syncs, 1u);
+}
+
+TEST(Replication, QuarantinedReplicaOnlyHealsViaFullContainer) {
+  ReplicatedStack stack(2, "pw");
+  client::GDocsClient writer(stack.mediator.get(), "doc");
+  writer.create();
+  writer.insert(0, std::string(2000, 'q'));
+  writer.save();
+  const std::string fresh = *stack.replicas[0]->server.raw_content("doc");
+
+  // Replica 1's copy rots and the integrity subsystem walls it off. Its
+  // digests describe rot, so the probe must steer the pusher to the full
+  // container — a delta against damage is just rearranged damage.
+  std::string rotted = fresh;
+  rotted[rotted.size() / 2] ^= 0x01;
+  stack.replicas[1]->server.set_raw_content("doc", rotted);
+  stack.replicas[1]->server.quarantine("doc");
+
+  SyncPushStats stats;
+  EXPECT_TRUE(push_sync_over(*stack.replicas[1]->transport, "/Doc?docID=doc",
+                             fresh, "3", &stats));
+  EXPECT_EQ(stats.delta_pushes, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);  // the probe itself said "full only"
+  EXPECT_EQ(stats.full_pushes, 1u);
+  // The validated container is the one exit from quarantine.
+  EXPECT_FALSE(stack.replicas[1]->server.is_quarantined("doc"));
+  EXPECT_EQ(stack.replicas[1]->server.raw_content("doc").value_or(""), fresh);
+}
+
 }  // namespace
 }  // namespace privedit::extension

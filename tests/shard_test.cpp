@@ -594,6 +594,38 @@ TEST(TenantQuotaTest, AccountingSurvivesProviderRestart) {
   EXPECT_EQ(create_doc(reborn, "a3", "alice").status, 507);
 }
 
+// A rotted ownership record (bad form encoding, missing tenant field,
+// non-numeric or overflowing bytes=) must be skipped and counted at boot,
+// not take the accounts layer down; the intact records still restore.
+TEST(TenantQuotaTest, RestoreSkipsRottedRecordsAndKeepsTheRest) {
+  TempDir tmp("tenant-rot");
+  const std::string dir = tmp.path.string();
+  {
+    TenantAccounts accounts;
+    accounts.enable_persistence(dir);
+    accounts.charge("alice", "good1", 10);
+    accounts.charge("bob", "good2", 20);
+  }
+  {
+    // Plant rot next to the good records, one per failure class.
+    FileStore raw(dir);
+    raw.put("rot-escape", {"tenant=%zz&bytes=5", 0});
+    raw.put("rot-no-tenant", {"bytes=5", 0});
+    raw.put("rot-nan", {"tenant=carol&bytes=banana", 0});
+    raw.put("rot-overflow", {"tenant=carol&bytes=99999999999999999999999", 0});
+  }
+  TenantAccounts reborn;
+  reborn.enable_persistence(dir);
+  EXPECT_EQ(reborn.counters().restore_skipped, 4u);
+  EXPECT_EQ(reborn.usage("alice").docs, 1u);
+  EXPECT_EQ(reborn.usage("alice").bytes, 10u);
+  EXPECT_EQ(reborn.usage("bob").bytes, 20u);
+  EXPECT_EQ(reborn.owner_tenant("good2").value_or(""), "bob");
+  // The skipped documents are simply unbilled, not resurrected.
+  EXPECT_FALSE(reborn.owner_tenant("rot-nan").has_value());
+  EXPECT_EQ(reborn.usage("carol").docs, 0u);
+}
+
 TEST(TenantQuotaTest, OverBudgetTenantHasDeltasRefusedUpFront) {
   ShardRouter router(shard_ids(2), {});
   ASSERT_TRUE(create_doc(router, "a1", "alice").ok());

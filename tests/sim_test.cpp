@@ -85,7 +85,12 @@ void print_coverage(const char* tag, const sim::SimReport& rep) {
             << c.crashes_fired << " storerot=" << c.store_rots_repaired << "/"
             << c.store_rots_injected << " xport=" << c.transport_errors
             << " final_chars=" << rep.final_doc_chars
-            << " final_rev=" << rep.final_rev << "\n";
+            << " final_rev=" << rep.final_rev;
+  if (c.bdelta_saves + c.bdelta_fallbacks > 0) {
+    std::cout << " bdelta=" << c.bdelta_saves << "(+" << c.bdelta_fallbacks
+              << " fb) bytes=" << c.bdelta_bytes << "/" << c.full_save_bytes;
+  }
+  std::cout << "\n";
 }
 
 // ---------------------------------------------------------------- bulk --
@@ -337,6 +342,59 @@ TEST(SimSharded, ShardsRequirePersistence) {
   const sim::SimReport rep = sim::run_sim(cfg);
   EXPECT_FALSE(rep.ok);
   EXPECT_EQ(rep.failure_id, "setup");
+}
+
+// ---------------------------------------------------------- delta wire --
+
+TEST(SimBlockDelta, DifferentialSavesConvergeByteIdentically) {
+  // The delta-wire phase (DESIGN.md §15): full saves travel as block
+  // deltas against the container the server already holds. The generator
+  // is skewed toward whole-document replaces so the differential path
+  // fires often; at quiesce the harness requires the server's raw
+  // container to be *byte-identical* to the mediator's ciphertext mirror
+  // — the invariant every future delta depends on.
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = 601;
+  cfg.ops = 2'000 * iter_scale();
+  cfg.bdelta = true;
+  cfg.weights.replace_all = 6;  // boost the full-save (docContents) path
+  cfg.deep_verify_every = 128;
+  const sim::SimReport rep = sim::run_sim(cfg);
+  expect_ok(rep);
+  print_coverage("bdelta", rep);
+  EXPECT_GT(rep.cov.bdelta_saves, 10u)
+      << "the capability negotiated but no save travelled as a delta";
+  EXPECT_GT(rep.cov.bdelta_bytes, 0u);
+  EXPECT_EQ(rep.cov.bdelta_fallbacks, 0u)
+      << "a fault-free run should never need the 412 full-save fallback";
+}
+
+TEST(SimBlockDelta, DeltaSavesWithJournalAndAdversary) {
+  // Differential saves riding with the journal, tampers, and rollbacks:
+  // every injected attack must still be detected and healed, and the
+  // byte-identity quiesce invariant must survive the heals (a heal pushes
+  // full bytes over cmd=sync, which must resynchronise the delta anchor).
+  for (const std::uint64_t seed : {611u, 612u, 613u}) {
+    TempDir tmp("bdelta-" + std::to_string(seed));
+    sim::SimConfig cfg;
+    cfg.mode = enc::Mode::kRpc;
+    cfg.block_chars = 4;
+    cfg.seed = seed;
+    cfg.ops = 300;
+    cfg.bdelta = true;
+    cfg.journal = true;
+    cfg.work_dir = tmp.path.string();
+    cfg.weights.replace_all = 4;
+    cfg.weights.tamper = 3;
+    cfg.weights.rollback = 2;
+    cfg.deep_verify_every = 64;
+    const sim::SimReport rep = sim::run_sim(cfg);
+    expect_ok(rep);
+    EXPECT_EQ(rep.cov.tampers_detected, rep.cov.tampers_injected);
+    EXPECT_GT(rep.cov.bdelta_saves, 0u);
+  }
 }
 
 // -------------------------------------------------------------- faults --
@@ -617,6 +675,14 @@ TEST(FuzzCorpus, Delta) {
   ASSERT_FALSE(files.empty());
   for (const auto& f : files) {
     EXPECT_NO_THROW(sim::fuzz_delta(slurp(f))) << f;
+  }
+}
+
+TEST(FuzzCorpus, Diff) {
+  const auto files = corpus_files("diff");
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files) {
+    EXPECT_NO_THROW(sim::fuzz_diff(slurp(f))) << f;
   }
 }
 

@@ -8,7 +8,7 @@
 # and corrupt bytes through the decoders.
 #
 # Usage:
-#   tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|no-aesni] [extra ctest args...]
+#   tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|diff|no-aesni] [extra ctest args...]
 #
 # The sim mode runs only the simulation-harness tests (ctest label "sim")
 # in a plain build, scaled up via PRIVEDIT_SIM_ITERS (default 10x the
@@ -23,6 +23,11 @@
 # fault-injected stores, scrub cycles, fsck repair, crashpoint x disk-fault
 # matrix) with PRIVEDIT_FSCK_ITERS scaling the randomized corruption
 # rounds (default 10x), in a plain build.
+#
+# The diff mode soaks the block-delta codec: the randomized round-trip
+# properties in block_diff_test (PRIVEDIT_DIFF_ITERS multiplies the
+# rounds, default 10x), the wire-format fuzz corpus, and the sim
+# harness's differential-save phase.
 #
 # Uses a separate build tree (build-<sanitizer>/) so the regular build/
 # stays untouched.
@@ -65,6 +70,17 @@ if [ "${SANITIZER}" = "fsck" ]; then
   exec ctest --output-on-failure -j"$(nproc)" -R "SimStorage|FuzzCorpus.Store" "$@"
 fi
 
+if [ "${SANITIZER}" = "diff" ]; then
+  BUILD_DIR="${REPO_ROOT}/build-sim"
+  cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}" -j"$(nproc)" --target block_diff_test sim_test
+  export PRIVEDIT_DIFF_ITERS="${PRIVEDIT_DIFF_ITERS:-10}"
+  echo "block-delta soak at PRIVEDIT_DIFF_ITERS=${PRIVEDIT_DIFF_ITERS}"
+  cd "${BUILD_DIR}"
+  exec ctest --output-on-failure -j"$(nproc)" \
+    -R "BlockDiff|BlockWire|FuzzCorpus\.Diff|SimBlockDelta" "$@"
+fi
+
 if [ "${SANITIZER}" = "no-aesni" ]; then
   # Run the full suite with hardware AES dispatch disabled, so the software
   # fallback path (the one a non-AES-NI host would take) stays covered even
@@ -82,7 +98,7 @@ fi
 case "${SANITIZER}" in
   thread|address) CMAKE_SANITIZE="${SANITIZER}" ;;
   asan-ubsan)     CMAKE_SANITIZE="address+undefined" ;;
-  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|no-aesni] [ctest args...]" >&2
+  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|diff|no-aesni] [ctest args...]" >&2
      exit 2 ;;
 esac
 

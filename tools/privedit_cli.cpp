@@ -14,6 +14,7 @@
 //   privedit_cli serve    --port P [--shards N] [--data-dir DIR]
 //                         (simulated Google Docs service, sharded front door)
 //   privedit_cli proxy    --port P --upstream-port U --password PW
+//                         [--bdelta 1]   (full saves ride block deltas)
 //   privedit_cli fsck     --stores DIR[,DIR...] [--journal DIR]
 //                         [--password PW] [--repair 0|1]
 //
@@ -230,6 +231,7 @@ int cmd_proxy(const Args& args) {
   extension::MediatorConfig config;
   config.password = args.require("password");
   config.scheme = config_from(args);
+  config.block_delta_saves = args.get("bdelta", "0") != "0";
   extension::MediatingProxy proxy(
       static_cast<std::uint16_t>(std::stoul(args.get("port", "0"))),
       static_cast<std::uint16_t>(std::stoul(args.require("upstream-port"))),
@@ -253,7 +255,7 @@ void usage() {
       "  inspect                                      stdin -> stderr\n"
       "  rotate   --password PW --new-password PW2    stdin -> stdout\n"
       "  serve    [--port P] [--shards N] [--data-dir DIR]\n"
-      "  proxy    --upstream-port U --password PW [--port P]\n"
+      "  proxy    --upstream-port U --password PW [--port P] [--bdelta 1]\n"
       "  fsck     --stores DIR[,DIR...] [--journal DIR] [--password PW]\n"
       "           [--repair 0|1]        exit 0 = clean or fully repaired\n");
 }
