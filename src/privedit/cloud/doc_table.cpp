@@ -2,7 +2,44 @@
 
 #include <utility>
 
+#include "privedit/enc/audit_record.hpp"
+#include "privedit/util/error.hpp"
+#include "privedit/util/urlencode.hpp"
+
 namespace privedit::cloud {
+namespace {
+
+/// Drops chain links that commit revisions beyond `rev`. The save path
+/// persists the audit sidecar before the document record (the two puts are
+/// not jointly atomic), so a crash between them leaves the chain exactly
+/// one link ahead of the record. That orphan link was never acknowledged;
+/// keeping it would make the restored server claim history for a revision
+/// it cannot serve. Unparseable chains pass through untouched — the
+/// clients' committed heads flag those as forks, which is correct for
+/// history the server lost. Returns the number of links dropped.
+std::size_t trim_chain_to_rev(std::string& wire, std::uint64_t rev) {
+  if (wire.empty()) return 0;
+  enc::AuditChain chain;
+  try {
+    chain = enc::decode_chain(wire);
+  } catch (const Error&) {
+    return 0;
+  }
+  if (chain.base_rev > rev) {
+    const std::size_t dropped = chain.links.size() + 1;
+    wire.clear();
+    return dropped;
+  }
+  std::size_t dropped = 0;
+  while (!chain.links.empty() && chain.links.back().rev > rev) {
+    chain.links.pop_back();
+    ++dropped;
+  }
+  if (dropped > 0) wire = enc::encode_chain(chain);
+  return dropped;
+}
+
+}  // namespace
 
 std::vector<std::string> DocTable::attach_store(std::unique_ptr<Store> store) {
   store_ = std::move(store);
@@ -16,6 +53,47 @@ std::vector<std::string> DocTable::attach_store(std::unique_ptr<Store> store) {
     quarantined_.insert(doc_id);
   }
   return corrupt;
+}
+
+void DocTable::attach_audit_store(std::unique_ptr<Store> store) {
+  audit_store_ = std::move(store);
+  std::vector<std::string> corrupt;
+  for (auto& [doc_id, record] : audit_store_->load_all(&corrupt)) {
+    const auto it = docs_.find(doc_id);
+    if (it == docs_.end()) {
+      ++audit_restore_skipped_;  // sidecar outlived its document
+      continue;
+    }
+    try {
+      const FormData form = FormData::parse(record.content);
+      it->second.audit_chain = form.get("chain").value_or("");
+      audit_restore_skipped_ +=
+          trim_chain_to_rev(it->second.audit_chain, it->second.rev);
+      for (const auto& [key, value] : form.fields()) {
+        if (key != "w") continue;
+        const std::size_t sep = value.find('=');
+        if (sep == std::string::npos) continue;
+        it->second.witnesses[value.substr(0, sep)] = value.substr(sep + 1);
+      }
+    } catch (const Error&) {
+      ++audit_restore_skipped_;
+    }
+  }
+  audit_restore_skipped_ += corrupt.size();
+}
+
+void DocTable::persist_audit(const std::string& doc_id, const Document& doc) {
+  if (audit_store_ == nullptr) return;
+  if (doc.audit_chain.empty() && doc.witnesses.empty()) {
+    audit_store_->remove(doc_id);
+    return;
+  }
+  FormData form;
+  form.add("chain", doc.audit_chain);
+  for (const auto& [client, wire] : doc.witnesses) {
+    form.add("w", client + "=" + wire);
+  }
+  audit_store_->put(doc_id, Store::Record{form.encode(), doc.rev});
 }
 
 DocTable::Document* DocTable::find(const std::string& doc_id) {
@@ -38,6 +116,7 @@ bool DocTable::erase(const std::string& doc_id) {
     store_->set_quarantined(doc_id, false);
   }
   if (store_ != nullptr) store_->remove(doc_id);
+  if (audit_store_ != nullptr) audit_store_->remove(doc_id);
   return existed;
 }
 

@@ -31,6 +31,12 @@ class DocTable {
     std::uint64_t rev = 0;
     std::vector<std::string> history;
     std::uint64_t next_session = 1;
+
+    // Fork-consistency attributes (enc/audit_record wire forms). The
+    // server stores these opaquely — it has no audit key, so it can
+    // replay what clients produced but never forge a link or witness.
+    std::string audit_chain;                       // "" = no chain yet
+    std::map<std::string, std::string> witnesses;  // client id → witness
   };
 
   /// Caps the per-document version history (0 = unlimited).
@@ -45,6 +51,24 @@ class DocTable {
 
   /// The backing store; nullptr until attach_store.
   Store* store() const { return store_.get(); }
+
+  /// Attaches a sidecar store for the audit attributes (chain heads +
+  /// witness records), loading them into the matching documents. Call
+  /// AFTER attach_store: a sidecar for an unknown document is dropped.
+  /// Unreadable sidecars are dropped too (counted in
+  /// audit_restore_skipped()) — losing a chain is detectable client-side,
+  /// so it must not take the provider down.
+  void attach_audit_store(std::unique_ptr<Store> store);
+
+  /// The audit sidecar store; nullptr until attach_audit_store.
+  Store* audit_store() const { return audit_store_.get(); }
+
+  /// Persists a document's audit attributes to the sidecar store (no-op
+  /// without one). Propagates StorageError from the backend.
+  void persist_audit(const std::string& doc_id, const Document& doc);
+
+  /// Unreadable audit sidecars dropped at attach_audit_store time.
+  std::size_t audit_restore_skipped() const { return audit_restore_skipped_; }
 
   Document* find(const std::string& doc_id);
   const Document* find(const std::string& doc_id) const;
@@ -82,6 +106,8 @@ class DocTable {
 
  private:
   std::unique_ptr<Store> store_;
+  std::unique_ptr<Store> audit_store_;
+  std::size_t audit_restore_skipped_ = 0;
   std::map<std::string, Document> docs_;
   std::set<std::string> quarantined_;
   std::size_t history_limit_ = 0;  // 0 = keep everything

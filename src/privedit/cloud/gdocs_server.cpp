@@ -33,6 +33,10 @@ constexpr const char* kDictionaryWords[] = {
     "day",  "did",   "get",    "come",  "made",  "may",   "part",  "document",
     "editing", "cloud", "service", "private", "secure", "content"};
 
+// Server-side chain length cap: the base rolls forward past pruned links.
+// Clients only need enough tail to link their committed head to the tip.
+constexpr std::size_t kAuditChainCap = 512;
+
 bool is_word_char(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '\'';
 }
@@ -68,10 +72,122 @@ net::HttpResponse GDocsServer::ack(const Document& doc,
   }
   form.add("contentFromServerHash", content_hash(doc.content));
   form.add("rev", std::to_string(doc.rev));
+  if (!doc.audit_chain.empty()) form.add("achain", doc.audit_chain);
   net::HttpResponse resp = net::HttpResponse::make(
       200, form.encode(), "application/x-www-form-urlencoded");
   resp.headers.set("X-Privedit-BDelta", "1");
   return resp;
+}
+
+net::HttpResponse GDocsServer::chain_reject(Document& doc) {
+  // The save's audit link does not commit the revision this save would
+  // produce — another writer advanced the chain (or the client is stale).
+  // 412 + areason=chain + the current content, rev and chain: everything
+  // the client needs to verify, fast-forward its auditor and re-stage,
+  // without an extra round trip.
+  ++counters_.chain_rejections;
+  net::HttpResponse resp = ack(doc, /*include_content=*/true);
+  resp.status = 412;
+  resp.reason = "Precondition Failed";
+  FormData body = FormData::parse(resp.body);
+  body.add("areason", "chain");
+  resp.body = body.encode();
+  return resp;
+}
+
+// Ordering contract: every save path persists the audit sidecar (this
+// function) BEFORE the document record. The two puts are individually
+// atomic but not jointly, so a crash between them must leave the chain
+// *ahead* of the record — DocTable::attach_audit_store trims the orphan
+// tip link at restore and the client's journal replay re-lands the save.
+// The reverse order would leave an acknowledged-looking revision with no
+// chain link, which honest clients cannot distinguish from a fork.
+void GDocsServer::store_link(const std::string& doc_id, Document& doc,
+                             const enc::AuditLink& link,
+                             const FormData& form) {
+  enc::AuditChain chain;
+  bool have = false;
+  if (!doc.audit_chain.empty()) {
+    try {
+      chain = enc::decode_chain(doc.audit_chain);
+      have = true;
+    } catch (const Error&) {
+      // An unparseable stored chain is dropped and re-rooted below; the
+      // clients' committed heads will flag the gap as a fork, which is
+      // the correct outcome for history the server lost.
+    }
+  }
+  if (!have) {
+    const auto abase = form.get("abase");
+    if (!abase) return;  // nothing verifiable to root a chain at
+    try {
+      chain.base_head = hex_decode(*abase);
+    } catch (const Error&) {
+      return;
+    }
+    if (chain.base_head.size() != crypto::Sha256::kDigestSize) return;
+    chain.base_rev = link.rev - 1;
+    if (const auto abaserev = form.get("abaserev")) {
+      try {
+        chain.base_rev = std::stoull(*abaserev);
+      } catch (...) {
+      }
+    }
+  }
+  chain.links.push_back(link);
+  while (chain.links.size() > kAuditChainCap) {
+    chain.base_rev = chain.links.front().rev;
+    chain.base_head = chain.links.front().head;
+    chain.links.erase(chain.links.begin());
+  }
+  doc.audit_chain = enc::encode_chain(chain);
+  table_.persist_audit(doc_id, doc);
+}
+
+void GDocsServer::adopt_sync_audit(const std::string& doc_id, Document& doc,
+                                   const FormData& form) {
+  bool dirty = false;
+  if (const auto pushed = form.get("achain");
+      pushed && *pushed != doc.audit_chain) {
+    if (!doc.audit_chain.empty()) {
+      // Anti-entropy cross-check: where the replicas' chains overlap in
+      // revision, the heads must agree. A divergence means this replica
+      // pair served different histories for the same revision — the
+      // server-side symptom of equivocation. Counted here; the clients
+      // hold the key and classify it authoritatively.
+      try {
+        const enc::AuditChain ours = enc::decode_chain(doc.audit_chain);
+        const enc::AuditChain theirs = enc::decode_chain(*pushed);
+        bool diverged = false;
+        if (const auto head = theirs.head_at(ours.base_rev)) {
+          diverged = *head != ours.base_head;
+        }
+        for (const enc::AuditLink& link : ours.links) {
+          if (diverged) break;
+          if (const auto head = theirs.head_at(link.rev)) {
+            diverged = *head != link.head;
+          }
+        }
+        if (diverged) ++counters_.equivocations_detected;
+      } catch (const Error&) {
+      }
+    }
+    doc.audit_chain = *pushed;
+    dirty = true;
+  }
+  for (const auto& [key, value] : form.fields()) {
+    if (key != "w") continue;
+    try {
+      const enc::AuditWitness w = enc::decode_witness(value);
+      std::string& slot = doc.witnesses[w.client];
+      if (slot != value) {
+        slot = value;
+        dirty = true;
+      }
+    } catch (const Error&) {
+    }
+  }
+  if (dirty) table_.persist_audit(doc_id, doc);
 }
 
 void GDocsServer::enable_admission(net::AdmissionConfig config,
@@ -84,6 +200,9 @@ void GDocsServer::enable_admission(net::AdmissionConfig config,
 
 void GDocsServer::enable_persistence(const std::string& directory) {
   enable_persistence(std::make_unique<FileStore>(directory));
+  // Audit sidecar under a subdirectory: invisible to the main store's
+  // *.doc walk, so fsck/scrub over the document files is unaffected.
+  enable_audit_persistence(std::make_unique<FileStore>(directory + "/.audit"));
 }
 
 void GDocsServer::enable_persistence(std::unique_ptr<Store> store) {
@@ -135,6 +254,21 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     doc.content.clear();
     doc.rev = 0;
     doc.history.clear();
+    // A (re)created document starts a fresh history; the creator may root
+    // the audit chain immediately by declaring its genesis head.
+    doc.audit_chain.clear();
+    doc.witnesses.clear();
+    if (const auto abase = form.get("abase")) {
+      try {
+        enc::AuditChain chain;
+        chain.base_head = hex_decode(*abase);
+        if (chain.base_head.size() == crypto::Sha256::kDigestSize) {
+          doc.audit_chain = enc::encode_chain(chain);
+        }
+      } catch (const Error&) {
+      }
+    }
+    table_.persist_audit(*doc_id, doc);
     table_.persist(*doc_id, doc);
     FormData reply;
     reply.add("session", std::to_string(doc.next_session++));
@@ -213,6 +347,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
         }
       }
       based->rev = rev;
+      adopt_sync_audit(*doc_id, *based, form);
       table_.persist(*doc_id, *based);
       return ack(*based, /*include_content=*/false);
     }
@@ -250,6 +385,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
       }
     }
     doc.rev = rev;
+    adopt_sync_audit(*doc_id, doc, form);
     table_.persist(*doc_id, doc);
     return ack(doc, /*include_content=*/false);
   }
@@ -273,12 +409,36 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
   }
   Document& doc = *found;
 
+  if (cmd == "witness") {
+    // A client publishing its signed chain-head claim. Stored opaquely,
+    // keyed by the client id the witness itself names — the MAC binds the
+    // id, so a forger can only clobber slots with records peers will
+    // reject as MAC-invalid anyway.
+    const auto wire = form.get("w");
+    if (!wire) {
+      ++counters_.bad_requests;
+      return net::HttpResponse::make(400, "missing witness");
+    }
+    try {
+      const enc::AuditWitness w = enc::decode_witness(*wire);
+      doc.witnesses[w.client] = *wire;
+    } catch (const Error&) {
+      ++counters_.bad_requests;
+      return net::HttpResponse::make(400, "malformed witness");
+    }
+    ++counters_.witness_stores;
+    table_.persist_audit(*doc_id, doc);
+    return net::HttpResponse::make(200, "stored");
+  }
+
   if (cmd == "open") {
     ++counters_.opens;
     FormData reply;
     reply.add("content", doc.content);
     reply.add("rev", std::to_string(doc.rev));
     reply.add("session", std::to_string(doc.next_session++));
+    if (!doc.audit_chain.empty()) reply.add("achain", doc.audit_chain);
+    for (const auto& [client, wire] : doc.witnesses) reply.add("w", wire);
     net::HttpResponse resp = net::HttpResponse::make(
         200, reply.encode(), "application/x-www-form-urlencoded");
     resp.headers.set("X-Privedit-BDelta", "1");
@@ -333,6 +493,19 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     return net::HttpResponse::make(503, "document quarantined");
   }
 
+  // Audit link riding along with a save. The server cannot verify the MAC
+  // (no key) but enforces the structural contract it can see: the link
+  // must commit exactly the revision this save will produce.
+  std::optional<enc::AuditLink> alink;
+  if (const auto alink_wire = form.get("alink")) {
+    try {
+      alink = enc::decode_link(*alink_wire);
+    } catch (const Error&) {
+      ++counters_.bad_requests;
+      return net::HttpResponse::make(400, "malformed audit link");
+    }
+  }
+
   if (const auto bwire = form.get("bdelta")) {
     // Full-state save expressed as a block delta against the server's
     // current container (capability negotiated via X-Privedit-BDelta).
@@ -343,6 +516,7 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     if (const auto base_rev = form.get("rev")) {
       stale = *base_rev != std::to_string(doc.rev);
     }
+    if (alink && alink->rev != doc.rev + 1) return chain_reject(doc);
     std::string next;
     try {
       next = delta::apply_block_delta(enc::block_delta_from_wire(*bwire),
@@ -364,6 +538,9 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     table_.record_history(doc);
     doc.content = std::move(next);
     ++doc.rev;
+    // Chain sidecar before document record — see store_link's ordering
+    // contract.
+    if (alink) store_link(*doc_id, doc, *alink, form);
     table_.persist(*doc_id, doc);
     return ack(doc, stale);
   }
@@ -373,10 +550,14 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     if (const auto base_rev = form.get("rev")) {
       stale = *base_rev != std::to_string(doc.rev);
     }
+    if (alink && alink->rev != doc.rev + 1) return chain_reject(doc);
     ++counters_.full_saves;
     table_.record_history(doc);
     doc.content = *contents;
     ++doc.rev;
+    // Chain sidecar before document record — see store_link's ordering
+    // contract.
+    if (alink) store_link(*doc_id, doc, *alink, form);
     table_.persist(*doc_id, doc);
     return ack(doc, stale);
   }
@@ -401,6 +582,10 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
       resp.body = body.encode();
       return resp;
     }
+    // Concurrency (409) outranks the chain check: a client that must
+    // rebase will fast-forward its auditor off the conflict body's achain
+    // and restage against the *new* tip in one step.
+    if (alink && alink->rev != doc.rev + 1) return chain_reject(doc);
     try {
       const delta::Delta d = delta::Delta::parse(*delta_wire);
       table_.record_history(doc);
@@ -411,6 +596,9 @@ net::HttpResponse GDocsServer::handle(const net::HttpRequest& request) {
     }
     ++doc.rev;
     ++counters_.delta_saves;
+    // Chain sidecar before document record — see store_link's ordering
+    // contract.
+    if (alink) store_link(*doc_id, doc, *alink, form);
     table_.persist(*doc_id, doc);
     net::HttpResponse resp = ack(doc, conflict);
     if (conflict) {
@@ -488,6 +676,10 @@ void GDocsServer::scrub_one(const std::string& doc_id, Document& doc) {
   if (scrub_.verify_container && enc::looks_like_container(doc.content)) {
     CheckConfig config;
     config.max_units = scrub_.max_units;
+    // Chain evidence rides along: a chain that no longer describes this
+    // document is unverifiable history no client will accept — quarantine
+    // until replica repair delivers a coherent (content, chain) pair.
+    if (!doc.audit_chain.empty()) config.chains[doc_id] = doc.audit_chain;
     if (!check_record(doc_id, Store::Record{doc.content, doc.rev}, config,
                       nullptr)) {
       // The authoritative copy itself is damaged and this server has no

@@ -33,6 +33,22 @@
 // third-party server simply never advertises it).
 //     cmd=delete                           → drops the document and its
 //                                            stored record (quota reclaim)
+//     cmd=witness&w=<witness wire>         → stores a client's signed
+//                                            chain-head witness (opaque to
+//                                            the server; served on open)
+//
+// Fork-consistency attributes (DESIGN.md §16): every save may carry
+// `alink=<audit link wire>` (+ `abase=<hex head>&abaserev=<rev>` declaring
+// the chain base when the server holds no chain yet). The server has no
+// audit key, so it stores links opaquely — but it does enforce the one
+// structural invariant it can see: the link must commit exactly the
+// revision the save produces, else 412 with `areason=chain` plus the
+// current chain so the client can verify, fast-forward and re-stage.
+// Acks, opens and 409 conflict bodies carry `achain=<chain wire>`; opens
+// additionally carry every stored witness as repeated `w=` fields.
+// cmd=sync pushes replicate `achain` and `w` alongside content, and the
+// receiving replica cross-checks overlapping chain heads first — a
+// divergent replica pair is equivocation evidence, counted server-side.
 //
 // Content-update responses are Acks carrying contentFromServer and
 // contentFromServerHash — "the current content to the best of the server's
@@ -61,8 +77,10 @@
 #include "privedit/cloud/doc_table.hpp"
 #include "privedit/cloud/file_store.hpp"
 #include "privedit/cloud/store_check.hpp"
+#include "privedit/enc/audit_record.hpp"
 #include "privedit/net/admission.hpp"
 #include "privedit/net/http.hpp"
+#include "privedit/util/urlencode.hpp"
 
 namespace privedit::cloud {
 
@@ -92,8 +110,16 @@ class GDocsServer {
   /// of aborting the load (see quarantine()).
   void enable_persistence(const std::string& directory);
 
-  /// Same, over an arbitrary Store (a FaultyStore in fault tests).
+  /// Same, over an arbitrary Store (a FaultyStore in fault tests). Does
+  /// NOT attach an audit sidecar — use enable_audit_persistence.
   void enable_persistence(std::unique_ptr<Store> store);
+
+  /// Attaches a sidecar Store for audit chains + witnesses. The directory
+  /// overload of enable_persistence does this automatically (under
+  /// `<directory>/.audit`); fault tests inject a FaultyStore here.
+  void enable_audit_persistence(std::unique_ptr<Store> store) {
+    table_.attach_audit_store(std::move(store));
+  }
 
   /// The backing store; nullptr until enable_persistence.
   Store* store() const { return table_.store(); }
@@ -208,6 +234,9 @@ class GDocsServer {
     std::size_t bdelta_mismatches = 0;   // 412s: block-delta anchor mismatch
     std::size_t sync_probes = 0;         // cmd=sync&digests=1 digest reads
     std::size_t bdelta_syncs = 0;        // repair pushes applied as block deltas
+    std::size_t witness_stores = 0;      // cmd=witness records accepted
+    std::size_t chain_rejections = 0;    // 412s: audit link rev mismatch
+    std::size_t equivocations_detected = 0;  // sync chains with divergent heads
   };
   const Counters& counters() const { return counters_; }
 
@@ -217,6 +246,11 @@ class GDocsServer {
   net::HttpResponse ack(const Document& doc, bool include_content) const;
   std::string content_hash(const std::string& content) const;
   void scrub_one(const std::string& doc_id, Document& doc);
+  net::HttpResponse chain_reject(Document& doc);
+  void store_link(const std::string& doc_id, Document& doc,
+                  const enc::AuditLink& link, const FormData& form);
+  void adopt_sync_audit(const std::string& doc_id, Document& doc,
+                        const FormData& form);
 
   DocTable table_;
   std::unique_ptr<net::AdmissionController> admission_;

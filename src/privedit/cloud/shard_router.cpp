@@ -144,11 +144,15 @@ void ShardRouter::persist_membership() {
 }
 
 void ShardRouter::push_doc(Shard& dst, const std::string& doc_id,
-                           const std::string& content, std::uint64_t rev) {
+                           const std::string& content, std::uint64_t rev,
+                           const std::string& achain,
+                           const std::vector<std::string>& witness_wires) {
   FormData form;
   form.add("cmd", "sync");
   form.add("rev", std::to_string(rev));
   form.add("content", content);
+  if (!achain.empty()) form.add("achain", achain);
+  for (const std::string& wire : witness_wires) form.add("w", wire);
   net::HttpRequest push = net::HttpRequest::post_form(
       "/Doc?docID=" + percent_encode(doc_id), form.encode());
   // Migration pushes are the router's own repair traffic, not client load:
@@ -174,12 +178,43 @@ void ShardRouter::recover() {
     const std::string id = name.substr(6);
     if (shards_.contains(id)) continue;
     FileStore stray(entry.path().string());
+    // The stray's audit sidecar, so adoption carries chains along with
+    // content (probed first — FileStore creation would plant the dir).
+    std::map<std::string, Store::Record> stray_audit;
+    {
+      std::error_code ec;
+      const fs::path audit_dir = entry.path() / ".audit";
+      if (fs::is_directory(audit_dir, ec)) {
+        FileStore sidecar(audit_dir.string());
+        std::vector<std::string> sidecar_corrupt;
+        for (auto& [id, rec] : sidecar.load_all(&sidecar_corrupt)) {
+          stray_audit.emplace(id, std::move(rec));
+        }
+      }
+    }
     std::vector<std::string> corrupt;
     for (auto& [doc_id, record] : stray.load_all(&corrupt)) {
       Shard& owner = *shards_.at(ring_.owner(doc_id));
       const auto* held = owner.server->table().find(doc_id);
       if (held == nullptr || held->rev < record.rev) {
-        push_doc(owner, doc_id, record.content, record.rev);
+        std::string achain;
+        std::vector<std::string> witness_wires;
+        if (const auto audit_it = stray_audit.find(doc_id);
+            audit_it != stray_audit.end()) {
+          const FormData audit = FormData::parse(audit_it->second.content);
+          achain = audit.get("chain").value_or("");
+          for (const auto& [key, value] : audit.fields()) {
+            // Sidecar witnesses are stored as client=wire; the sync form
+            // wants the bare wire (the receiver re-keys by decoding it).
+            if (key != "w") continue;
+            const auto eq = value.find('=');
+            if (eq != std::string::npos) {
+              witness_wires.push_back(value.substr(eq + 1));
+            }
+          }
+        }
+        push_doc(owner, doc_id, record.content, record.rev, achain,
+                 witness_wires);
         ++counters_.strays_adopted;
       }
       // Only drop the stray once the owner verifiably holds the doc at
@@ -205,7 +240,12 @@ void ShardRouter::recover() {
       const std::uint64_t dup_rev = dup->rev;
       const auto* held = owner.server->table().find(doc_id);
       if (held == nullptr || held->rev < dup_rev) {
-        push_doc(owner, doc_id, dup->content, dup_rev);
+        std::vector<std::string> witness_wires;
+        for (const auto& [client, wire] : dup->witnesses) {
+          witness_wires.push_back(wire);
+        }
+        push_doc(owner, doc_id, dup->content, dup_rev, dup->audit_chain,
+                 witness_wires);
         ++counters_.strays_adopted;
       }
       // Same landed check as pass 1: never erase the duplicate unless
@@ -234,7 +274,8 @@ net::HttpResponse ShardRouter::handle(const net::HttpRequest& request) {
   const FormData form = FormData::parse(request.body);
   const auto cmd = form.get("cmd");
   const bool is_write = cmd == "create" || cmd == "sync" || cmd == "delete" ||
-                        form.contains("docContents") || form.contains("delta");
+                        form.contains("docContents") ||
+                        form.contains("delta") || form.contains("bdelta");
   const std::string tenant{
       request.headers.get(net::kClientIdHeader).value_or(kAnonTenant)};
 
@@ -262,10 +303,11 @@ net::HttpResponse ShardRouter::handle(const net::HttpRequest& request) {
       refusal = tenants_.check_projected_bytes(owner.value_or(tenant),
                                                *doc_id, pushed.size());
     }
-  } else if (form.contains("delta")) {
-    // The post-delta size is unknowable without applying the delta, so
-    // deltas are admitted optimistically and trued up afterwards; only a
-    // tenant already over its byte budget is refused up front.
+  } else if (form.contains("delta") || form.contains("bdelta")) {
+    // The post-delta size is unknowable without applying the delta (and a
+    // block delta patches ciphertext the router cannot decode), so both
+    // are admitted optimistically and trued up afterwards; only a tenant
+    // already over its byte budget is refused up front.
     const std::string bill = tenants_.owner_tenant(*doc_id).value_or(tenant);
     if (tenants_.over_bytes(bill)) {
       std::lock_guard<std::mutex> lock(counters_mu_);
@@ -427,6 +469,8 @@ void ShardRouter::rebalance_to(const HashRing& next) {
   for (const Move& m : moves) {
     std::string content;
     std::uint64_t rev = 0;
+    std::string achain;
+    std::vector<std::string> witness_wires;
     bool have = false;
     {
       Shard& src = *m.from;
@@ -435,6 +479,10 @@ void ShardRouter::rebalance_to(const HashRing& next) {
         if (const auto* doc = src.server->table().find(m.doc_id)) {
           content = doc->content;
           rev = doc->rev;
+          achain = doc->audit_chain;
+          for (const auto& [client, wire] : doc->witnesses) {
+            witness_wires.push_back(wire);
+          }
           have = true;
         }
       }
@@ -442,7 +490,7 @@ void ShardRouter::rebalance_to(const HashRing& next) {
     if (have) {
       Shard& dst = *m.to;
       std::lock_guard<std::mutex> lock(dst.mu);
-      push_doc(dst, m.doc_id, content, rev);
+      push_doc(dst, m.doc_id, content, rev, achain, witness_wires);
     }
     CrashPoints::reach("router.migrate.copy");
     {

@@ -184,8 +184,14 @@ class ShardRouter {
   void persist_membership();
   void recover();
   void rebalance_to(const HashRing& next);
+  /// Migration/adoption push into `dst` via cmd=sync. `achain` and
+  /// `witness_wires` (when present) ride along so the destination's
+  /// history stays linkable — moving content without its audit chain
+  /// would manufacture a fork on an honest shard.
   void push_doc(Shard& dst, const std::string& doc_id,
-                const std::string& content, std::uint64_t rev);
+                const std::string& content, std::uint64_t rev,
+                const std::string& achain = {},
+                const std::vector<std::string>& witness_wires = {});
 
   ShardRouterConfig config_;
   TenantAccounts tenants_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "privedit/crypto/sha256.hpp"
+#include "privedit/enc/audit_record.hpp"
 #include "privedit/enc/container.hpp"
 #include "privedit/util/bytes.hpp"
+#include "privedit/util/crc32.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/hex.hpp"
 
@@ -24,6 +26,8 @@ std::string_view finding_kind_name(FindingKind kind) {
       return "fork";
     case FindingKind::kMissing:
       return "missing";
+    case FindingKind::kChainBreak:
+      return "chain-break";
   }
   return "unknown";
 }
@@ -71,6 +75,45 @@ bool container_walk_ok(const std::string& content, std::size_t max_units,
   }
 }
 
+/// Keyless structural validation of a stored audit chain against the
+/// record it describes (the MAC math needs K_audit; only clients have
+/// that — see CheckConfig::chains).
+bool chain_structure_ok(const std::string& wire, const Store::Record& record,
+                        std::string* detail) {
+  enc::AuditChain chain;
+  try {
+    chain = enc::decode_chain(wire);
+  } catch (const Error& e) {
+    *detail = std::string("audit chain undecodable: ") + e.what();
+    return false;
+  }
+  std::uint64_t prev = chain.base_rev;
+  for (const enc::AuditLink& link : chain.links) {
+    if (link.rev <= prev) {
+      *detail = "audit chain revisions not ascending at rev " +
+                std::to_string(link.rev);
+      return false;
+    }
+    prev = link.rev;
+  }
+  if (chain.tip_rev() != record.rev) {
+    *detail = "audit chain tip rev " + std::to_string(chain.tip_rev()) +
+              " != stored rev " + std::to_string(record.rev);
+    return false;
+  }
+  if (!chain.links.empty()) {
+    const std::uint32_t tip_crc = chain.links.back().crc;
+    // crc 0 is the "unbound" sentinel (a journal-replayed delta link
+    // cannot know the resulting container CRC) — nothing to cross-check.
+    if (tip_crc != 0 && tip_crc != crc32(as_bytes(record.content))) {
+      *detail = "audit chain tip CRC diverges from stored container at rev " +
+                std::to_string(record.rev);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool check_record(const std::string& doc_id, const Store::Record& record,
@@ -110,6 +153,17 @@ bool check_record(const std::string& doc_id, const Store::Record& record,
     }
     // rev > anchor.rev is fine: the provider legitimately moves ahead of
     // the last write *this* client saw acknowledged.
+  }
+  // A stored chain that cannot describe the stored record means no client
+  // will ever link this history — broken independently of the container
+  // bytes being well-formed.
+  if (const auto chain = config.chains.find(doc_id);
+      chain != config.chains.end() && !chain->second.empty()) {
+    std::string detail;
+    if (!chain_structure_ok(chain->second, record, &detail)) {
+      add_finding(out, doc_id, FindingKind::kChainBreak, std::move(detail));
+      clean = false;
+    }
   }
   return clean;
 }

@@ -41,6 +41,7 @@ enum class FindingKind : std::uint8_t {
   kRollback,           // stored rev behind the journal's last-acked anchor
   kFork,               // anchor rev matches but the ciphertext checksum differs
   kMissing,            // expected (anchored or replica-known) doc absent here
+  kChainBreak,         // audit chain malformed or inconsistent with the record
 };
 
 std::string_view finding_kind_name(FindingKind kind);
@@ -72,6 +73,17 @@ struct CheckConfig {
   /// std::function so this layer needs no dependency on the extension's
   /// DocumentSession.
   std::function<bool(const std::string& content)> deep_validate;
+
+  /// Per-document audit chains (doc id -> encoded AuditChain wire), from
+  /// the store's `.audit` sidecar or the server's DocTable. The checker
+  /// holds no audit key, so it verifies only what structure promises: the
+  /// chain decodes, revisions strictly ascend from the base, the tip
+  /// speaks for exactly the stored revision, and the tip link's CRC (when
+  /// bound — 0 is the journal-replay "unbound" sentinel) matches the
+  /// stored container. Any violation is a kChainBreak finding: stored
+  /// history a client could never link to, grounds for quarantine when no
+  /// replica holds a verifiable copy.
+  std::map<std::string, std::string> chains;
 
   /// Upper bound on container units walked per document (0 = all). The
   /// online scrubber sets this to bound per-request work; fsck leaves it 0.

@@ -38,6 +38,32 @@ std::string target_for(const std::string& doc_id) {
   return "/Doc?docID=" + percent_encode(doc_id);
 }
 
+/// Loads the per-document audit chains from a store's `.audit` sidecar
+/// directory, for keyless structural chain checks (kChainBreak). Absent
+/// sidecar → no chain evidence; the directory is NOT created, so
+/// report-only mode stays mutation-free.
+std::map<std::string, std::string> load_audit_chains(const std::string& dir) {
+  std::map<std::string, std::string> chains;
+  const std::string audit_dir = dir + "/.audit";
+  std::error_code ec;
+  if (!fs::is_directory(audit_dir, ec)) return chains;
+  cloud::FileStore sidecar(audit_dir);
+  for (const std::string& id : sidecar.list_doc_ids()) {
+    try {
+      const auto record = sidecar.get(id);
+      if (!record) continue;
+      const FormData form = FormData::parse(record->content);
+      if (const auto chain = form.get("chain"); chain && !chain->empty()) {
+        chains[id] = *chain;
+      }
+    } catch (const Error&) {
+      // An unreadable sidecar record yields no chain evidence; the main
+      // record still gets every other check.
+    }
+  }
+  return chains;
+}
+
 cloud::CheckConfig make_check_config(const FsckOptions& options,
                                      std::map<std::string, cloud::Anchor> anchors) {
   cloud::CheckConfig config;
@@ -58,11 +84,31 @@ cloud::CheckConfig make_check_config(const FsckOptions& options,
 
 /// Pushes (content, rev) to `channel` through the same delta-aware
 /// anti-entropy helper ReplicatedChannel::push_sync uses: block-delta when
-/// the replica holds a divergent copy, full content otherwise.
+/// the replica holds a divergent copy, full content otherwise. The donor's
+/// audit chain rides along so the receiver's history stays linkable.
 bool push_repair(net::Channel& channel, const std::string& doc_id,
-                 const cloud::Store::Record& record, SyncPushStats* stats) {
+                 const cloud::Store::Record& record,
+                 const SyncAuditAttachment& audit, SyncPushStats* stats) {
   return push_sync_over(channel, target_for(doc_id), record.content,
-                        std::to_string(record.rev), stats);
+                        std::to_string(record.rev), stats,
+                        audit.empty() ? nullptr : &audit);
+}
+
+/// Audit attachment for `doc_id` as served by the donor replica's server —
+/// an open reply carries achain + witnesses when the sidecar store holds
+/// them. Empty (and harmless) when the document predates auditing.
+SyncAuditAttachment donor_audit(net::Channel& channel,
+                                const std::string& doc_id) {
+  FormData form;
+  form.add("cmd", "open");
+  form.add("session", "anti-entropy");
+  try {
+    const net::HttpResponse resp = channel.round_trip(
+        net::HttpRequest::post_form(target_for(doc_id), form.encode()));
+    if (resp.ok()) return audit_from_reply(FormData::parse(resp.body));
+  } catch (const Error&) {
+  }
+  return {};
 }
 
 }  // namespace
@@ -137,14 +183,23 @@ FsckResult run_fsck(const std::vector<std::string>& store_dirs,
   std::vector<std::unique_ptr<DirectChannel>> channels;
   std::vector<std::unique_ptr<cloud::FileStore>> bare_stores;
   std::vector<cloud::Store*> stores;
+  // Chain evidence is per store (each replica carries its own sidecar).
+  std::vector<cloud::CheckConfig> store_configs;
   for (const std::string& dir : store_dirs) {
     FsckStoreReport report;
     report.directory = dir;
+    cloud::CheckConfig store_config = config;
+    store_config.chains = load_audit_chains(dir);
     auto file_store = std::make_unique<cloud::FileStore>(dir);
     report.orphan_tmps_swept = file_store->tmp_swept();
     if (options.repair) {
       auto server = std::make_unique<cloud::GDocsServer>();
       server->enable_persistence(std::move(file_store));
+      // The audit sidecar rides under the store directory; loading it here
+      // lets repair pushes carry chains and lets donors serve them.
+      server->enable_audit_persistence(
+          std::make_unique<cloud::FileStore>(dir + "/.audit"));
+      result.audit_restore_skipped += server->table().audit_restore_skipped();
       stores.push_back(server->store());
       channels.push_back(std::make_unique<DirectChannel>(server.get()));
       servers.push_back(std::move(server));
@@ -152,8 +207,9 @@ FsckResult run_fsck(const std::vector<std::string>& store_dirs,
       stores.push_back(file_store.get());
       bare_stores.push_back(std::move(file_store));
     }
-    report.before = cloud::check_store(*stores.back(), config);
+    report.before = cloud::check_store(*stores.back(), store_config);
     result.stores.push_back(std::move(report));
+    store_configs.push_back(std::move(store_config));
   }
 
   // Per-document status across replicas.
@@ -183,6 +239,7 @@ FsckResult run_fsck(const std::vector<std::string>& store_dirs,
       // Donor: among replicas where the document checked clean, the one
       // holding the highest revision (replicas can legitimately trail).
       std::optional<cloud::Store::Record> donor;
+      std::size_t donor_idx = 0;
       for (std::size_t i = 0; i < stores.size(); ++i) {
         if (dirty_replicas.contains(i)) continue;
         std::optional<cloud::Store::Record> record;
@@ -193,11 +250,15 @@ FsckResult run_fsck(const std::vector<std::string>& store_dirs,
         }
         if (record && (!donor || record->rev > donor->rev)) {
           donor = std::move(record);
+          donor_idx = i;
         }
       }
       if (!donor) continue;  // damaged everywhere — quarantine below
+      const SyncAuditAttachment audit = donor_audit(*channels[donor_idx],
+                                                    doc_id);
       for (const std::size_t i : dirty_replicas) {
-        if (push_repair(*channels[i], doc_id, *donor, &result.sync_stats)) {
+        if (push_repair(*channels[i], doc_id, *donor, audit,
+                        &result.sync_stats)) {
           ++result.syncs_pushed;
         }
       }
@@ -230,11 +291,16 @@ FsckResult run_fsck(const std::vector<std::string>& store_dirs,
     }
   }
 
-  // Re-check, then quarantine what repair could not recover.
+  // Re-check, then quarantine what repair could not recover. Repair pushes
+  // rewrote sidecar chains along with content, so chain evidence is
+  // re-loaded from disk for the after pass.
   for (std::size_t i = 0; i < result.stores.size(); ++i) {
-    result.stores[i].after =
-        options.repair ? cloud::check_store(*stores[i], config)
-                       : result.stores[i].before;
+    if (options.repair) {
+      store_configs[i].chains = load_audit_chains(store_dirs[i]);
+      result.stores[i].after = cloud::check_store(*stores[i], store_configs[i]);
+    } else {
+      result.stores[i].after = result.stores[i].before;
+    }
   }
   for (const auto& [doc_id, dirty_replicas] : dirty_at) {
     bool clean_somewhere = false;
@@ -278,12 +344,18 @@ std::string format_fsck_result(const FsckResult& result) {
       << " dirty, " << result.repaired_docs << " repaired, "
       << result.unrecoverable.size() << " unrecoverable (quarantined), "
       << result.syncs_pushed << " sync push(es)";
-  if (result.sync_stats.delta_pushes > 0) {
-    out << " (" << result.sync_stats.delta_pushes << " differential, "
+  if (result.sync_stats.probes > 0 || result.sync_stats.delta_pushes > 0) {
+    out << " (" << result.sync_stats.probes << " probe(s), "
+        << result.sync_stats.delta_pushes << " differential, "
+        << result.sync_stats.fallbacks << " fallback(s), "
         << result.sync_stats.bytes_delta << " delta byte(s) vs "
         << result.sync_stats.bytes_full << " full)";
   }
   out << '\n';
+  if (result.audit_restore_skipped > 0) {
+    out << "  audit sidecar: " << result.audit_restore_skipped
+        << " stale record(s)/orphan link(s) dropped at boot\n";
+  }
   for (const FsckStoreReport& store : result.stores) {
     out << "  store " << store.directory << ": " << store.before.docs_checked
         << " checked, " << store.before.findings.size() << " finding(s)";

@@ -62,6 +62,7 @@ struct FsckResult {
   std::size_t repaired_docs = 0;     // dirty before, clean everywhere after
   std::size_t syncs_pushed = 0;      // cmd=sync repairs accepted by servers
   SyncPushStats sync_stats;          // delta-vs-full repair byte accounting
+  std::size_t audit_restore_skipped = 0;  // sidecar records/links dropped at boot
   std::vector<std::string> unrecoverable;  // quarantined on every replica
 
   /// No findings anywhere before repair.

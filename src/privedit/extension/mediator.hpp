@@ -26,11 +26,13 @@
 #include <string>
 
 #include "privedit/enc/types.hpp"
+#include "privedit/extension/audit.hpp"
 #include "privedit/extension/journal.hpp"
 #include "privedit/extension/offline.hpp"
 #include "privedit/extension/session.hpp"
 #include "privedit/net/breaker.hpp"
 #include "privedit/net/transport.hpp"
+#include "privedit/util/urlencode.hpp"
 
 namespace privedit::extension {
 
@@ -81,6 +83,23 @@ struct MediatorConfig {
   /// empty = unlabeled (the server's shared "anon" bucket/tenant).
   std::string client_id;
 
+  /// Fork-consistency audit chain (DESIGN.md §16): every save commits a
+  /// keyed hash-chain link the server stores opaquely but cannot forge;
+  /// opens verify the served chain against this client's committed head
+  /// and classify any divergence — RollbackError (old-but-genuine state),
+  /// ForkError (substituted or unverifiable history), EquivocationError
+  /// (proof the server maintains different histories for different
+  /// clients, via SUNDR-style signed chain-head witnesses exchanged
+  /// through the server itself). When journal_dir is set the committed
+  /// head is durable (`<journal_dir>/<hex(doc)>.achain`), so detection
+  /// survives client crashes; without it the auditor is memory-only.
+  bool audit = false;
+
+  /// Publish our chain-head witness every Nth committed save (opens
+  /// always re-publish when the head advanced). Bounds the audit
+  /// overhead on the save path; 0 disables save-path publishing.
+  int witness_interval = 8;
+
   /// Disconnected operation (extension/offline.hpp): when enabled, a save
   /// whose transport fails flips the document offline — edits keep flowing
   /// into the local mirror, are composed into one pending update, and are
@@ -114,6 +133,17 @@ class GDocsMediator final : public net::Channel {
     std::size_t bdelta_fallbacks = 0;  // 412 → resent as plain full save
     std::size_t bdelta_bytes = 0;      // block-delta wire bytes sent
     std::size_t full_save_bytes = 0;   // full-container bytes sent
+    std::size_t bdelta_renegotiations = 0;  // capability latch cleared after
+                                            // a streak of 412 fallbacks
+
+    // Fork-consistency audit (all zero unless audit).
+    std::size_t audit_links_committed = 0;  // chain links acked or resolved
+    std::size_t audit_chain_retries = 0;    // 412 areason=chain re-stages
+    std::size_t audit_rollbacks = 0;        // RollbackError from the chain
+    std::size_t audit_forks = 0;            // ForkError raised
+    std::size_t audit_equivocations = 0;    // EquivocationError raised
+    std::size_t witnesses_published = 0;    // cmd=witness stores acked
+    std::size_t witness_suppressions = 0;   // our published witness vanished
 
     // Write-ahead journal & recovery (all zero when journal_dir is empty).
     std::size_t journal_appends = 0;     // updates journalled before send
@@ -196,6 +226,38 @@ class GDocsMediator final : public net::Channel {
   void settle_journal(EditJournal& journal, const net::HttpResponse& resp,
                       std::uint64_t base_rev, const std::string& checksum);
 
+  /// Lazily constructs the document's auditor; nullptr when audit is off.
+  /// The committed-head log lives next to the journal when journal_dir is
+  /// set (memory-only otherwise).
+  DocumentAuditor* auditor_for(const std::string& doc_id);
+
+  /// Maps a non-kOk verdict to its typed error (counting it first).
+  void raise_audit_verdict(const std::string& doc_id,
+                           const DocumentAuditor::Verification& v);
+
+  /// Verifies the chain a save rejection (409 / 412 areason=chain) served
+  /// and fast-forwards the auditor — a retry's link must extend the NEW
+  /// tip, or the whole chain becomes unverifiable for every client.
+  void audit_adopt_served(const std::string& doc_id, DocumentAuditor& auditor,
+                          const FormData& body);
+
+  /// Open-time fork-consistency check: verifies the served chain against
+  /// our committed head (first contact adopts after standalone
+  /// verification), judges every served witness, detects suppression of
+  /// our own, and re-publishes when our head advanced. Throws
+  /// RollbackError / ForkError / EquivocationError.
+  void audit_check_open(const std::string& doc_id, const std::string& target,
+                        const FormData& reply, const std::string& content);
+
+  /// Stores our signed chain-head witness at the server (best-effort).
+  void publish_witness(const std::string& doc_id, const std::string& target,
+                       DocumentAuditor& auditor);
+
+  /// publish_witness, rate-limited to every witness_interval revisions.
+  void maybe_publish_witness(const std::string& doc_id,
+                             const std::string& target,
+                             DocumentAuditor& auditor);
+
   net::Channel* upstream_;
   MediatorConfig config_;
   net::SimClock* clock_;
@@ -208,6 +270,9 @@ class GDocsMediator final : public net::Channel {
   std::map<std::string, std::uint64_t> server_rev_;  // truth from acks/opens
   std::map<std::string, std::uint64_t> editor_rev_;  // what the editor saw
   bool upstream_bdelta_ = false;  // upstream sent X-Privedit-BDelta: 1
+  std::size_t bdelta_fallback_streak_ = 0;  // consecutive 412 fallbacks
+  std::map<std::string, std::unique_ptr<DocumentAuditor>> auditors_;
+  int audit_retry_depth_ = 0;  // bounds chain-412 re-stage recursion
   Counters counters_;
 };
 

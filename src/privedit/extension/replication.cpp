@@ -138,7 +138,16 @@ void ReplicatedChannel::note_lag(
   }
 }
 
-std::optional<std::pair<std::string, std::string>>
+SyncAuditAttachment audit_from_reply(const FormData& reply) {
+  SyncAuditAttachment audit;
+  audit.chain = reply.get("achain").value_or("");
+  for (const auto& [key, value] : reply.fields()) {
+    if (key == "w") audit.witnesses.push_back(value);
+  }
+  return audit;
+}
+
+std::optional<ReplicatedChannel::Authoritative>
 ReplicatedChannel::fetch_authoritative(const std::string& target,
                                        const std::map<std::size_t, int>& lag) {
   FormData form;
@@ -155,7 +164,8 @@ ReplicatedChannel::fetch_authoritative(const std::string& target,
       const FormData reply = FormData::parse(resp.body);
       const std::string content = reply.get("content").value_or("");
       if (content.empty()) continue;  // nothing verified to propagate
-      return std::make_pair(content, reply.get("rev").value_or("0"));
+      return Authoritative{content, reply.get("rev").value_or("0"),
+                           audit_from_reply(reply)};
     } catch (const Error&) {
       // try the next replica
     }
@@ -166,13 +176,17 @@ ReplicatedChannel::fetch_authoritative(const std::string& target,
 namespace {
 
 net::HttpRequest sync_form(const std::string& target, const char* field,
-                           const std::string& payload,
-                           const std::string& rev) {
+                           const std::string& payload, const std::string& rev,
+                           const SyncAuditAttachment* audit) {
   FormData form;
   form.add("cmd", "sync");
   form.add("session", "anti-entropy");
   form.add("rev", rev);
   form.add(field, payload);
+  if (audit != nullptr) {
+    if (!audit->chain.empty()) form.add("achain", audit->chain);
+    for (const std::string& wire : audit->witnesses) form.add("w", wire);
+  }
   return net::HttpRequest::post_form(target, form.encode());
 }
 
@@ -180,7 +194,7 @@ net::HttpRequest sync_form(const std::string& target, const char* field,
 
 bool push_sync_over(net::Channel& channel, const std::string& target,
                     const std::string& content, const std::string& rev,
-                    SyncPushStats* stats) {
+                    SyncPushStats* stats, const SyncAuditAttachment* audit) {
   SyncPushStats scratch;
   SyncPushStats& s = stats != nullptr ? *stats : scratch;
 
@@ -222,8 +236,8 @@ bool push_sync_over(net::Channel& channel, const std::string& target,
 
   if (!delta_wire.empty()) {
     try {
-      const net::HttpResponse resp =
-          channel.round_trip(sync_form(target, "bdelta", delta_wire, rev));
+      const net::HttpResponse resp = channel.round_trip(
+          sync_form(target, "bdelta", delta_wire, rev, audit));
       if (resp.ok()) {
         ++s.delta_pushes;
         s.bytes_delta += delta_wire.size();
@@ -238,7 +252,7 @@ bool push_sync_over(net::Channel& channel, const std::string& target,
 
   try {
     const net::HttpResponse resp =
-        channel.round_trip(sync_form(target, "content", content, rev));
+        channel.round_trip(sync_form(target, "content", content, rev, audit));
     if (resp.ok()) {
       ++s.full_pushes;
       s.bytes_full += content.size();
@@ -252,9 +266,11 @@ bool push_sync_over(net::Channel& channel, const std::string& target,
 bool ReplicatedChannel::push_sync(net::Channel* replica,
                                   const std::string& target,
                                   const std::string& content,
-                                  const std::string& rev) {
+                                  const std::string& rev,
+                                  const SyncAuditAttachment& audit) {
   ++counters_.repairs_attempted;
-  if (push_sync_over(*replica, target, content, rev, &sync_stats_)) {
+  if (push_sync_over(*replica, target, content, rev, &sync_stats_,
+                     audit.empty() ? nullptr : &audit)) {
     ++counters_.repairs_succeeded;
     return true;
   }
@@ -263,7 +279,8 @@ bool ReplicatedChannel::push_sync(net::Channel* replica,
 
 void ReplicatedChannel::push_to_laggards(const std::string& target,
                                          const std::string& content,
-                                         const std::string& rev) {
+                                         const std::string& rev,
+                                         const SyncAuditAttachment& audit) {
   const auto lag_it = lagging_.find(target);
   if (lag_it == lagging_.end()) return;
   auto& lag = lag_it->second;
@@ -273,7 +290,7 @@ void ReplicatedChannel::push_to_laggards(const std::string& target,
       continue;
     }
     --it->second;
-    if (push_sync(replicas_[it->first], target, content, rev)) {
+    if (push_sync(replicas_[it->first], target, content, rev, audit)) {
       it = lag.erase(it);
     } else {
       ++it;
@@ -287,7 +304,8 @@ void ReplicatedChannel::repair_target(const std::string& target) {
   if (lag_it == lagging_.end()) return;
   const auto authoritative = fetch_authoritative(target, lag_it->second);
   if (!authoritative) return;  // nothing verified to push — try again later
-  push_to_laggards(target, authoritative->first, authoritative->second);
+  push_to_laggards(target, authoritative->content, authoritative->rev,
+                   authoritative->audit);
 }
 
 std::size_t ReplicatedChannel::repair_all() {
@@ -327,7 +345,8 @@ net::HttpResponse ReplicatedChannel::round_trip(
             const std::string content = reply.get("content").value_or("");
             if (config_.auto_repair && !content.empty()) {
               push_to_laggards(request.target, content,
-                               reply.get("rev").value_or("0"));
+                               reply.get("rev").value_or("0"),
+                               audit_from_reply(reply));
             }
           }
           return resp;

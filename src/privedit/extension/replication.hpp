@@ -43,6 +43,7 @@
 
 #include "privedit/net/transport.hpp"
 #include "privedit/util/histogram.hpp"
+#include "privedit/util/urlencode.hpp"
 
 namespace privedit::extension {
 
@@ -107,6 +108,21 @@ struct SyncPushStats {
   std::size_t bytes_full = 0;    // full-content bytes pushed
 };
 
+/// Audit-chain payload riding along an anti-entropy push (DESIGN.md §16).
+/// Repair that moves content without its chain leaves the receiver serving
+/// a history clients cannot link to their committed heads — a self-made
+/// fork — so every sync push carries the donor's chain and witness set.
+struct SyncAuditAttachment {
+  std::string chain;                   // encoded AuditChain wire ("" = none)
+  std::vector<std::string> witnesses;  // encoded witness wires
+
+  bool empty() const { return chain.empty() && witnesses.empty(); }
+};
+
+/// Extracts the audit attachment (achain + repeated w fields) from an open
+/// reply, for forwarding with a repair push sourced from that replica.
+SyncAuditAttachment audit_from_reply(const FormData& reply);
+
 /// Anti-entropy push of (content, rev) to one replica, differential when
 /// possible: probes the replica's rev-anchored block digests
 /// (cmd=sync&digests=1), sends only the blocks that differ when that is
@@ -115,11 +131,14 @@ struct SyncPushStats {
 /// full validated container), has no copy at all, or refuses the delta
 /// anchor (412 — its copy moved between probe and push). Both
 /// ReplicatedChannel repair and offline fsck push through this one helper,
-/// so the wire behaviour is identical online and offline. Returns true
-/// when the replica accepted the content by either route.
+/// so the wire behaviour is identical online and offline. `audit`, when
+/// non-null, attaches the donor's audit chain and witnesses to whichever
+/// push lands. Returns true when the replica accepted the content by
+/// either route.
 bool push_sync_over(net::Channel& channel, const std::string& target,
                     const std::string& content, const std::string& rev,
-                    SyncPushStats* stats = nullptr);
+                    SyncPushStats* stats = nullptr,
+                    const SyncAuditAttachment* audit = nullptr);
 
 class ReplicatedChannel final : public net::Channel {
  public:
@@ -177,16 +196,26 @@ class ReplicatedChannel final : public net::Channel {
   std::size_t quorum() const;
   void note_lag(const std::string& target,
                 const std::vector<std::size_t>& replica_indices);
-  /// Fetches validated authoritative (content, rev) for `target` from the
-  /// first healthy replica, skipping the indices in `lag`.
-  std::optional<std::pair<std::string, std::string>> fetch_authoritative(
+  /// Validated authoritative state for a document, plus the audit
+  /// attachment the donor replica served with it.
+  struct Authoritative {
+    std::string content;
+    std::string rev;
+    SyncAuditAttachment audit;
+  };
+
+  /// Fetches validated authoritative state for `target` from the first
+  /// healthy replica, skipping the indices in `lag`.
+  std::optional<Authoritative> fetch_authoritative(
       const std::string& target, const std::map<std::size_t, int>& lag);
   bool push_sync(net::Channel* replica, const std::string& target,
-                 const std::string& content, const std::string& rev);
+                 const std::string& content, const std::string& rev,
+                 const SyncAuditAttachment& audit);
   /// Pushes known-good (content, rev) to every budgeted laggard of
   /// `target`, clearing the ones that took it.
   void push_to_laggards(const std::string& target, const std::string& content,
-                        const std::string& rev);
+                        const std::string& rev,
+                        const SyncAuditAttachment& audit);
   void repair_target(const std::string& target);
 
   std::vector<net::Channel*> replicas_;

@@ -61,6 +61,7 @@ std::string SimConfig::to_wire() const {
   out += ",journal=" + std::to_string(journal ? 1 : 0);
   out += ",persist=" + std::to_string(persist ? 1 : 0);
   out += ",bd=" + std::to_string(bdelta ? 1 : 0);
+  out += ",audit=" + std::to_string(audit ? 1 : 0);
   out += ",retry=" + std::to_string(retry ? 1 : 0);
   out += ",drop=" + std::to_string(permille(faults.drop));
   out += ",truncreq=" + std::to_string(permille(faults.truncate_request));
@@ -74,6 +75,10 @@ std::string SimConfig::to_wire() const {
   out += ",fixdocs=" + std::to_string(fixture_docs);
   out += ",shcrash=" + std::to_string(permille(weights.shard_crash / 100.0));
   out += ",shreb=" + std::to_string(permille(weights.shard_rebalance / 100.0));
+  out += ",peredit=" + std::to_string(permille(weights.peer_edit / 100.0));
+  out += ",equiv=" + std::to_string(permille(weights.equivocate / 100.0));
+  out += ",wsup=" + std::to_string(permille(weights.witness_suppress / 100.0));
+  out += ",replay=" + std::to_string(permille(weights.replay / 100.0));
   out += ",mutation=" + std::to_string(static_cast<int>(mutation));
   out += ",offline=" + std::to_string(offline ? 1 : 0);
   out += ",strict=" + std::to_string(strict ? 1 : 0);
@@ -126,6 +131,8 @@ SimConfig SimConfig::parse(std::string_view wire) {
       config.persist = parse_u64(value, "persist flag") != 0;
     } else if (key == "bd") {
       config.bdelta = parse_u64(value, "bdelta flag") != 0;
+    } else if (key == "audit") {
+      config.audit = parse_u64(value, "audit flag") != 0;
     } else if (key == "retry") {
       config.retry = parse_u64(value, "retry flag") != 0;
     } else if (key == "drop") {
@@ -157,6 +164,16 @@ SimConfig SimConfig::parse(std::string_view wire) {
     } else if (key == "shreb") {
       config.weights.shard_rebalance =
           parse_u64(value, "shard-rebalance permille") / 10.0;
+    } else if (key == "peredit") {
+      config.weights.peer_edit = parse_u64(value, "peer-edit permille") / 10.0;
+    } else if (key == "equiv") {
+      config.weights.equivocate =
+          parse_u64(value, "equivocate permille") / 10.0;
+    } else if (key == "wsup") {
+      config.weights.witness_suppress =
+          parse_u64(value, "witness-suppress permille") / 10.0;
+    } else if (key == "replay") {
+      config.weights.replay = parse_u64(value, "replay permille") / 10.0;
     } else if (key == "mutation") {
       config.mutation = static_cast<Mutation>(parse_u64(value, "mutation"));
     } else if (key == "offline") {

@@ -38,6 +38,12 @@ struct GenWeights {
   double shard_crash = 0;      // kill + restart one shard (sharded runs)
   double shard_rebalance = 0;  // drain a shard out / join it back in
 
+  // Malicious-server adversary (audit=1 runs; see DESIGN.md §16).
+  double peer_edit = 0;        // benign second-client write (positive control)
+  double equivocate = 0;       // hide a peer write: divergent per-client history
+  double witness_suppress = 0; // drop our published chain-head witness
+  double replay = 0;           // re-serve a full old (content,rev,chain) tuple
+
   double empty_bias = 0.06;     // chance an edit degenerates to a no-op
   double boundary_bias = 0.35;  // snap position to a block boundary
   double append_bias = 0.20;    // position = end of document
@@ -70,6 +76,7 @@ struct SimConfig {
   bool journal = false;  // client write-ahead journal (needs work_dir)
   bool persist = false;  // provider FileStore persistence (needs work_dir)
   bool bdelta = false;   // differential full saves (block-delta wire form)
+  bool audit = false;    // fork-consistency audit chain + witness exchange
 
   /// Sharded topology: when > 1, the mediator talks to a ShardRouter over
   /// N GDocsServer shards instead of one server, plus `fixture_docs`
@@ -148,6 +155,19 @@ struct SimReport {
     std::size_t bdelta_fallbacks = 0;  // 412 → plain full-save resends
     std::size_t bdelta_bytes = 0;      // block-delta wire bytes sent
     std::size_t full_save_bytes = 0;   // full-container bytes sent
+
+    // Malicious-server adversary (audit=1 runs). Injected counts must
+    // equal detected counts at quiesce — zero silent forks.
+    std::size_t peer_edits = 0;              // benign client-B writes landed
+    std::size_t equivocations_injected = 0;  // forked per-client histories
+    std::size_t equivocations_detected = 0;  // ... raised EquivocationError
+    std::size_t witness_suppressions_injected = 0;
+    std::size_t witness_suppressions_detected = 0;
+    std::size_t replays_injected = 0;        // old (content,rev,chain) tuples
+    std::size_t replays_detected = 0;        // ... raised RollbackError
+    std::size_t audit_links_committed = 0;   // copied from the mediator
+    std::size_t audit_chain_retries = 0;     // chain-412 rebase retries
+    std::size_t witnesses_published = 0;
 
     // Disconnected operation (offline=1 runs; copied from the mediator).
     std::size_t offline_entered = 0;     // documents flipped offline

@@ -48,7 +48,7 @@ Script generate_script(const SimConfig& config) {
     double weight;
     SimOpKind kind;
   };
-  const std::array<Entry, 16> table = {{
+  const std::array<Entry, 20> table = {{
       {w.insert, SimOpKind::kInsert},
       {w.erase, SimOpKind::kErase},
       {w.replace, SimOpKind::kReplace},
@@ -65,6 +65,10 @@ Script generate_script(const SimConfig& config) {
       {w.store_rot, SimOpKind::kStoreRot},
       {w.shard_crash, SimOpKind::kShardCrash},
       {w.shard_rebalance, SimOpKind::kShardRebalance},
+      {w.peer_edit, SimOpKind::kPeerEdit},
+      {w.equivocate, SimOpKind::kEquivocate},
+      {w.witness_suppress, SimOpKind::kWitnessSuppress},
+      {w.replay, SimOpKind::kReplay},
   }};
   double total = 0;
   for (const Entry& e : table) total += e.weight;
@@ -112,6 +116,8 @@ Script generate_script(const SimConfig& config) {
       case SimOpKind::kReopen:
       case SimOpKind::kRollback:
       case SimOpKind::kFork:
+      case SimOpKind::kWitnessSuppress:
+      case SimOpKind::kReplay:
         break;
       case SimOpKind::kTamperFlip:
       case SimOpKind::kTamperDrop:
@@ -126,6 +132,8 @@ Script generate_script(const SimConfig& config) {
       case SimOpKind::kStoreRot:
       case SimOpKind::kShardCrash:
       case SimOpKind::kShardRebalance:
+      case SimOpKind::kPeerEdit:
+      case SimOpKind::kEquivocate:
         op.arg = static_cast<std::uint32_t>(rng.next_u64());
         break;
     }

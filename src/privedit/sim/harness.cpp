@@ -15,7 +15,9 @@
 #include "privedit/cloud/shard_router.hpp"
 #include "privedit/cloud/store_check.hpp"
 #include "privedit/delta/delta.hpp"
+#include "privedit/enc/audit_record.hpp"
 #include "privedit/enc/container.hpp"
+#include "privedit/extension/audit.hpp"
 #include "privedit/extension/fsck.hpp"
 #include "privedit/extension/mediator.hpp"
 #include "privedit/extension/session.hpp"
@@ -25,6 +27,7 @@
 #include "privedit/net/transport.hpp"
 #include "privedit/sim/gen.hpp"
 #include "privedit/util/crashpoint.hpp"
+#include "privedit/util/crc32.hpp"
 #include "privedit/util/error.hpp"
 #include "privedit/util/hex.hpp"
 #include "privedit/util/random.hpp"
@@ -48,6 +51,11 @@ constexpr const char* kStoreSeams[] = {
     "file_store.put.created",     "file_store.put.torn",
     "file_store.put.before_fsync", "file_store.put.before_rename",
     "file_store.put.before_dirsync",
+};
+constexpr const char* kAuditSeams[] = {
+    "audit.append.before_write",
+    "audit.append.torn",
+    "audit.append.before_fsync",
 };
 
 std::uint64_t parse_rev_field(const std::optional<std::string>& field) {
@@ -118,6 +126,7 @@ class Runner {
     }
     if (rep_.ok && cfg_.offline) drain_offline();
     if (rep_.ok && cfg_.deep_verify_every > 0) deep_verify();
+    if (rep_.ok && cfg_.audit) audit_quiesce_check();
     if (rep_.ok && cfg_.persist && !sharded()) store_quiesce_check();
     if (rep_.ok && sharded()) shard_equiv_check("quiesce");
     if (rep_.ok && cfg_.bdelta) bdelta_quiesce_check();
@@ -167,6 +176,14 @@ class Runner {
   /// deterministic yet distinct from the pre-crash instance's.
   void build_world() {
     namespace fs = std::filesystem;
+    // A rebuild discards the mediator and with it this epoch's counters;
+    // bank the audit tallies first so quiesce sees the whole run.
+    if (mediator_ != nullptr) {
+      const auto& mc = mediator_->counters();
+      audit_links_acc_ += mc.audit_links_committed;
+      audit_retries_acc_ += mc.audit_chain_retries;
+      witnesses_acc_ += mc.witnesses_published;
+    }
     mediator_.reset();
     retry_.reset();
     faulty_.reset();
@@ -248,6 +265,10 @@ class Runner {
       mc.journal_dir = (fs::path(cfg_.work_dir) / "journal").string();
     }
     mc.block_delta_saves = cfg_.bdelta;
+    if (cfg_.audit) {
+      mc.audit = true;
+      mc.client_id = "A";  // client B is driven by the harness directly
+    }
     if (cfg_.offline) {
       mc.offline.enabled = true;
       if (cfg_.op_interval_us > 0) {
@@ -464,6 +485,18 @@ class Runner {
         return;
       case SimOpKind::kShardRebalance:
         exec_shard_rebalance(op);
+        return;
+      case SimOpKind::kPeerEdit:
+        exec_peer_edit(op);
+        return;
+      case SimOpKind::kEquivocate:
+        exec_equivocate(op);
+        return;
+      case SimOpKind::kWitnessSuppress:
+        exec_witness_suppress(op);
+        return;
+      case SimOpKind::kReplay:
+        exec_replay(op);
         return;
     }
   }
@@ -799,6 +832,10 @@ class Runner {
     rep_.cov.offline_rebases = mc.offline_rebases;
     rep_.cov.offline_dedupes = mc.offline_dedupes;
     rep_.cov.offline_backpressure = mc.offline_backpressure;
+    rep_.cov.audit_links_committed =
+        audit_links_acc_ + mc.audit_links_committed;
+    rep_.cov.audit_chain_retries = audit_retries_acc_ + mc.audit_chain_retries;
+    rep_.cov.witnesses_published = witnesses_acc_ + mc.witnesses_published;
     if (mediator_->breaker() != nullptr) {
       rep_.cov.breaker_trips = mediator_->breaker()->counters().trips;
     }
@@ -852,7 +889,18 @@ class Runner {
     if (!cfg_.journal) return;
     const auto raw = raw_doc();
     if (!raw) return;
-    snapshots_.push_back({rev_, *raw});
+    Snapshot snap;
+    snap.rev = rev_;
+    snap.content = *raw;
+    if (cfg_.audit) {
+      // Audit replays re-serve the *whole* acknowledged tuple: content,
+      // revision, chain and witness set — byte-genuine, just stale.
+      if (const auto* doc = authority().table().find(kDocId)) {
+        snap.achain = doc->audit_chain;
+        snap.witnesses = doc->witnesses;
+      }
+    }
+    snapshots_.push_back(std::move(snap));
     if (snapshots_.size() > 32) snapshots_.pop_front();
   }
 
@@ -971,11 +1019,13 @@ class Runner {
   /// Adversary lever: a cmd=sync straight at the server (not through the
   /// mediator) adopts content+rev wholesale, exactly what a malicious
   /// replica push can do.
-  void push_sync(std::uint64_t rev, const std::string& content) {
+  void push_sync(std::uint64_t rev, const std::string& content,
+                 const std::string& achain = {}) {
     FormData f;
     f.add("cmd", "sync");
     f.add("rev", std::to_string(rev));
     f.add("content", content);
+    if (!achain.empty()) f.add("achain", achain);
     authority().handle(net::HttpRequest::post_form(kTarget, f.encode()));
   }
 
@@ -997,27 +1047,395 @@ class Runner {
   /// Restores the last good stored state and re-syncs the session so the
   /// run continues: sync the bytes back at the acknowledged revision, then
   /// a normal open must succeed and agree with the reference.
-  void heal(const std::string& good) {
+  void heal(const std::string& good, const std::string& achain = {}) {
     if (!rep_.ok) return;
-    push_sync(rev_, good);
+    push_sync(rev_, good, achain);
+    verify_open_clean("heal");
+  }
+
+  /// A post-attack (or quiesce) open that must succeed, agree with the
+  /// reference, and re-sync the acknowledged revision.
+  void verify_open_clean(const char* what) {
+    if (!rep_.ok) return;
     net::HttpResponse resp;
     try {
       resp = open_request();
     } catch (const Error& e) {
-      fail("heal", std::string("open after restore failed: ") + e.what());
+      fail(what, std::string("open after restore failed: ") + e.what());
       return;
     }
     if (!resp.ok()) {
-      fail("heal", "open after restore: HTTP " + std::to_string(resp.status));
+      fail(what, "open after restore: HTTP " + std::to_string(resp.status));
       return;
     }
     const FormData reply = FormData::parse(resp.body);
     if (reply.get("content").value_or("") != model_) {
-      fail("heal", "document changed across an injected-attack round trip");
+      fail(what, "document changed across an injected-attack round trip");
       return;
     }
     rev_ = parse_rev_field(reply.get("rev"));
     check_model();
+  }
+
+  // ----- malicious-server audit adversary (audit=1) -----
+
+  /// Lazily built second client: a memory-only auditor holding the same
+  /// password-derived audit key under the id "B". Its edits go straight at
+  /// the authoritative server (full-container saves with alink/abase), so
+  /// the harness can commit genuine peer history for the adversary to hide.
+  extension::DocumentAuditor& peer_auditor() {
+    if (!b_auditor_) {
+      b_auditor_ = std::make_unique<extension::DocumentAuditor>(
+          enc::derive_audit_key(cfg_.password, kDocId), kDocId, "B");
+    }
+    return *b_auditor_;
+  }
+
+  /// One client-B write: open the served container directly, verify the
+  /// served chain under B's auditor (trust-on-first-use at first contact),
+  /// append a short run of words, save with B's chain link, publish B's
+  /// witness. Returns false when the op degenerated to a no-op (no chain
+  /// yet, stale view, no room); fails the run on a benign history B cannot
+  /// verify. `update_model` false leaves the reference untouched — the
+  /// equivocation op wants B's write to be *hidden* state.
+  bool peer_edit(std::uint32_t arg, bool update_model) {
+    FormData open;
+    open.add("cmd", "open");
+    open.add("session", "peer");
+    net::HttpResponse resp =
+        authority().handle(net::HttpRequest::post_form(kTarget, open.encode()));
+    if (!resp.ok()) return false;
+    const FormData reply = FormData::parse(resp.body);
+    const std::string container = reply.get("content").value_or("");
+    const std::string achain = reply.get("achain").value_or("");
+    const std::uint64_t rev = parse_rev_field(reply.get("rev"));
+    if (container.empty() || achain.empty()) return false;
+
+    extension::DocumentSession session = extension::DocumentSession::open(
+        cfg_.password, container,
+        extension::seeded_rng_factory(cfg_.seed ^ 0xbee5ULL ^ arg));
+    if (session.plaintext() != model_) return false;  // mid-attack view; skip
+
+    enc::AuditChain chain;
+    try {
+      chain = enc::decode_chain(achain);
+    } catch (const Error&) {
+      fail("peer-audit", "client B served an unparseable chain");
+      return false;
+    }
+    // Chain pruning can move the base past a long-idle B; re-baseline via
+    // the same trust-on-first-use path a fresh client would take.
+    if (b_auditor_ && b_auditor_->initialized() &&
+        chain.base_rev > b_auditor_->committed_rev()) {
+      b_auditor_.reset();
+    }
+    extension::DocumentAuditor& auditor = peer_auditor();
+    const std::uint32_t crc = crc32(as_bytes(container));
+    if (!auditor.initialized()) {
+      if (!enc::verify_chain(auditor.key(), chain) || chain.tip_rev() != rev) {
+        fail("peer-audit",
+             "client B could not verify a benign chain on first contact");
+        return false;
+      }
+      auditor.adopt(rev, chain.links.empty() ? chain.base_head
+                                             : chain.links.back().head);
+    } else {
+      const auto v = auditor.verify_served(chain, rev, crc);
+      if (v.verdict != extension::AuditVerdict::kOk) {
+        fail("peer-audit",
+             "client B flagged a benign history as " +
+                 std::string(extension::audit_verdict_name(v.verdict)) + ": " +
+                 v.detail);
+        return false;
+      }
+    }
+
+    std::string text = op_text(TextClass::kWords, arg, 3);
+    const std::size_t room = cfg_.max_doc_chars > model_.size()
+                                 ? cfg_.max_doc_chars - model_.size()
+                                 : 0;
+    if (text.size() > room) text.resize(room);
+    if (text.empty()) return false;
+    delta::Delta pd;
+    if (!session.plaintext().empty()) {
+      pd.push(delta::Op::retain(session.plaintext().size()));
+    }
+    pd.push(delta::Op::insert(text));
+    (void)session.transform_delta(pd);
+    const std::string next = session.scheme().ciphertext_doc();
+    const enc::AuditLink link =
+        auditor.stage_link(auditor.committed_rev() + 1,
+                           crc32(as_bytes(next)));
+
+    FormData save;
+    save.add("session", reply.get("session").value_or("peer"));
+    save.add("rev", std::to_string(rev));
+    save.add("docContents", next);
+    save.add("alink", enc::encode_link(link));
+    save.add("abase", hex_encode(auditor.committed_head()));
+    save.add("abaserev", std::to_string(auditor.committed_rev()));
+    net::HttpRequest req = net::HttpRequest::post_form(kTarget, save.encode());
+    req.headers.set("X-Privedit-Client", "B");
+    resp = authority().handle(req);
+    if (!resp.ok()) {
+      auditor.drop_staged();
+      return false;
+    }
+    auditor.commit_staged();
+
+    FormData wf;
+    wf.add("cmd", "witness");
+    wf.add("w", enc::encode_witness(auditor.own_witness()));
+    net::HttpRequest wreq = net::HttpRequest::post_form(kTarget, wf.encode());
+    wreq.headers.set("X-Privedit-Client", "B");
+    if (authority().handle(wreq).ok()) auditor.note_witness_published();
+
+    if (update_model) model_ = session.plaintext();
+    return true;
+  }
+
+  /// Benign two-writer traffic (the positive control): B commits a write,
+  /// then A reopens — its auditor must fast-forward over B's link without
+  /// raising anything.
+  void exec_peer_edit(const SimOp& op) {
+    if (!cfg_.audit || offline_now()) return;
+    if (!peer_edit(op.arg, /*update_model=*/true)) return;
+    ++rep_.cov.peer_edits;
+    exec_reopen();
+  }
+
+  /// The SUNDR attack: the server shows B a history, accepts B's write and
+  /// witness, then serves A the pre-B state as if B never wrote — two
+  /// divergent histories, one per client. A's open must classify this as
+  /// equivocation (B's MACed witness speaks for a revision A's own chain
+  /// fills differently). Both lineages are burned afterwards, so the heal
+  /// is a re-create.
+  void exec_equivocate(const SimOp& op) {
+    if (!cfg_.audit || offline_now()) return;
+    const auto* doc = authority().table().find(kDocId);
+    if (doc == nullptr || doc->content.empty() || doc->audit_chain.empty() ||
+        doc->rev != rev_) {
+      return;  // only fork a settled, chained state
+    }
+    const std::string pre_content = doc->content;
+    const std::uint64_t pre_rev = doc->rev;
+    const std::string pre_chain = doc->audit_chain;
+
+    // B's genuine write + witness land at pre_rev+1 ...
+    if (!peer_edit(op.arg, /*update_model=*/false)) return;
+    // ... and the server hides it from A: content, rev and chain roll back
+    // to the pre-B tuple while B's witness stays in the served set.
+    push_sync(pre_rev, pre_content, pre_chain);
+    ++rep_.cov.equivocations_injected;
+    // B now sits on a hidden lineage; a real B would be the one alarming.
+    // Its auditor state is evidence of a burned history — drop it.
+    b_auditor_.reset();
+
+    // A extends the served (forked) lineage: its link lands at the same
+    // revision B's witness speaks for, with a different head.
+    SimOp edit;
+    edit.kind = SimOpKind::kInsert;
+    edit.pos_ppm = 1'000'000;
+    edit.len = op.arg % 4 + 1;
+    edit.cls = TextClass::kWords;
+    edit.arg = op.arg ^ 0x5eedU;
+    send_splice(make_splice(edit), false);
+    if (!rep_.ok) return;
+
+    bool detected = false;
+    try {
+      (void)open_request();
+    } catch (const EquivocationError&) {
+      detected = true;
+    } catch (const Error& e) {
+      fail("equivocation-misclassified",
+           std::string("open raised the wrong alarm for a fork: ") + e.what());
+      return;
+    }
+    if (!detected) {
+      fail("equivocation-undetected",
+           "open accepted a forked history (" + op.to_wire() + ")");
+      return;
+    }
+    ++rep_.cov.equivocations_detected;
+    recreate_document();
+  }
+
+  /// Selective witness suppression: the server drops A's published
+  /// chain-head witness from the served set. A open must notice its own
+  /// claim vanished (the precondition for hiding A's writes from peers).
+  void exec_witness_suppress(const SimOp& op) {
+    (void)op;
+    if (!cfg_.audit || offline_now()) return;
+    auto* doc = authority().table().find(kDocId);
+    if (doc == nullptr) return;
+    if (doc->witnesses.find("A") == doc->witnesses.end()) {
+      // A publishes on open; give it one chance to have a claim out.
+      exec_reopen();
+      if (!rep_.ok) return;
+      doc = authority().table().find(kDocId);
+      if (doc == nullptr || doc->witnesses.find("A") == doc->witnesses.end()) {
+        return;
+      }
+    }
+    const std::string saved = doc->witnesses.at("A");
+    doc->witnesses.erase("A");
+    authority().table().persist_audit(kDocId, *doc);
+    ++rep_.cov.witness_suppressions_injected;
+
+    bool detected = false;
+    try {
+      (void)open_request();
+    } catch (const EquivocationError&) {
+      detected = true;
+    } catch (const Error& e) {
+      fail("witness-suppression-misclassified",
+           std::string("open raised the wrong alarm for a suppressed "
+                       "witness: ") +
+               e.what());
+      return;
+    }
+    if (!detected) {
+      fail("witness-suppression-undetected",
+           "open accepted a witness set missing this client's published "
+           "claim");
+      return;
+    }
+    ++rep_.cov.witness_suppressions_detected;
+
+    // Heal: the witness reappears; the next open must pass clean.
+    doc = authority().table().find(kDocId);
+    if (doc != nullptr) {
+      doc->witnesses["A"] = saved;
+      authority().table().persist_audit(kDocId, *doc);
+    }
+    verify_open_clean("heal");
+  }
+
+  /// Full replay: re-serve an old acknowledged tuple — content, revision,
+  /// chain AND witness set, all byte-genuine and MAC-valid, just stale.
+  /// The chain alone cannot condemn it (the server stored exactly these
+  /// bytes once); the committed head ordering must: A's open classifies it
+  /// as rollback.
+  void exec_replay(const SimOp& op) {
+    (void)op;
+    if (!cfg_.audit || offline_now()) return;
+    const auto* doc = authority().table().find(kDocId);
+    if (doc == nullptr || doc->audit_chain.empty() || doc->rev != rev_) return;
+    const std::string good_content = doc->content;
+    const std::string good_chain = doc->audit_chain;
+    const auto good_witnesses = doc->witnesses;
+    const Snapshot* older = nullptr;
+    for (const Snapshot& s : snapshots_) {
+      if (s.rev < rev_ && !s.achain.empty()) {
+        older = &s;
+        break;
+      }
+    }
+    if (older == nullptr) return;
+
+    push_sync(older->rev, older->content, older->achain);
+    if (auto* d = authority().table().find(kDocId)) {
+      d->witnesses = older->witnesses;
+      authority().table().persist_audit(kDocId, *d);
+    }
+    ++rep_.cov.replays_injected;
+
+    bool detected = false;
+    try {
+      (void)open_request();
+    } catch (const RollbackError&) {
+      detected = true;
+    } catch (const Error& e) {
+      fail("replay-misclassified",
+           std::string("open raised the wrong alarm for a replayed "
+                       "history: ") +
+               e.what());
+      return;
+    }
+    if (!detected) {
+      fail("replay-undetected",
+           "open accepted a replayed history snapshot (" + op.to_wire() + ")");
+      return;
+    }
+    ++rep_.cov.replays_detected;
+
+    // Heal: restore the present tuple wholesale.
+    push_sync(rev_, good_content, good_chain);
+    if (auto* d = authority().table().find(kDocId)) {
+      d->witnesses = good_witnesses;
+      authority().table().persist_audit(kDocId, *d);
+    }
+    verify_open_clean("heal");
+  }
+
+  /// Post-equivocation heal: both lineages are compromised, so the run
+  /// re-creates the document through the mediator (server wipes chain and
+  /// witnesses, A re-roots at a fresh genesis) and restores the reference
+  /// bytes with a normal full save.
+  void recreate_document() {
+    if (!rep_.ok) return;
+    const std::string text = model_;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        FormData f;
+        f.add("cmd", "create");
+        const net::HttpResponse resp = post(f.encode());
+        if (!resp.ok()) {
+          fail("heal", "re-create rejected: HTTP " +
+                           std::to_string(resp.status));
+          return;
+        }
+        rev_ = parse_rev_field(FormData::parse(resp.body).get("rev"));
+        break;
+      } catch (const net::TransportError&) {
+        ++rep_.cov.transport_errors;
+        if (attempt >= 64) {
+          fail("heal", "re-create: transport faults exhausted retries");
+          return;
+        }
+      }
+    }
+    model_.clear();
+    undo_.clear();
+    snapshots_.clear();  // pre-create lineage is gone
+    b_auditor_.reset();
+    if (!text.empty()) exec_full_save(text);
+    check_model();
+  }
+
+  /// End-of-run invariant for audit runs: every injected attack was
+  /// detected (zero silent forks — the per-op fails enforce the same, this
+  /// re-asserts the aggregate), the chain machinery demonstrably ran, and
+  /// a final open verifies the full history clean.
+  void audit_quiesce_check() {
+    const auto& cov = rep_.cov;
+    if (cov.equivocations_detected != cov.equivocations_injected) {
+      fail("equivocation-undetected",
+           std::to_string(cov.equivocations_injected -
+                          cov.equivocations_detected) +
+               " injected equivocations were never detected");
+      return;
+    }
+    if (cov.witness_suppressions_detected != cov.witness_suppressions_injected) {
+      fail("witness-suppression-undetected",
+           std::to_string(cov.witness_suppressions_injected -
+                          cov.witness_suppressions_detected) +
+               " injected witness suppressions were never detected");
+      return;
+    }
+    if (cov.replays_detected != cov.replays_injected) {
+      fail("replay-undetected",
+           std::to_string(cov.replays_injected - cov.replays_detected) +
+               " injected replays were never detected");
+      return;
+    }
+    if (audit_links_acc_ + mediator_->counters().audit_links_committed == 0) {
+      fail("audit-quiesce",
+           "audit=1 run committed no chain links — the machinery never ran");
+      return;
+    }
+    verify_open_clean("audit-quiesce");
   }
 
   // ----- crash seams -----
@@ -1030,6 +1448,13 @@ class Runner {
     std::vector<const char*> seams(std::begin(kJournalSeams),
                                    std::end(kJournalSeams));
     seams.insert(seams.end(), std::begin(kStoreSeams), std::end(kStoreSeams));
+    if (cfg_.audit) {
+      // The auditor's chain-head log has its own write-ahead seams: a
+      // crash between staging a link and the save must never lose (or
+      // double-apply) the head.
+      seams.insert(seams.end(), std::begin(kAuditSeams),
+                   std::end(kAuditSeams));
+    }
     const char* seam = seams[op.arg % seams.size()];
 
     SimOp edit;
@@ -1112,6 +1537,21 @@ class Runner {
         return false;
       }
     };
+    if (cfg_.audit) {
+      // Structural chain check over the audit sidecar: revisions ascend
+      // and the stored tip speaks for the stored record (kChainBreak
+      // findings otherwise).
+      namespace fs = std::filesystem;
+      const std::string sidecar_dir = store_dir() + "/.audit";
+      if (fs::is_directory(sidecar_dir)) {
+        const cloud::FileStore sidecar(sidecar_dir);
+        for (const auto& [id, record] : sidecar.load_all()) {
+          const std::string chain =
+              FormData::parse(record.content).get("chain").value_or("");
+          if (!chain.empty()) cc.chains[id] = chain;
+        }
+      }
+    }
     return cc;
   }
 
@@ -1226,8 +1666,10 @@ class Runner {
   }
 
   struct Snapshot {
-    std::uint64_t rev;
+    std::uint64_t rev = 0;
     std::string content;
+    std::string achain;  // audit chain wire at that rev (audit runs)
+    std::map<std::string, std::string> witnesses;  // served witness set
   };
 
   const SimConfig& cfg_;
@@ -1242,6 +1684,7 @@ class Runner {
   std::unique_ptr<net::FaultyChannel> faulty_;
   std::unique_ptr<net::RetryChannel> retry_;
   std::unique_ptr<extension::GDocsMediator> mediator_;
+  std::unique_ptr<extension::DocumentAuditor> b_auditor_;  // client B (audit)
 
   std::string model_;  // the reference: a plain byte string
   std::uint64_t rev_ = 0;
@@ -1249,6 +1692,11 @@ class Runner {
   std::deque<Snapshot> snapshots_;  // older acked states (rollback fodder)
   std::uint64_t epoch_ = 0;       // bumped per world rebuild
   std::size_t current_op_ = 0;
+  // Audit counters banked across world rebuilds (crashes reset the
+  // mediator, not the run's evidence).
+  std::size_t audit_links_acc_ = 0;
+  std::size_t audit_retries_acc_ = 0;
+  std::size_t witnesses_acc_ = 0;
 };
 
 }  // namespace

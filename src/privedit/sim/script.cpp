@@ -130,6 +130,14 @@ std::string SimOp::to_wire() const {
       return "sk:" + std::to_string(arg);
     case SimOpKind::kShardRebalance:
       return "sr:" + std::to_string(arg);
+    case SimOpKind::kPeerEdit:
+      return "be:" + std::to_string(arg);
+    case SimOpKind::kEquivocate:
+      return "ke:" + std::to_string(arg);
+    case SimOpKind::kWitnessSuppress:
+      return "kw";
+    case SimOpKind::kReplay:
+      return "kp";
   }
   throw Error(ErrorCode::kInvalidArgument, "sim: bad op kind");
 }
@@ -215,6 +223,20 @@ SimOp SimOp::parse(std::string_view wire) {
     want(2);
     op.kind = SimOpKind::kShardRebalance;
     op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "be") {
+    want(2);
+    op.kind = SimOpKind::kPeerEdit;
+    op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "ke") {
+    want(2);
+    op.kind = SimOpKind::kEquivocate;
+    op.arg = parse_u32(fields[1], "arg");
+  } else if (tag == "kw") {
+    want(1);
+    op.kind = SimOpKind::kWitnessSuppress;
+  } else if (tag == "kp") {
+    want(1);
+    op.kind = SimOpKind::kReplay;
   } else {
     throw ParseError("sim op: unknown tag '" + std::string(tag) + "'");
   }

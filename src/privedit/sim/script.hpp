@@ -37,6 +37,10 @@ enum class SimOpKind : std::uint8_t {
   kStoreRot,    // sc:ARG                rot the on-disk record, restart, fsck
   kShardCrash,      // sk:ARG            kill shard ARG%N, then restart it
   kShardRebalance,  // sr:ARG            drain shard ARG%N out, join it back
+  kPeerEdit,         // be:ARG           benign client-B edit + witness
+  kEquivocate,       // ke:ARG           hide B's write: fork the history
+  kWitnessSuppress,  // kw               drop client A's served witness
+  kReplay,           // kp               re-serve an old (rev,content,chain)
 };
 
 /// Insert-payload character classes. The mix is chosen to hit the update

@@ -1,29 +1,61 @@
 #include "privedit/util/crc32.hpp"
 
 #include <array>
+#include <cstddef>
 
 namespace privedit {
 namespace {
 
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 tables: table[0] is the classic bytewise CRC-32 table,
+// table[k][i] advances a byte that sits k positions deeper in the message.
+// Same polynomial (0xEDB88320, reflected) — bit-identical to the bytewise
+// loop, ~8x the throughput. The audit layer CRCs the whole container per
+// save (DESIGN.md §16), so this path is on the editing hot loop.
+std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
 }  // namespace
 
 std::uint32_t crc32_update(std::uint32_t crc, ByteView data) {
-  static const std::array<std::uint32_t, 256> kTable = make_table();
+  static const std::array<std::array<std::uint32_t, 256>, 8> kTables =
+      make_tables();
+  const auto& t = kTables;
   crc = ~crc;
-  for (std::uint8_t byte : data) {
-    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+  while (len >= 8) {
+    const std::uint32_t lo = crc ^ load_le32(p);
+    const std::uint32_t hi = load_le32(p + 4);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
   }
   return ~crc;
 }

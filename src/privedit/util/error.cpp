@@ -17,6 +17,10 @@ std::string_view error_code_name(ErrorCode code) {
       return "integrity";
     case ErrorCode::kRollback:
       return "rollback";
+    case ErrorCode::kFork:
+      return "fork";
+    case ErrorCode::kEquivocation:
+      return "equivocation";
     case ErrorCode::kProtocol:
       return "protocol";
     case ErrorCode::kState:

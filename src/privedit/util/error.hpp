@@ -17,6 +17,8 @@ enum class ErrorCode {
   kCrypto,            // key/entropy/cipher misuse
   kIntegrity,         // authenticated decryption failed — possible tampering
   kRollback,          // server presented an older/forked document state
+  kFork,              // server presented a history that diverges from ours
+  kEquivocation,      // server showed different histories to different clients
   kProtocol,          // cloud-service protocol violation
   kState,             // object used in an invalid state
   kStorage,           // disk I/O failed (carries errno; see StorageError)
@@ -59,6 +61,27 @@ class RollbackError : public IntegrityError {
  public:
   explicit RollbackError(const std::string& what)
       : IntegrityError(ErrorCode::kRollback, what) {}
+};
+
+/// Thrown when the server's revision history *diverges* from the chain
+/// this client committed: the served chain disagrees with our own head at
+/// a revision we produced or verified. Unlike a rollback (older-but-ours
+/// state), a fork means the server substituted somebody's history.
+class ForkError : public IntegrityError {
+ public:
+  explicit ForkError(const std::string& what)
+      : IntegrityError(ErrorCode::kFork, what) {}
+};
+
+/// Thrown when cross-client witness exchange proves the server showed two
+/// clients incompatible histories for the same document (SUNDR-style
+/// fork/equivocation). The strongest finding: it implicates the server,
+/// not the storage medium, so callers should stop trusting the endpoint
+/// rather than attempt repair.
+class EquivocationError : public IntegrityError {
+ public:
+  explicit EquivocationError(const std::string& what)
+      : IntegrityError(ErrorCode::kEquivocation, what) {}
 };
 
 /// Thrown when a storage path (write/fsync/rename/open) fails at the OS

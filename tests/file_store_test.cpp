@@ -233,8 +233,10 @@ TEST_F(FileStoreTest, FilesystemAttackerSeesOnlyCiphertextAndTamperingIsCaught) 
   writer.insert(0, "grand jury material");
   writer.save();
 
-  // The subpoena delivers the files — which contain no plaintext.
-  for (const auto& entry : fs::directory_iterator(dir_)) {
+  // The subpoena delivers the files — doc records and the .audit/ chain
+  // sidecars alike — which contain no plaintext.
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
     std::ifstream in(entry.path(), std::ios::binary);
     std::string blob((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());

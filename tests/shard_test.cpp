@@ -804,5 +804,92 @@ TEST(ShardRouterTest, MediatedEditingThroughTheRouterBillsTheTenant) {
             "the secret plaintext");
 }
 
+// Block-delta saves racing a migration: a bdelta save in flight when the
+// document's shard starts draining must hit the handoff fence (503) and
+// land EXACTLY ONCE after the router reconciles — never zero times (lost
+// write) and never twice (the fenced attempt plus its replay).
+TEST(ShardRouterTest, BlockDeltaSaveAcrossDrainLandsExactlyOnce) {
+  TempDir tmp("bdeltamig");
+  ShardRouterConfig cfg;
+  cfg.data_dir = tmp.path.string();
+  cfg.handoff_retry_after_s = 1;
+  auto router = std::make_unique<ShardRouter>(shard_ids(3), cfg);
+  net::SimClock clock;
+  net::LoopbackTransport transport(
+      [&router](const net::HttpRequest& r) { return router->handle(r); },
+      &clock, net::LatencyModel{}, crypto::CtrDrbg::from_seed(91));
+  extension::MediatorConfig mc;
+  mc.password = "pw";
+  mc.scheme.mode = enc::Mode::kRpc;
+  mc.scheme.kdf_iterations = 5;
+  mc.rng_factory = extension::seeded_rng_factory(92);
+  mc.client_id = "alice";
+  mc.journal_dir = (tmp.path / "journal").string();
+  mc.block_delta_saves = true;
+  extension::GDocsMediator mediator(&transport, std::move(mc), &clock);
+
+  const std::string target = "/Doc?docID=migdoc";
+  auto med_save = [&](std::uint64_t rev, const std::string& text) {
+    FormData save;
+    save.add("session", "1");
+    save.add("rev", std::to_string(rev));
+    save.add("docContents", text);
+    return mediator.round_trip(net::HttpRequest::post_form(target,
+                                                           save.encode()));
+  };
+  FormData create;
+  create.add("cmd", "create");
+  ASSERT_TRUE(mediator
+                  .round_trip(net::HttpRequest::post_form(target,
+                                                          create.encode()))
+                  .ok());
+  const std::string base = std::string(600, 'a') + " stable tail";
+  ASSERT_TRUE(med_save(0, base).ok());  // plain full; ack latches bdelta
+  ASSERT_TRUE(med_save(1, "v2 " + base).ok());
+  EXPECT_GE(mediator.counters().bdelta_saves, 1u)
+      << "the capability latch should make the second save differential";
+
+  const std::string owner = router->shard_for("migdoc");
+  const std::uint64_t rev_before =
+      router->shard_server(owner).table().find("migdoc")->rev;
+
+  // Open the handoff window deterministically: crash the drain of the
+  // doc's owner before cutover, leaving the fence up.
+  CrashPoints::arm("router.migrate.before_cutover", 1);
+  EXPECT_THROW(router->remove_shard(owner), CrashError);
+  CrashPoints::disarm();
+
+  const std::string final_text = "v3 v2 " + base;
+  const net::HttpResponse fenced = med_save(rev_before, final_text);
+  EXPECT_EQ(fenced.status, 503);  // fenced: refused, not applied
+  EXPECT_GE(router->counters().handoff_rejections, 1u);
+  EXPECT_EQ(router->shard_server(owner).table().find("migdoc")->rev,
+            rev_before)
+      << "a fenced save must not have touched the draining shard";
+
+  // Provider reboot on the same data_dir reconciles the torn migration:
+  // the document ends up owned exactly once.
+  router = std::make_unique<ShardRouter>(shard_ids(3), cfg);
+  ASSERT_EQ(router->holders("migdoc").size(), 1u);
+
+  // The retry lands exactly once. Its block-delta anchor (the mediator's
+  // ciphertext mirror) ran ahead during the fenced attempt, so the server
+  // answers 412 and the documented fallback resends the plain full save —
+  // the fence must degrade the encoding, never duplicate the write.
+  ASSERT_TRUE(med_save(rev_before, final_text).ok());
+
+  FormData open;
+  open.add("cmd", "open");
+  const net::HttpResponse reopened =
+      mediator.round_trip(net::HttpRequest::post_form(target, open.encode()));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(FormData::parse(reopened.body).get("content").value_or(""),
+            final_text);
+  const std::string after_owner = router->shard_for("migdoc");
+  EXPECT_EQ(router->shard_server(after_owner).table().find("migdoc")->rev,
+            rev_before + 1)
+      << "the in-flight save must land exactly once across the migration";
+}
+
 }  // namespace
 }  // namespace privedit::cloud

@@ -90,6 +90,15 @@ void print_coverage(const char* tag, const sim::SimReport& rep) {
     std::cout << " bdelta=" << c.bdelta_saves << "(+" << c.bdelta_fallbacks
               << " fb) bytes=" << c.bdelta_bytes << "/" << c.full_save_bytes;
   }
+  if (c.audit_links_committed > 0) {
+    std::cout << " links=" << c.audit_links_committed
+              << " wpub=" << c.witnesses_published
+              << " peered=" << c.peer_edits << " equiv="
+              << c.equivocations_detected << "/" << c.equivocations_injected
+              << " wsup=" << c.witness_suppressions_detected << "/"
+              << c.witness_suppressions_injected << " replay="
+              << c.replays_detected << "/" << c.replays_injected;
+  }
   std::cout << "\n";
 }
 
@@ -202,6 +211,78 @@ TEST(SimAdversary, SeedSweep) {
     crash.weights.fork = 3;
     crash.deep_verify_every = 50;
     expect_ok(sim::run_sim(crash));
+  }
+}
+
+// --------------------------------------- malicious-server audit adversary --
+
+std::size_t audit_iter_scale() {
+  const char* env = std::getenv("PRIVEDIT_AUDIT_ITERS");
+  if (env == nullptr) return iter_scale();
+  const long v = std::atol(env);
+  return v > 1 ? static_cast<std::size_t>(v) : 1;
+}
+
+sim::SimConfig audit_config(std::uint64_t seed, const std::string& work_dir) {
+  sim::SimConfig cfg;
+  cfg.mode = enc::Mode::kRpc;
+  cfg.block_chars = 4;
+  cfg.seed = seed;
+  cfg.ops = 260;
+  cfg.journal = true;
+  cfg.persist = true;
+  cfg.strict = true;
+  cfg.audit = true;
+  cfg.work_dir = work_dir;
+  cfg.weights.peer_edit = 6;
+  cfg.weights.equivocate = 2.5;
+  cfg.weights.witness_suppress = 2.5;
+  cfg.weights.replay = 3;
+  cfg.deep_verify_every = 64;
+  return cfg;
+}
+
+TEST(SimAudit, MaliciousServerIsAlwaysCaught) {
+  // The fork-consistency phase: a second client commits genuine writes
+  // while the server equivocates (hides B's write behind a forked
+  // history), suppresses published witnesses, and replays whole old
+  // (content, rev, chain, witness) tuples. Every injection must be
+  // detected AND correctly classified — equivocation / equivocation /
+  // rollback respectively — with zero silent forks, and the run must keep
+  // converging after each heal.
+  TempDir tmp("audit");
+  const sim::SimReport rep = sim::run_sim(audit_config(71, tmp.path.string()));
+  expect_ok(rep);
+  print_coverage("audit", rep);
+  EXPECT_GT(rep.cov.peer_edits, 2u);
+  EXPECT_GT(rep.cov.equivocations_injected, 1u);
+  EXPECT_GT(rep.cov.witness_suppressions_injected, 1u);
+  EXPECT_GT(rep.cov.replays_injected, 1u);
+  EXPECT_EQ(rep.cov.equivocations_detected, rep.cov.equivocations_injected);
+  EXPECT_EQ(rep.cov.witness_suppressions_detected,
+            rep.cov.witness_suppressions_injected);
+  EXPECT_EQ(rep.cov.replays_detected, rep.cov.replays_injected);
+  EXPECT_GT(rep.cov.audit_links_committed, 0u);
+  EXPECT_GT(rep.cov.witnesses_published, 0u);
+}
+
+TEST(SimAudit, SeedSweepWithCrashes) {
+  // More seeds, and the auditor's own durability seams in the crash mix:
+  // a crash between staging a chain link and the save's ack must leave a
+  // recoverable head, never a self-made fork alarm.
+  const std::size_t scale = audit_iter_scale();
+  std::uint64_t seed = 900;
+  for (std::size_t round = 0; round < 2 * scale; ++round) {
+    for (const std::uint64_t offset : {1u, 2u, 3u}) {
+      seed = 900 + round * 10 + offset;
+      TempDir tmp("audit-sweep-" + std::to_string(seed));
+      sim::SimConfig cfg = audit_config(seed, tmp.path.string());
+      cfg.ops = 180;
+      cfg.weights.crash = 4;  // includes the audit.append.* seams
+      const sim::SimReport rep = sim::run_sim(cfg);
+      expect_ok(rep);
+      if (!rep.ok) return;  // first failing seed is enough to debug
+    }
   }
 }
 
@@ -509,6 +590,10 @@ TEST(SimWire, ScriptRoundTripsEveryOpKind) {
   script.ops.push_back(sim::SimOp::parse("kb"));
   script.ops.push_back(sim::SimOp::parse("kf"));
   script.ops.push_back(sim::SimOp::parse("c:4"));
+  script.ops.push_back(sim::SimOp::parse("be:11"));
+  script.ops.push_back(sim::SimOp::parse("ke:12"));
+  script.ops.push_back(sim::SimOp::parse("kw"));
+  script.ops.push_back(sim::SimOp::parse("kp"));
   const sim::Script reparsed = sim::Script::parse(script.to_wire());
   EXPECT_EQ(reparsed, script);
 
@@ -532,6 +617,11 @@ TEST(SimWire, ConfigRoundTrips) {
   cfg.retry = true;
   cfg.faults.drop = 0.25;
   cfg.weights.tamper = 8;
+  cfg.audit = true;
+  cfg.weights.peer_edit = 6;
+  cfg.weights.equivocate = 3;
+  cfg.weights.witness_suppress = 3;
+  cfg.weights.replay = 4;
   cfg.mutation = sim::Mutation::kDropDelete;
   const sim::SimConfig reparsed = sim::SimConfig::parse(cfg.to_wire());
   EXPECT_EQ(reparsed.to_wire(), cfg.to_wire());
@@ -539,6 +629,8 @@ TEST(SimWire, ConfigRoundTrips) {
   EXPECT_EQ(reparsed.seed, cfg.seed);
   EXPECT_EQ(reparsed.journal, cfg.journal);
   EXPECT_EQ(reparsed.mutation, cfg.mutation);
+  EXPECT_TRUE(reparsed.audit);
+  EXPECT_EQ(reparsed.weights.equivocate, cfg.weights.equivocate);
   EXPECT_THROW(sim::SimConfig::parse("bogus=1"), privedit::ParseError);
 }
 

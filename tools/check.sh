@@ -8,7 +8,7 @@
 # and corrupt bytes through the decoders.
 #
 # Usage:
-#   tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|diff|no-aesni] [extra ctest args...]
+#   tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|diff|audit|no-aesni] [extra ctest args...]
 #
 # The sim mode runs only the simulation-harness tests (ctest label "sim")
 # in a plain build, scaled up via PRIVEDIT_SIM_ITERS (default 10x the
@@ -28,6 +28,12 @@
 # properties in block_diff_test (PRIVEDIT_DIFF_ITERS multiplies the
 # rounds, default 10x), the wire-format fuzz corpus, and the sim
 # harness's differential-save phase.
+#
+# The audit mode soaks fork-consistency detection: the audit_test suite
+# (ctest label "audit") plus the sim harness's malicious-server adversary
+# phases, with PRIVEDIT_AUDIT_ITERS scaling the adversary seed sweep
+# (default 10x). Every injected equivocation/suppression/replay must be
+# detected — one missed fork fails the run.
 #
 # Uses a separate build tree (build-<sanitizer>/) so the regular build/
 # stays untouched.
@@ -81,6 +87,17 @@ if [ "${SANITIZER}" = "diff" ]; then
     -R "BlockDiff|BlockWire|FuzzCorpus\.Diff|SimBlockDelta" "$@"
 fi
 
+if [ "${SANITIZER}" = "audit" ]; then
+  BUILD_DIR="${REPO_ROOT}/build-sim"
+  cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}" -j"$(nproc)" --target audit_test sim_test
+  export PRIVEDIT_AUDIT_ITERS="${PRIVEDIT_AUDIT_ITERS:-10}"
+  echo "fork-consistency soak at PRIVEDIT_AUDIT_ITERS=${PRIVEDIT_AUDIT_ITERS}"
+  cd "${BUILD_DIR}"
+  ctest --output-on-failure -j"$(nproc)" -L audit "$@"
+  exec ctest --output-on-failure -j"$(nproc)" -R "SimAudit" "$@"
+fi
+
 if [ "${SANITIZER}" = "no-aesni" ]; then
   # Run the full suite with hardware AES dispatch disabled, so the software
   # fallback path (the one a non-AES-NI host would take) stays covered even
@@ -98,7 +115,7 @@ fi
 case "${SANITIZER}" in
   thread|address) CMAKE_SANITIZE="${SANITIZER}" ;;
   asan-ubsan)     CMAKE_SANITIZE="address+undefined" ;;
-  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|diff|no-aesni] [ctest args...]" >&2
+  *) echo "usage: tools/check.sh [thread|address|asan-ubsan|sim|resilience|fsck|diff|audit|no-aesni] [ctest args...]" >&2
      exit 2 ;;
 esac
 

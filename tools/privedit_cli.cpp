@@ -196,9 +196,31 @@ int cmd_serve(const Args& args) {
                server.port(), shards, shards == 1 ? "" : "s",
                config.data_dir.empty() ? "" : ", persisted under ",
                config.data_dir.c_str());
+  // Boot-time restore anomalies: stale tenant meta and audit-sidecar
+  // records/links dropped while rebuilding from the durable stores.
+  std::size_t audit_skipped = 0;
+  for (const std::string& id : router->members()) {
+    audit_skipped += router->shard_server(id).table().audit_restore_skipped();
+  }
+  const std::size_t meta_skipped = router->tenants().counters().restore_skipped;
+  if (audit_skipped > 0 || meta_skipped > 0) {
+    std::fprintf(stderr,
+                 "restore: %zu tenant meta record(s) skipped, "
+                 "%zu audit record(s)/link(s) dropped\n",
+                 meta_skipped, audit_skipped);
+  }
   std::fprintf(stderr, "press enter to stop\n");
   std::getchar();
   server.stop();
+  const cloud::ShardRouter::Counters rc = router->counters();
+  const cloud::TenantAccounts::Counters tc = router->tenants().counters();
+  std::fprintf(stderr,
+               "served: %zu routed, %zu bad, %zu quota / %zu handoff / "
+               "%zu down rejection(s), %zu migration(s) (%zu doc(s)), "
+               "%zu charge(s)/%zu release(s)\n",
+               rc.routed, rc.bad_requests, rc.quota_rejections,
+               rc.handoff_rejections, rc.down_rejections, rc.migrations,
+               rc.docs_migrated, tc.charges, tc.releases);
   return 0;
 }
 
